@@ -1,0 +1,299 @@
+//! Adaptive Two Phase (§3.2) — the paper's flagship.
+//!
+//! Start as Two Phase under the common-case assumption that the number of
+//! groups is small. The moment the local hash table fills — the point at
+//! which plain Two Phase would start paying intermediate overflow I/O —
+//! the node:
+//!
+//! 1. stops aggregating locally,
+//! 2. partitions and ships the accumulated **partial** results downstream
+//!    (freeing its memory — the advantage over Graefe's optimization,
+//!    which keeps the table resident),
+//! 3. forwards every remaining tuple **raw**, hash-partitioned, exactly
+//!    like Repartitioning.
+//!
+//! The merge phase accepts both kinds in one table. Crucially, "each
+//! processor … adapts based on what it observes, independently of what
+//! all the other processors are doing" — no synchronization; under §6's
+//! output skew the group-rich nodes switch while group-poor ones stay in
+//! Two Phase mode, beating both static algorithms.
+
+use crate::common::{merge_phase_store, QueryPlan};
+use crate::config::AlgoConfig;
+use crate::outcome::{AdaptEvent, NodeOutcome};
+use adaptagg_exec::{operators, Exchange, ExecError, NodeCtx};
+use adaptagg_hashagg::{AggTable, Inserted};
+use adaptagg_model::RowKind;
+
+/// Run Adaptive Two Phase on one node.
+pub fn run_node(
+    ctx: &mut NodeCtx,
+    plan: &QueryPlan,
+    cfg: &AlgoConfig,
+) -> Result<NodeOutcome, ExecError> {
+    run_node_with(ctx, plan, cfg, Vec::new(), 0, None)
+}
+
+/// A2P with pre-received traffic and an optional pre-seeded local table
+/// (Adaptive Repartitioning falls back into this with whatever it had).
+pub fn run_node_with(
+    ctx: &mut NodeCtx,
+    plan: &QueryPlan,
+    cfg: &AlgoConfig,
+    pre_received: Vec<(RowKind, adaptagg_net::Page)>,
+    pre_eos: usize,
+    // (scanned_so_far, exchange) when resuming mid-scan — used by ARep.
+    resume: Option<ResumeState>,
+) -> Result<NodeOutcome, ExecError> {
+    let max_entries = ctx.params().max_hash_entries;
+    let fanout = cfg.overflow_fanout;
+    let mut events = Vec::new();
+
+    let (mut scan, mut ex) = match resume {
+        Some(r) => (r.scan, r.exchange),
+        None => (
+            ScanState::new(plan, max_entries),
+            Exchange::new(
+                ctx.nodes(),
+                ctx.params().message_bytes,
+                plan.key_len(),
+                RowKind::Partial,
+            ),
+        ),
+    };
+
+    operators::scan_project(ctx, "base", &plan.base.filter, &plan.projection, |ctx, values| {
+        scan.push(ctx, &mut ex, plan, &values, &mut events)
+    })?;
+
+    // If we never switched, the table holds all local partials: ship them
+    // partitioned (plain Two Phase behaviour).
+    if !scan.switched {
+        let partials = scan.table.drain_partial_rows(&mut ctx.clock);
+        ex.switch_kind(ctx, RowKind::Partial);
+        for row in &partials {
+            ex.route(ctx, row, false)?;
+        }
+    }
+    ex.finish(ctx);
+    ctx.clock.mark("phase1");
+
+    // Merge phase: raw + partial interleaved, one bounded table.
+    let (rows, mut agg) =
+        merge_phase_store(ctx, plan, max_entries, fanout, pre_received, pre_eos)?;
+    agg.raw_in += scan.raw_seen;
+    Ok(NodeOutcome { rows, agg, events })
+}
+
+/// The A2P scan-side state machine (shared with ARep's fallback).
+#[derive(Debug)]
+pub struct ScanState {
+    /// The bounded local table (phase 1's "first bucket").
+    pub table: AggTable,
+    /// Whether the memory-full switch has fired.
+    pub switched: bool,
+    /// Tuples scanned so far.
+    pub raw_seen: u64,
+}
+
+impl ScanState {
+    /// Fresh scan state for a node.
+    pub fn new(plan: &QueryPlan, max_entries: usize) -> Self {
+        ScanState {
+            table: AggTable::new(plan.projected.clone(), max_entries),
+            switched: false,
+            raw_seen: 0,
+        }
+    }
+
+    /// Process one projected tuple: aggregate locally until the table
+    /// fills, then flush partials and forward raws.
+    pub fn push(
+        &mut self,
+        ctx: &mut NodeCtx,
+        ex: &mut Exchange,
+        _plan: &QueryPlan,
+        values: &[adaptagg_model::Value],
+        events: &mut Vec<AdaptEvent>,
+    ) -> Result<(), ExecError> {
+        self.raw_seen += 1;
+        if self.switched {
+            // Repartitioning mode: hash + destination per tuple.
+            ex.route(ctx, values, true)?;
+            return Ok(());
+        }
+        match self.table.insert_raw(values, &mut ctx.clock)? {
+            Inserted::Updated | Inserted::New => Ok(()),
+            Inserted::Full => {
+                // The switch (§3.2): flush accumulated partials to their
+                // owners, freeing memory, then forward raws.
+                let partials = self.table.drain_partial_rows(&mut ctx.clock);
+                ex.switch_kind(ctx, RowKind::Partial);
+                for row in &partials {
+                    ex.route(ctx, row, false)?;
+                }
+                ex.switch_kind(ctx, RowKind::Raw);
+                self.switched = true;
+                events.push(AdaptEvent::SwitchedToRepartitioning {
+                    at_tuple: self.raw_seen,
+                });
+                // The tuple that triggered the switch is forwarded raw
+                // (its hash was already charged by the failed insert).
+                ex.route(ctx, values, false)?;
+                Ok(())
+            }
+        }
+    }
+}
+
+/// State handed over by Adaptive Repartitioning when it falls back (§3.3).
+#[derive(Debug)]
+pub struct ResumeState {
+    /// The scan state (table possibly pre-seeded, counters running).
+    pub scan: ScanState,
+    /// The exchange (with its buffered pages and current kind).
+    pub exchange: Exchange,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_algorithm_with, AlgorithmKind};
+    use adaptagg_exec::ClusterConfig;
+    use adaptagg_model::CostParams;
+    use adaptagg_workload::{default_query, generate_partitions, RelationSpec};
+
+    fn run(tuples: usize, groups: usize, nodes: usize, m: usize) -> crate::RunOutcome {
+        let spec = RelationSpec::uniform(tuples, groups);
+        let parts = generate_partitions(&spec, nodes);
+        let params = CostParams {
+            max_hash_entries: m,
+            ..CostParams::paper_default()
+        };
+        let config = ClusterConfig::new(nodes, params);
+        let cfg = AlgoConfig::default_for(nodes);
+        run_algorithm_with(
+            AlgorithmKind::AdaptiveTwoPhase,
+            &config,
+            &parts,
+            &default_query(),
+            &cfg,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn few_groups_stays_two_phase() {
+        let out = run(4000, 50, 4, 1000);
+        assert!(out.adapted_nodes().is_empty(), "no node should switch");
+        assert_eq!(out.rows.len(), 50);
+        assert_eq!(out.total_spilled(), 0);
+    }
+
+    #[test]
+    fn many_groups_switches_at_the_memory_knee() {
+        // Each node sees ~all 2000 groups; M = 100 → switch after ~100
+        // distinct groups observed.
+        let out = run(8000, 2000, 4, 100);
+        assert_eq!(out.adapted_nodes().len(), 4, "every node switches");
+        assert_eq!(out.rows.len(), 2000);
+        for n in &out.nodes {
+            let at = n
+                .events
+                .iter()
+                .find_map(|e| match e {
+                    AdaptEvent::SwitchedToRepartitioning { at_tuple } => Some(*at_tuple),
+                    _ => None,
+                })
+                .expect("switch event");
+            // The switch can't fire before M distinct groups were seen.
+            assert!(at >= 100, "switched after only {at} tuples");
+        }
+    }
+
+    #[test]
+    fn local_phase_never_spills() {
+        // The defining property (§3.2): A2P avoids *local* intermediate
+        // I/O by switching instead of spilling. (The merge phase may
+        // still spill when G/N exceeds M — that is unavoidable.)
+        let out = run(8000, 1500, 4, 150);
+        // merge tables hold ~1500/4 = 375 > 150 → merge spills allowed;
+        // but check against plain 2P: A2P must spill strictly less.
+        let spec = RelationSpec::uniform(8000, 1500);
+        let parts = generate_partitions(&spec, 4);
+        let params = CostParams {
+            max_hash_entries: 150,
+            ..CostParams::paper_default()
+        };
+        let config = ClusterConfig::new(4, params);
+        let cfg = AlgoConfig::default_for(4);
+        let tp = run_algorithm_with(
+            AlgorithmKind::TwoPhase,
+            &config,
+            &parts,
+            &default_query(),
+            &cfg,
+        )
+        .unwrap();
+        assert!(
+            out.total_spilled() < tp.total_spilled(),
+            "A2P {} >= 2P {}",
+            out.total_spilled(),
+            tp.total_spilled()
+        );
+        assert_eq!(out.rows, tp.rows);
+    }
+
+    #[test]
+    fn matches_reference_across_the_selectivity_range() {
+        for groups in [1usize, 10, 100, 1000, 2500] {
+            let spec = RelationSpec::uniform(5000, groups);
+            let parts = generate_partitions(&spec, 4);
+            let query = default_query();
+            let reference = crate::verify::reference_aggregate(&parts, &query).unwrap();
+            let params = CostParams {
+                max_hash_entries: 200,
+                ..CostParams::paper_default()
+            };
+            let config = ClusterConfig::new(4, params);
+            let cfg = AlgoConfig::default_for(4);
+            let out = run_algorithm_with(
+                AlgorithmKind::AdaptiveTwoPhase,
+                &config,
+                &parts,
+                &query,
+                &cfg,
+            )
+            .unwrap();
+            assert_eq!(out.rows, reference, "groups = {groups}");
+        }
+    }
+
+    #[test]
+    fn nodes_decide_independently_under_output_skew() {
+        // §6.2: group-poor nodes stay 2P, group-rich nodes switch.
+        let spec = adaptagg_workload::OutputSkewSpec::new(4, 2000, 800, 2);
+        let parts = spec.generate_partitions();
+        let params = CostParams {
+            max_hash_entries: 100,
+            ..CostParams::paper_default()
+        };
+        let config = ClusterConfig::new(4, params);
+        let cfg = AlgoConfig::default_for(4);
+        let out = run_algorithm_with(
+            AlgorithmKind::AdaptiveTwoPhase,
+            &config,
+            &parts,
+            &default_query(),
+            &cfg,
+        )
+        .unwrap();
+        let adapted = out.adapted_nodes();
+        assert_eq!(
+            adapted,
+            vec![2, 3],
+            "only the group-rich nodes should switch"
+        );
+        assert_eq!(out.rows.len(), 800);
+    }
+}

@@ -1,0 +1,264 @@
+//! Adaptive Repartitioning (§3.3).
+//!
+//! The mirror image of A2P, for when the optimizer *expects* many groups:
+//! start with Repartitioning (so the first segment of tuples skips the
+//! extra local phase), but guard against estimation error. Each node
+//! watches the distinct groups among its first `initSeg` scanned tuples;
+//! if there are "too few groups given the number of seen tuples" it
+//! broadcasts `EndOfPhase` and falls back to Adaptive Two Phase. Nodes
+//! receiving `EndOfPhase` "follow suit by switching … and sending their
+//! own end-of-phase message"; the merge phase simply keeps the hash table
+//! it has been filling — "the global aggregation phase now uses the hash
+//! table left by the repartitioning phase".
+//!
+//! While scanning, the node polls its endpoint for `EndOfPhase` (every
+//! [`crate::AlgoConfig::arep_poll_interval`] tuples); any data pages the
+//! poll pulls off the wire are buffered for the merge phase.
+
+use crate::adaptive2p::ScanState;
+use crate::common::{merge_phase_store, QueryPlan};
+use crate::config::AlgoConfig;
+use crate::outcome::{AdaptEvent, NodeOutcome};
+use adaptagg_exec::{operators, Exchange, ExecError, NodeCtx};
+use adaptagg_model::hash::{hash_values, Seed};
+use adaptagg_model::RowKind;
+use adaptagg_net::{Control, Page, Payload};
+use std::collections::HashSet;
+
+/// Run Adaptive Repartitioning on one node.
+pub fn run_node(
+    ctx: &mut NodeCtx,
+    plan: &QueryPlan,
+    cfg: &AlgoConfig,
+) -> Result<NodeOutcome, ExecError> {
+    let max_entries = ctx.params().max_hash_entries;
+    let fanout = cfg.overflow_fanout;
+    let mut events: Vec<AdaptEvent> = Vec::new();
+
+    let mut ex = Exchange::new(
+        ctx.nodes(),
+        ctx.params().message_bytes,
+        plan.key_len(),
+        RowKind::Raw,
+    );
+
+    // Scan-side state.
+    let mut fallen_back = false; // running A2P logic?
+    let mut signalled = false; // has this node broadcast EndOfPhase?
+    let mut a2p: Option<ScanState> = None;
+    let mut seen_keys: HashSet<u64> = HashSet::new();
+    let mut scanned: u64 = 0;
+    let mut pre_received: Vec<(RowKind, Page)> = Vec::new();
+    let mut pre_eos = 0usize;
+
+    let key_len = plan.key_len();
+    let init_seg = cfg.arep_init_seg as u64;
+    let min_groups = cfg.arep_min_groups;
+    let poll = cfg.arep_poll_interval.max(1) as u64;
+
+    operators::scan_project(ctx, "base", &plan.base.filter, &plan.projection, |ctx, values| {
+        scanned += 1;
+
+        // Track distinct groups over the initial segment only (bounded
+        // memory: the set stops growing once the verdict is safe).
+        if !fallen_back && scanned <= init_seg && (seen_keys.len() as u64) <= min_groups {
+            let h = hash_values(Seed::Table, &values[..key_len.min(values.len())]);
+            seen_keys.insert(h);
+        }
+
+        // Poll for a peer's EndOfPhase; buffer anything else data-like.
+        if scanned.is_multiple_of(poll) && !fallen_back {
+            while let Some(msg) = ctx.try_recv() {
+                match msg.payload {
+                    Payload::Control(Control::EndOfPhase { .. }) => {
+                        fallen_back = true;
+                        events.push(AdaptEvent::FellBackToTwoPhase {
+                            at_tuple: scanned,
+                            local_decision: false,
+                        });
+                    }
+                    Payload::Data { kind, page } => pre_received.push((kind, page)),
+                    Payload::Control(Control::EndOfStream) => pre_eos += 1,
+                    Payload::Control(_) => {
+                        return Err(ExecError::Protocol("unexpected control during ARep scan"))
+                    }
+                }
+            }
+            if fallen_back && !signalled {
+                // "Follow suit … sending their own end-of-phase message."
+                ctx.broadcast_control(Control::EndOfPhase {
+                    groups_seen: seen_keys.len() as u64,
+                });
+                signalled = true;
+            }
+        }
+
+        // The local verdict at the end of the initial segment.
+        if !fallen_back && scanned == init_seg && (seen_keys.len() as u64) < min_groups {
+            fallen_back = true;
+            signalled = true;
+            events.push(AdaptEvent::FellBackToTwoPhase {
+                at_tuple: scanned,
+                local_decision: true,
+            });
+            ctx.broadcast_control(Control::EndOfPhase {
+                groups_seen: seen_keys.len() as u64,
+            });
+        }
+
+        if fallen_back {
+            // Adaptive Two Phase logic from here on.
+            let state = a2p.get_or_insert_with(|| ScanState::new(plan, max_entries));
+            state.push(ctx, &mut ex, plan, &values, &mut events)
+        } else {
+            // Repartitioning: hash + destination per tuple.
+            ex.route(ctx, &values, true)
+        }
+    })?;
+
+    // If the A2P table holds partials (fell back and never re-switched),
+    // ship them now.
+    if let Some(mut state) = a2p {
+        if !state.switched {
+            let partials = state.table.drain_partial_rows(&mut ctx.clock);
+            ex.switch_kind(ctx, RowKind::Partial);
+            for row in &partials {
+                ex.route(ctx, row, false)?;
+            }
+        }
+    }
+    ex.finish(ctx);
+    ctx.clock.mark("phase1");
+
+    // Merge phase "uses the hash table left by the repartitioning phase":
+    // one bounded table over pre-received + remaining pages of all kinds.
+    let (rows, agg) = merge_phase_store(ctx, plan, max_entries, fanout, pre_received, pre_eos)?;
+    Ok(NodeOutcome { rows, agg, events })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_algorithm_with, AlgorithmKind};
+    use adaptagg_exec::ClusterConfig;
+    use adaptagg_model::CostParams;
+    use adaptagg_workload::{default_query, generate_partitions, RelationSpec};
+
+    fn run_with_m(tuples: usize, groups: usize, nodes: usize, m: usize) -> crate::RunOutcome {
+        let spec = RelationSpec::uniform(tuples, groups);
+        let parts = generate_partitions(&spec, nodes);
+        let params = CostParams {
+            max_hash_entries: m,
+            ..CostParams::paper_default()
+        };
+        let config = ClusterConfig::new(nodes, params);
+        let cfg = AlgoConfig::default_for(nodes);
+        run_algorithm_with(
+            AlgorithmKind::AdaptiveRepartitioning,
+            &config,
+            &parts,
+            &default_query(),
+            &cfg,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn many_groups_sticks_with_repartitioning() {
+        // 5000 groups >> min_groups (40 for 4 nodes): no fallback.
+        let out = run_with_m(20_000, 5000, 4, 10_000);
+        assert!(
+            out.adapted_nodes().is_empty(),
+            "no fallback expected: {:?}",
+            out.nodes.iter().map(|n| &n.events).collect::<Vec<_>>()
+        );
+        assert_eq!(out.rows.len(), 5000);
+    }
+
+    #[test]
+    fn few_groups_falls_back_to_two_phase() {
+        let out = run_with_m(20_000, 10, 4, 10_000);
+        // Every node must fall back (locally or by contagion).
+        assert_eq!(out.adapted_nodes().len(), 4);
+        assert_eq!(out.rows.len(), 10);
+        // At least one node decided locally.
+        let local_deciders = out
+            .nodes
+            .iter()
+            .filter(|n| {
+                n.events.iter().any(|e| {
+                    matches!(
+                        e,
+                        AdaptEvent::FellBackToTwoPhase {
+                            local_decision: true,
+                            ..
+                        }
+                    )
+                })
+            })
+            .count();
+        assert!(local_deciders >= 1);
+    }
+
+    #[test]
+    fn matches_reference_in_both_regimes() {
+        for groups in [5usize, 3000] {
+            let spec = RelationSpec::uniform(10_000, groups);
+            let parts = generate_partitions(&spec, 4);
+            let query = default_query();
+            let reference = crate::verify::reference_aggregate(&parts, &query).unwrap();
+            let config = ClusterConfig::new(4, CostParams::paper_default());
+            let cfg = AlgoConfig::default_for(4);
+            let out = run_algorithm_with(
+                AlgorithmKind::AdaptiveRepartitioning,
+                &config,
+                &parts,
+                &query,
+                &cfg,
+            )
+            .unwrap();
+            assert_eq!(out.rows, reference, "groups = {groups}");
+        }
+    }
+
+    #[test]
+    fn fallback_then_memory_pressure_reswitches() {
+        // Few distinct groups *early* is judged on init_seg; use a config
+        // where fallback happens but then the table fills (groups > M):
+        // the A2P state must switch back to repartitioning.
+        let spec = RelationSpec::uniform(30_000, 300);
+        let parts = generate_partitions(&spec, 4);
+        let params = CostParams {
+            max_hash_entries: 50,
+            ..CostParams::paper_default()
+        };
+        let config = ClusterConfig::new(4, params);
+        // min_groups 400 > 300 actual groups → fallback guaranteed;
+        // then 300 local groups > M=50 → re-switch guaranteed.
+        let cfg = AlgoConfig::default_for(4).with_crossover_threshold(400);
+        let query = default_query();
+        let reference = crate::verify::reference_aggregate(&parts, &query).unwrap();
+        let out = run_algorithm_with(
+            AlgorithmKind::AdaptiveRepartitioning,
+            &config,
+            &parts,
+            &query,
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(out.rows, reference);
+        // Some node must show both events in order.
+        let double = out.nodes.iter().any(|n| {
+            let fell = n
+                .events
+                .iter()
+                .position(|e| matches!(e, AdaptEvent::FellBackToTwoPhase { .. }));
+            let switched = n
+                .events
+                .iter()
+                .position(|e| matches!(e, AdaptEvent::SwitchedToRepartitioning { .. }));
+            matches!((fell, switched), (Some(f), Some(s)) if f < s)
+        });
+        assert!(double, "expected fallback followed by re-switch");
+    }
+}

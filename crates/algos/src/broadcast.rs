@@ -1,0 +1,178 @@
+//! Broadcast aggregation — Bitton et al.'s second algorithm, included as
+//! the negative baseline the paper dismisses: it "uses broadcast of the
+//! tuples and lets each node process the tuples belonging to a subset of
+//! groups. This is impractical on today's multiprocessor interconnects,
+//! which do not efficiently support broadcasting" (§1).
+//!
+//! Every node ships its whole projected partition to **every** node
+//! (N× the repartitioning volume); each receiver aggregates only the
+//! tuples whose group key hashes to it and discards the rest after a
+//! destination check. Correct, embarrassingly parallel — and catastrophic
+//! on a shared bus, which the benchmarks demonstrate.
+
+use crate::common::QueryPlan;
+use crate::config::AlgoConfig;
+use crate::outcome::NodeOutcome;
+use adaptagg_exec::{operators, ExecError, NodeCtx};
+use adaptagg_hashagg::HashAggregator;
+use adaptagg_model::hash::{hash_values, Seed};
+use adaptagg_model::{CostEvent, CostTracker, RowKind};
+use adaptagg_net::{Blocker, Control, Page, Payload};
+
+/// Run Broadcast aggregation on one node.
+pub fn run_node(
+    ctx: &mut NodeCtx,
+    plan: &QueryPlan,
+    cfg: &AlgoConfig,
+) -> Result<NodeOutcome, ExecError> {
+    let max_entries = ctx.params().max_hash_entries;
+    let fanout = cfg.overflow_fanout;
+    let nodes = ctx.nodes();
+    let message_bytes = ctx.params().message_bytes;
+    let key_len = plan.key_len();
+
+    // Phase 1: scan + project, blocking into pages; each sealed page is
+    // cloned to every node (the broadcast).
+    let mut blocker = Blocker::new(1, message_bytes);
+    let mut scanned: u64 = 0;
+    operators::scan_project(ctx, "base", &plan.base.filter, &plan.projection, |ctx, values| {
+        scanned += 1;
+        if let Some(page) = blocker.add(0, &values)? {
+            broadcast_page(ctx, &page);
+        }
+        Ok(())
+    })?;
+    for (_, page) in blocker.flush() {
+        broadcast_page(ctx, &page);
+    }
+    for dest in 0..nodes {
+        ctx.send_control(dest, Control::EndOfStream);
+    }
+    ctx.clock.mark("phase1");
+
+    // Phase 2: aggregate only the tuples this node owns; a destination
+    // check (`t_d`) is paid for every received tuple, owned or not.
+    let page_bytes = ctx.params().page_bytes;
+    let mut agg = HashAggregator::new(plan.projected.clone(), max_entries, page_bytes, fanout)
+        .with_charge_hash(false);
+    let mut eos = 0usize;
+    let mut discarded: u64 = 0;
+    while eos < nodes {
+        let msg = ctx.recv();
+        match msg.payload {
+            Payload::Data { page, .. } => {
+                for tuple in page.iter() {
+                    let values = tuple?;
+                    ctx.clock.record(CostEvent::TupleDest, 1);
+                    let owner = (hash_values(Seed::Partition, &values[..key_len.min(values.len())])
+                        % nodes as u64) as usize;
+                    if owner == ctx.id() {
+                        push_one(&mut agg, &values, ctx)?;
+                    } else {
+                        discarded += 1;
+                    }
+                }
+            }
+            Payload::Control(Control::EndOfStream) => eos += 1,
+            Payload::Control(_) => {
+                return Err(ExecError::Protocol("unexpected control in broadcast merge"))
+            }
+        }
+    }
+
+    let (rows, mut agg_stats) = agg.finish_rows(&mut ctx.clock)?;
+    operators::store_results(ctx, &rows)?;
+    agg_stats.raw_in += scanned + discarded;
+    Ok(NodeOutcome {
+        rows,
+        agg: agg_stats,
+        events: Vec::new(),
+    })
+}
+
+fn broadcast_page(ctx: &mut NodeCtx, page: &Page) {
+    for dest in 0..ctx.nodes() {
+        ctx.send_page(dest, RowKind::Raw, page.clone());
+    }
+}
+
+fn push_one(
+    agg: &mut HashAggregator,
+    values: &[adaptagg_model::Value],
+    ctx: &mut NodeCtx,
+) -> Result<(), ExecError> {
+    agg.push_raw(values, &mut ctx.clock)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_algorithm_with, AlgorithmKind};
+    use adaptagg_exec::ClusterConfig;
+    use adaptagg_model::CostParams;
+    use adaptagg_workload::{default_query, generate_partitions, RelationSpec};
+
+    #[test]
+    fn matches_reference() {
+        let spec = RelationSpec::uniform(4_000, 300);
+        let parts = generate_partitions(&spec, 4);
+        let query = default_query();
+        let reference = crate::verify::reference_aggregate(&parts, &query).unwrap();
+        let config = ClusterConfig::new(4, CostParams::paper_default());
+        let cfg = AlgoConfig::default_for(4);
+        let out =
+            run_algorithm_with(AlgorithmKind::Broadcast, &config, &parts, &query, &cfg).unwrap();
+        assert_eq!(out.rows, reference);
+    }
+
+    #[test]
+    fn ships_n_times_the_relation() {
+        let spec = RelationSpec::uniform(2_000, 100);
+        let parts = generate_partitions(&spec, 4);
+        let config = ClusterConfig::new(4, CostParams::paper_default());
+        let cfg = AlgoConfig::default_for(4);
+        let out = run_algorithm_with(
+            AlgorithmKind::Broadcast,
+            &config,
+            &parts,
+            &default_query(),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(out.run.total_net().tuples_sent, 4 * 2_000);
+    }
+
+    #[test]
+    fn loses_badly_on_a_shared_bus() {
+        // The paper's dismissal, demonstrated: N× the volume on a
+        // sequential medium.
+        let spec = RelationSpec::uniform(8_000, 2_000);
+        let parts = generate_partitions(&spec, 8);
+        let config = ClusterConfig::new(8, CostParams::cluster_default());
+        let cfg = AlgoConfig::default_for(8);
+        let bcast = run_algorithm_with(
+            AlgorithmKind::Broadcast,
+            &config,
+            &parts,
+            &default_query(),
+            &cfg,
+        )
+        .unwrap();
+        let rep = run_algorithm_with(
+            AlgorithmKind::Repartitioning,
+            &config,
+            &parts,
+            &default_query(),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(bcast.rows, rep.rows);
+        assert!(
+            bcast.elapsed_ms() > rep.elapsed_ms() * 3.0,
+            "broadcast {} vs repartitioning {}",
+            bcast.elapsed_ms(),
+            rep.elapsed_ms()
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! Building blocks shared by all algorithms.
+
+use adaptagg_exec::{operators, Exchange, ExecError, NodeCtx};
+use adaptagg_hashagg::{EmitMode, HashAggStats, HashAggregator};
+use adaptagg_model::{AggQuery, ResultRow, RowKind, Value};
+use adaptagg_net::{Control, Page};
+
+/// A query compiled for execution: the base-schema form, the projection
+/// the scan applies, and the projected (remapped) form every operator
+/// downstream of the scan uses.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// The query as posed against the base schema.
+    pub base: AggQuery,
+    /// Columns the scan keeps (the paper's projectivity `p`).
+    pub projection: Vec<usize>,
+    /// The query remapped against the projection: group columns first.
+    pub projected: AggQuery,
+}
+
+impl QueryPlan {
+    /// Compile a query.
+    pub fn new(query: &AggQuery) -> Self {
+        QueryPlan {
+            base: query.clone(),
+            projection: query.projection_columns(),
+            projected: query.remapped_to_projection(),
+        }
+    }
+
+    /// Number of group-key columns (the leading columns of every projected
+    /// row, raw or partial).
+    pub fn key_len(&self) -> usize {
+        self.projected.group_by.len()
+    }
+}
+
+/// Phase 1 of the Two Phase family: scan + project the local partition,
+/// aggregate into a memory-bounded table (with overflow processing), and
+/// return the partial rows (§2.1's local aggregation).
+pub fn local_partial_aggregation(
+    ctx: &mut NodeCtx,
+    plan: &QueryPlan,
+    max_entries: usize,
+    fanout: usize,
+) -> Result<(Vec<Vec<Value>>, HashAggStats), ExecError> {
+    let page_bytes = ctx.params().page_bytes;
+    let mut agg = HashAggregator::new(plan.projected.clone(), max_entries, page_bytes, fanout);
+    operators::scan_project(ctx, "base", &plan.base.filter, &plan.projection, |ctx, values| {
+        agg.push_raw(&values, &mut ctx.clock).map_err(ExecError::from)
+    })?;
+    let (partials, stats) = agg.finish(EmitMode::Partial, &mut ctx.clock)?;
+    Ok((partials, stats))
+}
+
+/// A merge phase: consume data pages (raw tuples and/or partial rows)
+/// until every node's `EndOfStream` arrived, aggregate them in a
+/// memory-bounded table (hash cost not re-charged: rows were hashed when
+/// partitioned), finalize, and store the results on the local disk.
+///
+/// `pre_received` holds pages that an earlier phase pulled off the wire
+/// while polling for control traffic (Adaptive Repartitioning does this).
+/// Stray `EndOfPhase` controls are tolerated (a peer may switch late);
+/// any other control is a protocol violation.
+pub fn merge_phase_store(
+    ctx: &mut NodeCtx,
+    plan: &QueryPlan,
+    max_entries: usize,
+    fanout: usize,
+    pre_received: Vec<(RowKind, Page)>,
+    pre_eos: usize,
+) -> Result<(Vec<ResultRow>, HashAggStats), ExecError> {
+    let page_bytes = ctx.params().page_bytes;
+    let mut agg = HashAggregator::new(plan.projected.clone(), max_entries, page_bytes, fanout)
+        .with_charge_hash(false);
+
+    for (kind, page) in pre_received {
+        push_page(&mut agg, kind, &page, &mut ctx.clock)?;
+    }
+
+    let mut eos = pre_eos;
+    let nodes = ctx.nodes();
+    while eos < nodes {
+        let msg = ctx.recv();
+        match msg.payload {
+            adaptagg_net::Payload::Data { kind, page } => {
+                push_page(&mut agg, kind, &page, &mut ctx.clock)?;
+            }
+            adaptagg_net::Payload::Control(Control::EndOfStream) => eos += 1,
+            adaptagg_net::Payload::Control(Control::EndOfPhase { .. }) => {}
+            adaptagg_net::Payload::Control(c) => {
+                let _ = c;
+                return Err(ExecError::Protocol("unexpected control in merge phase"));
+            }
+        }
+    }
+
+    let (rows, stats) = agg.finish_rows(&mut ctx.clock)?;
+    operators::store_results(ctx, &rows)?;
+    Ok((rows, stats))
+}
+
+/// Feed one received page into an aggregator.
+pub fn push_page(
+    agg: &mut HashAggregator,
+    kind: RowKind,
+    page: &Page,
+    clock: &mut adaptagg_exec::Clock,
+) -> Result<(), ExecError> {
+    for tuple in page.iter() {
+        let values = tuple?;
+        agg.push(kind, &values, clock)?;
+    }
+    Ok(())
+}
+
+/// Ship partial rows through an exchange, hash-partitioned on the group
+/// key (destination cost only — the rows came out of a hash table), then
+/// signal end-of-stream to every node.
+pub fn ship_partials_partitioned(
+    ctx: &mut NodeCtx,
+    plan: &QueryPlan,
+    partials: Vec<Vec<Value>>,
+) -> Result<(), ExecError> {
+    let mut ex = Exchange::new(
+        ctx.nodes(),
+        ctx.params().message_bytes,
+        plan.key_len(),
+        RowKind::Partial,
+    );
+    for row in &partials {
+        ex.route(ctx, row, false)?;
+    }
+    ex.finish(ctx);
+    ctx.clock.mark("phase1");
+    Ok(())
+}
+
+/// Ship partial rows to a single coordinator (C2P), then signal
+/// end-of-stream to the coordinator only.
+pub fn ship_partials_to(
+    ctx: &mut NodeCtx,
+    coordinator: usize,
+    plan: &QueryPlan,
+    partials: Vec<Vec<Value>>,
+) -> Result<(), ExecError> {
+    let mut ex = Exchange::new(
+        ctx.nodes(),
+        ctx.params().message_bytes,
+        plan.key_len(),
+        RowKind::Partial,
+    );
+    for row in &partials {
+        ex.send_to(ctx, coordinator, row)?;
+    }
+    ex.flush(ctx);
+    ctx.send_control(coordinator, Control::EndOfStream);
+    ctx.clock.mark("phase1");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptagg_exec::{run_cluster, ClusterConfig};
+    use adaptagg_model::{AggFunc, AggSpec, CostParams};
+    use adaptagg_workload::RelationSpec;
+
+    fn plan() -> QueryPlan {
+        QueryPlan::new(&AggQuery::new(
+            vec![0],
+            vec![AggSpec::over(AggFunc::Sum, 1)],
+        ))
+    }
+
+    #[test]
+    fn query_plan_projects_and_remaps() {
+        let q = AggQuery::new(vec![2], vec![AggSpec::over(AggFunc::Sum, 0)]);
+        let p = QueryPlan::new(&q);
+        assert_eq!(p.projection, vec![2, 0]);
+        assert_eq!(p.projected.group_by, vec![0]);
+        assert_eq!(p.projected.aggs[0].input, Some(1));
+        assert_eq!(p.key_len(), 1);
+    }
+
+    #[test]
+    fn local_aggregation_compresses_to_group_count() {
+        let spec = RelationSpec::uniform(1000, 20);
+        let parts = adaptagg_workload::generate_partitions(&spec, 2);
+        let config = ClusterConfig::new(2, CostParams::paper_default());
+        let plan = plan();
+        let run = run_cluster(&config, parts, |ctx| {
+            let (partials, stats) = local_partial_aggregation(ctx, &plan, 1000, 4)?;
+            Ok((partials.len(), stats.spilled()))
+        })
+        .unwrap();
+        for (count, spilled) in run.outputs {
+            assert_eq!(count, 20, "each node sees all 20 groups");
+            assert!(!spilled);
+        }
+    }
+
+    #[test]
+    fn two_phase_via_common_blocks_matches_reference() {
+        // Wire local aggregation + partitioned shipping + merge into a
+        // miniature Two Phase and verify against a flat reference.
+        let spec = RelationSpec::uniform(2000, 50);
+        let parts = adaptagg_workload::generate_partitions(&spec, 4);
+        let reference = crate::verify::reference_aggregate(
+            &parts,
+            &AggQuery::new(vec![0], vec![AggSpec::over(AggFunc::Sum, 1)]),
+        )
+        .unwrap();
+
+        let config = ClusterConfig::new(4, CostParams::paper_default());
+        let plan = plan();
+        let run = run_cluster(&config, parts, |ctx| {
+            let (partials, _) = local_partial_aggregation(ctx, &plan, 10_000, 4)?;
+            ship_partials_partitioned(ctx, &plan, partials)?;
+            let (rows, _) = merge_phase_store(ctx, &plan, 10_000, 4, Vec::new(), 0)?;
+            Ok(rows)
+        })
+        .unwrap();
+
+        let mut all: Vec<ResultRow> = run.outputs.into_iter().flatten().collect();
+        adaptagg_model::query::sort_rows(&mut all);
+        assert_eq!(all, reference);
+    }
+}

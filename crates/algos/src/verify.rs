@@ -1,0 +1,84 @@
+//! Reference aggregation: the ground truth every algorithm must match.
+
+use adaptagg_model::query::sort_rows;
+use adaptagg_model::{AggQuery, AggStates, GroupKey, ResultRow};
+use adaptagg_storage::{HeapFile, StorageError};
+use std::collections::HashMap;
+
+/// Aggregate all partitions on a single unbounded, uncosted hash table.
+/// This is the semantic specification of the query — the integration
+/// suite asserts that every parallel algorithm's output equals this,
+/// sorted by group key.
+pub fn reference_aggregate(
+    partitions: &[HeapFile],
+    query: &AggQuery,
+) -> Result<Vec<ResultRow>, StorageError> {
+    let mut groups: HashMap<GroupKey, AggStates> = HashMap::new();
+    for part in partitions {
+        for tuple in part.iter_untracked() {
+            let values = tuple?;
+            if !adaptagg_model::matches_all(&query.filter, &values)? {
+                continue;
+            }
+            let key = query.key_of_values(&values)?;
+            let states = groups
+                .entry(key)
+                .or_insert_with(|| AggStates::new(&query.aggs));
+            states.update_from_tuple(&query.aggs, &values)?;
+        }
+    }
+    let mut rows: Vec<ResultRow> = groups
+        .into_iter()
+        .map(|(key, states)| ResultRow::new(key, states.finalize()))
+        .collect();
+    sort_rows(&mut rows);
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptagg_model::{AggFunc, AggSpec, Value};
+
+    fn part(rows: &[(i64, i64)]) -> HeapFile {
+        let tuples: Vec<Vec<Value>> = rows
+            .iter()
+            .map(|&(g, v)| vec![Value::Int(g), Value::Int(v)])
+            .collect();
+        HeapFile::from_tuples(4096, tuples.iter().map(|t| t.as_slice())).unwrap()
+    }
+
+    #[test]
+    fn aggregates_across_partitions() {
+        let parts = vec![part(&[(1, 10), (2, 1)]), part(&[(1, 5), (3, 7)])];
+        let q = AggQuery::new(
+            vec![0],
+            vec![AggSpec::over(AggFunc::Sum, 1), AggSpec::count_star()],
+        );
+        let rows = reference_aggregate(&parts, &q).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].key.values(), &[Value::Int(1)]);
+        assert_eq!(rows[0].aggs, vec![Value::Int(15), Value::Int(2)]);
+        assert_eq!(rows[1].aggs, vec![Value::Int(1), Value::Int(1)]);
+        assert_eq!(rows[2].aggs, vec![Value::Int(7), Value::Int(1)]);
+    }
+
+    #[test]
+    fn output_is_sorted_by_key() {
+        let parts = vec![part(&[(9, 1), (3, 1), (5, 1)])];
+        let q = AggQuery::distinct(vec![0]);
+        let rows = reference_aggregate(&parts, &q).unwrap();
+        let keys: Vec<i64> = rows
+            .iter()
+            .map(|r| r.key.values()[0].as_i64().unwrap())
+            .collect();
+        assert_eq!(keys, vec![3, 5, 9]);
+    }
+
+    #[test]
+    fn empty_relation_empty_result() {
+        let q = AggQuery::distinct(vec![0]);
+        assert!(reference_aggregate(&[], &q).unwrap().is_empty());
+        assert!(reference_aggregate(&[part(&[])], &q).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,44 @@
+//! Criterion end-to-end benchmarks: each parallel aggregation algorithm
+//! on a 4-node cluster, at a low- and a high-selectivity workload.
+//! These measure host wall time of the whole simulation (threads,
+//! channels, hashing) — the virtual-time results live in the `fig8`/`fig9`
+//! binaries.
+
+use adaptagg_algos::{run_algorithm, AlgorithmKind};
+use adaptagg_exec::ClusterConfig;
+use adaptagg_model::CostParams;
+use adaptagg_workload::{default_query, generate_partitions, RelationSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_algorithms(c: &mut Criterion) {
+    const NODES: usize = 4;
+    const TUPLES: usize = 40_000;
+    let params = CostParams {
+        max_hash_entries: 500,
+        ..CostParams::paper_default()
+    };
+    let config = ClusterConfig::new(NODES, params);
+    let query = default_query();
+
+    for (regime, groups) in [("low_selectivity", 50usize), ("high_selectivity", 10_000)] {
+        let spec = RelationSpec::uniform(TUPLES, groups);
+        let parts = generate_partitions(&spec, NODES);
+        let mut g = c.benchmark_group(format!("algorithms_{regime}"));
+        g.throughput(Throughput::Elements(TUPLES as u64));
+        g.sample_size(10);
+        for kind in AlgorithmKind::ALL {
+            g.bench_with_input(BenchmarkId::from_parameter(kind), &parts, |b, parts| {
+                b.iter(|| {
+                    run_algorithm(kind, &config, parts, &query)
+                        .expect("run succeeds")
+                        .rows
+                        .len()
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

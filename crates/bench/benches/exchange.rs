@@ -1,0 +1,87 @@
+//! Criterion microbenchmarks for the data-movement substrate: tuple
+//! encoding, group-key hashing, and message blocking.
+
+use adaptagg_model::hash::{hash_values, Seed};
+use adaptagg_model::{decode_tuple, encode_tuple, Value};
+use adaptagg_net::Blocker;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn tuples(n: usize) -> Vec<Vec<Value>> {
+    (0..n)
+        .map(|i| {
+            vec![
+                Value::Int(i as i64 % 1000),
+                Value::Int(i as i64),
+                Value::Str("xxxxxxxxxxxxxxxx".into()),
+            ]
+        })
+        .collect()
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let data = tuples(10_000);
+    let mut g = c.benchmark_group("wire_format");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(64 * 10_000);
+            for t in &data {
+                encode_tuple(t, &mut buf);
+            }
+            buf.len()
+        })
+    });
+    let mut buf = Vec::new();
+    for t in &data {
+        encode_tuple(t, &mut buf);
+    }
+    g.bench_function("decode", |b| {
+        b.iter(|| {
+            let mut pos = 0;
+            let mut n = 0;
+            while pos < buf.len() {
+                let (t, used) = decode_tuple(&buf[pos..]).unwrap();
+                pos += used;
+                n += t.len();
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let keys: Vec<Vec<Value>> = (0..10_000).map(|i| vec![Value::Int(i)]).collect();
+    let mut g = c.benchmark_group("group_key_hash");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("int_keys", |b| {
+        b.iter(|| {
+            keys.iter()
+                .map(|k| hash_values(Seed::Partition, k))
+                .fold(0u64, u64::wrapping_add)
+        })
+    });
+    g.finish();
+}
+
+fn bench_blocking(c: &mut Criterion) {
+    let data = tuples(10_000);
+    let mut g = c.benchmark_group("message_blocking");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("8_destinations_2kb", |b| {
+        b.iter(|| {
+            let mut blocker = Blocker::new(8, 2048);
+            let mut sealed = 0usize;
+            for (i, t) in data.iter().enumerate() {
+                if blocker.add(i % 8, t).unwrap().is_some() {
+                    sealed += 1;
+                }
+            }
+            sealed + blocker.flush().len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode_decode, bench_hashing, bench_blocking);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Criterion microbenchmarks for the memory-bounded hash aggregation —
+//! the per-tuple hot path of every algorithm.
+
+use adaptagg_hashagg::HashAggregator;
+use adaptagg_model::{AggFunc, AggQuery, AggSpec, NullTracker, Value};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn query() -> AggQuery {
+    AggQuery::new(
+        vec![0],
+        vec![AggSpec::over(AggFunc::Sum, 1), AggSpec::count_star()],
+    )
+}
+
+fn rows(n: usize, groups: usize) -> Vec<Vec<Value>> {
+    (0..n)
+        .map(|i| vec![Value::Int((i % groups) as i64), Value::Int(i as i64)])
+        .collect()
+}
+
+fn bench_in_memory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hashagg_in_memory");
+    let n = 100_000;
+    for groups in [16usize, 1_024, 65_536] {
+        let data = rows(n, groups);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(groups), &data, |b, data| {
+            b.iter(|| {
+                let mut agg = HashAggregator::with_defaults(query(), usize::MAX, 4096);
+                let mut tr = NullTracker;
+                for row in data {
+                    agg.push_raw(row, &mut tr).unwrap();
+                }
+                agg.finish_rows(&mut tr).unwrap().0.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_with_overflow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hashagg_overflow");
+    let n = 100_000;
+    let groups = 16_384;
+    let data = rows(n, groups);
+    for budget in [1_024usize, 4_096] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(budget), &data, |b, data| {
+            b.iter(|| {
+                let mut agg = HashAggregator::with_defaults(query(), budget, 4096);
+                let mut tr = NullTracker;
+                for row in data {
+                    agg.push_raw(row, &mut tr).unwrap();
+                }
+                agg.finish_rows(&mut tr).unwrap().0.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_partial_merge(c: &mut Criterion) {
+    // The merge-phase path: pre-aggregated partial rows.
+    let n = 100_000;
+    let partials: Vec<Vec<Value>> = (0..n)
+        .map(|i| {
+            vec![
+                Value::Int((i % 4096) as i64),
+                Value::Int(10),
+                Value::Int(2),
+            ]
+        })
+        .collect();
+    let mut g = c.benchmark_group("hashagg_partial_merge");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("4096_groups", |b| {
+        b.iter(|| {
+            let mut agg =
+                HashAggregator::with_defaults(query(), usize::MAX, 4096).with_charge_hash(false);
+            let mut tr = NullTracker;
+            for row in &partials {
+                agg.push_partial(row, &mut tr).unwrap();
+            }
+            agg.finish_rows(&mut tr).unwrap().0.len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_sort_vs_hash(c: &mut Criterion) {
+    // The two local-aggregation strategies head to head (host wall time;
+    // the virtual-time comparison lives in the `baselines` binary).
+    let n = 100_000;
+    let groups = 4_096;
+    let data = rows(n, groups);
+    let mut g = c.benchmark_group("local_strategy");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("hash", |b| {
+        b.iter(|| {
+            let mut agg = HashAggregator::with_defaults(query(), 1_024, 4096);
+            let mut tr = NullTracker;
+            for row in &data {
+                agg.push_raw(row, &mut tr).unwrap();
+            }
+            agg.finish_rows(&mut tr).unwrap().0.len()
+        })
+    });
+    g.bench_function("sort", |b| {
+        b.iter(|| {
+            let mut agg = adaptagg_sortagg::SortAggregator::new(query(), 1_024, 4096);
+            let mut tr = NullTracker;
+            for row in &data {
+                agg.push_raw(row, &mut tr).unwrap();
+            }
+            agg.finish_rows(&mut tr).unwrap().0.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_in_memory,
+    bench_with_overflow,
+    bench_partial_merge,
+    bench_sort_vs_hash
+);
+criterion_main!(benches);

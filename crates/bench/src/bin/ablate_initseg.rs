@@ -1,0 +1,7 @@
+//! Ablation: Adaptive Repartitioning's initSeg decision window.
+
+fn main() {
+    let cli = adaptagg_bench::parse_args("usage: ablate_initseg [--full]");
+    let (tuples, groups, m) = if cli.full { (2_000_000, 100, 12_500) } else { (160_000, 50, 1_250) };
+    cli.print(&adaptagg_bench::ablations::ablate_initseg(tuples, groups, m));
+}

@@ -1,0 +1,7 @@
+//! Ablation: the hash-table memory budget M (locates each algorithm's knee).
+
+fn main() {
+    let cli = adaptagg_bench::parse_args("usage: ablate_memory [--full]");
+    let (tuples, groups) = if cli.full { (2_000_000, 500_000) } else { (160_000, 40_000) };
+    cli.print(&adaptagg_bench::ablations::ablate_memory(tuples, groups));
+}

@@ -1,0 +1,8 @@
+//! Ablation: message block size at fixed bandwidth — oversized blocks pay
+//! for unfilled capacity; the minimum sits in the small-to-2KB band (§5).
+
+fn main() {
+    let cli = adaptagg_bench::parse_args("usage: ablate_msgblock [--full]");
+    let (tuples, groups) = if cli.full { (2_000_000, 500_000) } else { (80_000, 20_000) };
+    cli.print(&adaptagg_bench::ablations::ablate_msgblock(tuples, groups));
+}

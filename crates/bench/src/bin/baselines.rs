@@ -1,0 +1,8 @@
+//! All nine strategies (paper's six + Graefe's Opt-2P + Bitton's Sort-2P
+//! and Broadcast) side by side on one workload per selectivity regime.
+
+fn main() {
+    let cli = adaptagg_bench::parse_args("usage: baselines [--full]");
+    let (tuples, m) = if cli.full { (2_000_000, 12_500) } else { (160_000, 1_250) };
+    cli.print(&adaptagg_bench::ablations::baselines(tuples, m));
+}

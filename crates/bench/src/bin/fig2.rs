@@ -1,0 +1,6 @@
+//! Regenerate Figure 2 (analytical model). See DESIGN.md §4.
+
+fn main() {
+    let cli = adaptagg_bench::parse_args("usage: fig2 [--csv]");
+    cli.print(&adaptagg_bench::figures::fig2());
+}

@@ -1,0 +1,6 @@
+//! Regenerate Figure 3 (analytical model). See DESIGN.md §4.
+
+fn main() {
+    let cli = adaptagg_bench::parse_args("usage: fig3 [--csv]");
+    cli.print(&adaptagg_bench::figures::fig3());
+}

@@ -1,0 +1,6 @@
+//! Regenerate Figure 4 (analytical model). See DESIGN.md §4.
+
+fn main() {
+    let cli = adaptagg_bench::parse_args("usage: fig4 [--csv]");
+    cli.print(&adaptagg_bench::figures::fig4());
+}

@@ -1,0 +1,6 @@
+//! Regenerate Figure 6 (analytical model). See DESIGN.md §4.
+
+fn main() {
+    let cli = adaptagg_bench::parse_args("usage: fig6 [--csv]");
+    cli.print(&adaptagg_bench::figures::fig6());
+}

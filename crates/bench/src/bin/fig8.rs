@@ -1,0 +1,13 @@
+//! Regenerate Figure 8 (implementation results, uniform data).
+//!
+//! Default: 200 K tuples with M = 1 250 (same groups-to-memory geometry
+//! as the paper's 2 M tuples against M = 12 500 per the Table 1 scale).
+//! `--full`: the paper's 2 M tuples with M = 12 500 — expect minutes.
+
+fn main() {
+    let cli = adaptagg_bench::parse_args(
+        "usage: fig8 [--full]\n  --full  run the paper-scale 2M-tuple study",
+    );
+    let (tuples, m) = if cli.full { (2_000_000, 12_500) } else { (200_000, 1_250) };
+    cli.print(&adaptagg_bench::measured::fig8(tuples, m));
+}

@@ -1,0 +1,13 @@
+//! Regenerate Figure 9 (implementation results under output skew).
+//!
+//! 8 nodes, four of which hold a single group each (§6). Default:
+//! 25 K tuples/node with M = 1 250; `--full`: the paper's 250 K
+//! tuples/node with M = 12 500.
+
+fn main() {
+    let cli = adaptagg_bench::parse_args(
+        "usage: fig9 [--full]\n  --full  run the paper-scale 250K-tuples/node study",
+    );
+    let (per_node, m) = if cli.full { (250_000, 12_500) } else { (25_000, 1_250) };
+    cli.print(&adaptagg_bench::measured::fig9(per_node, m));
+}

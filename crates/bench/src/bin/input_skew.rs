@@ -1,0 +1,7 @@
+//! §6.1's input-skew experiment (discussed but not plotted in the paper).
+
+fn main() {
+    let cli = adaptagg_bench::parse_args("usage: input_skew [--full]");
+    let (per_node, groups, m) = if cli.full { (250_000, 1_000, 12_500) } else { (25_000, 500, 1_250) };
+    cli.print(&adaptagg_bench::ablations::input_skew(per_node, groups, m));
+}

@@ -1,0 +1,8 @@
+//! Extension: Zipfian group-frequency skew (a dimension the paper leaves
+//! open): heavy-hitter groups erode Repartitioning's high-selectivity win.
+
+fn main() {
+    let cli = adaptagg_bench::parse_args("usage: zipf_skew [--full]");
+    let (tuples, groups, m) = if cli.full { (2_000_000, 500_000, 12_500) } else { (160_000, 40_000, 1_250) };
+    cli.print(&adaptagg_bench::ablations::zipf_sweep(tuples, groups, m));
+}

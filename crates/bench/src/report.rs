@@ -1,0 +1,192 @@
+//! Aligned-table reporting for figure data.
+
+use std::fmt;
+
+/// One curve of a figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Curve label (algorithm name).
+    pub label: String,
+    /// y-values, aligned with the table's x-values.
+    pub values: Vec<f64>,
+}
+
+impl Series {
+    /// Build a series.
+    pub fn new(label: impl Into<String>, values: Vec<f64>) -> Self {
+        Series {
+            label: label.into(),
+            values,
+        }
+    }
+}
+
+/// A figure as a table: an x-column plus one column per series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Figure title.
+    pub title: String,
+    /// x-axis name.
+    pub x_label: String,
+    /// x-values.
+    pub xs: Vec<f64>,
+    /// The curves.
+    pub series: Vec<Series>,
+    /// Whether larger values win (scaleup figures) instead of smaller
+    /// (time figures).
+    pub higher_is_better: bool,
+}
+
+impl Table {
+    /// Build a time table (lower is better); every series must match the
+    /// x length.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        xs: Vec<f64>,
+        series: Vec<Series>,
+    ) -> Self {
+        let t = Table {
+            title: title.into(),
+            x_label: x_label.into(),
+            xs,
+            series,
+            higher_is_better: false,
+        };
+        for s in &t.series {
+            assert_eq!(
+                s.values.len(),
+                t.xs.len(),
+                "series '{}' length mismatch",
+                s.label
+            );
+        }
+        t
+    }
+
+    /// Mark the table as higher-is-better (scaleup ratios).
+    pub fn higher_is_better(mut self) -> Self {
+        self.higher_is_better = true;
+        self
+    }
+
+    /// Render as CSV (header row, then one row per x) for plotting tools.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&csv_field(&self.x_label));
+        for s in &self.series {
+            out.push(',');
+            out.push_str(&csv_field(&s.label));
+        }
+        out.push('\n');
+        for (i, x) in self.xs.iter().enumerate() {
+            out.push_str(&format!("{x}"));
+            for s in &self.series {
+                out.push_str(&format!(",{}", s.values[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The winner (series index) at row `i`.
+    pub fn winner_at(&self, i: usize) -> usize {
+        let best = self.series.iter().enumerate().min_by(|(_, a), (_, b)| {
+            let ord = a.values[i].total_cmp(&b.values[i]);
+            if self.higher_is_better {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+        best.map(|(idx, _)| idx).unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# {}", self.title)?;
+        write!(f, "{:>14}", self.x_label)?;
+        for s in &self.series {
+            write!(f, " {:>12}", s.label)?;
+        }
+        writeln!(f, " {:>8}", "winner")?;
+        let precision = if self.higher_is_better { 3 } else { 1 };
+        for (i, x) in self.xs.iter().enumerate() {
+            write!(f, "{x:>14.6e}")?;
+            for s in &self.series {
+                write!(f, " {:>12.prec$}", s.values[i], prec = precision)?;
+            }
+            writeln!(f, " {:>8}", self.series[self.winner_at(i)].label)?;
+        }
+        Ok(())
+    }
+}
+
+/// Quote a CSV field if needed (labels may contain commas in principle).
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        Table::new(
+            "Fig X",
+            "S",
+            vec![0.1, 0.2],
+            vec![
+                Series::new("A", vec![5.0, 1.0]),
+                Series::new("B", vec![2.0, 3.0]),
+            ],
+        )
+    }
+
+    #[test]
+    fn winners_are_minima() {
+        let t = table();
+        assert_eq!(t.winner_at(0), 1);
+        assert_eq!(t.winner_at(1), 0);
+    }
+
+    #[test]
+    fn display_has_header_rows_and_winner() {
+        let s = table().to_string();
+        assert!(s.contains("# Fig X"));
+        assert!(s.lines().count() >= 4);
+        assert!(s.contains("winner"));
+    }
+
+    #[test]
+    fn csv_round_trips_values() {
+        let csv = table().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "S,A,B");
+        assert_eq!(lines[1], "0.1,5,2");
+        assert_eq!(lines[2], "0.2,1,3");
+    }
+
+    #[test]
+    fn csv_quotes_awkward_labels() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("q\"q"), "\"q\"\"q\"");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_series_rejected() {
+        let _ = Table::new(
+            "t",
+            "x",
+            vec![1.0],
+            vec![Series::new("A", vec![1.0, 2.0])],
+        );
+    }
+}

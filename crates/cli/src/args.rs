@@ -1,0 +1,323 @@
+//! Hand-rolled argument parsing (the offline dependency set has no CLI
+//! parser; the grammar is small enough that one is not missed).
+
+use adaptagg_algos::AlgorithmKind;
+use adaptagg_model::NetworkKind;
+use std::fmt;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `run` — execute one query on the simulated cluster.
+    Run(RunArgs),
+    /// `sweep` — run the figure-8-style group-count sweep.
+    Sweep(RunArgs),
+    /// `explain` — evaluate the cost model and print the recommendation.
+    Explain(RunArgs),
+    /// `help` — print usage.
+    Help,
+}
+
+/// Which generator feeds the cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Workload {
+    /// Uniform group frequencies over `--groups` groups (schema
+    /// `g, v, pad`).
+    Uniform,
+    /// Zipf(s)-distributed group frequencies (same schema).
+    Zipf(f64),
+    /// TPC-D-flavoured lineitem slice (schema `flag_status, orderkey,
+    /// quantity, extendedprice, pad`); `--groups` is ignored.
+    Tpcd,
+}
+
+/// The shared knob set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// SQL text (defaults to the study's standard query).
+    pub sql: String,
+    /// The data generator.
+    pub workload: Workload,
+    /// Cluster size.
+    pub nodes: usize,
+    /// Relation size in tuples.
+    pub tuples: usize,
+    /// Group count (uniform workload).
+    pub groups: usize,
+    /// Strategy, or `None` for the §7 recommendation.
+    pub algo: Option<AlgorithmKind>,
+    /// Network model.
+    pub network: NetworkKind,
+    /// Hash-table budget `M` in entries.
+    pub memory: usize,
+    /// Workload generator seed.
+    pub seed: u64,
+    /// Save the generated partitions to `<prefix>.nodeN.ahf` files.
+    pub save_workload: Option<String>,
+    /// Load partitions from `<prefix>.nodeN.ahf` files instead of
+    /// generating (`--workload`/`--tuples`/`--groups` are then ignored).
+    pub load_workload: Option<String>,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        RunArgs {
+            sql: "SELECT g, SUM(v), COUNT(*) FROM r GROUP BY g".to_string(),
+            workload: Workload::Uniform,
+            nodes: 8,
+            tuples: 100_000,
+            groups: 1_000,
+            algo: None,
+            network: NetworkKind::ethernet_default(),
+            memory: 10_000,
+            seed: 0x5eed,
+            save_workload: None,
+            load_workload: None,
+        }
+    }
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+adaptagg — adaptive parallel aggregation on a simulated shared-nothing cluster
+
+USAGE:
+  adaptagg run     [OPTIONS]   execute one query, print results + timing
+  adaptagg sweep   [OPTIONS]   sweep group counts, compare all strategies
+  adaptagg explain [OPTIONS]   cost-model prediction + recommendation
+  adaptagg help                this text
+
+OPTIONS:
+  --sql <QUERY>       SQL over schema (g INT, v INT, pad STR)
+                      [default: SELECT g, SUM(v), COUNT(*) FROM r GROUP BY g]
+  --nodes <N>         cluster size                    [default: 8]
+  --tuples <N>        relation size                   [default: 100000]
+  --groups <N>        distinct groups                 [default: 1000]
+  --algo <A>          c2p|2p|rep|samp|a2p|arep|opt2p|sort2p|bcast
+                      [default: the §7 recommendation]
+  --workload <W>      uniform | zipf:<s> | tpcd       [default: uniform]
+                      (tpcd schema: flag_status, orderkey, quantity,
+                       extendedprice, pad)
+  --network <NET>     fast | ethernet                 [default: ethernet]
+  --memory <N>        hash-table budget M, entries    [default: 10000]
+  --seed <N>          workload seed                   [default: 24301]
+  --save-workload <P> save generated partitions to <P>.nodeN.ahf
+  --load-workload <P> load partitions from <P>.nodeN.ahf (skips generation)
+";
+
+/// Parse `argv[1..]`.
+pub fn parse(args: &[String]) -> Result<Command, ArgError> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "run" => Ok(Command::Run(parse_run_args(&args[1..])?)),
+        "sweep" => Ok(Command::Sweep(parse_run_args(&args[1..])?)),
+        "explain" => Ok(Command::Explain(parse_run_args(&args[1..])?)),
+        other => Err(ArgError(format!("unknown command '{other}'; try 'adaptagg help'"))),
+    }
+}
+
+fn parse_run_args(args: &[String]) -> Result<RunArgs, ArgError> {
+    let mut out = RunArgs::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |i: usize| -> Result<&str, ArgError> {
+            args.get(i + 1)
+                .map(|s| s.as_str())
+                .ok_or_else(|| ArgError(format!("{flag} needs a value")))
+        };
+        match flag {
+            "--sql" => out.sql = value(i)?.to_string(),
+            "--nodes" => out.nodes = parse_num(flag, value(i)?)?,
+            "--tuples" => out.tuples = parse_num(flag, value(i)?)?,
+            "--groups" => out.groups = parse_num(flag, value(i)?)?,
+            "--memory" => out.memory = parse_num(flag, value(i)?)?,
+            "--seed" => out.seed = parse_num(flag, value(i)?)? as u64,
+            "--algo" => out.algo = Some(parse_algo(value(i)?)?),
+            "--workload" => out.workload = parse_workload(value(i)?)?,
+            "--save-workload" => out.save_workload = Some(value(i)?.to_string()),
+            "--load-workload" => out.load_workload = Some(value(i)?.to_string()),
+            "--network" => {
+                out.network = match value(i)? {
+                    "fast" => NetworkKind::high_speed_default(),
+                    "ethernet" => NetworkKind::ethernet_default(),
+                    other => {
+                        return Err(ArgError(format!(
+                            "--network must be 'fast' or 'ethernet', not '{other}'"
+                        )))
+                    }
+                }
+            }
+            other => return Err(ArgError(format!("unknown option '{other}'"))),
+        }
+        i += 2;
+    }
+    if out.nodes == 0 {
+        return Err(ArgError("--nodes must be at least 1".into()));
+    }
+    Ok(out)
+}
+
+fn parse_num(flag: &str, s: &str) -> Result<usize, ArgError> {
+    s.replace('_', "")
+        .parse()
+        .map_err(|_| ArgError(format!("{flag}: '{s}' is not a number")))
+}
+
+fn parse_workload(s: &str) -> Result<Workload, ArgError> {
+    match s {
+        "uniform" => Ok(Workload::Uniform),
+        "tpcd" => Ok(Workload::Tpcd),
+        other => {
+            if let Some(exp) = other.strip_prefix("zipf:") {
+                let exp: f64 = exp
+                    .parse()
+                    .map_err(|_| ArgError(format!("zipf exponent '{exp}' is not a number")))?;
+                if exp < 0.0 {
+                    return Err(ArgError("zipf exponent must be non-negative".into()));
+                }
+                Ok(Workload::Zipf(exp))
+            } else {
+                Err(ArgError(format!(
+                    "--workload must be uniform, zipf:<s>, or tpcd, not '{other}'"
+                )))
+            }
+        }
+    }
+}
+
+fn parse_algo(s: &str) -> Result<AlgorithmKind, ArgError> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "c2p" | "c-2p" => AlgorithmKind::CentralizedTwoPhase,
+        "2p" => AlgorithmKind::TwoPhase,
+        "rep" => AlgorithmKind::Repartitioning,
+        "samp" | "sampling" => AlgorithmKind::Sampling,
+        "a2p" | "a-2p" => AlgorithmKind::AdaptiveTwoPhase,
+        "arep" | "a-rep" => AlgorithmKind::AdaptiveRepartitioning,
+        "opt2p" | "opt-2p" => AlgorithmKind::OptimizedTwoPhase,
+        "sort2p" | "sort-2p" => AlgorithmKind::SortTwoPhase,
+        "bcast" | "broadcast" => AlgorithmKind::Broadcast,
+        other => {
+            return Err(ArgError(format!(
+                "unknown algorithm '{other}'; see 'adaptagg help'"
+            )))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn run_with_defaults() {
+        match parse(&argv("run")).unwrap() {
+            Command::Run(a) => {
+                assert_eq!(a.nodes, 8);
+                assert_eq!(a.tuples, 100_000);
+                assert!(a.algo.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let cmd = parse(&argv(
+            "run --nodes 4 --tuples 50_000 --groups 77 --algo arep --network fast --memory 512 --seed 9",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Run(a) => {
+                assert_eq!(a.nodes, 4);
+                assert_eq!(a.tuples, 50_000);
+                assert_eq!(a.groups, 77);
+                assert_eq!(a.algo, Some(AlgorithmKind::AdaptiveRepartitioning));
+                assert!(!a.network.is_shared());
+                assert_eq!(a.memory, 512);
+                assert_eq!(a.seed, 9);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sql_flag_takes_one_argument() {
+        // The shell would keep a quoted query as one argv entry.
+        let args = vec![
+            "run".to_string(),
+            "--sql".to_string(),
+            "SELECT DISTINCT g FROM r".to_string(),
+        ];
+        match parse(&args).unwrap() {
+            Command::Run(a) => assert_eq!(a.sql, "SELECT DISTINCT g FROM r"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_algo_spellings() {
+        for (s, k) in [
+            ("c2p", AlgorithmKind::CentralizedTwoPhase),
+            ("2p", AlgorithmKind::TwoPhase),
+            ("rep", AlgorithmKind::Repartitioning),
+            ("samp", AlgorithmKind::Sampling),
+            ("A2P", AlgorithmKind::AdaptiveTwoPhase),
+            ("a-rep", AlgorithmKind::AdaptiveRepartitioning),
+            ("opt2p", AlgorithmKind::OptimizedTwoPhase),
+            ("sort-2p", AlgorithmKind::SortTwoPhase),
+            ("broadcast", AlgorithmKind::Broadcast),
+        ] {
+            assert_eq!(parse_algo(s).unwrap(), k, "{s}");
+        }
+    }
+
+    #[test]
+    fn workload_flag_parses() {
+        match parse(&argv("run --workload zipf:1.2")).unwrap() {
+            Command::Run(a) => assert_eq!(a.workload, Workload::Zipf(1.2)),
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("run --workload tpcd")).unwrap() {
+            Command::Run(a) => assert_eq!(a.workload, Workload::Tpcd),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("run --workload zipf:x")).is_err());
+        assert!(parse(&argv("run --workload zipf:-1")).is_err());
+        assert!(parse(&argv("run --workload pareto")).is_err());
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        assert!(parse(&argv("frobnicate")).unwrap_err().0.contains("frobnicate"));
+        assert!(parse(&argv("run --nodes")).unwrap_err().0.contains("--nodes"));
+        assert!(parse(&argv("run --nodes zero")).unwrap_err().0.contains("zero"));
+        assert!(parse(&argv("run --algo quantum")).unwrap_err().0.contains("quantum"));
+        assert!(parse(&argv("run --network token-ring")).unwrap_err().0.contains("token-ring"));
+        assert!(parse(&argv("run --nodes 0")).unwrap_err().0.contains("at least 1"));
+    }
+}

@@ -1,0 +1,346 @@
+//! Command implementations.
+
+use crate::args::{RunArgs, Workload};
+use adaptagg_algos::{run_algorithm, AlgorithmKind};
+use adaptagg_cost::{recommend, CostAlgorithm, ModelConfig};
+use adaptagg_exec::ClusterConfig;
+use adaptagg_model::{CostParams, DataType, Field, Schema};
+use adaptagg_sql::compile;
+use adaptagg_storage::HeapFile;
+use adaptagg_workload::{generate_partitions, RelationSpec, TpcdWorkload, ZipfSpec};
+
+/// The schema the selected workload generates.
+pub fn schema(workload: Workload) -> Schema {
+    match workload {
+        Workload::Uniform | Workload::Zipf(_) => Schema::new(vec![
+            Field::new("g", DataType::Int),
+            Field::new("v", DataType::Int),
+            Field::new("pad", DataType::Str),
+        ]),
+        Workload::Tpcd => Schema::new(vec![
+            Field::new("flag_status", DataType::Int),
+            Field::new("orderkey", DataType::Int),
+            Field::new("quantity", DataType::Int),
+            Field::new("extendedprice", DataType::Int),
+            Field::new("pad", DataType::Str),
+        ]),
+    }
+}
+
+/// Generate (or load) the partitions the selected workload describes,
+/// honouring `--save-workload`/`--load-workload`.
+fn partitions(args: &RunArgs) -> Result<Vec<HeapFile>, String> {
+    if let Some(prefix) = &args.load_workload {
+        let mut parts = Vec::with_capacity(args.nodes);
+        for n in 0..args.nodes {
+            let path = format!("{prefix}.node{n}.ahf");
+            parts.push(
+                adaptagg_storage::persist::load(&path)
+                    .map_err(|e| format!("loading {path}: {e}"))?,
+            );
+        }
+        return Ok(parts);
+    }
+    let parts = generate(args);
+    if let Some(prefix) = &args.save_workload {
+        for (n, part) in parts.iter().enumerate() {
+            let path = format!("{prefix}.node{n}.ahf");
+            adaptagg_storage::persist::save(part, &path)
+                .map_err(|e| format!("saving {path}: {e}"))?;
+        }
+    }
+    Ok(parts)
+}
+
+fn generate(args: &RunArgs) -> Vec<HeapFile> {
+    match args.workload {
+        Workload::Uniform => {
+            let spec = RelationSpec::uniform(args.tuples, args.groups).with_seed(args.seed);
+            generate_partitions(&spec, args.nodes)
+        }
+        Workload::Zipf(exponent) => {
+            let mut spec = ZipfSpec::new(args.tuples, args.groups, exponent);
+            spec.seed = args.seed;
+            spec.generate_partitions(args.nodes)
+        }
+        Workload::Tpcd => {
+            let mut w = TpcdWorkload::new(args.tuples);
+            w.seed = args.seed;
+            w.generate_partitions(args.nodes)
+        }
+    }
+}
+
+fn describe_workload(args: &RunArgs) -> String {
+    match args.workload {
+        Workload::Uniform => format!(
+            "uniform: {} tuples, {} groups (S = {:.2e})",
+            args.tuples,
+            args.groups,
+            args.groups as f64 / args.tuples.max(1) as f64
+        ),
+        Workload::Zipf(s) => format!(
+            "zipf(s={s}): {} tuples, {} groups",
+            args.tuples, args.groups
+        ),
+        Workload::Tpcd => format!(
+            "tpcd: {} lineitems over {} orders",
+            args.tuples,
+            (args.tuples / 4).max(1)
+        ),
+    }
+}
+
+fn cost_params(args: &RunArgs) -> CostParams {
+    CostParams {
+        network: args.network,
+        max_hash_entries: args.memory,
+        ..CostParams::paper_default()
+    }
+}
+
+/// Map the cost model's pick onto the execution engine's kinds.
+fn to_engine(algo: CostAlgorithm) -> AlgorithmKind {
+    match algo {
+        CostAlgorithm::CentralizedTwoPhase => AlgorithmKind::CentralizedTwoPhase,
+        CostAlgorithm::TwoPhase => AlgorithmKind::TwoPhase,
+        CostAlgorithm::Repartitioning => AlgorithmKind::Repartitioning,
+        CostAlgorithm::Sampling => AlgorithmKind::Sampling,
+        CostAlgorithm::AdaptiveTwoPhase => AlgorithmKind::AdaptiveTwoPhase,
+        CostAlgorithm::AdaptiveRepartitioning => AlgorithmKind::AdaptiveRepartitioning,
+    }
+}
+
+/// Pick the strategy: the user's `--algo`, or §7's recommendation fed
+/// with the workload's (known) group count.
+fn pick_algorithm(args: &RunArgs) -> (AlgorithmKind, Option<&'static str>) {
+    if let Some(kind) = args.algo {
+        return (kind, None);
+    }
+    let model = ModelConfig {
+        params: cost_params(args),
+        nodes: args.nodes,
+        tuples: args.tuples as f64,
+        io_enabled: true,
+    };
+    let rec = recommend(&model, Some(args.groups as f64));
+    (to_engine(rec.algorithm), Some(rec.rationale))
+}
+
+/// `adaptagg run`.
+pub fn cmd_run(args: &RunArgs) -> Result<(), String> {
+    let bound = compile(&args.sql, &schema(args.workload)).map_err(|e| e.to_string())?;
+    let cluster = ClusterConfig::new(args.nodes, cost_params(args));
+    let parts = partitions(args)?;
+
+    let (kind, rationale) = pick_algorithm(args);
+    println!("query     : {}", args.sql);
+    println!("workload  : {} (seed {})", describe_workload(args), args.seed);
+    println!(
+        "cluster   : {} nodes, {:?}, M = {} entries",
+        args.nodes, cluster.params.network, args.memory
+    );
+    print!("algorithm : {kind}");
+    match rationale {
+        Some(r) => println!("  (auto: {r})"),
+        None => println!(),
+    }
+
+    let out = run_algorithm(kind, &cluster, &parts, &bound.query).map_err(|e| e.to_string())?;
+
+    println!("\n{}", bound.output_names.join(" | "));
+    for row in out.rows.iter().take(10) {
+        println!("{row}");
+    }
+    if out.rows.len() > 10 {
+        println!("… {} more rows", out.rows.len() - 10);
+    }
+    let b = out.run.total_breakdown();
+    println!(
+        "\n{} rows in {:.1} virtual ms  (cluster totals: cpu {:.1}, io {:.1}, net {:.1}, wait {:.1})",
+        out.rows.len(),
+        out.elapsed_ms(),
+        b.cpu_ms,
+        b.io_ms,
+        b.net_ms,
+        b.wait_ms
+    );
+    if !out.adapted_nodes().is_empty() {
+        println!("adapted nodes: {:?}", out.adapted_nodes());
+    }
+    Ok(())
+}
+
+/// `adaptagg sweep`.
+pub fn cmd_sweep(args: &RunArgs) -> Result<(), String> {
+    let bound = compile(&args.sql, &schema(args.workload)).map_err(|e| e.to_string())?;
+    let cluster = ClusterConfig::new(args.nodes, cost_params(args));
+    let kinds = AlgorithmKind::FIGURE8;
+
+    println!(
+        "sweep     : {} tuples, {} nodes, {:?}, M = {}",
+        args.tuples, args.nodes, cluster.params.network, args.memory
+    );
+    print!("{:>10}", "groups");
+    for k in kinds {
+        print!(" {:>10}", k.label());
+    }
+    println!(" {:>8}", "winner");
+
+    let mut g = 1usize;
+    while g <= args.tuples / 2 {
+        let spec = RelationSpec::uniform(args.tuples, g).with_seed(args.seed);
+        let parts = generate_partitions(&spec, cluster.nodes);
+        let mut times = Vec::new();
+        for kind in kinds {
+            let out =
+                run_algorithm(kind, &cluster, &parts, &bound.query).map_err(|e| e.to_string())?;
+            times.push(out.elapsed_ms());
+        }
+        let (wi, _) = times
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("nonempty");
+        print!("{g:>10}");
+        for t in &times {
+            print!(" {t:>10.1}");
+        }
+        println!(" {:>8}", kinds[wi].label());
+        g *= 16;
+    }
+    Ok(())
+}
+
+/// `adaptagg explain`.
+pub fn cmd_explain(args: &RunArgs) -> Result<(), String> {
+    let bound = compile(&args.sql, &schema(args.workload)).map_err(|e| e.to_string())?;
+    let model = ModelConfig {
+        params: cost_params(args),
+        nodes: args.nodes,
+        tuples: args.tuples as f64,
+        io_enabled: true,
+    };
+    let rec = recommend(&model, Some(args.groups as f64));
+
+    println!("query         : {}", args.sql);
+    println!("bound         : {}", bound.query);
+    println!(
+        "assumptions   : {} tuples, {} groups, {} nodes, {:?}, M = {}",
+        args.tuples, args.groups, args.nodes, model.params.network, args.memory
+    );
+    println!("\npredicted cost (analytical model, §2–3):");
+    for (algo, ms) in &rec.candidates {
+        let marker = if *algo == rec.algorithm { " ← chosen" } else { "" };
+        println!("  {:<6} {:>12.1} ms{marker}", algo.label(), ms);
+    }
+    println!("\nrecommendation: {} — {}", rec.algorithm.label(), rec.rationale);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_args() -> RunArgs {
+        RunArgs {
+            tuples: 4_000,
+            groups: 50,
+            nodes: 4,
+            ..RunArgs::default()
+        }
+    }
+
+    #[test]
+    fn run_executes_end_to_end() {
+        cmd_run(&small_args()).expect("run succeeds");
+    }
+
+    #[test]
+    fn explain_prints_candidates() {
+        cmd_explain(&small_args()).expect("explain succeeds");
+    }
+
+    #[test]
+    fn sweep_covers_the_range() {
+        let mut a = small_args();
+        a.tuples = 2_000;
+        cmd_sweep(&a).expect("sweep succeeds");
+    }
+
+    #[test]
+    fn save_then_load_workload_round_trips() {
+        let dir = std::env::temp_dir().join("adaptagg_cli_workload");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("w").to_string_lossy().to_string();
+
+        let mut a = small_args();
+        a.save_workload = Some(prefix.clone());
+        let generated = partitions(&a).unwrap();
+
+        let mut b = small_args();
+        b.load_workload = Some(prefix.clone());
+        b.tuples = 1; // ignored on load
+        let loaded = partitions(&b).unwrap();
+
+        assert_eq!(generated.len(), loaded.len());
+        for (g, l) in generated.iter().zip(&loaded) {
+            assert_eq!(g.tuple_count(), l.tuple_count());
+        }
+        // And the loaded partitions run.
+        cmd_run(&b).expect("run from loaded workload succeeds");
+        for n in 0..a.nodes {
+            let _ = std::fs::remove_file(format!("{prefix}.node{n}.ahf"));
+        }
+    }
+
+    #[test]
+    fn load_missing_workload_is_a_clean_error() {
+        let mut a = small_args();
+        a.load_workload = Some("/nonexistent/prefix".into());
+        let e = cmd_run(&a).unwrap_err();
+        assert!(e.contains("loading"));
+    }
+
+    #[test]
+    fn tpcd_workload_binds_its_own_schema() {
+        let mut a = small_args();
+        a.workload = Workload::Tpcd;
+        a.sql = "SELECT flag_status, SUM(quantity) FROM lineitem GROUP BY flag_status".into();
+        cmd_run(&a).expect("tpcd run succeeds");
+        // Uniform-schema SQL must fail against the tpcd schema.
+        a.sql = "SELECT g, SUM(v) FROM r GROUP BY g".into();
+        assert!(cmd_run(&a).is_err());
+    }
+
+    #[test]
+    fn zipf_workload_runs() {
+        let mut a = small_args();
+        a.workload = Workload::Zipf(1.0);
+        cmd_run(&a).expect("zipf run succeeds");
+    }
+
+    #[test]
+    fn bad_sql_is_a_clean_error() {
+        let mut a = small_args();
+        a.sql = "SELECT nope FROM r GROUP BY nope".into();
+        let e = cmd_run(&a).unwrap_err();
+        assert!(e.contains("nope"));
+    }
+
+    #[test]
+    fn auto_pick_small_groups_is_adaptive_two_phase() {
+        let (kind, rationale) = pick_algorithm(&small_args());
+        assert_eq!(kind, AlgorithmKind::AdaptiveTwoPhase);
+        assert!(rationale.is_some());
+    }
+
+    #[test]
+    fn explicit_algo_is_respected() {
+        let mut a = small_args();
+        a.algo = Some(AlgorithmKind::Broadcast);
+        let (kind, rationale) = pick_algorithm(&a);
+        assert_eq!(kind, AlgorithmKind::Broadcast);
+        assert!(rationale.is_none());
+    }
+}

@@ -1,0 +1,25 @@
+//! `adaptagg` — run the paper's adaptive parallel aggregation algorithms
+//! from the command line. See `adaptagg help`.
+
+mod args;
+mod commands;
+
+use args::Command;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args::parse(&argv) {
+        Ok(Command::Help) => {
+            print!("{}", args::USAGE);
+            Ok(())
+        }
+        Ok(Command::Run(a)) => commands::cmd_run(&a),
+        Ok(Command::Sweep(a)) => commands::cmd_sweep(&a),
+        Ok(Command::Explain(a)) => commands::cmd_explain(&a),
+        Err(e) => Err(e.to_string()),
+    };
+    if let Err(message) = result {
+        eprintln!("error: {message}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,137 @@
+//! §3.2 — Adaptive Two Phase cost model.
+//!
+//! "The first `M/S_l` tuples are processed like the Two Phase algorithm
+//! and the remaining tuples, if any, are processed like the
+//! Repartitioning algorithm." We construct the cost directly from that
+//! decomposition: the local table absorbs tuples until it holds `M`
+//! groups (never spilling — switching replaces overflow I/O), the
+//! accumulated `M` partials are flushed partitioned, and every remaining
+//! tuple is forwarded raw. The merge phase sees both kinds.
+
+use crate::breakdown::{CostBreakdown, PhaseCost};
+use crate::config::{overflow_io_ms, ModelConfig, Selectivities};
+
+/// Tuples a node aggregates locally before its table fills: `min(M/S_l,
+/// |R_i|)` (§3.2's `|P_i|`).
+pub fn tuples_before_switch(cfg: &ModelConfig, sel: &Selectivities) -> f64 {
+    (cfg.params.max_hash_entries as f64 / sel.s_l).min(cfg.tuples_per_node())
+}
+
+/// Full A2P cost.
+pub fn cost(cfg: &ModelConfig, s: f64) -> CostBreakdown {
+    let sel = cfg.selectivities(s);
+    let p = &cfg.params;
+    let tuples_i = cfg.tuples_per_node();
+    let bytes_i = cfg.bytes_per_node();
+    let ptuple = cfg.projected_tuple_bytes();
+
+    let local_tuples = tuples_before_switch(cfg, &sel);
+    let forwarded = tuples_i - local_tuples;
+    let partials_out = (sel.s_l * local_tuples).max(1.0); // ≤ M
+
+    // Phase 1: scan + select everything; aggregate the prefix; flush
+    // partials; forward the suffix raw.
+    let out_bytes = partials_out * ptuple + forwarded * ptuple;
+    let out_pages = cfg.pages(out_bytes);
+    let cpu1 = tuples_i * (p.t_read() + p.t_write())
+        + local_tuples * (p.t_read() + p.t_hash() + p.t_agg())
+        + partials_out * p.t_write()
+        + forwarded * (p.t_hash() + p.t_dest())
+        + out_pages * p.t_msg_protocol();
+    let io1 = cfg.pages(bytes_i) * cfg.scan_io_ms(); // no local overflow, ever
+    let net1 = cfg.net_transfer_ms(out_pages);
+    let phase1 = PhaseCost::new("adaptive local", cpu1, io1, net1);
+
+    // Phase 2: each node's share of all partials + all forwarded raws.
+    let incoming_rows = partials_out + forwarded; // cluster total / N
+    let incoming_bytes = incoming_rows * ptuple;
+    let merge_groups = sel.merge_groups(cfg.nodes);
+    let result_bytes = merge_groups * ptuple;
+    let cpu2 = cfg.pages(incoming_bytes) * p.t_msg_protocol()
+        + incoming_rows * (p.t_read() + p.t_agg())
+        + merge_groups * p.t_write();
+    let io2 = overflow_io_ms(
+        merge_groups,
+        incoming_bytes,
+        p.max_hash_entries,
+        p.page_bytes,
+        p.io_seq_ms,
+    ) + cfg.pages(result_bytes) * cfg.scan_io_ms();
+    let phase2 = PhaseCost::new("merge", cpu2, io2, 0.0);
+
+    CostBreakdown::new(vec![phase1, phase2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_two_phase_at_low_selectivity() {
+        let cfg = ModelConfig::paper_standard();
+        for s in [1e-6, 1e-5] {
+            let a2p = cost(&cfg, s).total_ms();
+            let tp = crate::twophase::cost(&cfg, s).total_ms();
+            assert!(
+                (a2p - tp).abs() / tp < 0.05,
+                "S={s}: A2P {a2p} vs 2P {tp}"
+            );
+        }
+    }
+
+    #[test]
+    fn tracks_repartitioning_at_high_selectivity() {
+        let cfg = ModelConfig::paper_standard();
+        for s in [0.1, 0.25, 0.5] {
+            let a2p = cost(&cfg, s).total_ms();
+            let rep = crate::repart::cost(&cfg, s).total_ms();
+            assert!(
+                a2p < rep * 1.15,
+                "S={s}: A2P {a2p} not near Rep {rep}"
+            );
+        }
+    }
+
+    #[test]
+    fn never_pays_local_overflow() {
+        // At selectivities where 2P's local phase spills, A2P's phase-1
+        // I/O is scan-only.
+        let cfg = ModelConfig::paper_standard();
+        let s = 0.05;
+        let a2p = cost(&cfg, s);
+        let tp = crate::twophase::cost(&cfg, s);
+        let scan_only = cfg.pages(cfg.bytes_per_node()) * cfg.params.io_seq_ms;
+        assert!((a2p.phases[0].io_ms - scan_only).abs() < 1e-6);
+        assert!(tp.phases[0].io_ms > scan_only, "2P should spill here");
+    }
+
+    #[test]
+    fn near_lower_envelope_everywhere() {
+        // Figure 3's claim: A2P tracks min(2P, Rep) within a small factor
+        // across the whole range.
+        let cfg = ModelConfig::paper_standard();
+        let mut s = 1.0 / cfg.tuples;
+        while s <= 0.5 {
+            let a2p = cost(&cfg, s).total_ms();
+            let envelope = crate::twophase::cost(&cfg, s)
+                .total_ms()
+                .min(crate::repart::cost(&cfg, s).total_ms());
+            assert!(
+                a2p <= envelope * 1.35,
+                "S={s}: A2P {a2p} vs envelope {envelope}"
+            );
+            s *= 4.0;
+        }
+    }
+
+    #[test]
+    fn switch_point_is_the_memory_knee() {
+        let cfg = ModelConfig::paper_standard();
+        // Below the knee: all tuples aggregated locally.
+        let sel = cfg.selectivities(1e-5);
+        assert_eq!(tuples_before_switch(&cfg, &sel), cfg.tuples_per_node());
+        // Above: prefix only.
+        let sel = cfg.selectivities(0.25);
+        assert!(tuples_before_switch(&cfg, &sel) < cfg.tuples_per_node());
+    }
+}

@@ -1,0 +1,149 @@
+//! §3.3 — Adaptive Repartitioning cost model.
+//!
+//! "If `S·|R_i| > threshold` then cost is same as that of the
+//! Repartitioning algorithm. Otherwise \[the\] first `initSeg` tuples are
+//! processed as in the Repartitioning algorithm \[and the rest\] as in
+//! \[the\] Adaptive Two Phase algorithm" — with the merge phase seeing the
+//! already-repartitioned initial segment as well.
+
+use crate::breakdown::{CostBreakdown, PhaseCost};
+use crate::config::{overflow_io_ms, ModelConfig, Selectivities};
+
+/// ARep's decision knobs (mirrors `adaptagg_algos::AlgoConfig`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArepModel {
+    /// Tuples each node partitions before judging.
+    pub init_seg: f64,
+    /// Fallback happens if fewer distinct groups than this were seen.
+    pub min_groups: f64,
+}
+
+impl ArepModel {
+    /// Defaults consistent with `AlgoConfig::default_for(nodes)`.
+    pub fn default_for(nodes: usize) -> Self {
+        let threshold = 10.0 * nodes as f64;
+        ArepModel {
+            init_seg: (10.0 * threshold).max(512.0),
+            min_groups: threshold,
+        }
+    }
+
+    /// Whether a node falls back: expected distinct groups in the initial
+    /// segment (`≈ initSeg·S_l`, capped by the local group count) below
+    /// the bar.
+    pub fn falls_back(&self, cfg: &ModelConfig, sel: &Selectivities) -> bool {
+        let seg = self.init_seg.min(cfg.tuples_per_node());
+        let expected_distinct = (seg * sel.s_l).min(sel.local_groups(cfg.tuples_per_node()));
+        expected_distinct < self.min_groups
+    }
+}
+
+/// Full ARep cost with explicit knobs.
+pub fn cost_with(cfg: &ModelConfig, s: f64, knobs: &ArepModel) -> CostBreakdown {
+    let sel = cfg.selectivities(s);
+    if !knobs.falls_back(cfg, &sel) {
+        // The common case it is optimized for: pure Repartitioning, no
+        // extra phase for the initial segment, negligible switch cost.
+        return crate::repart::cost(cfg, s);
+    }
+
+    let p = &cfg.params;
+    let tuples_i = cfg.tuples_per_node();
+    let bytes_i = cfg.bytes_per_node();
+    let ptuple = cfg.projected_tuple_bytes();
+    let seg = knobs.init_seg.min(tuples_i);
+    let after = tuples_i - seg;
+
+    // A2P sub-behaviour on the remainder.
+    let local_tuples = (p.max_hash_entries as f64 / sel.s_l).min(after);
+    let forwarded = after - local_tuples;
+    let partials_out = (sel.s_l * local_tuples).max(1.0);
+
+    // Phase 1: scan + select all; partition the segment; aggregate the
+    // prefix of the remainder; flush partials; forward the suffix.
+    let out_rows = seg + partials_out + forwarded;
+    let out_pages = cfg.pages(out_rows * ptuple);
+    let cpu1 = tuples_i * (p.t_read() + p.t_write())
+        + seg * (p.t_hash() + p.t_dest())
+        + local_tuples * (p.t_read() + p.t_hash() + p.t_agg())
+        + partials_out * p.t_write()
+        + forwarded * (p.t_hash() + p.t_dest())
+        + out_pages * p.t_msg_protocol();
+    let io1 = cfg.pages(bytes_i) * cfg.scan_io_ms();
+    let net1 = cfg.net_transfer_ms(out_pages);
+    let phase1 = PhaseCost::new("arep scan", cpu1, io1, net1);
+
+    // Phase 2: per-node share of segment raws + partials + forwarded raws.
+    let incoming_rows = out_rows; // cluster total / N
+    let incoming_bytes = incoming_rows * ptuple;
+    let merge_groups = sel.merge_groups(cfg.nodes);
+    let result_bytes = merge_groups * ptuple;
+    let cpu2 = cfg.pages(incoming_bytes) * p.t_msg_protocol()
+        + incoming_rows * (p.t_read() + p.t_agg())
+        + merge_groups * p.t_write();
+    let io2 = overflow_io_ms(
+        merge_groups,
+        incoming_bytes,
+        p.max_hash_entries,
+        p.page_bytes,
+        p.io_seq_ms,
+    ) + cfg.pages(result_bytes) * cfg.scan_io_ms();
+    let phase2 = PhaseCost::new("merge", cpu2, io2, 0.0);
+
+    CostBreakdown::new(vec![phase1, phase2])
+}
+
+/// Full ARep cost with default knobs.
+pub fn cost(cfg: &ModelConfig, s: f64) -> CostBreakdown {
+    cost_with(cfg, s, &ArepModel::default_for(cfg.nodes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_selectivity_equals_repartitioning() {
+        let cfg = ModelConfig::paper_standard();
+        for s in [0.01, 0.25, 0.5] {
+            let arep = cost(&cfg, s).total_ms();
+            let rep = crate::repart::cost(&cfg, s).total_ms();
+            assert!((arep - rep).abs() < 1e-9, "S={s}");
+        }
+    }
+
+    #[test]
+    fn low_selectivity_falls_back_near_two_phase() {
+        let cfg = ModelConfig::paper_standard();
+        for s in [1e-6, 1e-5] {
+            let arep = cost(&cfg, s).total_ms();
+            let tp = crate::twophase::cost(&cfg, s).total_ms();
+            let rep = crate::repart::cost(&cfg, s).total_ms();
+            assert!(arep < rep, "S={s}: fallback should beat staying Rep");
+            assert!(
+                arep < tp * 1.25,
+                "S={s}: ARep {arep} should be near 2P {tp}"
+            );
+        }
+    }
+
+    #[test]
+    fn fallback_decision_matches_expectation() {
+        let cfg = ModelConfig::paper_standard();
+        let knobs = ArepModel::default_for(32);
+        assert!(knobs.falls_back(&cfg, &cfg.selectivities(1e-6)));
+        assert!(!knobs.falls_back(&cfg, &cfg.selectivities(0.1)));
+    }
+
+    #[test]
+    fn slightly_worse_than_a2p_at_very_low_selectivity() {
+        // Figure 3's observation: ARep "does suffer a little when the
+        // groups are too few" (the initial segment is repartitioned for
+        // nothing).
+        let cfg = ModelConfig::paper_standard();
+        let s = 1e-6;
+        let arep = cost(&cfg, s).total_ms();
+        let a2p = crate::a2p::cost(&cfg, s).total_ms();
+        assert!(arep >= a2p, "ARep {arep} < A2P {a2p}");
+    }
+}

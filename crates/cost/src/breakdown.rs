@@ -1,0 +1,125 @@
+//! Cost breakdowns: per-phase CPU / I/O / network terms.
+
+use std::fmt;
+
+/// One phase's cost on the critical path, in ms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseCost {
+    /// Phase name ("local agg", "merge", …).
+    pub label: &'static str,
+    /// Per-tuple CPU work.
+    pub cpu_ms: f64,
+    /// Disk I/O (scan, store, overflow).
+    pub io_ms: f64,
+    /// Network (protocol CPU folded into `cpu_ms`; this is transfer).
+    pub net_ms: f64,
+}
+
+impl PhaseCost {
+    /// A phase with the given terms.
+    pub fn new(label: &'static str, cpu_ms: f64, io_ms: f64, net_ms: f64) -> Self {
+        PhaseCost {
+            label,
+            cpu_ms,
+            io_ms,
+            net_ms,
+        }
+    }
+
+    /// The phase's total.
+    pub fn total_ms(&self) -> f64 {
+        self.cpu_ms + self.io_ms + self.net_ms
+    }
+}
+
+/// An algorithm's predicted response time: the sum of its phases on the
+/// critical path (phases are serial; nodes within a phase are parallel,
+/// per the paper's "all nodes work completely in parallel thus allowing
+/// us to study the performance of just one node").
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CostBreakdown {
+    /// Critical-path phases in order.
+    pub phases: Vec<PhaseCost>,
+}
+
+impl CostBreakdown {
+    /// Build from phases.
+    pub fn new(phases: Vec<PhaseCost>) -> Self {
+        CostBreakdown { phases }
+    }
+
+    /// Predicted elapsed time in ms.
+    pub fn total_ms(&self) -> f64 {
+        self.phases.iter().map(|p| p.total_ms()).sum()
+    }
+
+    /// Total CPU across phases.
+    pub fn cpu_ms(&self) -> f64 {
+        self.phases.iter().map(|p| p.cpu_ms).sum()
+    }
+
+    /// Total I/O across phases.
+    pub fn io_ms(&self) -> f64 {
+        self.phases.iter().map(|p| p.io_ms).sum()
+    }
+
+    /// Total network across phases.
+    pub fn net_ms(&self) -> f64 {
+        self.phases.iter().map(|p| p.net_ms).sum()
+    }
+
+    /// Append another breakdown's phases (Sampling = sampling + chosen).
+    pub fn extend(&mut self, other: CostBreakdown) {
+        self.phases.extend(other.phases);
+    }
+}
+
+impl fmt::Display for CostBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.phases {
+            writeln!(
+                f,
+                "  {:<16} cpu {:>10.2}  io {:>10.2}  net {:>10.2}  = {:>10.2} ms",
+                p.label,
+                p.cpu_ms,
+                p.io_ms,
+                p.net_ms,
+                p.total_ms()
+            )?;
+        }
+        write!(f, "  total {:>46.2} ms", self.total_ms())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_phases() {
+        let b = CostBreakdown::new(vec![
+            PhaseCost::new("p1", 1.0, 2.0, 3.0),
+            PhaseCost::new("p2", 0.5, 0.0, 0.0),
+        ]);
+        assert!((b.total_ms() - 6.5).abs() < 1e-12);
+        assert!((b.cpu_ms() - 1.5).abs() < 1e-12);
+        assert!((b.io_ms() - 2.0).abs() < 1e-12);
+        assert!((b.net_ms() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut a = CostBreakdown::new(vec![PhaseCost::new("a", 1.0, 0.0, 0.0)]);
+        a.extend(CostBreakdown::new(vec![PhaseCost::new("b", 2.0, 0.0, 0.0)]));
+        assert_eq!(a.phases.len(), 2);
+        assert!((a.total_ms() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_lists_phases_and_total() {
+        let b = CostBreakdown::new(vec![PhaseCost::new("scan", 1.0, 2.0, 0.0)]);
+        let s = b.to_string();
+        assert!(s.contains("scan"));
+        assert!(s.contains("total"));
+    }
+}

@@ -1,0 +1,93 @@
+//! §2.1 — Centralized Two Phase cost model.
+
+use crate::breakdown::{CostBreakdown, PhaseCost};
+use crate::config::{overflow_io_ms, ModelConfig, Selectivities};
+
+/// The shared phase-1 (local aggregation) cost, per node. Term-by-term
+/// from §2.1's bullet list:
+///
+/// * scan: `(R_i/P)·IO`
+/// * select: `|R_i|·(t_r+t_w)`
+/// * local aggregation: `|R_i|·(t_r+t_h+t_a)`
+/// * overflow: `max(0, 1−M/G_local) · p·R_i/P · 2·IO` (corrected)
+/// * result generation: `G_local·t_w`
+/// * send: `(p·R_i·S_l/P)·(m_p + m_l)`
+pub fn local_phase(cfg: &ModelConfig, sel: &Selectivities) -> PhaseCost {
+    let p = &cfg.params;
+    let tuples_i = cfg.tuples_per_node();
+    let bytes_i = cfg.bytes_per_node();
+    let local_groups = sel.local_groups(tuples_i);
+    let projected_bytes_i = bytes_i * p.projectivity;
+
+    let io = cfg.pages(bytes_i) * cfg.scan_io_ms()
+        + overflow_io_ms(
+            local_groups,
+            projected_bytes_i,
+            p.max_hash_entries,
+            p.page_bytes,
+            p.io_seq_ms,
+        );
+    let out_bytes = local_groups * cfg.projected_tuple_bytes();
+    let out_pages = cfg.pages(out_bytes);
+    let cpu = tuples_i * (p.t_read() + p.t_write())
+        + tuples_i * (p.t_read() + p.t_hash() + p.t_agg())
+        + local_groups * p.t_write()
+        + out_pages * p.t_msg_protocol();
+    let net = cfg.net_transfer_ms(out_pages);
+    PhaseCost::new("local agg", cpu, io, net)
+}
+
+/// Full C2P cost: local phase + the coordinator's sequential merge.
+pub fn cost(cfg: &ModelConfig, s: f64) -> CostBreakdown {
+    let sel = cfg.selectivities(s);
+    let p = &cfg.params;
+    let local = local_phase(cfg, &sel);
+
+    // Everything lands on one coordinator: |G| = |R|·S_l rows.
+    let incoming_rows = sel.local_groups(cfg.tuples_per_node()) * cfg.nodes as f64;
+    let incoming_bytes = incoming_rows * cfg.projected_tuple_bytes();
+    let out_bytes = sel.groups * cfg.projected_tuple_bytes();
+
+    let cpu = cfg.pages(incoming_bytes) * p.t_msg_protocol()
+        + incoming_rows * (p.t_read() + p.t_agg())
+        + sel.groups * p.t_write();
+    let io = overflow_io_ms(
+        sel.groups,
+        incoming_bytes,
+        p.max_hash_entries,
+        p.page_bytes,
+        p.io_seq_ms,
+    ) + cfg.pages(out_bytes) * cfg.scan_io_ms();
+
+    CostBreakdown::new(vec![local, PhaseCost::new("central merge", cpu, io, 0.0)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_grows_with_selectivity() {
+        let cfg = ModelConfig::paper_standard();
+        let low = cost(&cfg, 1e-6).total_ms();
+        let high = cost(&cfg, 0.01).total_ms();
+        assert!(high > low * 2.0, "low {low}, high {high}");
+    }
+
+    #[test]
+    fn coordinator_is_a_sequential_bottleneck() {
+        // At moderate selectivity the central merge phase dominates the
+        // parallel local phase.
+        let cfg = ModelConfig::paper_standard();
+        let b = cost(&cfg, 0.01); // 80K groups
+        assert!(b.phases[1].total_ms() > b.phases[0].total_ms());
+    }
+
+    #[test]
+    fn scalar_aggregation_is_cheap() {
+        let cfg = ModelConfig::paper_standard();
+        let b = cost(&cfg, 1.0 / cfg.tuples);
+        // Dominated by the local scan, merge is negligible.
+        assert!(b.phases[1].total_ms() < 0.1 * b.phases[0].total_ms());
+    }
+}

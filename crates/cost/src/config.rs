@@ -1,0 +1,230 @@
+//! Model configuration and derived selectivities.
+
+use adaptagg_model::CostParams;
+
+/// What the analytical model is evaluated over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelConfig {
+    /// Table 1 constants, including the network kind and `M`.
+    pub params: CostParams,
+    /// `N` — number of processors.
+    pub nodes: usize,
+    /// `|R|` — tuples in the relation.
+    pub tuples: f64,
+    /// Scan/store I/O enabled? `false` models the operator-pipeline case
+    /// of Figure 2 (aggregation fed by, and feeding, other operators).
+    pub io_enabled: bool,
+}
+
+impl ModelConfig {
+    /// The paper's standard configuration: 32 nodes, 8 M × 100 B tuples,
+    /// high-speed network (Figures 1–3, 5–7).
+    pub fn paper_standard() -> Self {
+        ModelConfig {
+            params: CostParams::paper_default(),
+            nodes: 32,
+            tuples: 8_000_000.0,
+            io_enabled: true,
+        }
+    }
+
+    /// The implementation-matched configuration: 8 nodes, 2 M tuples,
+    /// shared 10 Mbit bus (Figure 4).
+    pub fn paper_cluster() -> Self {
+        ModelConfig {
+            params: CostParams::cluster_default(),
+            nodes: 8,
+            tuples: 2_000_000.0,
+            io_enabled: true,
+        }
+    }
+
+    /// Relation bytes `R`.
+    pub fn relation_bytes(&self) -> f64 {
+        self.tuples * self.params.tuple_bytes as f64
+    }
+
+    /// Per-node tuples `|R_i|`.
+    pub fn tuples_per_node(&self) -> f64 {
+        self.tuples / self.nodes as f64
+    }
+
+    /// Per-node bytes `R_i`.
+    pub fn bytes_per_node(&self) -> f64 {
+        self.relation_bytes() / self.nodes as f64
+    }
+
+    /// Projected bytes of one tuple (`p · tuple`).
+    pub fn projected_tuple_bytes(&self) -> f64 {
+        self.params.projectivity * self.params.tuple_bytes as f64
+    }
+
+    /// Derive the selectivity family for a grouping selectivity `s`.
+    pub fn selectivities(&self, s: f64) -> Selectivities {
+        Selectivities::derive(s, self.tuples, self.nodes)
+    }
+
+    /// Disk pages for `bytes` (fractional — this is a closed-form model).
+    pub fn pages(&self, bytes: f64) -> f64 {
+        bytes / self.params.page_bytes as f64
+    }
+
+    /// `IO` in ms if scan/store I/O is modelled, else 0 (Figure 2).
+    /// Overflow I/O is *always* charged: the paper's pipeline variant
+    /// removes base-relation and result I/O only.
+    pub fn scan_io_ms(&self) -> f64 {
+        if self.io_enabled {
+            self.params.io_seq_ms
+        } else {
+            0.0
+        }
+    }
+
+    /// Network transfer time for a phase, given per-node pages sent.
+    /// Shared bus: the whole cluster's volume serializes (§2's
+    /// "sequential resource"); high-speed: each node pays only its own.
+    pub fn net_transfer_ms(&self, pages_per_node: f64) -> f64 {
+        let per_page = self.params.network.ms_per_page();
+        if self.params.network.is_shared() {
+            pages_per_node * self.nodes as f64 * per_page
+        } else {
+            pages_per_node * per_page
+        }
+    }
+}
+
+/// The selectivity family of §2 (Table 1, corrected).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Selectivities {
+    /// `S` — result tuples / input tuples.
+    pub s: f64,
+    /// `S_l` — phase-1 (local) selectivity: distinct groups a node sees
+    /// per local tuple. `clamp(S·N, 1/|R_i|, 1)`.
+    pub s_l: f64,
+    /// `S_g` — phase-2 (merge) selectivity: `max(1/N, S)`.
+    pub s_g: f64,
+    /// `G = S·|R|` — total groups.
+    pub groups: f64,
+}
+
+impl Selectivities {
+    /// Derive from `S`, `|R|`, `N`.
+    pub fn derive(s: f64, tuples: f64, nodes: usize) -> Self {
+        let n = nodes as f64;
+        let tuples_per_node = tuples / n;
+        // The lower bound (at least one group per node) cannot exceed the
+        // upper bound even for degenerate relations with < 1 tuple/node.
+        let floor = (1.0 / tuples_per_node).min(1.0);
+        let s_l = (s * n).clamp(floor, 1.0);
+        let s_g = (1.0 / n).max(s);
+        Selectivities {
+            s,
+            s_l,
+            s_g,
+            groups: (s * tuples).max(1.0),
+        }
+    }
+
+    /// Distinct groups one node's *local* table must hold in phase 1.
+    pub fn local_groups(&self, tuples_per_node: f64) -> f64 {
+        (self.s_l * tuples_per_node).max(1.0)
+    }
+
+    /// Distinct groups one node's *merge* table must hold (`G/N`, at
+    /// least 1).
+    pub fn merge_groups(&self, nodes: usize) -> f64 {
+        (self.groups / nodes as f64).max(1.0)
+    }
+}
+
+/// The overflow I/O term, corrected (deviation #1 in the crate docs):
+/// the fraction of input that cannot stay resident is
+/// `max(0, 1 − M/groups_here)`; that fraction of the input bytes is
+/// written and re-read once.
+pub fn overflow_io_ms(
+    groups_here: f64,
+    input_bytes: f64,
+    max_entries: usize,
+    page_bytes: usize,
+    io_ms: f64,
+) -> f64 {
+    let frac = (1.0 - max_entries as f64 / groups_here.max(1.0)).max(0.0);
+    frac * (input_bytes / page_bytes as f64) * 2.0 * io_ms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_standard_shape() {
+        let m = ModelConfig::paper_standard();
+        assert_eq!(m.nodes, 32);
+        assert!((m.relation_bytes() - 800e6).abs() < 1.0);
+        assert!((m.tuples_per_node() - 250_000.0).abs() < 1e-9);
+        assert!((m.projected_tuple_bytes() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selectivity_family_matches_table1() {
+        // Low selectivity: S·N < 1 → S_l = S·N, S_g = 1/N.
+        let s = Selectivities::derive(1e-6, 8e6, 32);
+        assert!((s.s_l - 32e-6).abs() < 1e-12);
+        assert!((s.s_g - 1.0 / 32.0).abs() < 1e-12);
+        assert_eq!(s.groups, 8.0);
+
+        // High selectivity: S·N > 1 → S_l = 1, S_g = S.
+        let s = Selectivities::derive(0.25, 8e6, 32);
+        assert_eq!(s.s_l, 1.0);
+        assert_eq!(s.s_g, 0.25);
+
+        // Scalar aggregation: S = 1/|R| → S_l floors at one group/node.
+        let s = Selectivities::derive(1.0 / 8e6, 8e6, 32);
+        assert!((s.s_l - 1.0 / 250_000.0).abs() < 1e-12);
+        assert_eq!(s.groups, 1.0);
+    }
+
+    #[test]
+    fn degenerate_tiny_relations_do_not_panic() {
+        // Fewer tuples than nodes: the one-group floor caps at 1.
+        let s = Selectivities::derive(1.0, 1.0, 4);
+        assert_eq!(s.s_l, 1.0);
+        let s = Selectivities::derive(0.5, 0.0, 4);
+        assert!((0.0..=1.0).contains(&s.s_l));
+    }
+
+    #[test]
+    fn local_and_merge_group_counts() {
+        let s = Selectivities::derive(0.01, 8e6, 32); // G = 80_000
+        assert!((s.local_groups(250_000.0) - 80_000.0).abs() < 1.0);
+        assert!((s.merge_groups(32) - 2500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overflow_kicks_in_past_m() {
+        // groups <= M → no overflow I/O.
+        assert_eq!(overflow_io_ms(10_000.0, 1e6, 10_000, 4096, 1.15), 0.0);
+        assert_eq!(overflow_io_ms(100.0, 1e6, 10_000, 4096, 1.15), 0.0);
+        // groups = 2M → half the input spills.
+        let ms = overflow_io_ms(20_000.0, 1e6, 10_000, 4096, 1.15);
+        let expect = 0.5 * (1e6 / 4096.0) * 2.0 * 1.15;
+        assert!((ms - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn network_models_differ() {
+        let mut m = ModelConfig::paper_standard(); // high speed 0.1ms
+        assert!((m.net_transfer_ms(10.0) - 1.0).abs() < 1e-12);
+        m.params.network = adaptagg_model::NetworkKind::SharedBus { ms_per_page: 2.0 };
+        // Shared: the whole cluster's 32×10 pages serialize.
+        assert!((m.net_transfer_ms(10.0) - 640.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipeline_mode_zeroes_scan_io() {
+        let mut m = ModelConfig::paper_standard();
+        assert!(m.scan_io_ms() > 0.0);
+        m.io_enabled = false;
+        assert_eq!(m.scan_io_ms(), 0.0);
+    }
+}

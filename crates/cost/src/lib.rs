@@ -1,0 +1,54 @@
+//! # adaptagg-cost
+//!
+//! The paper's analytical cost models (§2.1–2.3 and §3.1–3.3), which
+//! generate Figures 1–7. "The intention is that although the models will
+//! not be able to predict the actual running times, they will be good
+//! enough to predict the relative performance of the algorithms under
+//! varying circumstances" — the same stance we take.
+//!
+//! Structure:
+//!
+//! * [`ModelConfig`] — cluster shape, Table 1 constants, relation size,
+//!   and the `io_enabled` switch that produces Figure 2's operator-
+//!   pipeline variant (no scan/store I/O);
+//! * [`Selectivities`] — `S`, the phase-1 (`S_l`) and phase-2 (`S_g`)
+//!   selectivities derived from it (with the Table 1 typo corrected:
+//!   `S_l = min(S·N, 1)`, not `max`);
+//! * one module per algorithm, each returning a [`CostBreakdown`] of
+//!   per-phase CPU / I/O / network terms that mirror the paper's bullet
+//!   lists term by term;
+//! * [`sweep`] — selectivity sweeps and the scaleup experiments
+//!   (Figures 5–6).
+//!
+//! ## Documented deviations from the printed formulas
+//!
+//! 1. Overflow terms: the printed `(1 − M/S_l)` is dimensionally
+//!    inconsistent (`M` in entries vs a selectivity); we use the evident
+//!    intent `max(0, 1 − M/G_here)` where `G_here` is the number of
+//!    distinct groups the table in question must hold.
+//! 2. `§2.3`'s result-generation term uses `t_r`; every sibling formula
+//!    uses `t_w` — we use `t_w`.
+//! 3. Repartitioning under-utilization: we model the post-partition load
+//!    as `|R| / min(G, N)` tuples on the busiest node (only `G` nodes
+//!    receive data when `G < N`), which is the stated behaviour
+//!    ("not all processors can be utilized").
+//! 4. The shared-bus network is "a sequential resource": a phase's
+//!    network time is the *cluster-wide* transfer volume times the
+//!    per-page time; the high-speed network charges each node only its
+//!    own volume.
+
+pub mod a2p;
+pub mod arep;
+pub mod breakdown;
+pub mod c2p;
+pub mod config;
+pub mod recommend;
+pub mod repart;
+pub mod sampling;
+pub mod sweep;
+pub mod twophase;
+
+pub use breakdown::{CostBreakdown, PhaseCost};
+pub use config::{ModelConfig, Selectivities};
+pub use recommend::{recommend, Recommendation};
+pub use sweep::{scaleup_curve, selectivity_sweep, CostAlgorithm, SweepPoint};

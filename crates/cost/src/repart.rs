@@ -1,0 +1,113 @@
+//! §2.3 — Repartitioning cost model.
+
+use crate::breakdown::{CostBreakdown, PhaseCost};
+use crate::config::{overflow_io_ms, ModelConfig};
+
+/// Full Repartitioning cost. §2.3's bullet list:
+///
+/// * scan: `(R_i/P)·IO`
+/// * select: `|R_i|·(t_r+t_w+t_h+t_d)`
+/// * repartition: `p·R_i/P·(m_p + m_l + m_p)`
+/// * aggregate: received tuples `·(t_r+t_a)`
+/// * overflow: corrected term over the received bytes
+/// * result generation: received groups `· t_w` (printed as `t_r`;
+///   deviation #2)
+/// * store: result pages `· IO`
+///
+/// Under-utilization (deviation #3): when `G < N` only `G` nodes receive
+/// data; the busiest node absorbs `|R|/min(G,N)` tuples and holds
+/// `G/min(G,N)` groups.
+pub fn cost(cfg: &ModelConfig, s: f64) -> CostBreakdown {
+    let sel = cfg.selectivities(s);
+    let p = &cfg.params;
+    let tuples_i = cfg.tuples_per_node();
+    let bytes_i = cfg.bytes_per_node();
+    let projected_bytes_i = bytes_i * p.projectivity;
+    let send_pages = cfg.pages(projected_bytes_i);
+
+    // Phase 1: scan + partition + send.
+    let cpu1 = tuples_i * (p.t_read() + p.t_write() + p.t_hash() + p.t_dest())
+        + send_pages * p.t_msg_protocol();
+    let io1 = cfg.pages(bytes_i) * cfg.scan_io_ms();
+    let net1 = cfg.net_transfer_ms(send_pages);
+    let phase1 = PhaseCost::new("partition", cpu1, io1, net1);
+
+    // Phase 2: the busiest receiving node.
+    let receivers = sel.groups.min(cfg.nodes as f64).max(1.0);
+    let recv_tuples = cfg.tuples / receivers;
+    let recv_bytes = recv_tuples * cfg.projected_tuple_bytes();
+    let groups_here = sel.groups / receivers;
+    let out_bytes = groups_here * cfg.projected_tuple_bytes();
+
+    let cpu2 = cfg.pages(recv_bytes) * p.t_msg_protocol()
+        + recv_tuples * (p.t_read() + p.t_agg())
+        + groups_here * p.t_write();
+    let io2 = overflow_io_ms(
+        groups_here,
+        recv_bytes,
+        p.max_hash_entries,
+        p.page_bytes,
+        p.io_seq_ms,
+    ) + cfg.pages(out_bytes) * cfg.scan_io_ms();
+    let phase2 = PhaseCost::new("aggregate", cpu2, io2, 0.0);
+
+    CostBreakdown::new(vec![phase1, phase2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptagg_model::NetworkKind;
+
+    #[test]
+    fn flat_across_high_selectivities() {
+        // Rep's defining property: cost barely moves with S once G >= N
+        // and G/N <= M.
+        let cfg = ModelConfig::paper_standard();
+        let a = cost(&cfg, 1e-5).total_ms(); // G = 80 >= N
+        let b = cost(&cfg, 1e-3).total_ms(); // G = 8000
+        assert!((a - b).abs() / a < 0.15, "a {a}, b {b}");
+    }
+
+    #[test]
+    fn beats_two_phase_at_high_selectivity() {
+        let cfg = ModelConfig::paper_standard();
+        for s in [0.05, 0.25, 0.5] {
+            let rep = cost(&cfg, s).total_ms();
+            let tp = crate::twophase::cost(&cfg, s).total_ms();
+            assert!(rep < tp, "S={s}: Rep {rep} >= 2P {tp}");
+        }
+    }
+
+    #[test]
+    fn loses_to_two_phase_at_low_selectivity() {
+        let cfg = ModelConfig::paper_standard();
+        let s = 1.0 / cfg.tuples; // scalar aggregation
+        let rep = cost(&cfg, s).total_ms();
+        let tp = crate::twophase::cost(&cfg, s).total_ms();
+        assert!(rep > tp, "Rep {rep} <= 2P {tp} at scalar aggregation");
+    }
+
+    #[test]
+    fn under_utilization_hurts_at_tiny_group_counts() {
+        let cfg = ModelConfig::paper_standard();
+        let two_groups = cost(&cfg, 2.0 / cfg.tuples).total_ms();
+        let many_groups = cost(&cfg, 1e-3).total_ms();
+        assert!(
+            two_groups > many_groups * 2.0,
+            "2 groups {two_groups} vs many {many_groups}"
+        );
+    }
+
+    #[test]
+    fn shared_bus_inflates_network_cost() {
+        let fast = ModelConfig::paper_standard();
+        let mut slow = ModelConfig::paper_standard();
+        slow.params.network = NetworkKind::SharedBus { ms_per_page: 2.0 };
+        let s = 1e-3;
+        let f = cost(&fast, s);
+        let sl = cost(&slow, s);
+        assert!(sl.net_ms() > 50.0 * f.net_ms());
+        assert!(sl.total_ms() > 2.0 * f.total_ms());
+    }
+}

@@ -1,0 +1,149 @@
+//! §3.1 — Sampling cost model.
+//!
+//! Cost = sampling + estimation + the chosen algorithm. The decision uses
+//! the expected number of distinct groups in the sample (a classical
+//! occupancy expectation, `G·(1 − e^{−n/G})`), thresholded by the
+//! crossover rule.
+
+use crate::breakdown::{CostBreakdown, PhaseCost};
+use crate::config::ModelConfig;
+
+/// Sampling knobs (mirrors `adaptagg_sample::CrossoverRule`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplingModel {
+    /// Crossover threshold in groups.
+    pub threshold: f64,
+    /// Cluster-wide sample size in tuples (§3.1: ≈ 10× the threshold).
+    pub sample_tuples: f64,
+}
+
+impl SamplingModel {
+    /// The defaults for `nodes` processors: threshold `10·N`, and `10×`
+    /// the threshold sampled **per node** (the per-node reading of §3.1's
+    /// rule — see `adaptagg_sample::CrossoverRule::sample_size_per_node`).
+    /// The per-node overhead therefore grows with `N`, which is what §4
+    /// describes ("the sampling overhead … is proportional to the number
+    /// of processors") and what makes Samp's scaleup sub-ideal in
+    /// Figures 5–6.
+    pub fn default_for(nodes: usize) -> Self {
+        let threshold = 10.0 * nodes as f64;
+        SamplingModel {
+            threshold,
+            sample_tuples: 10.0 * threshold * nodes as f64,
+        }
+    }
+
+    /// Expected distinct groups in a uniform sample of `n` tuples from a
+    /// relation with `g` groups.
+    pub fn expected_distinct(n: f64, g: f64) -> f64 {
+        if g <= 0.0 {
+            return 0.0;
+        }
+        (g * (1.0 - (-n / g).exp())).min(n)
+    }
+
+    /// Whether the sample leads to choosing Repartitioning.
+    pub fn chooses_repartitioning(&self, groups: f64) -> bool {
+        Self::expected_distinct(self.sample_tuples, groups) >= self.threshold
+    }
+}
+
+/// The pure sampling/estimation phase cost (per §3.1's bullet list).
+pub fn sampling_phase(cfg: &ModelConfig, s: f64, knobs: &SamplingModel) -> PhaseCost {
+    let p = &cfg.params;
+    let sel = cfg.selectivities(s);
+    let per_node = knobs.sample_tuples / cfg.nodes as f64;
+    let sample_bytes = per_node * p.tuple_bytes as f64;
+    let distinct_per_node =
+        SamplingModel::expected_distinct(per_node, sel.groups).min(per_node);
+    let out_pages = cfg.pages(distinct_per_node * cfg.projected_tuple_bytes());
+
+    // scan (random pages) + select + aggregate + result + send; the
+    // coordinator then reads every node's keys.
+    let io = (sample_bytes / p.page_bytes as f64) * p.io_rand_ms;
+    let coordinator_rows = distinct_per_node * cfg.nodes as f64;
+    let cpu = per_node * (p.t_read() + p.t_write())
+        + per_node * (p.t_read() + p.t_hash() + p.t_agg())
+        + distinct_per_node * p.t_write()
+        + out_pages * p.t_msg_protocol()
+        + coordinator_rows * p.t_read();
+    let net = cfg.net_transfer_ms(out_pages);
+    PhaseCost::new("sampling", cpu, io, net)
+}
+
+/// Full Sampling-algorithm cost with explicit knobs.
+pub fn cost_with(cfg: &ModelConfig, s: f64, knobs: &SamplingModel) -> CostBreakdown {
+    let sel = cfg.selectivities(s);
+    let mut breakdown = CostBreakdown::new(vec![sampling_phase(cfg, s, knobs)]);
+    let chosen = if knobs.chooses_repartitioning(sel.groups) {
+        crate::repart::cost(cfg, s)
+    } else {
+        crate::twophase::cost(cfg, s)
+    };
+    breakdown.extend(chosen);
+    breakdown
+}
+
+/// Full Sampling-algorithm cost with the paper's defaults.
+pub fn cost(cfg: &ModelConfig, s: f64) -> CostBreakdown {
+    cost_with(cfg, s, &SamplingModel::default_for(cfg.nodes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_distinct_behaves() {
+        // Sample smaller than group count: nearly all distinct.
+        let d = SamplingModel::expected_distinct(100.0, 1e6);
+        assert!(d > 99.0 && d <= 100.0);
+        // Sample much larger than group count: all groups seen.
+        let d = SamplingModel::expected_distinct(10_000.0, 10.0);
+        assert!((d - 10.0).abs() < 1e-6);
+        assert_eq!(SamplingModel::expected_distinct(10.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn decision_flips_with_group_count() {
+        let k = SamplingModel::default_for(32); // threshold 320
+        assert!(!k.chooses_repartitioning(10.0));
+        assert!(k.chooses_repartitioning(100_000.0));
+    }
+
+    #[test]
+    fn constant_overhead_over_the_better_static_choice() {
+        // Figure 3: Samp tracks the lower envelope plus a roughly
+        // constant sampling cost.
+        let cfg = ModelConfig::paper_standard();
+        for s in [1e-6, 1e-3, 0.25] {
+            let samp = cost(&cfg, s);
+            let envelope = crate::twophase::cost(&cfg, s)
+                .total_ms()
+                .min(crate::repart::cost(&cfg, s).total_ms());
+            let overhead = samp.total_ms() - envelope;
+            assert!(overhead > 0.0, "sampling is never free");
+            assert!(
+                overhead < 0.35 * envelope + 500.0,
+                "S={s}: overhead {overhead} too large vs envelope {envelope}"
+            );
+        }
+    }
+
+    #[test]
+    fn larger_samples_cost_more() {
+        let cfg = ModelConfig::paper_standard();
+        let small = SamplingModel {
+            threshold: 320.0,
+            sample_tuples: 3_200.0,
+        };
+        let large = SamplingModel {
+            threshold: 3200.0,
+            sample_tuples: 32_000.0,
+        };
+        let s = 1e-6;
+        let cs = cost_with(&cfg, s, &small).phases[0].total_ms();
+        let cl = cost_with(&cfg, s, &large).phases[0].total_ms();
+        assert!(cl > cs * 5.0, "small {cs}, large {cl}");
+    }
+}

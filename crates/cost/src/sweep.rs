@@ -1,0 +1,215 @@
+//! Selectivity sweeps and scaleup experiments.
+
+use crate::breakdown::CostBreakdown;
+use crate::config::ModelConfig;
+use std::fmt;
+
+/// The algorithms the model covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostAlgorithm {
+    /// §2.1.
+    CentralizedTwoPhase,
+    /// §2.2.
+    TwoPhase,
+    /// §2.3.
+    Repartitioning,
+    /// §3.1.
+    Sampling,
+    /// §3.2.
+    AdaptiveTwoPhase,
+    /// §3.3.
+    AdaptiveRepartitioning,
+}
+
+impl CostAlgorithm {
+    /// Figure 1's cast (the traditional algorithms).
+    pub const TRADITIONAL: [CostAlgorithm; 3] = [
+        CostAlgorithm::CentralizedTwoPhase,
+        CostAlgorithm::TwoPhase,
+        CostAlgorithm::Repartitioning,
+    ];
+
+    /// Figures 3/4's cast (statics for context + the proposed three).
+    pub const PROPOSED: [CostAlgorithm; 5] = [
+        CostAlgorithm::TwoPhase,
+        CostAlgorithm::Repartitioning,
+        CostAlgorithm::Sampling,
+        CostAlgorithm::AdaptiveTwoPhase,
+        CostAlgorithm::AdaptiveRepartitioning,
+    ];
+
+    /// Plot label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CostAlgorithm::CentralizedTwoPhase => "C-2P",
+            CostAlgorithm::TwoPhase => "2P",
+            CostAlgorithm::Repartitioning => "Rep",
+            CostAlgorithm::Sampling => "Samp",
+            CostAlgorithm::AdaptiveTwoPhase => "A-2P",
+            CostAlgorithm::AdaptiveRepartitioning => "A-Rep",
+        }
+    }
+
+    /// Evaluate the model at grouping selectivity `s`.
+    pub fn cost(&self, cfg: &ModelConfig, s: f64) -> CostBreakdown {
+        match self {
+            CostAlgorithm::CentralizedTwoPhase => crate::c2p::cost(cfg, s),
+            CostAlgorithm::TwoPhase => crate::twophase::cost(cfg, s),
+            CostAlgorithm::Repartitioning => crate::repart::cost(cfg, s),
+            CostAlgorithm::Sampling => crate::sampling::cost(cfg, s),
+            CostAlgorithm::AdaptiveTwoPhase => crate::a2p::cost(cfg, s),
+            CostAlgorithm::AdaptiveRepartitioning => crate::arep::cost(cfg, s),
+        }
+    }
+}
+
+impl fmt::Display for CostAlgorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One point of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Grouping selectivity.
+    pub selectivity: f64,
+    /// Number of groups (`S·|R|`).
+    pub groups: f64,
+    /// Predicted time per algorithm, in sweep's algorithm order.
+    pub times_ms: Vec<f64>,
+}
+
+/// Log-spaced selectivities from scalar aggregation (`1/|R|`) to
+/// duplicate elimination (`0.5`), the paper's full evaluation range.
+pub fn selectivity_grid(cfg: &ModelConfig, points_per_decade: usize) -> Vec<f64> {
+    let lo = 1.0 / cfg.tuples;
+    let hi = 0.5;
+    let decades = (hi / lo).log10();
+    let n = (decades * points_per_decade as f64).ceil() as usize;
+    let mut out = Vec::with_capacity(n + 1);
+    for i in 0..=n {
+        let s = lo * 10f64.powf(decades * i as f64 / n as f64);
+        out.push(s.min(hi));
+    }
+    out.dedup_by(|a, b| (*a - *b).abs() < f64::EPSILON);
+    out
+}
+
+/// Sweep the model over the full selectivity range.
+pub fn selectivity_sweep(
+    cfg: &ModelConfig,
+    algorithms: &[CostAlgorithm],
+    points_per_decade: usize,
+) -> Vec<SweepPoint> {
+    selectivity_grid(cfg, points_per_decade)
+        .into_iter()
+        .map(|s| SweepPoint {
+            selectivity: s,
+            groups: (s * cfg.tuples).max(1.0),
+            times_ms: algorithms.iter().map(|a| a.cost(cfg, s).total_ms()).collect(),
+        })
+        .collect()
+}
+
+/// Scaleup (Figures 5–6): hold the per-node load fixed (`|R| = base · N`)
+/// and grow the cluster. Returns `(N, time_ms, scaleup)` per size, where
+/// `scaleup = time(1) / time(N)` (ideal = 1.0).
+pub fn scaleup_curve(
+    base: &ModelConfig,
+    algorithm: CostAlgorithm,
+    s_per_relation: f64,
+    node_counts: &[usize],
+    tuples_per_node: f64,
+) -> Vec<(usize, f64, f64)> {
+    let time_at = |n: usize| {
+        let cfg = ModelConfig {
+            nodes: n,
+            tuples: tuples_per_node * n as f64,
+            ..base.clone()
+        };
+        algorithm.cost(&cfg, s_per_relation).total_ms()
+    };
+    let t1 = time_at(1);
+    node_counts
+        .iter()
+        .map(|&n| {
+            let t = time_at(n);
+            (n, t, t1 / t)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_spans_the_paper_range() {
+        let cfg = ModelConfig::paper_standard();
+        let grid = selectivity_grid(&cfg, 4);
+        assert!((grid[0] - 1.0 / cfg.tuples).abs() < 1e-12);
+        assert!((grid.last().unwrap() - 0.5).abs() < 1e-9);
+        assert!(grid.len() > 20);
+        assert!(grid.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sweep_rows_are_consistent() {
+        let cfg = ModelConfig::paper_standard();
+        let algos = [CostAlgorithm::TwoPhase, CostAlgorithm::Repartitioning];
+        let rows = selectivity_sweep(&cfg, &algos, 2);
+        for row in &rows {
+            assert_eq!(row.times_ms.len(), 2);
+            assert!(row.times_ms.iter().all(|t| *t > 0.0));
+        }
+    }
+
+    #[test]
+    fn figure1_crossover_exists() {
+        // 2P wins on the left, Rep on the right, and they cross.
+        let cfg = ModelConfig::paper_standard();
+        let algos = [CostAlgorithm::TwoPhase, CostAlgorithm::Repartitioning];
+        let rows = selectivity_sweep(&cfg, &algos, 4);
+        let first = &rows[0];
+        let last = rows.last().unwrap();
+        assert!(first.times_ms[0] < first.times_ms[1], "2P wins at scalar");
+        assert!(last.times_ms[1] < last.times_ms[0], "Rep wins at dup-elim");
+    }
+
+    #[test]
+    fn adaptive_algorithms_scale_nearly_ideally() {
+        // Figures 5–6: near-ideal scaleup at both selectivity extremes.
+        let base = ModelConfig::paper_standard();
+        for (alg, s) in [
+            (CostAlgorithm::AdaptiveTwoPhase, 2.0e-6),
+            (CostAlgorithm::AdaptiveRepartitioning, 2.0e-6),
+            (CostAlgorithm::AdaptiveTwoPhase, 0.25),
+            (CostAlgorithm::AdaptiveRepartitioning, 0.25),
+        ] {
+            let curve = scaleup_curve(&base, alg, s, &[1, 8, 32], 250_000.0);
+            for &(n, t, scaleup) in &curve {
+                assert!(
+                    scaleup > 0.8,
+                    "{alg:?} at S={s}: scaleup {scaleup} at N={n} (t={t})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_scaleup_is_suboptimal() {
+        // §4: the per-node sampling overhead is constant, so Samp's
+        // scaleup sits below the adaptives'.
+        let base = ModelConfig::paper_standard();
+        let samp = scaleup_curve(&base, CostAlgorithm::Sampling, 2.0e-6, &[32], 250_000.0);
+        let a2p = scaleup_curve(
+            &base,
+            CostAlgorithm::AdaptiveTwoPhase,
+            2.0e-6,
+            &[32],
+            250_000.0,
+        );
+        assert!(samp[0].2 < a2p[0].2, "Samp {} >= A2P {}", samp[0].2, a2p[0].2);
+    }
+}

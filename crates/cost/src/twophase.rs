@@ -1,0 +1,89 @@
+//! §2.2 — Two Phase cost model.
+
+use crate::breakdown::{CostBreakdown, PhaseCost};
+use crate::c2p::local_phase;
+use crate::config::{overflow_io_ms, ModelConfig, Selectivities};
+
+/// The parallel merge phase, per node. From §2.2's bullet list with the
+/// overflow correction:
+///
+/// * receive: `(G_i/P)·m_p` where `|G_i| = |R_i|·S_l`
+/// * merge: `|G_i|·(t_r + t_a)`
+/// * result generation: `|G_i|·S_g·t_w` → `G/N` rows
+/// * overflow: `max(0, 1−M/(G/N)) · G_i/P · 2·IO`
+/// * store: `(G_i·S_g/P)·IO`
+pub fn merge_phase(cfg: &ModelConfig, sel: &Selectivities) -> PhaseCost {
+    let p = &cfg.params;
+    // Each node receives an equal share of all partials: |R|·S_l / N.
+    let incoming_rows = sel.local_groups(cfg.tuples_per_node());
+    let incoming_bytes = incoming_rows * cfg.projected_tuple_bytes();
+    let merge_groups = sel.merge_groups(cfg.nodes);
+    let out_bytes = merge_groups * cfg.projected_tuple_bytes();
+
+    let cpu = cfg.pages(incoming_bytes) * p.t_msg_protocol()
+        + incoming_rows * (p.t_read() + p.t_agg())
+        + merge_groups * p.t_write();
+    let io = overflow_io_ms(
+        merge_groups,
+        incoming_bytes,
+        p.max_hash_entries,
+        p.page_bytes,
+        p.io_seq_ms,
+    ) + cfg.pages(out_bytes) * cfg.scan_io_ms();
+    PhaseCost::new("parallel merge", cpu, io, 0.0)
+}
+
+/// Full Two Phase cost.
+pub fn cost(cfg: &ModelConfig, s: f64) -> CostBreakdown {
+    let sel = cfg.selectivities(s);
+    CostBreakdown::new(vec![local_phase(cfg, &sel), merge_phase(cfg, &sel)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beats_c2p_when_groups_are_plentiful() {
+        let cfg = ModelConfig::paper_standard();
+        for s in [1e-4, 1e-3, 1e-2] {
+            let tp = cost(&cfg, s).total_ms();
+            let c2p = crate::c2p::cost(&cfg, s).total_ms();
+            assert!(tp < c2p, "S={s}: 2P {tp} >= C2P {c2p}");
+        }
+    }
+
+    #[test]
+    fn matches_c2p_at_scalar_aggregation() {
+        // One group: both merge phases are trivial.
+        let cfg = ModelConfig::paper_standard();
+        let s = 1.0 / cfg.tuples;
+        let tp = cost(&cfg, s).total_ms();
+        let c2p = crate::c2p::cost(&cfg, s).total_ms();
+        assert!((tp - c2p).abs() / c2p < 0.01);
+    }
+
+    #[test]
+    fn memory_knee_is_visible() {
+        // Past G_local = M the local phase pays intermediate I/O: cost
+        // jumps between S just below and above the knee.
+        let cfg = ModelConfig::paper_standard();
+        let m = cfg.params.max_hash_entries as f64;
+        let tuples_i = cfg.tuples_per_node();
+        // S at which local groups hit M: S_l·|R_i| = M → S = M/(N·|R_i|)·N = M/|R|… derive:
+        let s_knee = m / cfg.tuples; // S·N·|R_i| = M ⇒ S = M/|R|
+        let below = cost(&cfg, s_knee * 0.5);
+        let above = cost(&cfg, s_knee * 8.0);
+        assert!(
+            above.total_ms() > below.total_ms() * 1.15,
+            "knee not visible: below {}, above {} (knee S={s_knee}, tuples_i={tuples_i})",
+            below.total_ms(),
+            above.total_ms()
+        );
+        // The jump is intermediate I/O: below the knee the local phase's
+        // I/O is scan-only, above it is not.
+        let scan_only = cfg.pages(cfg.bytes_per_node()) * cfg.params.io_seq_ms;
+        assert!((below.phases[0].io_ms - scan_only).abs() < 1e-6);
+        assert!(above.phases[0].io_ms > scan_only * 1.2);
+    }
+}

@@ -1,0 +1,248 @@
+//! The cluster runtime: spawn N node threads, run an algorithm closure on
+//! each, gather outputs and reports.
+
+use crate::error::ExecError;
+use crate::node::NodeCtx;
+use crate::runstats::{NodeReport, RunResult};
+use adaptagg_model::CostParams;
+use adaptagg_net::Fabric;
+use adaptagg_storage::{HeapFile, SimDisk};
+
+/// Cluster shape and cost parameters for a run.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of nodes (`N` in Table 1).
+    pub nodes: usize,
+    /// Table 1 constants, including the network kind and the hash-table
+    /// budget `M`.
+    pub params: CostParams,
+}
+
+impl ClusterConfig {
+    /// A cluster of `nodes` nodes with the given parameters.
+    pub fn new(nodes: usize, params: CostParams) -> Self {
+        assert!(nodes > 0, "cluster needs at least one node");
+        ClusterConfig { nodes, params }
+    }
+
+    /// The paper's implementation platform: 8 nodes on a shared 10 Mbit
+    /// bus (§5).
+    pub fn paper_cluster() -> Self {
+        ClusterConfig::new(8, CostParams::cluster_default())
+    }
+
+    /// The analytical default: 32 nodes on a high-speed network.
+    pub fn paper_model() -> Self {
+        ClusterConfig::new(32, CostParams::paper_default())
+    }
+}
+
+/// The outcome of [`run_cluster`]: one output per node plus timing.
+#[derive(Debug)]
+pub struct ClusterRun<T> {
+    /// Per-node outputs, in node order.
+    pub outputs: Vec<T>,
+    /// Timing and traffic.
+    pub run: RunResult,
+}
+
+/// Run `body` on every node of a cluster in parallel.
+///
+/// `partitions[i]` becomes node `i`'s base-relation partition (disk file
+/// `"base"`). The closure receives the node's [`NodeCtx`] and returns its
+/// output; any node error or panic aborts the run with an [`ExecError`].
+///
+/// Threads are real (the run exercises real channels and real contention
+/// on the shared-bus model); time is virtual.
+pub fn run_cluster<T, F>(
+    config: &ClusterConfig,
+    partitions: Vec<HeapFile>,
+    body: F,
+) -> Result<ClusterRun<T>, ExecError>
+where
+    T: Send,
+    F: Fn(&mut NodeCtx) -> Result<T, ExecError> + Sync,
+{
+    assert_eq!(
+        partitions.len(),
+        config.nodes,
+        "one partition per node required"
+    );
+    let endpoints = Fabric::new(config.nodes, config.params.network).into_endpoints();
+
+    let results: Vec<Result<(T, NodeReport, f64), ExecError>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(config.nodes);
+        for (endpoint, partition) in endpoints.into_iter().zip(partitions) {
+            let params = config.params.clone();
+            let body = &body;
+            handles.push(scope.spawn(move || {
+                let node = endpoint.node();
+                let disk = SimDisk::with_base_partition(partition);
+                let mut ctx = NodeCtx::new(endpoint, disk, params);
+                let out = body(&mut ctx)?;
+                let report = NodeReport {
+                    node,
+                    clock_ms: ctx.clock.now_ms(),
+                    breakdown: *ctx.clock.breakdown(),
+                    net: *ctx.net_stats(),
+                    marks: ctx.clock.marks().to_vec(),
+                };
+                let bus = ctx.bus_busy_ms();
+                Ok((out, report, bus))
+            }));
+        }
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(node, h)| {
+                h.join().unwrap_or_else(|panic| {
+                    let message = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic".to_string());
+                    Err(ExecError::NodePanic { node, message })
+                })
+            })
+            .collect()
+    });
+
+    let mut outputs = Vec::with_capacity(config.nodes);
+    let mut per_node = Vec::with_capacity(config.nodes);
+    let mut bus_busy_ms = 0.0f64;
+    for r in results {
+        let (out, report, bus) = r?;
+        outputs.push(out);
+        per_node.push(report);
+        bus_busy_ms = bus_busy_ms.max(bus);
+    }
+
+    Ok(ClusterRun {
+        outputs,
+        run: RunResult {
+            per_node,
+            bus_busy_ms,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptagg_model::{CostEvent, CostTracker, NetworkKind, Value};
+    use adaptagg_net::{Control, DataKind, Payload};
+    use adaptagg_storage::Page;
+
+    fn partitions(n: usize, tuples_per_node: usize) -> Vec<HeapFile> {
+        (0..n)
+            .map(|node| {
+                let tuples: Vec<Vec<Value>> = (0..tuples_per_node)
+                    .map(|i| vec![Value::Int((node * tuples_per_node + i) as i64)])
+                    .collect();
+                HeapFile::from_tuples(4096, tuples.iter().map(|t| t.as_slice())).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn each_node_sees_its_partition() {
+        let config = ClusterConfig::new(4, CostParams::paper_default());
+        let run = run_cluster(&config, partitions(4, 10), |ctx| {
+            Ok(ctx.disk.get("base")?.tuple_count())
+        })
+        .unwrap();
+        assert_eq!(run.outputs, vec![10, 10, 10, 10]);
+        assert_eq!(run.run.per_node.len(), 4);
+    }
+
+    #[test]
+    fn elapsed_is_max_over_nodes() {
+        let config = ClusterConfig::new(3, CostParams::paper_default());
+        let run = run_cluster(&config, partitions(3, 0), |ctx| {
+            // Node i does i+1 page reads (1.15 ms each).
+            ctx.clock
+                .record(CostEvent::PageReadSeq, ctx.id() as u64 + 1);
+            Ok(())
+        })
+        .unwrap();
+        assert!((run.run.elapsed_ms() - 3.0 * 1.15).abs() < 1e-9);
+        assert_eq!(run.run.slowest_node(), Some(2));
+    }
+
+    #[test]
+    fn nodes_exchange_messages_with_lamport_time() {
+        let config = ClusterConfig::new(2, CostParams::paper_default());
+        let run = run_cluster(&config, partitions(2, 0), |ctx| {
+            if ctx.id() == 0 {
+                // Do expensive work, then send.
+                ctx.clock.record(CostEvent::PageReadRand, 2); // 30 ms
+                let mut page = Page::new(2048);
+                page.try_push(&[Value::Int(1)]).unwrap();
+                ctx.send_page(1, DataKind::Raw, page);
+                Ok(ctx.clock.now_ms())
+            } else {
+                let msg = ctx.recv();
+                assert!(msg.payload.is_data());
+                Ok(ctx.clock.now_ms())
+            }
+        })
+        .unwrap();
+        // Node 1's clock must reflect waiting for node 0.
+        assert!(run.outputs[1] >= 30.0, "got {}", run.outputs[1]);
+        assert!(run.run.per_node[1].breakdown.wait_ms >= 29.0);
+    }
+
+    #[test]
+    fn panic_in_one_node_is_reported() {
+        let config = ClusterConfig::new(2, CostParams::paper_default());
+        let r = run_cluster(&config, partitions(2, 0), |ctx| {
+            if ctx.id() == 1 {
+                panic!("injected failure");
+            }
+            Ok(())
+        });
+        match r {
+            Err(ExecError::NodePanic { node, message }) => {
+                assert_eq!(node, 1);
+                assert!(message.contains("injected"));
+            }
+            other => panic!("expected NodePanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shared_bus_busy_time_is_reported() {
+        let params = CostParams {
+            network: NetworkKind::SharedBus { ms_per_page: 2.0 },
+            ..CostParams::paper_default()
+        };
+        let config = ClusterConfig::new(2, params);
+        let run = run_cluster(&config, partitions(2, 0), |ctx| {
+            let peer = 1 - ctx.id();
+            let mut page = Page::new(2048);
+            page.try_push(&[Value::Int(ctx.id() as i64)]).unwrap();
+            ctx.send_page(peer, DataKind::Raw, page);
+            // Drain the incoming page so channels stay clean.
+            loop {
+                match ctx.recv().payload {
+                    Payload::Data { .. } => break,
+                    Payload::Control(Control::EndOfStream) => {}
+                    _ => {}
+                }
+            }
+            Ok(())
+        })
+        .unwrap();
+        // Two pages at 2 ms each on one shared bus.
+        assert!((run.run.bus_busy_ms - 4.0).abs() < 1e-9);
+        // Someone waited: elapsed must be at least 4 ms.
+        assert!(run.run.elapsed_ms() >= 4.0 - 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "one partition per node")]
+    fn partition_count_must_match() {
+        let config = ClusterConfig::new(2, CostParams::paper_default());
+        let _ = run_cluster(&config, partitions(1, 0), |_| Ok(()));
+    }
+}

@@ -1,0 +1,78 @@
+//! Execution errors.
+
+use adaptagg_model::ModelError;
+use adaptagg_storage::StorageError;
+use std::fmt;
+
+/// Errors from running an algorithm on the cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Storage layer failure (decode, missing file, oversized tuple).
+    Storage(StorageError),
+    /// Model layer failure (type mismatch, arity mismatch).
+    Model(ModelError),
+    /// A node thread panicked; the message is preserved.
+    NodePanic {
+        /// The node whose thread panicked.
+        node: usize,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// An algorithm violated the messaging protocol (e.g. unexpected
+    /// message kind in a phase).
+    Protocol(&'static str),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Storage(e) => write!(f, "storage: {e}"),
+            ExecError::Model(e) => write!(f, "model: {e}"),
+            ExecError::NodePanic { node, message } => {
+                write!(f, "node {node} panicked: {message}")
+            }
+            ExecError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Storage(e) => Some(e),
+            ExecError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for ExecError {
+    fn from(e: StorageError) -> Self {
+        ExecError::Storage(e)
+    }
+}
+
+impl From<ModelError> for ExecError {
+    fn from(e: ModelError) -> Self {
+        ExecError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: ExecError = StorageError::NoSuchFile("x".into()).into();
+        assert!(e.to_string().contains("storage"));
+        let e: ExecError = ModelError::Corrupt("y").into();
+        assert!(e.to_string().contains("model"));
+        let e = ExecError::NodePanic {
+            node: 3,
+            message: "boom".into(),
+        };
+        assert!(e.to_string().contains("node 3"));
+        assert!(ExecError::Protocol("bad phase").to_string().contains("bad phase"));
+    }
+}

@@ -1,0 +1,265 @@
+//! Node context: one node's view of the cluster.
+
+use crate::clock::Clock;
+use adaptagg_model::{CostEvent, CostParams, CostTracker};
+use adaptagg_net::{Control, DataKind, Endpoint, Message, NetStats, Payload};
+use adaptagg_storage::{Page, SimDisk};
+
+/// Everything an algorithm touches on one node: identity, virtual clock,
+/// private disk, and the network endpoint. All messaging goes through this
+/// type so that protocol CPU (`m_p`) and transfer time are charged the same
+/// way by every algorithm.
+#[derive(Debug)]
+pub struct NodeCtx {
+    id: usize,
+    nodes: usize,
+    /// The node's virtual clock. Public: operators and the hashagg layer
+    /// take `&mut ctx.clock` as their `CostTracker`.
+    pub clock: Clock,
+    /// The node's private disk.
+    pub disk: SimDisk,
+    endpoint: Endpoint,
+}
+
+impl NodeCtx {
+    /// Assemble a node context (used by the cluster runtime).
+    pub fn new(endpoint: Endpoint, disk: SimDisk, params: CostParams) -> Self {
+        NodeCtx {
+            id: endpoint.node(),
+            nodes: endpoint.nodes(),
+            clock: Clock::new(params),
+            disk,
+            endpoint,
+        }
+    }
+
+    /// This node's id (`0..nodes`).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Cluster size.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Cost parameters (convenience for `self.clock.params()`).
+    pub fn params(&self) -> &CostParams {
+        self.clock.params()
+    }
+
+    /// Network statistics so far.
+    pub fn net_stats(&self) -> &NetStats {
+        self.endpoint.stats()
+    }
+
+    /// Total busy time of the shared network medium so far (0 under the
+    /// high-speed model).
+    pub fn bus_busy_ms(&self) -> f64 {
+        self.endpoint.network().total_busy_ms()
+    }
+
+    /// Send one message page of tuples to `to`, charging sender-side
+    /// protocol cost (`m_p`) and occupying the node until the transfer
+    /// completes (`m_l` / shared-bus wait).
+    pub fn send_page(&mut self, to: usize, kind: DataKind, page: Page) {
+        self.clock.record(CostEvent::MsgProtocol, 1);
+        let done = self.endpoint.send_data(to, kind, page, self.clock.now_ms());
+        self.clock.advance_net_to(done);
+    }
+
+    /// Send a control message (free: piggy-backed per §3.3).
+    pub fn send_control(&mut self, to: usize, control: Control) {
+        self.endpoint.send_control(to, control, self.clock.now_ms());
+    }
+
+    /// Broadcast a control message to all other nodes.
+    pub fn broadcast_control(&mut self, control: Control) {
+        let now = self.clock.now_ms();
+        self.endpoint.broadcast_control(control, now);
+    }
+
+    /// Blocking receive: observes the message's timestamp (Lamport) and
+    /// charges receiver-side protocol cost for data pages.
+    pub fn recv(&mut self) -> Message {
+        let msg = self.endpoint.recv();
+        self.clock.observe(msg.sent_at_ms);
+        if msg.payload.is_data() {
+            self.clock.record(CostEvent::MsgProtocol, 1);
+        }
+        msg
+    }
+
+    /// Non-blocking receive of a message that has *virtually arrived* by
+    /// the node's current time, with the same accounting. Messages whose
+    /// transfer completes in the node's virtual future stay queued — a
+    /// poll cannot see the future (see `Endpoint::try_recv_arrived`).
+    pub fn try_recv(&mut self) -> Option<Message> {
+        let now = self.clock.now_ms();
+        let msg = self.endpoint.try_recv_arrived(now)?;
+        self.clock.observe(msg.sent_at_ms);
+        if msg.payload.is_data() {
+            self.clock.record(CostEvent::MsgProtocol, 1);
+        }
+        Some(msg)
+    }
+
+    /// Receive data pages until an `EndOfStream` has arrived from every
+    /// node (including this one, which must send itself one too — keeping
+    /// the protocol uniform). Calls `on_page(ctx_clock_and_disk_parts…)`
+    /// for each data page. Control messages other than `EndOfStream` are
+    /// handed to `on_control`; return `false` from it to reject.
+    pub fn recv_until_all_eos<FD, FC>(
+        &mut self,
+        mut on_page: FD,
+        mut on_control: FC,
+    ) -> Result<(), crate::ExecError>
+    where
+        FD: FnMut(&mut Clock, &mut SimDisk, DataKind, Page) -> Result<(), crate::ExecError>,
+        FC: FnMut(Control) -> Result<(), crate::ExecError>,
+    {
+        let mut eos = 0usize;
+        while eos < self.nodes {
+            let msg = self.recv();
+            match msg.payload {
+                Payload::Data { kind, page } => {
+                    on_page(&mut self.clock, &mut self.disk, kind, page)?
+                }
+                Payload::Control(Control::EndOfStream) => eos += 1,
+                Payload::Control(c) => on_control(c)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptagg_model::{NetworkKind, Value};
+    use adaptagg_net::Fabric;
+    use adaptagg_storage::HeapFile;
+
+    fn two_nodes(kind: NetworkKind) -> (NodeCtx, NodeCtx) {
+        let mut eps = Fabric::new(2, kind).into_endpoints();
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let params = CostParams::paper_default();
+        (
+            NodeCtx::new(a, SimDisk::new(), params.clone()),
+            NodeCtx::new(b, SimDisk::new(), params),
+        )
+    }
+
+    fn page_of(n: usize) -> Page {
+        let mut p = Page::new(2048);
+        for i in 0..n {
+            assert!(p.try_push(&[Value::Int(i as i64)]).unwrap());
+        }
+        p
+    }
+
+    #[test]
+    fn send_charges_protocol_and_transfer() {
+        let (mut a, mut b) = two_nodes(NetworkKind::HighSpeed { latency_ms: 0.5 });
+        a.send_page(1, DataKind::Raw, page_of(3));
+        // m_p = 0.025 ms cpu, then 0.5 ms transfer.
+        assert!((a.clock.now_ms() - 0.525).abs() < 1e-9);
+        assert!((a.clock.breakdown().net_ms - 0.5).abs() < 1e-9);
+
+        let msg = b.recv();
+        // Receiver observed the timestamp (0.525) and charged its m_p.
+        assert!((b.clock.now_ms() - 0.55).abs() < 1e-9);
+        assert!((b.clock.breakdown().wait_ms - 0.525).abs() < 1e-9);
+        assert!(msg.payload.is_data());
+    }
+
+    #[test]
+    fn control_messages_are_free() {
+        let (mut a, mut b) = two_nodes(NetworkKind::high_speed_default());
+        a.send_control(1, Control::EndOfStream);
+        assert_eq!(a.clock.now_ms(), 0.0);
+        let msg = b.recv();
+        assert_eq!(b.clock.now_ms(), 0.0);
+        assert!(matches!(msg.payload, Payload::Control(Control::EndOfStream)));
+    }
+
+    #[test]
+    fn recv_until_all_eos_counts_every_sender() {
+        let (mut a, mut b) = two_nodes(NetworkKind::high_speed_default());
+        // a sends one page + EOS to b; b must also EOS itself.
+        a.send_page(1, DataKind::Partial, page_of(2));
+        a.send_control(1, Control::EndOfStream);
+        b.send_control(1, Control::EndOfStream); // self-EOS
+
+        let mut pages = 0;
+        b.recv_until_all_eos(
+            |_clock, _disk, kind, page| {
+                assert_eq!(kind, DataKind::Partial);
+                pages += page.tuple_count();
+                Ok(())
+            },
+            |_| Ok(()),
+        )
+        .unwrap();
+        assert_eq!(pages, 2);
+    }
+
+    #[test]
+    fn recv_until_all_eos_routes_other_controls() {
+        let (mut a, mut b) = two_nodes(NetworkKind::high_speed_default());
+        a.send_control(1, Control::EndOfPhase { groups_seen: 3 });
+        a.send_control(1, Control::EndOfStream);
+        b.send_control(1, Control::EndOfStream);
+        let mut phases = 0;
+        b.recv_until_all_eos(
+            |_, _, _, _| Ok(()),
+            |c| {
+                assert!(matches!(c, Control::EndOfPhase { groups_seen: 3 }));
+                phases += 1;
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(phases, 1);
+    }
+
+    #[test]
+    fn try_recv_respects_virtual_arrival() {
+        // A poll must not see messages whose transfer completes in the
+        // receiver's virtual future (the causality rule ARep relies on).
+        let (mut a, mut b) = two_nodes(NetworkKind::HighSpeed { latency_ms: 5.0 });
+        a.send_page(1, DataKind::Raw, page_of(1)); // arrives at t = 5+m_p
+        assert!(
+            b.try_recv().is_none(),
+            "b at t=0 must not see a t=5 message"
+        );
+        // Advance b's virtual clock past the arrival: now visible.
+        b.clock.record(adaptagg_model::CostEvent::PageReadRand, 1); // +15ms
+        let msg = b.try_recv().expect("message has arrived by t=15");
+        assert!(msg.payload.is_data());
+    }
+
+    #[test]
+    fn blocking_recv_delivers_the_future_and_waits() {
+        let (mut a, mut b) = two_nodes(NetworkKind::HighSpeed { latency_ms: 5.0 });
+        a.send_page(1, DataKind::Raw, page_of(1));
+        // A failed poll stashes the message; a blocking recv must still
+        // deliver it (waiting until its virtual arrival).
+        assert!(b.try_recv().is_none());
+        let msg = b.recv();
+        assert!(msg.payload.is_data());
+        assert!(b.clock.now_ms() >= 5.0);
+        assert!(b.clock.breakdown().wait_ms > 0.0);
+    }
+
+    #[test]
+    fn node_identity_and_disk() {
+        let (mut a, b) = two_nodes(NetworkKind::high_speed_default());
+        assert_eq!(a.id(), 0);
+        assert_eq!(b.id(), 1);
+        assert_eq!(a.nodes(), 2);
+        a.disk.put("base", HeapFile::with_default_pages());
+        assert!(a.disk.get("base").is_ok());
+    }
+}

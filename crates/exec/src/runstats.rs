@@ -1,0 +1,170 @@
+//! Run results: per-node reports and cluster-wide summaries.
+
+use crate::clock::{PhaseMark, TimeBreakdown};
+use adaptagg_net::NetStats;
+
+/// One node's timing and traffic report after a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeReport {
+    /// Node id.
+    pub node: usize,
+    /// The node's final virtual time in ms.
+    pub clock_ms: f64,
+    /// Where the time went.
+    pub breakdown: TimeBreakdown,
+    /// Network traffic.
+    pub net: NetStats,
+    /// Phase boundaries the algorithm marked (e.g. end of its sending
+    /// phase), in order.
+    pub marks: Vec<PhaseMark>,
+}
+
+impl NodeReport {
+    /// Virtual time of the mark with `label`, if recorded.
+    pub fn mark_ms(&self, label: &str) -> Option<f64> {
+        self.marks.iter().find(|m| m.label == label).map(|m| m.at_ms)
+    }
+}
+
+/// A whole run's result: per-node reports plus derived cluster metrics.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunResult {
+    /// Per-node reports in node order.
+    pub per_node: Vec<NodeReport>,
+    /// Total time the shared network medium was busy (0 under the
+    /// high-speed model).
+    pub bus_busy_ms: f64,
+}
+
+impl RunResult {
+    /// Elapsed virtual time: the slowest node's clock — the paper's
+    /// response-time metric ("all nodes work completely in parallel").
+    pub fn elapsed_ms(&self) -> f64 {
+        self.per_node
+            .iter()
+            .map(|r| r.clock_ms)
+            .fold(0.0, f64::max)
+    }
+
+    /// The node that finished last.
+    pub fn slowest_node(&self) -> Option<usize> {
+        self.per_node
+            .iter()
+            .max_by(|a, b| a.clock_ms.total_cmp(&b.clock_ms))
+            .map(|r| r.node)
+    }
+
+    /// Cluster-wide time breakdown (summed over nodes).
+    pub fn total_breakdown(&self) -> TimeBreakdown {
+        let mut total = TimeBreakdown::default();
+        for r in &self.per_node {
+            total.add(&r.breakdown);
+        }
+        total
+    }
+
+    /// Cluster-wide network traffic (summed over nodes).
+    pub fn total_net(&self) -> NetStats {
+        let mut total = NetStats::default();
+        for r in &self.per_node {
+            total.add(&r.net);
+        }
+        total
+    }
+
+    /// Load imbalance of final clocks: slowest node / mean node (1.0 =
+    /// perfectly balanced). Note that Lamport waiting equalizes final
+    /// clocks — a node idling for a straggler's data ends up with the
+    /// same clock; use [`RunResult::work_imbalance`] to see *work* skew.
+    pub fn imbalance(&self) -> f64 {
+        if self.per_node.is_empty() {
+            return 1.0;
+        }
+        let mean: f64 =
+            self.per_node.iter().map(|r| r.clock_ms).sum::<f64>() / self.per_node.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            self.elapsed_ms() / mean
+        }
+    }
+
+    /// Work imbalance: the busiest node's CPU+I/O over the mean — the §6
+    /// skew experiments' signal (waiting excluded).
+    pub fn work_imbalance(&self) -> f64 {
+        if self.per_node.is_empty() {
+            return 1.0;
+        }
+        let work = |r: &NodeReport| r.breakdown.cpu_ms + r.breakdown.io_ms;
+        let max = self.per_node.iter().map(work).fold(0.0, f64::max);
+        let mean: f64 = self.per_node.iter().map(work).sum::<f64>() / self.per_node.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(node: usize, ms: f64) -> NodeReport {
+        NodeReport {
+            node,
+            clock_ms: ms,
+            breakdown: TimeBreakdown {
+                cpu_ms: ms,
+                ..Default::default()
+            },
+            net: NetStats::default(),
+            marks: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn elapsed_is_max_clock() {
+        let run = RunResult {
+            per_node: vec![report(0, 5.0), report(1, 9.0), report(2, 7.0)],
+            bus_busy_ms: 0.0,
+        };
+        assert_eq!(run.elapsed_ms(), 9.0);
+        assert_eq!(run.slowest_node(), Some(1));
+    }
+
+    #[test]
+    fn imbalance_of_balanced_run_is_one() {
+        let run = RunResult {
+            per_node: vec![report(0, 4.0), report(1, 4.0)],
+            bus_busy_ms: 0.0,
+        };
+        assert!((run.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_of_skewed_run_exceeds_one() {
+        let run = RunResult {
+            per_node: vec![report(0, 10.0), report(1, 2.0)],
+            bus_busy_ms: 0.0,
+        };
+        assert!(run.imbalance() > 1.5);
+    }
+
+    #[test]
+    fn totals_sum_nodes() {
+        let run = RunResult {
+            per_node: vec![report(0, 1.0), report(1, 2.0)],
+            bus_busy_ms: 0.0,
+        };
+        assert!((run.total_breakdown().cpu_ms - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_is_well_defined() {
+        let run = RunResult::default();
+        assert_eq!(run.elapsed_ms(), 0.0);
+        assert_eq!(run.slowest_node(), None);
+        assert_eq!(run.imbalance(), 1.0);
+    }
+}

@@ -1,0 +1,456 @@
+//! The complete memory-bounded hash aggregation driver.
+//!
+//! [`HashAggregator`] composes the bounded [`AggTable`] with
+//! [`OverflowSet`] spill handling into the paper's three-step uniprocessor
+//! algorithm (§2): build, spill non-resident groups, process buckets
+//! recursively. It accepts raw tuples and partial rows interleaved and can
+//! emit either finalized results (merge phases) or partial rows (local
+//! phases) — see [`EmitMode`].
+
+use crate::overflow::OverflowSet;
+use crate::stats::HashAggStats;
+use crate::table::{AggTable, Inserted};
+use adaptagg_model::{AggQuery, CostTracker, ResultRow, RowKind, Value};
+use adaptagg_storage::{SpillFile, StorageError};
+
+/// What [`HashAggregator::finish`] emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmitMode {
+    /// Finalized result rows (key columns ++ one column per aggregate).
+    Finalized,
+    /// Partial rows (key columns ++ encoded partial-state columns), for
+    /// shipping to a downstream merge phase.
+    Partial,
+}
+
+/// Safety valve: beyond this overflow recursion depth the table is allowed
+/// to exceed its budget rather than recurse further. With independent
+/// per-level bucket hashes this is unreachable in practice; it bounds the
+/// worst case.
+const MAX_OVERFLOW_LEVEL: u32 = 32;
+
+/// Default overflow fanout (buckets per overflow set). The paper says "as
+/// many as necessary to ensure no future memory overflow"; a fixed fanout
+/// with recursion achieves the same I/O asymptotics and needs no group
+/// estimate.
+pub const DEFAULT_OVERFLOW_FANOUT: usize = 8;
+
+/// A memory-bounded hash aggregator.
+#[derive(Debug)]
+pub struct HashAggregator {
+    query: AggQuery,
+    table: AggTable,
+    overflow: Option<OverflowSet>,
+    max_entries: usize,
+    fanout: usize,
+    page_bytes: usize,
+    charge_hash: bool,
+    stats: HashAggStats,
+}
+
+impl HashAggregator {
+    /// An aggregator for `query` (projected form) with an `max_entries`
+    /// table budget, spilling to `page_bytes` pages with the given bucket
+    /// fanout.
+    pub fn new(query: AggQuery, max_entries: usize, page_bytes: usize, fanout: usize) -> Self {
+        HashAggregator {
+            table: AggTable::new(query.clone(), max_entries),
+            query,
+            overflow: None,
+            max_entries,
+            fanout: fanout.max(2),
+            page_bytes,
+            charge_hash: true,
+            stats: HashAggStats::default(),
+        }
+    }
+
+    /// Control whether inserts charge `t_h` (see
+    /// [`AggTable::with_charge_hash`]); merge phases receiving
+    /// pre-partitioned rows set this to `false`.
+    pub fn with_charge_hash(mut self, charge_hash: bool) -> Self {
+        self.charge_hash = charge_hash;
+        self.table = AggTable::new(self.query.clone(), self.max_entries)
+            .with_charge_hash(charge_hash);
+        self
+    }
+
+    /// An aggregator with the default overflow fanout.
+    pub fn with_defaults(query: AggQuery, max_entries: usize, page_bytes: usize) -> Self {
+        HashAggregator::new(query, max_entries, page_bytes, DEFAULT_OVERFLOW_FANOUT)
+    }
+
+    /// Statistics so far (final after [`HashAggregator::finish`]).
+    pub fn stats(&self) -> &HashAggStats {
+        &self.stats
+    }
+
+    /// Distinct groups currently resident in the first-pass table.
+    pub fn resident_groups(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the first-pass table has filled (the A2P switch signal).
+    pub fn is_full(&self) -> bool {
+        self.table.is_full()
+    }
+
+    /// Whether any tuple has been spooled.
+    pub fn has_spilled(&self) -> bool {
+        self.overflow.is_some()
+    }
+
+    /// Push a row of either kind.
+    pub fn push<T: CostTracker>(
+        &mut self,
+        kind: RowKind,
+        values: &[Value],
+        tracker: &mut T,
+    ) -> Result<(), StorageError> {
+        match kind {
+            RowKind::Raw => self.stats.raw_in += 1,
+            RowKind::Partial => self.stats.partial_in += 1,
+        }
+        match self.table.insert(kind, values, tracker)? {
+            Inserted::Updated | Inserted::New => Ok(()),
+            Inserted::Full => {
+                let set = self.overflow.get_or_insert_with(|| {
+                    OverflowSet::new(self.fanout, self.page_bytes, 0, self.query.group_by.len())
+                });
+                set.spool(kind, values, tracker)?;
+                self.stats.spilled_tuples += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Push a raw tuple.
+    pub fn push_raw<T: CostTracker>(
+        &mut self,
+        values: &[Value],
+        tracker: &mut T,
+    ) -> Result<(), StorageError> {
+        self.push(RowKind::Raw, values, tracker)
+    }
+
+    /// Push a partial row.
+    pub fn push_partial<T: CostTracker>(
+        &mut self,
+        values: &[Value],
+        tracker: &mut T,
+    ) -> Result<(), StorageError> {
+        self.push(RowKind::Partial, values, tracker)
+    }
+
+    /// Finish: drain the first-pass table, then process overflow buckets
+    /// one by one (recursively), emitting per `mode`. Returns flattened
+    /// rows; use [`HashAggregator::finish_rows`] for typed result rows.
+    pub fn finish<T: CostTracker>(
+        mut self,
+        mode: EmitMode,
+        tracker: &mut T,
+    ) -> Result<(Vec<Vec<Value>>, HashAggStats), StorageError> {
+        let mut out = Vec::new();
+        Self::drain_table(&mut self.table, mode, tracker, &mut out);
+
+        // Stack of (bucket, level) still to process.
+        let mut pending: Vec<(SpillFile, u32)> = Vec::new();
+        if let Some(set) = self.overflow.take() {
+            let level = set.level();
+            pending.extend(set.into_buckets(tracker).into_iter().map(|b| (b, level)));
+        }
+
+        while let Some((bucket, level)) = pending.pop() {
+            self.stats.overflow_buckets += 1;
+            self.stats.max_level = self.stats.max_level.max(level + 1);
+            // Per §2 step 3: each bucket is processed "as in step 1", with
+            // the same memory budget. At extreme depth, uncap (see
+            // MAX_OVERFLOW_LEVEL).
+            let budget = if level + 1 > MAX_OVERFLOW_LEVEL {
+                usize::MAX
+            } else {
+                self.max_entries
+            };
+            let mut table =
+                AggTable::new(self.query.clone(), budget).with_charge_hash(self.charge_hash);
+            let mut deeper: Option<OverflowSet> = None;
+            let fanout = self.fanout;
+            let page_bytes = self.page_bytes;
+            let group_by_len = self.query.group_by.len();
+            let mut spilled_here = 0u64;
+            OverflowSet::drain_bucket(bucket, tracker, |tracker, kind, values| {
+                match table.insert(kind, &values, tracker)? {
+                    Inserted::Updated | Inserted::New => Ok(()),
+                    Inserted::Full => {
+                        let set = deeper.get_or_insert_with(|| {
+                            OverflowSet::new(fanout, page_bytes, level + 1, group_by_len)
+                        });
+                        set.spool(kind, &values, tracker)?;
+                        spilled_here += 1;
+                        Ok(())
+                    }
+                }
+            })?;
+            self.stats.spilled_tuples += spilled_here;
+            Self::drain_table(&mut table, mode, tracker, &mut out);
+            if let Some(set) = deeper {
+                let l = set.level();
+                pending.extend(set.into_buckets(tracker).into_iter().map(|b| (b, l)));
+            }
+        }
+
+        self.stats.groups_out += out.len() as u64;
+        Ok((out, self.stats))
+    }
+
+    /// Finish in [`EmitMode::Finalized`] and parse rows into [`ResultRow`]s.
+    pub fn finish_rows<T: CostTracker>(
+        self,
+        tracker: &mut T,
+    ) -> Result<(Vec<ResultRow>, HashAggStats), StorageError> {
+        let query = self.query.clone();
+        let (flat, stats) = self.finish(EmitMode::Finalized, tracker)?;
+        let rows = flat
+            .into_iter()
+            .map(|vals| ResultRow::from_values(&query, vals).map_err(StorageError::from))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok((rows, stats))
+    }
+
+    fn drain_table<T: CostTracker>(
+        table: &mut AggTable,
+        mode: EmitMode,
+        tracker: &mut T,
+        out: &mut Vec<Vec<Value>>,
+    ) {
+        match mode {
+            EmitMode::Partial => out.extend(table.drain_partial_rows(tracker)),
+            EmitMode::Finalized => out.extend(
+                table
+                    .drain_result_rows(tracker)
+                    .into_iter()
+                    .map(|r| r.into_values()),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptagg_model::{AggFunc, AggSpec, CostEvent, CountingTracker, NullTracker};
+
+    fn query() -> AggQuery {
+        AggQuery::new(vec![0], vec![AggSpec::over(AggFunc::Sum, 1)])
+    }
+
+    fn raw(g: i64, v: i64) -> Vec<Value> {
+        vec![Value::Int(g), Value::Int(v)]
+    }
+
+    /// Reference: unbounded aggregation via a plain HashMap.
+    fn reference(rows: &[(i64, i64)]) -> Vec<(i64, i64)> {
+        let mut m = std::collections::BTreeMap::new();
+        for &(g, v) in rows {
+            *m.entry(g).or_insert(0) += v;
+        }
+        m.into_iter().collect()
+    }
+
+    fn run_bounded(rows: &[(i64, i64)], max_entries: usize) -> (Vec<(i64, i64)>, HashAggStats) {
+        let mut agg = HashAggregator::new(query(), max_entries, 256, 4);
+        let mut tr = NullTracker;
+        for &(g, v) in rows {
+            agg.push_raw(&raw(g, v), &mut tr).unwrap();
+        }
+        let (rows_out, stats) = agg.finish_rows(&mut tr).unwrap();
+        let mut got: Vec<(i64, i64)> = rows_out
+            .into_iter()
+            .map(|r| {
+                (
+                    r.key.values()[0].as_i64().unwrap(),
+                    r.aggs[0].as_i64().unwrap(),
+                )
+            })
+            .collect();
+        got.sort_unstable();
+        (got, stats)
+    }
+
+    #[test]
+    fn no_overflow_when_groups_fit() {
+        let rows: Vec<(i64, i64)> = (0..100).map(|i| (i % 10, i)).collect();
+        let (got, stats) = run_bounded(&rows, 16);
+        assert_eq!(got, reference(&rows));
+        assert!(!stats.spilled());
+        assert_eq!(stats.max_level, 0);
+        assert_eq!(stats.groups_out, 10);
+    }
+
+    #[test]
+    fn overflow_single_level_is_exact() {
+        // 64 groups, budget 16 → spills, one level suffices (fanout 4:
+        // ~12 groups per bucket < 16).
+        let rows: Vec<(i64, i64)> = (0..640).map(|i| (i % 64, 1)).collect();
+        let (got, stats) = run_bounded(&rows, 16);
+        assert_eq!(got, reference(&rows));
+        assert!(stats.spilled());
+        assert!(stats.overflow_buckets > 0);
+    }
+
+    #[test]
+    fn overflow_recursion_is_exact() {
+        // 4096 groups, budget 8, fanout 4 → multiple levels.
+        let rows: Vec<(i64, i64)> = (0..8192).map(|i| (i % 4096, 1)).collect();
+        let (got, stats) = run_bounded(&rows, 8);
+        assert_eq!(got.len(), 4096);
+        assert_eq!(got, reference(&rows));
+        assert!(stats.max_level >= 2, "expected recursion, got {stats:?}");
+    }
+
+    #[test]
+    fn tiny_budget_one_group_never_spills() {
+        let rows: Vec<(i64, i64)> = (0..50).map(|i| (7, i)).collect();
+        let (got, stats) = run_bounded(&rows, 1);
+        assert_eq!(got, vec![(7, (0..50).sum())]);
+        assert!(!stats.spilled());
+    }
+
+    #[test]
+    fn partial_and_raw_interleaved_with_overflow() {
+        // Half the input arrives pre-aggregated as partial rows.
+        let mut agg = HashAggregator::new(query(), 4, 256, 4);
+        let mut tr = NullTracker;
+        for g in 0..32 {
+            agg.push_raw(&raw(g, 1), &mut tr).unwrap();
+            // partial row: key + SUM partial (value 10).
+            agg.push_partial(&[Value::Int(g), Value::Int(10)], &mut tr).unwrap();
+        }
+        let (rows, stats) = agg.finish_rows(&mut tr).unwrap();
+        assert_eq!(rows.len(), 32);
+        assert!(rows.iter().all(|r| r.aggs[0] == Value::Int(11)));
+        assert!(stats.spilled());
+        assert_eq!(stats.raw_in, 32);
+        assert_eq!(stats.partial_in, 32);
+    }
+
+    #[test]
+    fn emit_partial_mode_round_trips_through_merge() {
+        // Local phase: emit partials (with overflow); merge phase: final.
+        let rows: Vec<(i64, i64)> = (0..200).map(|i| (i % 50, i)).collect();
+        let mut local = HashAggregator::new(query(), 8, 256, 4);
+        let mut tr = NullTracker;
+        for &(g, v) in &rows {
+            local.push_raw(&raw(g, v), &mut tr).unwrap();
+        }
+        let (partials, _) = local.finish(EmitMode::Partial, &mut tr).unwrap();
+        assert!(partials.len() >= 50, "overflow may duplicate groups across passes");
+
+        let mut merge = HashAggregator::new(query(), 1000, 256, 4);
+        for p in &partials {
+            merge.push_partial(p, &mut tr).unwrap();
+        }
+        let (got, _) = merge.finish_rows(&mut tr).unwrap();
+        let mut got: Vec<(i64, i64)> = got
+            .into_iter()
+            .map(|r| {
+                (
+                    r.key.values()[0].as_i64().unwrap(),
+                    r.aggs[0].as_i64().unwrap(),
+                )
+            })
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, reference(&rows));
+    }
+
+    #[test]
+    fn spill_io_is_symmetric_and_counted() {
+        let rows: Vec<(i64, i64)> = (0..1000).map(|i| (i % 100, 1)).collect();
+        let mut agg = HashAggregator::new(query(), 10, 128, 4);
+        let mut tr = CountingTracker::new();
+        for &(g, v) in &rows {
+            agg.push_raw(&raw(g, v), &mut tr).unwrap();
+        }
+        let (_, stats) = agg.finish_rows(&mut tr).unwrap();
+        assert!(stats.spilled_tuples > 0);
+        assert_eq!(
+            tr.count(CostEvent::PageWriteSeq),
+            tr.count(CostEvent::PageReadSeq),
+            "every spilled page is written once and read once"
+        );
+        // Every input tuple is hashed at least once.
+        assert!(tr.count(CostEvent::TupleHash) >= 1000);
+    }
+
+    #[test]
+    fn duplicate_elimination_with_overflow() {
+        let q = AggQuery::distinct(vec![0]);
+        let mut agg = HashAggregator::new(q, 4, 128, 4);
+        let mut tr = NullTracker;
+        for i in 0..300 {
+            agg.push_raw(&[Value::Int(i % 30)], &mut tr).unwrap();
+        }
+        let (rows, stats) = agg.finish_rows(&mut tr).unwrap();
+        assert_eq!(rows.len(), 30);
+        assert!(stats.spilled());
+    }
+
+    #[test]
+    fn scalar_aggregation_single_group() {
+        let q = AggQuery::new(vec![], vec![AggSpec::over(AggFunc::Max, 0)]);
+        let mut agg = HashAggregator::new(q, 4, 128, 4);
+        let mut tr = NullTracker;
+        for i in [3i64, 9, 1] {
+            agg.push_raw(&[Value::Int(i)], &mut tr).unwrap();
+        }
+        let (rows, _) = agg.finish_rows(&mut tr).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].aggs, vec![Value::Int(9)]);
+        assert_eq!(rows[0].key.arity(), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use adaptagg_model::{AggFunc, AggSpec, NullTracker};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The bounded aggregator must agree with an unbounded reference
+        /// for any input and any memory budget — the invariant every
+        /// parallel algorithm ultimately rests on.
+        #[test]
+        fn prop_bounded_equals_unbounded(
+            rows in proptest::collection::vec((0i64..64, -100i64..100), 0..400),
+            budget in 1usize..40,
+            fanout in 2usize..6,
+        ) {
+            let query = AggQuery::new(
+                vec![0],
+                vec![AggSpec::over(AggFunc::Sum, 1), AggSpec::count_star()],
+            );
+            let mut agg = HashAggregator::new(query, budget, 128, fanout);
+            let mut tr = NullTracker;
+            for &(g, v) in &rows {
+                agg.push_raw(&[Value::Int(g), Value::Int(v)], &mut tr).unwrap();
+            }
+            let (got, _) = agg.finish_rows(&mut tr).unwrap();
+
+            let mut expect: std::collections::BTreeMap<i64, (i64, i64)> = Default::default();
+            for &(g, v) in &rows {
+                let e = expect.entry(g).or_insert((0, 0));
+                e.0 += v;
+                e.1 += 1;
+            }
+            prop_assert_eq!(got.len(), expect.len());
+            for r in got {
+                let g = r.key.values()[0].as_i64().unwrap();
+                let (sum, count) = expect[&g];
+                prop_assert_eq!(&r.aggs[0], &Value::Int(sum));
+                prop_assert_eq!(&r.aggs[1], &Value::Int(count));
+            }
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Overflow bucket sets.
+//!
+//! When the in-memory table is full, tuples of non-resident groups are
+//! hash-partitioned into `fanout` spill buckets (paper §2 step 2: "the
+//! tuples are hash partitioned into multiple … buckets, and all but the
+//! first bucket are spooled to disk" — our resident table *is* the first
+//! bucket). The bucket hash uses `Seed::OverflowBucket(level)` so it is
+//! independent of both the table hash and the node-partitioning hash, and
+//! of the bucket hash of any enclosing recursion level.
+//!
+//! Each spooled tuple is tagged with its [`RowKind`] (raw or partial) by
+//! prepending a tag column, because an A2P merge-phase table can overflow
+//! while receiving both kinds.
+
+use adaptagg_model::hash::Seed;
+use adaptagg_model::{AggQuery, CostEvent, CostTracker, ModelError, RowKind, Value};
+use adaptagg_storage::{SpillFile, StorageError};
+
+const TAG_RAW: i64 = 0;
+const TAG_PARTIAL: i64 = 1;
+
+/// Encode the kind tag onto a row (first column).
+fn tag_row(kind: RowKind, values: &[Value]) -> Vec<Value> {
+    let mut out = Vec::with_capacity(values.len() + 1);
+    out.push(Value::Int(match kind {
+        RowKind::Raw => TAG_RAW,
+        RowKind::Partial => TAG_PARTIAL,
+    }));
+    out.extend_from_slice(values);
+    out
+}
+
+/// Split a tagged row back into kind + values.
+fn untag_row(mut tagged: Vec<Value>) -> Result<(RowKind, Vec<Value>), ModelError> {
+    if tagged.is_empty() {
+        return Err(ModelError::Corrupt("empty spilled row"));
+    }
+    let kind = match tagged[0].as_i64() {
+        Some(TAG_RAW) => RowKind::Raw,
+        Some(TAG_PARTIAL) => RowKind::Partial,
+        _ => return Err(ModelError::Corrupt("bad spill kind tag")),
+    };
+    tagged.remove(0);
+    Ok((kind, tagged))
+}
+
+/// A set of spill buckets at one recursion level.
+#[derive(Debug)]
+pub struct OverflowSet {
+    buckets: Vec<SpillFile>,
+    level: u32,
+    group_by_len: usize,
+    spooled: u64,
+}
+
+impl OverflowSet {
+    /// `fanout` buckets of `page_bytes` pages at recursion `level`.
+    /// `group_by_len` is the number of leading key columns of every row
+    /// (identical for raw and partial rows in projected form).
+    pub fn new(fanout: usize, page_bytes: usize, level: u32, group_by_len: usize) -> Self {
+        assert!(fanout >= 2, "overflow fanout must be at least 2");
+        OverflowSet {
+            buckets: (0..fanout).map(|_| SpillFile::new(page_bytes)).collect(),
+            level,
+            group_by_len,
+            spooled: 0,
+        }
+    }
+
+    /// This set's recursion level.
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Tuples spooled so far.
+    pub fn spooled(&self) -> u64 {
+        self.spooled
+    }
+
+    /// Spool one row of either kind into its bucket. Charges `t_w` for the
+    /// tuple write plus page I/O when pages seal (via the spill file).
+    /// The bucket hash (`t_h`) is *not* charged: the insert attempt that
+    /// rejected this tuple already hashed the key, and the paper charges
+    /// one hash per tuple.
+    pub fn spool<T: CostTracker>(
+        &mut self,
+        kind: RowKind,
+        values: &[Value],
+        tracker: &mut T,
+    ) -> Result<(), StorageError> {
+        let key = &values[..self.group_by_len.min(values.len())];
+        let b = (adaptagg_model::hash::hash_values(Seed::OverflowBucket(self.level), key)
+            % self.buckets.len() as u64) as usize;
+        tracker.record(CostEvent::TupleWrite, 1);
+        self.buckets[b].spool(&tag_row(kind, values), tracker)?;
+        self.spooled += 1;
+        Ok(())
+    }
+
+    /// Finish writing and return the non-empty buckets for processing.
+    pub fn into_buckets<T: CostTracker>(self, tracker: &mut T) -> Vec<SpillFile> {
+        self.buckets
+            .into_iter()
+            .filter_map(|mut b| {
+                if b.is_empty() {
+                    None
+                } else {
+                    b.finish(tracker);
+                    Some(b)
+                }
+            })
+            .collect()
+    }
+
+    /// Drain one bucket, handing `(kind, values)` rows to `consume`.
+    /// Charges `t_r` per tuple read back plus page reads (via the spill
+    /// file).
+    pub fn drain_bucket<T, F>(
+        bucket: SpillFile,
+        tracker: &mut T,
+        mut consume: F,
+    ) -> Result<usize, StorageError>
+    where
+        T: CostTracker,
+        F: FnMut(&mut T, RowKind, Vec<Value>) -> Result<(), StorageError>,
+    {
+        bucket.drain(tracker, |tracker, tagged| {
+            tracker.record(CostEvent::TupleRead, 1);
+            let (kind, values) = untag_row(tagged).map_err(StorageError::from)?;
+            consume(tracker, kind, values)
+        })
+    }
+
+    /// The spill bucket a key's row would land in at this level (tests and
+    /// diagnostics).
+    pub fn bucket_of(&self, query: &AggQuery, values: &[Value]) -> Result<usize, ModelError> {
+        let key = query.key_of_values(values)?;
+        Ok(
+            (adaptagg_model::hash::hash_values(Seed::OverflowBucket(self.level), key.values())
+                % self.buckets.len() as u64) as usize,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptagg_model::{CountingTracker, NullTracker};
+
+    fn row(g: i64, v: i64) -> Vec<Value> {
+        vec![Value::Int(g), Value::Int(v)]
+    }
+
+    #[test]
+    fn tag_untag_round_trips() {
+        for kind in [RowKind::Raw, RowKind::Partial] {
+            let tagged = tag_row(kind, &row(3, 4));
+            let (k, vals) = untag_row(tagged).unwrap();
+            assert_eq!(k, kind);
+            assert_eq!(vals, row(3, 4));
+        }
+    }
+
+    #[test]
+    fn untag_rejects_garbage() {
+        assert!(untag_row(vec![]).is_err());
+        assert!(untag_row(vec![Value::Int(9), Value::Int(1)]).is_err());
+        assert!(untag_row(vec![Value::Str("x".into())]).is_err());
+    }
+
+    #[test]
+    fn same_group_lands_in_same_bucket_any_kind() {
+        let mut set = OverflowSet::new(4, 256, 0, 1);
+        let mut tr = NullTracker;
+        // Spool the same group as raw and partial plus other groups.
+        for i in 0..32 {
+            set.spool(RowKind::Raw, &row(i % 8, i), &mut tr).unwrap();
+            set.spool(RowKind::Partial, &row(i % 8, i), &mut tr).unwrap();
+        }
+        assert_eq!(set.spooled(), 64);
+        let buckets = set.into_buckets(&mut tr);
+        // Rows of one group must be confined to one bucket.
+        let mut group_bucket: std::collections::HashMap<i64, usize> = Default::default();
+        for (bi, b) in buckets.into_iter().enumerate() {
+            OverflowSet::drain_bucket(b, &mut tr, |_t, _, vals| {
+                let g = vals[0].as_i64().unwrap();
+                let prev = group_bucket.insert(g, bi);
+                if let Some(p) = prev {
+                    assert_eq!(p, bi, "group {g} split across buckets {p} and {bi}");
+                }
+                Ok(())
+            })
+            .unwrap();
+        }
+        assert_eq!(group_bucket.len(), 8);
+    }
+
+    #[test]
+    fn no_rows_lost_across_spool_and_drain() {
+        let mut set = OverflowSet::new(3, 128, 1, 1);
+        let mut tr = CountingTracker::new();
+        for i in 0..100 {
+            set.spool(RowKind::Raw, &row(i, i), &mut tr).unwrap();
+        }
+        assert_eq!(tr.count(CostEvent::TupleWrite), 100);
+        let buckets = set.into_buckets(&mut tr);
+        let mut n = 0;
+        for b in buckets {
+            n += OverflowSet::drain_bucket(b, &mut tr, |_t, _, _| Ok(())).unwrap();
+        }
+        assert_eq!(n, 100);
+        assert_eq!(tr.count(CostEvent::TupleRead), 100);
+        // Spilled pages are written once and read once.
+        assert_eq!(
+            tr.count(CostEvent::PageWriteSeq),
+            tr.count(CostEvent::PageReadSeq)
+        );
+        assert!(tr.count(CostEvent::PageWriteSeq) > 0);
+    }
+
+    #[test]
+    fn empty_buckets_are_dropped() {
+        let mut set = OverflowSet::new(8, 128, 0, 1);
+        let mut tr = NullTracker;
+        set.spool(RowKind::Raw, &row(1, 1), &mut tr).unwrap();
+        let buckets = set.into_buckets(&mut tr);
+        assert_eq!(buckets.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fanout")]
+    fn fanout_below_two_is_rejected() {
+        let _ = OverflowSet::new(1, 128, 0, 1);
+    }
+}

@@ -1,0 +1,74 @@
+//! Hash-aggregation statistics.
+
+/// Counters describing one aggregation's behaviour. The adaptive
+/// algorithms' tests assert on these (e.g. "A2P must not spill; plain 2P
+/// at this selectivity must").
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct HashAggStats {
+    /// Raw tuples pushed.
+    pub raw_in: u64,
+    /// Partial rows pushed.
+    pub partial_in: u64,
+    /// Rows emitted (groups out).
+    pub groups_out: u64,
+    /// Tuples that did not fit the first-pass table and were spooled.
+    pub spilled_tuples: u64,
+    /// Overflow buckets processed (all recursion levels).
+    pub overflow_buckets: u64,
+    /// Deepest overflow recursion level reached (0 = no overflow).
+    pub max_level: u32,
+}
+
+impl HashAggStats {
+    /// Whether any intermediate I/O happened.
+    pub fn spilled(&self) -> bool {
+        self.spilled_tuples > 0
+    }
+
+    /// Total rows pushed.
+    pub fn rows_in(&self) -> u64 {
+        self.raw_in + self.partial_in
+    }
+
+    /// Element-wise sum.
+    pub fn add(&mut self, other: &HashAggStats) {
+        self.raw_in += other.raw_in;
+        self.partial_in += other.partial_in;
+        self.groups_out += other.groups_out;
+        self.spilled_tuples += other.spilled_tuples;
+        self.overflow_buckets += other.overflow_buckets;
+        self.max_level = self.max_level.max(other.max_level);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spilled_flag_and_totals() {
+        let mut s = HashAggStats::default();
+        assert!(!s.spilled());
+        s.raw_in = 10;
+        s.partial_in = 5;
+        s.spilled_tuples = 1;
+        assert!(s.spilled());
+        assert_eq!(s.rows_in(), 15);
+    }
+
+    #[test]
+    fn add_takes_max_level() {
+        let mut a = HashAggStats {
+            max_level: 1,
+            ..Default::default()
+        };
+        let b = HashAggStats {
+            max_level: 3,
+            raw_in: 2,
+            ..Default::default()
+        };
+        a.add(&b);
+        assert_eq!(a.max_level, 3);
+        assert_eq!(a.raw_in, 2);
+    }
+}

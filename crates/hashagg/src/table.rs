@@ -1,0 +1,371 @@
+//! The memory-bounded aggregation hash table.
+//!
+//! Keys are [`GroupKey`]s, values are [`AggStates`]. Capacity is counted in
+//! *entries* (groups), matching Table 1's `M = 10K entries`: the paper's
+//! memory requirement "is proportional to the number of distinct group
+//! values seen".
+//!
+//! Cost charging per insert attempt: `t_r` (reading the tuple) + `t_h`
+//! (hashing the key), plus `t_a` (updating the cumulative value) when the
+//! tuple lands in the table. A rejected insert (`Inserted::Full`) charges
+//! only `t_r + t_h` — the caller then spools the tuple (which charges its
+//! own `t_w`) or forwards it (A2P).
+
+use adaptagg_model::{
+    AggQuery, AggStates, CostEvent, CostTracker, FxBuildHasher, GroupKey, ModelError, ResultRow,
+    RowKind, Value,
+};
+use std::collections::HashMap;
+
+/// Outcome of an insert attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inserted {
+    /// The key existed; its states were updated.
+    Updated,
+    /// A new entry was created (capacity permitting).
+    New,
+    /// The key is new but the table is at capacity; nothing was stored.
+    Full,
+}
+
+/// A bounded hash table from group keys to aggregate states.
+#[derive(Debug)]
+pub struct AggTable {
+    query: AggQuery,
+    map: HashMap<GroupKey, AggStates, FxBuildHasher>,
+    max_entries: usize,
+    charge_hash: bool,
+    /// Lifetime distinct-group high-water mark (excludes rejected keys).
+    inserts: u64,
+    updates: u64,
+}
+
+impl AggTable {
+    /// An empty table for `query` (which must be in projected form: group
+    /// columns first — see [`AggQuery::remapped_to_projection`]) holding at
+    /// most `max_entries` groups.
+    pub fn new(query: AggQuery, max_entries: usize) -> Self {
+        AggTable {
+            query,
+            map: HashMap::default(),
+            max_entries,
+            charge_hash: true,
+            inserts: 0,
+            updates: 0,
+        }
+    }
+
+    /// Control whether inserts charge `t_h`. Local (first-touch) phases
+    /// charge it (`|R_i|·(t_r+t_h+t_a)`, §2.1); merge phases receiving
+    /// already-partitioned rows do not (`|G_i|·(t_r+t_a)`, §2.2–2.3 — the
+    /// hash was charged at the partitioning side).
+    pub fn with_charge_hash(mut self, charge_hash: bool) -> Self {
+        self.charge_hash = charge_hash;
+        self
+    }
+
+    /// The query this table aggregates for.
+    pub fn query(&self) -> &AggQuery {
+        &self.query
+    }
+
+    /// Number of groups currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the table holds no groups.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether the table is at its entry budget.
+    pub fn is_full(&self) -> bool {
+        self.map.len() >= self.max_entries
+    }
+
+    /// The entry budget.
+    pub fn max_entries(&self) -> usize {
+        self.max_entries
+    }
+
+    /// Raw-tuple updates + new entries accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.inserts + self.updates
+    }
+
+    /// Insert a row of either kind.
+    pub fn insert<T: CostTracker>(
+        &mut self,
+        kind: RowKind,
+        values: &[Value],
+        tracker: &mut T,
+    ) -> Result<Inserted, ModelError> {
+        match kind {
+            RowKind::Raw => self.insert_raw(values, tracker),
+            RowKind::Partial => self.insert_partial(values, tracker),
+        }
+    }
+
+    /// Insert a raw (projected) tuple: group columns at the query's
+    /// `group_by` positions, aggregate inputs at the specs' positions.
+    pub fn insert_raw<T: CostTracker>(
+        &mut self,
+        values: &[Value],
+        tracker: &mut T,
+    ) -> Result<Inserted, ModelError> {
+        tracker.record(CostEvent::TupleRead, 1);
+        if self.charge_hash {
+            tracker.record(CostEvent::TupleHash, 1);
+        }
+        let key = self.query.key_of_values(values)?;
+        if let Some(states) = self.map.get_mut(&key) {
+            states.update_from_tuple(&self.query.aggs, values)?;
+            tracker.record(CostEvent::TupleAgg, 1);
+            self.updates += 1;
+            return Ok(Inserted::Updated);
+        }
+        if self.map.len() >= self.max_entries {
+            return Ok(Inserted::Full);
+        }
+        let mut states = AggStates::new(&self.query.aggs);
+        states.update_from_tuple(&self.query.aggs, values)?;
+        tracker.record(CostEvent::TupleAgg, 1);
+        self.map.insert(key, states);
+        self.inserts += 1;
+        Ok(Inserted::New)
+    }
+
+    /// Insert a partial row: group-key columns first, then the encoded
+    /// partial-state columns ([`AggQuery::partial_row_arity`] total).
+    pub fn insert_partial<T: CostTracker>(
+        &mut self,
+        values: &[Value],
+        tracker: &mut T,
+    ) -> Result<Inserted, ModelError> {
+        tracker.record(CostEvent::TupleRead, 1);
+        if self.charge_hash {
+            tracker.record(CostEvent::TupleHash, 1);
+        }
+        let k = self.query.group_by.len();
+        if values.len() != self.query.partial_row_arity() {
+            return Err(ModelError::PartialArityMismatch {
+                expected: self.query.partial_row_arity(),
+                found: values.len(),
+            });
+        }
+        let key = GroupKey::new(values[..k].to_vec());
+        if let Some(states) = self.map.get_mut(&key) {
+            states.merge_partial_values(&values[k..])?;
+            tracker.record(CostEvent::TupleAgg, 1);
+            self.updates += 1;
+            return Ok(Inserted::Updated);
+        }
+        if self.map.len() >= self.max_entries {
+            return Ok(Inserted::Full);
+        }
+        let mut states = AggStates::new(&self.query.aggs);
+        states.merge_partial_values(&values[k..])?;
+        tracker.record(CostEvent::TupleAgg, 1);
+        self.map.insert(key, states);
+        self.inserts += 1;
+        Ok(Inserted::New)
+    }
+
+    /// Whether a raw tuple's group is already resident (A2P forwarding
+    /// checks, Graefe's optimized 2P).
+    pub fn contains_key_of(&self, values: &[Value]) -> Result<bool, ModelError> {
+        Ok(self.map.contains_key(&self.query.key_of_values(values)?))
+    }
+
+    /// Drain the table as **partial rows** (key columns ++ partial-state
+    /// columns), charging `t_w` per row. Used by local phases to ship
+    /// their results and by A2P's overflow flush.
+    pub fn drain_partial_rows<T: CostTracker>(&mut self, tracker: &mut T) -> Vec<Vec<Value>> {
+        let mut out = Vec::with_capacity(self.map.len());
+        for (key, states) in self.map.drain() {
+            let mut row = key.into_values();
+            row.extend(states.to_partial_values());
+            out.push(row);
+        }
+        tracker.record(CostEvent::TupleWrite, out.len() as u64);
+        out
+    }
+
+    /// Drain the table as **finalized result rows**, charging `t_w` per
+    /// row. Used by merge phases and single-phase aggregation.
+    pub fn drain_result_rows<T: CostTracker>(&mut self, tracker: &mut T) -> Vec<ResultRow> {
+        let mut out = Vec::with_capacity(self.map.len());
+        for (key, states) in self.map.drain() {
+            out.push(ResultRow::new(key, states.finalize()));
+        }
+        tracker.record(CostEvent::TupleWrite, out.len() as u64);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptagg_model::{AggFunc, AggSpec, CountingTracker, NullTracker};
+
+    fn query() -> AggQuery {
+        // Projected form: col0 = group, col1 = value.
+        AggQuery::new(vec![0], vec![AggSpec::over(AggFunc::Sum, 1)])
+    }
+
+    fn raw(g: i64, v: i64) -> Vec<Value> {
+        vec![Value::Int(g), Value::Int(v)]
+    }
+
+    #[test]
+    fn builds_groups_and_updates() {
+        let mut t = AggTable::new(query(), 10);
+        let mut tr = NullTracker;
+        assert_eq!(t.insert_raw(&raw(1, 10), &mut tr).unwrap(), Inserted::New);
+        assert_eq!(t.insert_raw(&raw(1, 5), &mut tr).unwrap(), Inserted::Updated);
+        assert_eq!(t.insert_raw(&raw(2, 1), &mut tr).unwrap(), Inserted::New);
+        assert_eq!(t.len(), 2);
+
+        let mut rows = t.drain_result_rows(&mut tr);
+        adaptagg_model::query::sort_rows(&mut rows);
+        assert_eq!(rows[0].key.values(), &[Value::Int(1)]);
+        assert_eq!(rows[0].aggs, vec![Value::Int(15)]);
+        assert_eq!(rows[1].aggs, vec![Value::Int(1)]);
+        assert!(t.is_empty(), "drain empties the table");
+    }
+
+    #[test]
+    fn capacity_rejects_new_groups_but_updates_resident_ones() {
+        let mut t = AggTable::new(query(), 2);
+        let mut tr = NullTracker;
+        t.insert_raw(&raw(1, 1), &mut tr).unwrap();
+        t.insert_raw(&raw(2, 1), &mut tr).unwrap();
+        assert!(t.is_full());
+        // New group: rejected, not stored.
+        assert_eq!(t.insert_raw(&raw(3, 1), &mut tr).unwrap(), Inserted::Full);
+        assert_eq!(t.len(), 2);
+        // Resident group: still updates in place.
+        assert_eq!(t.insert_raw(&raw(1, 9), &mut tr).unwrap(), Inserted::Updated);
+    }
+
+    #[test]
+    fn partial_rows_merge_with_raw_rows() {
+        // §3.2's requirement: raw and partial interleaved in one table.
+        let mut t = AggTable::new(query(), 10);
+        let mut tr = NullTracker;
+        t.insert_raw(&raw(1, 10), &mut tr).unwrap();
+        // Partial row for group 1 carrying SUM partial = 32.
+        t.insert_partial(&[Value::Int(1), Value::Int(32)], &mut tr).unwrap();
+        // Partial row for a brand-new group 2.
+        t.insert_partial(&[Value::Int(2), Value::Int(7)], &mut tr).unwrap();
+        t.insert_raw(&raw(2, 3), &mut tr).unwrap();
+
+        let mut rows = t.drain_result_rows(&mut tr);
+        adaptagg_model::query::sort_rows(&mut rows);
+        assert_eq!(rows[0].aggs, vec![Value::Int(42)]);
+        assert_eq!(rows[1].aggs, vec![Value::Int(10)]);
+    }
+
+    #[test]
+    fn partial_arity_mismatch_is_error() {
+        let mut t = AggTable::new(query(), 10);
+        let mut tr = NullTracker;
+        assert!(t
+            .insert_partial(&[Value::Int(1)], &mut tr)
+            .is_err());
+    }
+
+    #[test]
+    fn cost_charges_match_paper_formula() {
+        // Local aggregation: |R| * (t_r + t_h + t_a); result gen: |G| * t_w.
+        let mut t = AggTable::new(query(), 100);
+        let mut tr = CountingTracker::new();
+        for i in 0..50 {
+            t.insert_raw(&raw(i % 5, i), &mut tr).unwrap();
+        }
+        assert_eq!(tr.count(CostEvent::TupleRead), 50);
+        assert_eq!(tr.count(CostEvent::TupleHash), 50);
+        assert_eq!(tr.count(CostEvent::TupleAgg), 50);
+        assert_eq!(tr.count(CostEvent::TupleWrite), 0);
+        let rows = t.drain_result_rows(&mut tr);
+        assert_eq!(rows.len(), 5);
+        assert_eq!(tr.count(CostEvent::TupleWrite), 5);
+    }
+
+    #[test]
+    fn charge_hash_false_skips_t_h() {
+        // Merge phases receive pre-partitioned rows: §2.2 charges them
+        // t_r + t_a only.
+        let mut t = AggTable::new(query(), 100).with_charge_hash(false);
+        let mut tr = CountingTracker::new();
+        t.insert_raw(&raw(1, 1), &mut tr).unwrap();
+        t.insert_partial(&[Value::Int(2), Value::Int(5)], &mut tr).unwrap();
+        assert_eq!(tr.count(CostEvent::TupleHash), 0);
+        assert_eq!(tr.count(CostEvent::TupleRead), 2);
+        assert_eq!(tr.count(CostEvent::TupleAgg), 2);
+    }
+
+    #[test]
+    fn rejected_insert_charges_no_agg() {
+        let mut t = AggTable::new(query(), 1);
+        let mut tr = CountingTracker::new();
+        t.insert_raw(&raw(1, 1), &mut tr).unwrap();
+        let agg_before = tr.count(CostEvent::TupleAgg);
+        t.insert_raw(&raw(2, 1), &mut tr).unwrap(); // Full
+        assert_eq!(tr.count(CostEvent::TupleAgg), agg_before);
+        assert_eq!(tr.count(CostEvent::TupleHash), 2);
+    }
+
+    #[test]
+    fn duplicate_elimination_table() {
+        let q = AggQuery::distinct(vec![0]);
+        let mut t = AggTable::new(q, 10);
+        let mut tr = NullTracker;
+        for g in [1, 2, 1, 3, 2, 1] {
+            t.insert_raw(&[Value::Int(g)], &mut tr).unwrap();
+        }
+        assert_eq!(t.len(), 3);
+        let rows = t.drain_result_rows(&mut tr);
+        assert!(rows.iter().all(|r| r.aggs.is_empty()));
+    }
+
+    #[test]
+    fn drain_partial_rows_round_trip_through_second_table() {
+        let mut t1 = AggTable::new(query(), 10);
+        let mut tr = NullTracker;
+        t1.insert_raw(&raw(1, 10), &mut tr).unwrap();
+        t1.insert_raw(&raw(1, 20), &mut tr).unwrap();
+        t1.insert_raw(&raw(2, 5), &mut tr).unwrap();
+
+        let partials = t1.drain_partial_rows(&mut tr);
+        assert_eq!(partials.len(), 2);
+        let mut t2 = AggTable::new(query(), 10);
+        for p in &partials {
+            t2.insert_partial(p, &mut tr).unwrap();
+        }
+        let mut rows = t2.drain_result_rows(&mut tr);
+        adaptagg_model::query::sort_rows(&mut rows);
+        assert_eq!(rows[0].aggs, vec![Value::Int(30)]);
+        assert_eq!(rows[1].aggs, vec![Value::Int(5)]);
+    }
+
+    #[test]
+    fn contains_key_of_sees_resident_groups() {
+        let mut t = AggTable::new(query(), 10);
+        let mut tr = NullTracker;
+        t.insert_raw(&raw(7, 1), &mut tr).unwrap();
+        assert!(t.contains_key_of(&raw(7, 99)).unwrap());
+        assert!(!t.contains_key_of(&raw(8, 0)).unwrap());
+    }
+
+    #[test]
+    fn accepted_counts_updates_and_inserts() {
+        let mut t = AggTable::new(query(), 1);
+        let mut tr = NullTracker;
+        t.insert_raw(&raw(1, 1), &mut tr).unwrap();
+        t.insert_raw(&raw(1, 2), &mut tr).unwrap();
+        t.insert_raw(&raw(2, 3), &mut tr).unwrap(); // Full → not accepted
+        assert_eq!(t.accepted(), 2);
+    }
+}

@@ -1,0 +1,91 @@
+//! Error types for the relational model.
+
+use std::fmt;
+
+/// Errors raised by model-level operations (type mismatches, malformed
+/// encodings, out-of-range column references).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// An aggregate input had a type its function cannot consume
+    /// (e.g. `SUM` over a string column).
+    TypeMismatch {
+        /// What the operation expected, e.g. `"numeric"`.
+        expected: &'static str,
+        /// What it actually saw, e.g. `"Str"`.
+        found: &'static str,
+        /// The operation that failed, e.g. `"SUM update"`.
+        context: &'static str,
+    },
+    /// A tuple did not have the column an operation referenced.
+    ColumnOutOfRange {
+        /// The referenced column index.
+        column: usize,
+        /// The tuple's arity.
+        arity: usize,
+    },
+    /// A byte buffer could not be decoded as a tuple.
+    Corrupt(&'static str),
+    /// A partial-state row had the wrong arity for the query's aggregates.
+    PartialArityMismatch {
+        /// Expected number of partial columns.
+        expected: usize,
+        /// Number of columns actually present.
+        found: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::TypeMismatch {
+                expected,
+                found,
+                context,
+            } => write!(f, "{context}: expected {expected}, found {found}"),
+            ModelError::ColumnOutOfRange { column, arity } => {
+                write!(f, "column {column} out of range for arity-{arity} tuple")
+            }
+            ModelError::Corrupt(what) => write!(f, "corrupt encoding: {what}"),
+            ModelError::PartialArityMismatch { expected, found } => write!(
+                f,
+                "partial row arity mismatch: expected {expected} columns, found {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::TypeMismatch {
+            expected: "numeric",
+            found: "Str",
+            context: "SUM update",
+        };
+        assert_eq!(e.to_string(), "SUM update: expected numeric, found Str");
+
+        let e = ModelError::ColumnOutOfRange { column: 5, arity: 3 };
+        assert!(e.to_string().contains("column 5"));
+        assert!(e.to_string().contains("arity-3"));
+
+        let e = ModelError::Corrupt("truncated varint");
+        assert!(e.to_string().contains("truncated varint"));
+
+        let e = ModelError::PartialArityMismatch {
+            expected: 2,
+            found: 1,
+        };
+        assert!(e.to_string().contains("expected 2"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&ModelError::Corrupt("x"));
+    }
+}

@@ -1,0 +1,277 @@
+//! Fast, seedable hashing.
+//!
+//! Three different hash decisions are taken on every tuple's group key:
+//!
+//! 1. **partitioning** — which node a tuple is sent to (`hash % N`);
+//! 2. **overflow bucketing** — which spill bucket a tuple lands in when a
+//!    hash table overflows;
+//! 3. **table placement** — the in-memory hash table's own hashing.
+//!
+//! If these reuse the same function, overflow buckets degenerate (every
+//! tuple in a bucket collides in the table too) and partitions correlate
+//! with buckets — the classic hybrid-hash pitfall. We therefore derive a
+//! distinct [`Seed`] per purpose and fold it into an FxHash-style
+//! multiply-rotate hasher. `std`'s SipHash would also work but is several
+//! times slower for the short keys that dominate here, and the offline
+//! crate allowlist has no fxhash/ahash — so we implement the (tiny,
+//! well-known) algorithm ourselves.
+
+use crate::value::Value;
+use std::hash::{BuildHasher, Hash, Hasher};
+
+/// 64-bit multiplicative constant from FxHash (`pi`-derived).
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A hashing purpose, turned into an avalanche-mixed starting state so that
+/// the three decisions above are pairwise independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Seed {
+    /// Node partitioning (exchange operator).
+    Partition,
+    /// Overflow-bucket selection inside a hash table.
+    OverflowBucket(u32),
+    /// In-memory hash-table placement.
+    Table,
+    /// Arbitrary extra seed (tests, ablations).
+    Custom(u64),
+}
+
+impl Seed {
+    fn initial_state(self) -> u64 {
+        let raw = match self {
+            Seed::Partition => 0x9e37_79b9_7f4a_7c15,
+            Seed::OverflowBucket(level) => 0xc2b2_ae3d_27d4_eb4f ^ (level as u64).wrapping_mul(K),
+            Seed::Table => 0x165667b19e3779f9,
+            Seed::Custom(s) => s | 1,
+        };
+        // One round of splitmix64 finalization so nearby raw seeds diverge.
+        let mut z = raw.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// FxHash-style hasher: word-at-a-time rotate-xor-multiply.
+#[derive(Debug, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    /// A hasher starting from the given seed's mixed state.
+    pub fn with_seed(seed: Seed) -> Self {
+        FxHasher {
+            state: seed.initial_state(),
+        }
+    }
+
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Default for FxHasher {
+    fn default() -> Self {
+        FxHasher::with_seed(Seed::Table)
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Final avalanche: Fx's raw state has weak low bits; since we use
+        // `finish() % N` for partitioning, mix before exposing.
+        let mut z = self.state;
+        z = (z ^ (z >> 32)).wrapping_mul(0xd6e8_feb8_6659_fd93);
+        z ^ (z >> 32)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_word(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            buf[7] = rem.len() as u8; // length-tag the tail
+            self.add_word(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_word(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_word(i);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.add_word(i as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_word(i as u64);
+    }
+}
+
+/// `BuildHasher` for using [`FxHasher`] in `HashMap`s (always [`Seed::Table`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+/// Hash a slice of values under a given seed. This is *the* hash function
+/// for group keys: partitioning, bucketing and table placement all go
+/// through here with their respective seeds.
+pub fn hash_values(seed: Seed, values: &[Value]) -> u64 {
+    let mut h = FxHasher::with_seed(seed);
+    for v in values {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Convenience wrapper pairing a seed with the hash function.
+#[derive(Debug, Clone, Copy)]
+pub struct ValueHasher {
+    seed: Seed,
+}
+
+impl ValueHasher {
+    /// A hasher for the given purpose.
+    pub fn new(seed: Seed) -> Self {
+        ValueHasher { seed }
+    }
+
+    /// Hash the values.
+    pub fn hash(&self, values: &[Value]) -> u64 {
+        hash_values(self.seed, values)
+    }
+
+    /// Hash the values down to a bucket in `0..n`.
+    pub fn bucket(&self, values: &[Value], n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.hash(values) % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: i64) -> Vec<Value> {
+        vec![Value::Int(i)]
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        for seed in [Seed::Partition, Seed::Table, Seed::OverflowBucket(0)] {
+            assert_eq!(hash_values(seed, &v(42)), hash_values(seed, &v(42)));
+        }
+    }
+
+    #[test]
+    fn seeds_are_independent() {
+        // The same key must land differently under different purposes —
+        // otherwise overflow buckets correlate with partitions.
+        let mut diffs = 0;
+        for i in 0..64 {
+            let a = hash_values(Seed::Partition, &v(i)) % 8;
+            let b = hash_values(Seed::OverflowBucket(0), &v(i)) % 8;
+            if a != b {
+                diffs += 1;
+            }
+        }
+        assert!(diffs > 32, "partition and bucket hashes correlate: {diffs}/64 differ");
+    }
+
+    #[test]
+    fn overflow_levels_are_independent() {
+        let mut diffs = 0;
+        for i in 0..64 {
+            let a = hash_values(Seed::OverflowBucket(0), &v(i)) % 8;
+            let b = hash_values(Seed::OverflowBucket(1), &v(i)) % 8;
+            if a != b {
+                diffs += 1;
+            }
+        }
+        assert!(diffs > 32, "recursive overflow levels correlate");
+    }
+
+    #[test]
+    fn partitioning_is_roughly_uniform() {
+        const N: usize = 8;
+        let mut counts = [0usize; N];
+        for i in 0..8000 {
+            counts[(hash_values(Seed::Partition, &v(i)) % N as u64) as usize] += 1;
+        }
+        for (b, &c) in counts.iter().enumerate() {
+            assert!(
+                (800..1200).contains(&c),
+                "bucket {b} got {c} of 8000 keys (expected ~1000)"
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_keys_do_not_collide_in_low_bits() {
+        // `finish() % N` must spread sequential integers (our generators
+        // produce group ids 0..G).
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000 {
+            seen.insert(hash_values(Seed::Table, &v(i)) % 1024);
+        }
+        assert!(seen.len() > 600, "only {} distinct low-bit values", seen.len());
+    }
+
+    #[test]
+    fn multi_column_keys_hash_all_columns() {
+        let a = hash_values(Seed::Table, &[Value::Int(1), Value::Int(2)]);
+        let b = hash_values(Seed::Table, &[Value::Int(1), Value::Int(3)]);
+        let c = hash_values(Seed::Table, &[Value::Int(2), Value::Int(2)]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn str_tail_bytes_are_length_tagged() {
+        // "ab" and "ab\0" style prefixes must not collide via zero padding.
+        let a = hash_values(Seed::Table, &[Value::Str("ab".into())]);
+        let b = hash_values(Seed::Table, &[Value::Str("ab\0".into())]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn build_hasher_usable_in_hashmap() {
+        let mut m: std::collections::HashMap<u64, u64, FxBuildHasher> =
+            std::collections::HashMap::default();
+        for i in 0..100 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m[&40], 80);
+    }
+
+    #[test]
+    fn value_hasher_bucket_in_range() {
+        let h = ValueHasher::new(Seed::Partition);
+        for i in 0..100 {
+            assert!(h.bucket(&v(i), 7) < 7);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # adaptagg-model
+//!
+//! The relational substrate shared by every other `adaptagg` crate:
+//!
+//! * [`Value`], [`Tuple`], [`Schema`] — a small dynamically-typed row model,
+//!   sized in bytes so the cost model can account for pages and messages.
+//! * [`GroupKey`] — the GROUP BY key of a tuple, hashable and orderable.
+//! * [`AggFunc`] / [`AggSpec`] / [`AggQuery`] — the aggregate queries the
+//!   paper studies (`SELECT g, agg(v) FROM r GROUP BY g`).
+//! * [`AggStates`] — *mergeable* partial aggregation state. This is the
+//!   linchpin of the Adaptive Two Phase algorithm: the global phase must
+//!   accept **raw tuples and partially-aggregated rows in the same hash
+//!   table** (paper §3.2), so every aggregate function here knows how to
+//!   (a) fold in a raw input value, (b) fold in an encoded partial row, and
+//!   (c) emit itself as an encoded partial row.
+//! * [`hash`] — a fast, seedable non-cryptographic hasher used for
+//!   partitioning, overflow-bucket selection, and hash-table placement
+//!   (three *independent* seeds, the classic hybrid-hash requirement).
+//! * [`params::CostParams`] — Table 1 of the paper: the constants that turn
+//!   counted events (tuples touched, pages read, messages sent) into
+//!   virtual milliseconds.
+//!
+//! Everything downstream — storage, network, the execution engine, the six
+//! algorithms, and the analytical cost model — is expressed in these terms.
+
+pub mod agg;
+pub mod encode;
+pub mod error;
+pub mod event;
+pub mod hash;
+pub mod key;
+pub mod params;
+pub mod predicate;
+pub mod query;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use agg::{AggFunc, AggSpec, AggState, AggStates, RowKind};
+pub use encode::{decode_tuple, encode_tuple, encoded_len};
+pub use error::ModelError;
+pub use event::{CostEvent, CostTracker, CountingTracker, NullTracker};
+pub use hash::{FxBuildHasher, FxHasher, Seed, ValueHasher};
+pub use key::GroupKey;
+pub use params::{CostParams, NetworkKind};
+pub use predicate::{matches_all, Compare, Predicate};
+pub use query::{AggQuery, ResultRow};
+pub use schema::{DataType, Field, Schema};
+pub use tuple::Tuple;
+pub use value::Value;

@@ -1,0 +1,141 @@
+//! Tuples: fixed-arity rows of [`Value`]s.
+
+use crate::error::ModelError;
+use crate::value::Value;
+use std::fmt;
+
+/// A row. Stored as a boxed slice: tuples are immutable once built and a
+/// `Box<[Value]>` is one word smaller than a `Vec<Value>` — tuples are the
+/// most-instantiated type in the system.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple {
+    values: Box<[Value]>,
+}
+
+impl Tuple {
+    /// A tuple over the given values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple {
+            values: values.into_boxed_slice(),
+        }
+    }
+
+    /// The values in order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The value at `col`, or an error if out of range.
+    pub fn get(&self, col: usize) -> Result<&Value, ModelError> {
+        self.values.get(col).ok_or(ModelError::ColumnOutOfRange {
+            column: col,
+            arity: self.values.len(),
+        })
+    }
+
+    /// Project onto the given columns (clones the kept values).
+    pub fn project(&self, columns: &[usize]) -> Result<Tuple, ModelError> {
+        let mut out = Vec::with_capacity(columns.len());
+        for &c in columns {
+            out.push(self.get(c)?.clone());
+        }
+        Ok(Tuple::new(out))
+    }
+
+    /// Bytes this tuple occupies in the on-page / on-wire encoding
+    /// (see [`crate::encode`]). Sums of this drive every I/O and network
+    /// cost in the simulation.
+    pub fn encoded_len(&self) -> usize {
+        crate::encode::encoded_len(&self.values)
+    }
+
+    /// Consume the tuple, returning its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values.into_vec()
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Convenience constructor: `tuple![Int(1), Float(2.0)]`-style building from
+/// anything convertible to [`Value`].
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_and_out_of_range() {
+        let t = Tuple::new(vec![Value::Int(1), Value::Str("x".into())]);
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.get(0).unwrap(), &Value::Int(1));
+        assert_eq!(
+            t.get(2),
+            Err(ModelError::ColumnOutOfRange { column: 2, arity: 2 })
+        );
+    }
+
+    #[test]
+    fn project_selects_and_reorders() {
+        let t = Tuple::new(vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        let p = t.project(&[2, 0]).unwrap();
+        assert_eq!(p.values(), &[Value::Int(3), Value::Int(1)]);
+        assert!(t.project(&[5]).is_err());
+    }
+
+    #[test]
+    fn encoded_len_counts_tags_and_payloads() {
+        let t = Tuple::new(vec![Value::Int(1), Value::Null, Value::Str("ab".into())]);
+        // layout: u16 arity + per value (1-byte tag + payload)
+        assert_eq!(t.encoded_len(), 2 + (1 + 8) + 1 + (1 + 4 + 2));
+    }
+
+    #[test]
+    fn tuple_macro_builds_values() {
+        let t = tuple![1i64, 2.5f64, "hi"];
+        assert_eq!(
+            t.values(),
+            &[Value::Int(1), Value::Float(2.5), Value::Str("hi".into())]
+        );
+    }
+
+    #[test]
+    fn display() {
+        let t = tuple![1i64, "a"];
+        assert_eq!(t.to_string(), "[1, a]");
+    }
+
+    #[test]
+    fn into_values_round_trip() {
+        let t = tuple![4i64];
+        assert_eq!(t.into_values(), vec![Value::Int(4)]);
+    }
+}

@@ -1,0 +1,331 @@
+//! The N×N message fabric.
+//!
+//! [`Fabric::new`] builds one unbounded crossbeam channel per node; each
+//! node thread takes its [`Endpoint`], which can send to any node
+//! (including itself — the paper's cost model charges self-partitioned
+//! tuples like remote ones, and we follow it) and receive from all.
+//!
+//! Unbounded channels mean sends never block, so the thread-per-node
+//! execution cannot deadlock regardless of phase structure; back-pressure
+//! is not modelled (the paper's model has none either — network cost is
+//! pure transfer time).
+
+use crate::message::{Control, DataKind, Message, Payload};
+use crate::network::Network;
+use crate::stats::NetStats;
+use adaptagg_model::NetworkKind;
+use adaptagg_storage::Page;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+/// Builds endpoints for an `n`-node cluster.
+#[derive(Debug)]
+pub struct Fabric {
+    endpoints: Vec<Endpoint>,
+}
+
+impl Fabric {
+    /// A fabric of `n` endpoints over the given network model.
+    pub fn new(n: usize, kind: NetworkKind) -> Self {
+        let network = Network::new(kind);
+        let (senders, receivers): (Vec<Sender<Message>>, Vec<Receiver<Message>>) =
+            (0..n).map(|_| unbounded()).unzip();
+        let endpoints = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(id, rx)| Endpoint {
+                node: id,
+                nodes: n,
+                senders: senders.clone(),
+                rx,
+                pending: std::collections::VecDeque::new(),
+                network: network.clone(),
+                stats: NetStats::default(),
+            })
+            .collect();
+        Fabric { endpoints }
+    }
+
+    /// Number of endpoints.
+    pub fn len(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Whether the fabric has no endpoints.
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+
+    /// Take all endpoints (one per node thread), in node order.
+    pub fn into_endpoints(self) -> Vec<Endpoint> {
+        self.endpoints
+    }
+}
+
+/// One node's attachment to the fabric.
+#[derive(Debug)]
+pub struct Endpoint {
+    node: usize,
+    nodes: usize,
+    senders: Vec<Sender<Message>>,
+    rx: Receiver<Message>,
+    /// Messages pulled off the channel whose virtual arrival time is
+    /// still in this node's future (see [`Endpoint::try_recv_arrived`]).
+    pending: std::collections::VecDeque<Message>,
+    network: Network,
+    stats: NetStats,
+}
+
+impl Endpoint {
+    /// This endpoint's node id.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Cluster size.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The shared network (for utilization reports).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Send a data page to `to`. `now_ms` is the sender's virtual time
+    /// when the send is issued; the return value is the virtual time when
+    /// the transfer completes, which the caller assigns back to its clock
+    /// (the sender is occupied for the duration, matching the analytical
+    /// model's `m_l` charge). The receiver will observe at least this time.
+    pub fn send_data(&mut self, to: usize, kind: DataKind, page: Page, now_ms: f64) -> f64 {
+        debug_assert!(to < self.nodes, "destination {to} out of range");
+        let done = self.network.transfer(now_ms, 1);
+        self.stats
+            .on_send_data(kind, page.bytes_used(), page.tuple_count());
+        let msg = Message {
+            from: self.node,
+            sent_at_ms: done,
+            payload: Payload::Data { kind, page },
+        };
+        // A send can only fail if the receiver endpoint was dropped, which
+        // means that node's thread already finished its run closure — a
+        // protocol violation by the algorithm, not a recoverable state.
+        self.senders[to].send(msg).expect("receiver endpoint dropped");
+        done
+    }
+
+    /// Send a control message to `to` (zero transfer time; see
+    /// [`Message::transfer_pages`]).
+    pub fn send_control(&mut self, to: usize, control: Control, now_ms: f64) {
+        debug_assert!(to < self.nodes, "destination {to} out of range");
+        self.stats.control_sent += 1;
+        let msg = Message {
+            from: self.node,
+            sent_at_ms: now_ms,
+            payload: Payload::Control(control),
+        };
+        self.senders[to].send(msg).expect("receiver endpoint dropped");
+    }
+
+    /// Broadcast a control message to every *other* node.
+    pub fn broadcast_control(&mut self, control: Control, now_ms: f64) {
+        for to in 0..self.nodes {
+            if to != self.node {
+                self.send_control(to, control.clone(), now_ms);
+            }
+        }
+    }
+
+    /// Blocking receive. Returns the message; the caller merges
+    /// `msg.sent_at_ms` into its clock and charges receive-side costs.
+    /// Blocking means "wait until something arrives", so virtual arrival
+    /// times in the future are fine (the wait becomes Lamport time).
+    /// Pending messages stashed by [`Endpoint::try_recv_arrived`] are
+    /// delivered first, earliest virtual timestamp first.
+    ///
+    /// Panics if all senders disappeared (protocol violation: a phase is
+    /// waiting for data that can never arrive).
+    pub fn recv(&mut self) -> Message {
+        if let Some(msg) = self.pop_pending(f64::INFINITY) {
+            return msg;
+        }
+        let msg = self.rx.recv().expect("all sender endpoints dropped");
+        self.note_received(&msg);
+        msg
+    }
+
+    /// Non-blocking receive of a message that has *virtually arrived* by
+    /// `now_ms` (the Adaptive Repartitioning scan polls for `EndOfPhase`
+    /// while partitioning). A poll must not see the future: a message
+    /// whose send completes at virtual time `T > now_ms` has not arrived
+    /// yet, so it is stashed and the poll keeps looking. Without this
+    /// rule, polls would Lamport-drag every clock forward in a feedback
+    /// loop and inflate elapsed times cluster-wide.
+    pub fn try_recv_arrived(&mut self, now_ms: f64) -> Option<Message> {
+        if let Some(msg) = self.pop_pending(now_ms) {
+            return Some(msg);
+        }
+        while let Ok(msg) = self.rx.try_recv() {
+            if msg.sent_at_ms <= now_ms {
+                self.note_received(&msg);
+                return Some(msg);
+            }
+            self.pending.push_back(msg);
+        }
+        None
+    }
+
+    /// Non-blocking receive regardless of virtual arrival time (tests).
+    pub fn try_recv(&mut self) -> Option<Message> {
+        self.try_recv_arrived(f64::INFINITY)
+    }
+
+    /// Receive with a real-time timeout — used only by tests that must not
+    /// hang on protocol bugs.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<Message, RecvTimeoutError> {
+        if let Some(msg) = self.pop_pending(f64::INFINITY) {
+            return Ok(msg);
+        }
+        let msg = self.rx.recv_timeout(timeout)?;
+        self.note_received(&msg);
+        Ok(msg)
+    }
+
+    /// Pop the earliest-timestamped pending message that arrived by
+    /// `deadline_ms`.
+    fn pop_pending(&mut self, deadline_ms: f64) -> Option<Message> {
+        let idx = self
+            .pending
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.sent_at_ms <= deadline_ms)
+            .min_by(|(_, a), (_, b)| a.sent_at_ms.total_cmp(&b.sent_at_ms))
+            .map(|(i, _)| i)?;
+        let msg = self.pending.remove(idx).expect("index valid");
+        self.note_received(&msg);
+        Some(msg)
+    }
+
+    fn note_received(&mut self, msg: &Message) {
+        match &msg.payload {
+            Payload::Data { page, .. } => self.stats.on_recv_data(page.tuple_count()),
+            Payload::Control(_) => self.stats.control_received += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptagg_model::Value;
+
+    fn page_with(n: usize) -> Page {
+        let mut p = Page::new(2048);
+        for i in 0..n {
+            assert!(p.try_push(&[Value::Int(i as i64)]).unwrap());
+        }
+        p
+    }
+
+    #[test]
+    fn point_to_point_delivery_carries_timestamp() {
+        let mut eps = Fabric::new(2, NetworkKind::HighSpeed { latency_ms: 0.5 }).into_endpoints();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        assert_eq!(a.node(), 0);
+        assert_eq!(b.node(), 1);
+
+        let done = a.send_data(1, DataKind::Raw, page_with(3), 10.0);
+        assert_eq!(done, 10.5);
+        let msg = b.recv();
+        assert_eq!(msg.from, 0);
+        assert_eq!(msg.sent_at_ms, 10.5);
+        match msg.payload {
+            Payload::Data { kind, page } => {
+                assert_eq!(kind, DataKind::Raw);
+                assert_eq!(page.tuple_count(), 3);
+            }
+            _ => panic!("expected data"),
+        }
+        assert_eq!(a.stats().pages_sent(), 1);
+        assert_eq!(b.stats().pages_received, 1);
+        assert_eq!(b.stats().tuples_received, 3);
+    }
+
+    #[test]
+    fn self_send_works() {
+        let mut eps = Fabric::new(1, NetworkKind::high_speed_default()).into_endpoints();
+        let mut a = eps.pop().unwrap();
+        a.send_data(0, DataKind::Partial, page_with(1), 0.0);
+        let msg = a.recv();
+        assert_eq!(msg.from, 0);
+        assert!(msg.payload.is_data());
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_but_self() {
+        let mut eps = Fabric::new(3, NetworkKind::high_speed_default()).into_endpoints();
+        let mut c = eps.pop().unwrap();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.broadcast_control(Control::EndOfPhase { groups_seen: 7 }, 1.0);
+        for ep in [&mut b, &mut c] {
+            let msg = ep.recv_timeout(Duration::from_secs(1)).unwrap();
+            assert_eq!(
+                msg.payload,
+                Payload::Control(Control::EndOfPhase { groups_seen: 7 })
+            );
+        }
+        assert!(a.try_recv().is_none(), "broadcast must not loop back");
+        assert_eq!(a.stats().control_sent, 2);
+    }
+
+    #[test]
+    fn try_recv_returns_none_when_empty() {
+        let mut eps = Fabric::new(1, NetworkKind::high_speed_default()).into_endpoints();
+        let mut a = eps.pop().unwrap();
+        assert!(a.try_recv().is_none());
+    }
+
+    #[test]
+    fn shared_bus_timestamps_reflect_contention() {
+        let mut eps = Fabric::new(2, NetworkKind::SharedBus { ms_per_page: 2.0 }).into_endpoints();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        let t1 = a.send_data(1, DataKind::Raw, page_with(1), 0.0);
+        let t2 = a.send_data(1, DataKind::Raw, page_with(1), 0.0);
+        assert_eq!(t1, 2.0);
+        assert_eq!(t2, 4.0, "second page waits for the bus");
+        assert_eq!(b.recv().sent_at_ms, 2.0);
+        assert_eq!(b.recv().sent_at_ms, 4.0);
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let mut eps = Fabric::new(2, NetworkKind::high_speed_default()).into_endpoints();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        let h = std::thread::spawn(move || {
+            for i in 0..10 {
+                a.send_data(1, DataKind::Raw, page_with(i + 1), i as f64);
+            }
+            a.send_control(1, Control::EndOfStream, 10.0);
+        });
+        let mut pages = 0;
+        loop {
+            let msg = b.recv_timeout(Duration::from_secs(5)).unwrap();
+            match msg.payload {
+                Payload::Data { .. } => pages += 1,
+                Payload::Control(Control::EndOfStream) => break,
+                _ => panic!("unexpected control"),
+            }
+        }
+        h.join().unwrap();
+        assert_eq!(pages, 10);
+    }
+}

@@ -1,0 +1,94 @@
+//! Per-endpoint network statistics.
+
+use crate::message::DataKind;
+
+/// Counters kept by each endpoint; reported per node in run results so the
+/// experiments can show, e.g., that Repartitioning moves ~1/S_l times more
+/// data than Two Phase at low selectivity.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NetStats {
+    /// Data pages sent (raw tuples).
+    pub raw_pages_sent: u64,
+    /// Data pages sent (partial rows).
+    pub partial_pages_sent: u64,
+    /// Payload bytes sent in data pages.
+    pub bytes_sent: u64,
+    /// Tuples sent in data pages.
+    pub tuples_sent: u64,
+    /// Data pages received.
+    pub pages_received: u64,
+    /// Tuples received.
+    pub tuples_received: u64,
+    /// Control messages sent.
+    pub control_sent: u64,
+    /// Control messages received.
+    pub control_received: u64,
+}
+
+impl NetStats {
+    /// Record a sent data page.
+    pub fn on_send_data(&mut self, kind: DataKind, bytes: usize, tuples: usize) {
+        match kind {
+            DataKind::Raw => self.raw_pages_sent += 1,
+            DataKind::Partial => self.partial_pages_sent += 1,
+        }
+        self.bytes_sent += bytes as u64;
+        self.tuples_sent += tuples as u64;
+    }
+
+    /// Record a received data page.
+    pub fn on_recv_data(&mut self, tuples: usize) {
+        self.pages_received += 1;
+        self.tuples_received += tuples as u64;
+    }
+
+    /// Total data pages sent.
+    pub fn pages_sent(&self) -> u64 {
+        self.raw_pages_sent + self.partial_pages_sent
+    }
+
+    /// Element-wise sum (cluster-wide totals).
+    pub fn add(&mut self, other: &NetStats) {
+        self.raw_pages_sent += other.raw_pages_sent;
+        self.partial_pages_sent += other.partial_pages_sent;
+        self.bytes_sent += other.bytes_sent;
+        self.tuples_sent += other.tuples_sent;
+        self.pages_received += other.pages_received;
+        self.tuples_received += other.tuples_received;
+        self.control_sent += other.control_sent;
+        self.control_received += other.control_received;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_accounting() {
+        let mut s = NetStats::default();
+        s.on_send_data(DataKind::Raw, 2000, 20);
+        s.on_send_data(DataKind::Partial, 1000, 10);
+        s.on_recv_data(15);
+        assert_eq!(s.pages_sent(), 2);
+        assert_eq!(s.raw_pages_sent, 1);
+        assert_eq!(s.partial_pages_sent, 1);
+        assert_eq!(s.bytes_sent, 3000);
+        assert_eq!(s.tuples_sent, 30);
+        assert_eq!(s.pages_received, 1);
+        assert_eq!(s.tuples_received, 15);
+    }
+
+    #[test]
+    fn totals_add() {
+        let mut a = NetStats::default();
+        a.on_send_data(DataKind::Raw, 100, 1);
+        let mut b = NetStats::default();
+        b.on_send_data(DataKind::Raw, 200, 2);
+        b.control_sent = 3;
+        a.add(&b);
+        assert_eq!(a.bytes_sent, 300);
+        assert_eq!(a.tuples_sent, 3);
+        assert_eq!(a.control_sent, 3);
+    }
+}

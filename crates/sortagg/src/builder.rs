@@ -1,0 +1,223 @@
+//! Sorted-run formation with early aggregation.
+
+use adaptagg_model::{
+    AggQuery, AggStates, CostEvent, CostTracker, GroupKey, ModelError, RowKind, Value,
+};
+use adaptagg_storage::{SpillFile, StorageError};
+use std::collections::BTreeMap;
+
+/// Builds sorted runs: a memory-bounded ordered table that seals itself
+/// to a [`SpillFile`] (written in key order) whenever it reaches the
+/// group budget.
+#[derive(Debug)]
+pub struct RunBuilder {
+    query: AggQuery,
+    table: BTreeMap<GroupKey, AggStates>,
+    max_entries: usize,
+    page_bytes: usize,
+    sealed: Vec<SpillFile>,
+    rows_in: u64,
+}
+
+impl RunBuilder {
+    /// A builder for `query` (projected form) with a `max_entries` group
+    /// budget per run.
+    pub fn new(query: AggQuery, max_entries: usize, page_bytes: usize) -> Self {
+        RunBuilder {
+            query,
+            table: BTreeMap::new(),
+            max_entries: max_entries.max(1),
+            page_bytes,
+            sealed: Vec::new(),
+            rows_in: 0,
+        }
+    }
+
+    /// Rows pushed so far.
+    pub fn rows_in(&self) -> u64 {
+        self.rows_in
+    }
+
+    /// Runs sealed so far (excluding the in-memory one).
+    pub fn sealed_runs(&self) -> usize {
+        self.sealed.len()
+    }
+
+    /// Groups resident in the current in-memory run.
+    pub fn resident_groups(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Push a row of either kind. Charges `t_r` (read) + `t_h` (ordered
+    /// insertion; see crate docs on cost parity) + `t_a` (combine).
+    pub fn push<T: CostTracker>(
+        &mut self,
+        kind: RowKind,
+        values: &[Value],
+        tracker: &mut T,
+    ) -> Result<(), StorageError> {
+        tracker.record(CostEvent::TupleRead, 1);
+        tracker.record(CostEvent::TupleHash, 1);
+        self.rows_in += 1;
+
+        let k = self.query.group_by.len();
+        let key = match kind {
+            RowKind::Raw => self.query.key_of_values(values)?,
+            RowKind::Partial => {
+                if values.len() != self.query.partial_row_arity() {
+                    return Err(ModelError::PartialArityMismatch {
+                        expected: self.query.partial_row_arity(),
+                        found: values.len(),
+                    }
+                    .into());
+                }
+                GroupKey::new(values[..k].to_vec())
+            }
+        };
+
+        // Early aggregation: combine into the resident run if the key is
+        // present; otherwise admit it (sealing first if at budget).
+        if !self.table.contains_key(&key) && self.table.len() >= self.max_entries {
+            self.seal_run(tracker)?;
+        }
+        let states = self
+            .table
+            .entry(key)
+            .or_insert_with(|| AggStates::new(&self.query.aggs));
+        match kind {
+            RowKind::Raw => states.update_from_tuple(&self.query.aggs, values)?,
+            RowKind::Partial => states.merge_partial_values(&values[k..])?,
+        }
+        tracker.record(CostEvent::TupleAgg, 1);
+        Ok(())
+    }
+
+    /// Seal the resident run to disk in key order (BTreeMap iteration is
+    /// sorted). Charges `t_w` per row plus page writes.
+    fn seal_run<T: CostTracker>(&mut self, tracker: &mut T) -> Result<(), StorageError> {
+        if self.table.is_empty() {
+            return Ok(());
+        }
+        let mut run = SpillFile::new(self.page_bytes);
+        for (key, states) in std::mem::take(&mut self.table) {
+            tracker.record(CostEvent::TupleWrite, 1);
+            let mut row = key.into_values();
+            row.extend(states.to_partial_values());
+            run.spool(&row, tracker)?;
+        }
+        run.finish(tracker);
+        self.sealed.push(run);
+        Ok(())
+    }
+
+    /// Finish run formation. Returns all sealed runs plus the resident
+    /// run's rows (which never touch disk — the hybrid trick: the last
+    /// run merges from memory).
+    #[allow(clippy::type_complexity)]
+    pub fn finish<T: CostTracker>(
+        mut self,
+        tracker: &mut T,
+    ) -> Result<(Vec<SpillFile>, Vec<Vec<Value>>), StorageError> {
+        let mut resident: Vec<Vec<Value>> = Vec::with_capacity(self.table.len());
+        for (key, states) in std::mem::take(&mut self.table) {
+            tracker.record(CostEvent::TupleWrite, 1);
+            let mut row = key.into_values();
+            row.extend(states.to_partial_values());
+            resident.push(row);
+        }
+        Ok((self.sealed, resident))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptagg_model::{AggFunc, AggSpec, CountingTracker, NullTracker};
+    use adaptagg_storage::SpillFile;
+
+    fn query() -> AggQuery {
+        AggQuery::new(vec![0], vec![AggSpec::over(AggFunc::Sum, 1)])
+    }
+
+    fn raw(g: i64, v: i64) -> Vec<Value> {
+        vec![Value::Int(g), Value::Int(v)]
+    }
+
+    fn drain_run(run: SpillFile) -> Vec<Vec<Value>> {
+        let mut out = Vec::new();
+        run.drain(&mut NullTracker, |_t, row| {
+            out.push(row);
+            Ok(())
+        })
+        .unwrap();
+        out
+    }
+
+    #[test]
+    fn small_input_stays_resident() {
+        let mut b = RunBuilder::new(query(), 100, 256);
+        let mut tr = NullTracker;
+        for i in 0..50 {
+            b.push(RowKind::Raw, &raw(i % 10, 1), &mut tr).unwrap();
+        }
+        assert_eq!(b.sealed_runs(), 0);
+        assert_eq!(b.resident_groups(), 10);
+        let (runs, resident) = b.finish(&mut tr).unwrap();
+        assert!(runs.is_empty());
+        assert_eq!(resident.len(), 10);
+        // Resident rows are key-ordered (BTreeMap).
+        let keys: Vec<i64> = resident.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn early_aggregation_combines_before_sealing() {
+        // 10 groups repeated 100x with budget 10: everything combines in
+        // memory, nothing seals.
+        let mut b = RunBuilder::new(query(), 10, 256);
+        let mut tr = CountingTracker::new();
+        for i in 0..1000 {
+            b.push(RowKind::Raw, &raw(i % 10, 1), &mut tr).unwrap();
+        }
+        assert_eq!(b.sealed_runs(), 0);
+        assert_eq!(tr.count(CostEvent::PageWriteSeq), 0);
+    }
+
+    #[test]
+    fn overflow_seals_sorted_runs() {
+        let mut b = RunBuilder::new(query(), 4, 256);
+        let mut tr = CountingTracker::new();
+        // 12 distinct groups in arrival order 11,10,…,0: 2 seals.
+        for g in (0..12).rev() {
+            b.push(RowKind::Raw, &raw(g, 1), &mut tr).unwrap();
+        }
+        assert_eq!(b.sealed_runs(), 2);
+        let (runs, resident) = b.finish(&mut tr).unwrap();
+        assert_eq!(resident.len(), 4);
+        for run in runs {
+            let rows = drain_run(run);
+            assert_eq!(rows.len(), 4);
+            let keys: Vec<i64> = rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+            assert!(keys.windows(2).all(|w| w[0] < w[1]), "run not sorted: {keys:?}");
+        }
+    }
+
+    #[test]
+    fn partial_rows_combine_too() {
+        let mut b = RunBuilder::new(query(), 100, 256);
+        let mut tr = NullTracker;
+        b.push(RowKind::Raw, &raw(1, 5), &mut tr).unwrap();
+        b.push(RowKind::Partial, &[Value::Int(1), Value::Int(37)], &mut tr)
+            .unwrap();
+        let (_, resident) = b.finish(&mut tr).unwrap();
+        assert_eq!(resident, vec![vec![Value::Int(1), Value::Int(42)]]);
+    }
+
+    #[test]
+    fn bad_partial_arity_is_error() {
+        let mut b = RunBuilder::new(query(), 100, 256);
+        assert!(b
+            .push(RowKind::Partial, &[Value::Int(1)], &mut NullTracker)
+            .is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! # adaptagg-sortagg
+//!
+//! Sort-based aggregation: the alternative local-aggregation strategy of
+//! Bitton et al. \[BBDW83\], which the paper's §1 cites as the prior
+//! approach ("two sorting based algorithms for aggregate processing …
+//! the first algorithm is somewhat similar to the Two Phase approach in
+//! that it uses local aggregation").
+//!
+//! The classic external-sort-with-early-aggregation pipeline:
+//!
+//! 1. **run formation** — accumulate tuples in a memory-bounded ordered
+//!    table (early aggregation: duplicates combine *before* anything is
+//!    written), and when it reaches `M` groups, seal it to disk as a
+//!    sorted run ([`RunBuilder`]);
+//! 2. **k-way merge** — merge all runs by key, combining equal keys'
+//!    partial states, emitting finalized or partial rows in key order
+//!    ([`merge_runs`]).
+//!
+//! [`SortAggregator`] packages the pipeline behind the same
+//! push/finish interface as `adaptagg_hashagg::HashAggregator`, so the
+//! algorithms layer can swap strategies (`AlgorithmKind::SortTwoPhase`).
+//!
+//! Cost parity: Table 1 prices hashing (`t_h`) but not comparisons; we
+//! charge `t_h` per run-table insertion (the BTree descent) and `t_r` per
+//! comparison-driven move in the merge, keeping the two strategies
+//! comparable under one parameter set. Run I/O goes through the same
+//! spill machinery (page writes on seal, reads on merge) as hash
+//! overflow, so the I/O accounting is identical.
+
+pub mod aggregate;
+pub mod builder;
+pub mod merge;
+
+pub use aggregate::{SortAggStats, SortAggregator};
+pub use builder::RunBuilder;
+pub use merge::merge_runs;

@@ -1,0 +1,86 @@
+//! The (deliberately small) abstract syntax tree.
+
+use adaptagg_model::{AggFunc, Compare, Value};
+
+/// One `column <op> literal` term of the WHERE conjunction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhereTerm {
+    /// Column name.
+    pub column: String,
+    /// Comparison operator.
+    pub op: Compare,
+    /// Literal (Int, Float, or Str).
+    pub literal: Value,
+}
+
+/// An aggregate function's argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggArg {
+    /// `COUNT(*)`.
+    Star,
+    /// `FUNC(column)`.
+    Column(String),
+}
+
+/// One item of the select list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItemExpr {
+    /// A bare column reference (must be grouped).
+    Column(String),
+    /// An aggregate call.
+    Agg {
+        /// The function.
+        func: AggFunc,
+        /// Its argument.
+        arg: AggArg,
+    },
+}
+
+/// A select-list item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectItem {
+    /// The expression.
+    pub expr: ItemExpr,
+    /// `AS alias`, if given (names the output column).
+    pub alias: Option<String>,
+}
+
+/// `SELECT [DISTINCT] <items> FROM <table> [WHERE <terms AND …>]
+/// [GROUP BY <columns>]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Whether `DISTINCT` was given.
+    pub distinct: bool,
+    /// The select list, in order.
+    pub items: Vec<SelectItem>,
+    /// The (single) table name. The engine binds by schema, so the name
+    /// is informational.
+    pub table: String,
+    /// WHERE conjunction (empty = no filter).
+    pub where_clause: Vec<WhereTerm>,
+    /// GROUP BY column names, in order.
+    pub group_by: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ast_is_constructible_and_comparable() {
+        let a = SelectStmt {
+            distinct: false,
+            items: vec![SelectItem {
+                expr: ItemExpr::Agg {
+                    func: AggFunc::Count,
+                    arg: AggArg::Star,
+                },
+                alias: Some("n".into()),
+            }],
+            table: "r".into(),
+            where_clause: vec![],
+            group_by: vec![],
+        };
+        assert_eq!(a, a.clone());
+    }
+}

@@ -1,0 +1,264 @@
+//! Binder: names → column indexes → [`AggQuery`], with SQL validation.
+
+use crate::ast::{AggArg, ItemExpr, SelectStmt};
+use crate::error::SqlError;
+use adaptagg_model::{AggQuery, AggSpec, DataType, Predicate, Schema, Value};
+
+/// A bound, executable query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundQuery {
+    /// The executable form (column indexes into the schema).
+    pub query: AggQuery,
+    /// Output column names: group columns, then one per aggregate
+    /// (`"SUM(v)"`-style).
+    pub output_names: Vec<String>,
+}
+
+/// Bind a parsed statement against a schema.
+pub fn bind(stmt: &SelectStmt, schema: &Schema) -> Result<BoundQuery, SqlError> {
+    let col = |name: &str| -> Result<usize, SqlError> {
+        schema
+            .index_of(name)
+            .ok_or_else(|| SqlError::new(format!("no such column: {name}")))
+    };
+
+    // Resolve GROUP BY (explicit or, for DISTINCT, the select list).
+    let group_names: Vec<String> = if stmt.distinct {
+        if !stmt.group_by.is_empty() {
+            return Err(SqlError::new(
+                "DISTINCT with GROUP BY is not supported; use one or the other",
+            ));
+        }
+        stmt.items
+            .iter()
+            .map(|it| match &it.expr {
+                ItemExpr::Column(c) => Ok(c.clone()),
+                ItemExpr::Agg { .. } => Err(SqlError::new(
+                    "DISTINCT select list must be plain columns",
+                )),
+            })
+            .collect::<Result<_, _>>()?
+    } else {
+        stmt.group_by.clone()
+    };
+
+    let group_by: Vec<usize> = group_names
+        .iter()
+        .map(|n| col(n))
+        .collect::<Result<_, _>>()?;
+
+    // Resolve items: bare columns must be grouped; aggregates bind their
+    // inputs and (for numeric functions) check the column type.
+    let mut aggs: Vec<AggSpec> = Vec::new();
+    let mut output_names: Vec<String> = group_names.clone();
+    for item in &stmt.items {
+        match &item.expr {
+            ItemExpr::Column(name) => {
+                let Some(pos) = group_names.iter().position(|g| g == name) else {
+                    return Err(SqlError::new(format!(
+                        "column '{name}' must appear in GROUP BY or inside an aggregate"
+                    )));
+                };
+                // Grouped columns are already in output_names, in
+                // group-key order (the engine emits key columns first);
+                // an alias renames that output column.
+                if let Some(alias) = &item.alias {
+                    output_names[pos] = alias.clone();
+                }
+            }
+            ItemExpr::Agg { func, arg } => {
+                let spec = match arg {
+                    AggArg::Star => AggSpec::count_star(),
+                    AggArg::Column(name) => {
+                        let idx = col(name)?;
+                        let needs_numeric = matches!(
+                            func,
+                            adaptagg_model::AggFunc::Sum
+                                | adaptagg_model::AggFunc::Avg
+                                | adaptagg_model::AggFunc::VarPop
+                                | adaptagg_model::AggFunc::StddevPop
+                        );
+                        if needs_numeric {
+                            let dt = schema.field(idx).expect("index from schema").data_type;
+                            if dt == DataType::Str {
+                                return Err(SqlError::new(format!(
+                                    "{}({name}) needs a numeric column, {name} is STR",
+                                    func.name()
+                                )));
+                            }
+                        }
+                        AggSpec::over(*func, idx)
+                    }
+                };
+                output_names.push(item.alias.clone().unwrap_or_else(|| match arg {
+                    AggArg::Star => format!("{}(*)", func.name()),
+                    AggArg::Column(name) => format!("{}({name})", func.name()),
+                }));
+                aggs.push(spec);
+            }
+        }
+    }
+
+    if stmt.distinct && !aggs.is_empty() {
+        return Err(SqlError::new("DISTINCT cannot be combined with aggregates"));
+    }
+    if group_by.is_empty() && aggs.is_empty() {
+        return Err(SqlError::new(
+            "query has neither GROUP BY columns nor aggregates",
+        ));
+    }
+
+    // Resolve the WHERE conjunction: columns must exist and the literal's
+    // type must be comparable with the column's.
+    let mut filter = Vec::with_capacity(stmt.where_clause.len());
+    for term in &stmt.where_clause {
+        let idx = col(&term.column)?;
+        let dt = schema.field(idx).expect("index from schema").data_type;
+        let compatible = matches!(
+            (dt, &term.literal),
+            (DataType::Int, Value::Int(_))
+                | (DataType::Float, Value::Float(_))
+                | (DataType::Float, Value::Int(_))
+                | (DataType::Str, Value::Str(_))
+        );
+        if !compatible {
+            return Err(SqlError::new(format!(
+                "WHERE {} {} {}: literal type does not match column type {dt}",
+                term.column, term.op, term.literal
+            )));
+        }
+        filter.push(Predicate::new(idx, term.op, term.literal.clone()));
+    }
+
+    Ok(BoundQuery {
+        query: AggQuery::new(group_by, aggs).with_filter(filter),
+        output_names,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use adaptagg_model::{AggFunc, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("g", DataType::Int),
+            Field::new("v", DataType::Int),
+            Field::new("tag", DataType::Str),
+        ])
+    }
+
+    fn compile(sql: &str) -> Result<BoundQuery, SqlError> {
+        bind(&parse(sql).unwrap(), &schema())
+    }
+
+    #[test]
+    fn binds_group_by_query() {
+        let b = compile("SELECT g, SUM(v), COUNT(*) FROM r GROUP BY g").unwrap();
+        assert_eq!(b.query.group_by, vec![0]);
+        assert_eq!(b.query.aggs.len(), 2);
+        assert_eq!(b.query.aggs[0], AggSpec::over(AggFunc::Sum, 1));
+        assert_eq!(b.query.aggs[1], AggSpec::count_star());
+        assert_eq!(b.output_names, vec!["g", "SUM(v)", "COUNT(*)"]);
+    }
+
+    #[test]
+    fn binds_distinct_as_group_by() {
+        let b = compile("SELECT DISTINCT g, tag FROM r").unwrap();
+        assert_eq!(b.query.group_by, vec![0, 2]);
+        assert!(b.query.aggs.is_empty());
+        assert_eq!(b.output_names, vec!["g", "tag"]);
+    }
+
+    #[test]
+    fn binds_scalar_aggregate() {
+        let b = compile("SELECT MIN(tag) FROM r").unwrap();
+        assert!(b.query.group_by.is_empty());
+        assert_eq!(b.query.aggs, vec![AggSpec::over(AggFunc::Min, 2)]);
+    }
+
+    #[test]
+    fn rejects_ungrouped_bare_column() {
+        let e = compile("SELECT g, v FROM r GROUP BY g").unwrap_err();
+        assert!(e.message.contains("'v'"));
+    }
+
+    #[test]
+    fn rejects_unknown_column() {
+        let e = compile("SELECT nope FROM r GROUP BY nope").unwrap_err();
+        assert!(e.message.contains("nope"));
+    }
+
+    #[test]
+    fn rejects_sum_over_string() {
+        let e = compile("SELECT g, SUM(tag) FROM r GROUP BY g").unwrap_err();
+        assert!(e.message.contains("STR"));
+    }
+
+    #[test]
+    fn min_max_over_string_is_fine() {
+        assert!(compile("SELECT g, MAX(tag) FROM r GROUP BY g").is_ok());
+    }
+
+    #[test]
+    fn rejects_distinct_with_aggregates() {
+        let e = compile("SELECT DISTINCT COUNT(*) FROM r").unwrap_err();
+        assert!(e.message.contains("DISTINCT"));
+    }
+
+    #[test]
+    fn rejects_empty_shape() {
+        // Parses, but binds to nothing useful.
+        let e = compile("SELECT g FROM r GROUP BY g");
+        assert!(e.is_ok(), "grouped projection alone is duplicate elimination");
+        // But a bare ungrouped column with no aggs is already rejected
+        // by the grouping rule.
+        assert!(compile("SELECT g FROM r").is_err());
+    }
+
+    #[test]
+    fn where_binds_to_predicates() {
+        use adaptagg_model::Compare;
+        let b = compile("SELECT g, SUM(v) FROM r WHERE v > 100 AND tag = 'x' GROUP BY g")
+            .unwrap();
+        assert_eq!(b.query.filter.len(), 2);
+        assert_eq!(b.query.filter[0], Predicate::new(1, Compare::Gt, Value::Int(100)));
+        assert_eq!(
+            b.query.filter[1],
+            Predicate::new(2, Compare::Eq, Value::Str("x".into()))
+        );
+    }
+
+    #[test]
+    fn where_type_mismatch_is_rejected() {
+        let e = compile("SELECT g, SUM(v) FROM r WHERE g = 'five' GROUP BY g").unwrap_err();
+        assert!(e.message.contains("literal type"));
+        let e = compile("SELECT g, SUM(v) FROM r WHERE tag > 3 GROUP BY g").unwrap_err();
+        assert!(e.message.contains("literal type"));
+    }
+
+    #[test]
+    fn where_unknown_column_is_rejected() {
+        let e = compile("SELECT g, SUM(v) FROM r WHERE missing = 1 GROUP BY g").unwrap_err();
+        assert!(e.message.contains("missing"));
+    }
+
+    #[test]
+    fn aliases_rename_output_columns() {
+        let b =
+            compile("SELECT g AS grp, SUM(v) AS total, COUNT(*) FROM r GROUP BY g").unwrap();
+        assert_eq!(b.output_names, vec!["grp", "total", "COUNT(*)"]);
+        // Aliases change names only, never the executable plan.
+        let plain = compile("SELECT g, SUM(v), COUNT(*) FROM r GROUP BY g").unwrap();
+        assert_eq!(b.query, plain.query);
+    }
+
+    #[test]
+    fn variance_binds() {
+        let b = compile("SELECT g, VAR_POP(v), STDDEV_POP(v) FROM r GROUP BY g").unwrap();
+        assert_eq!(b.query.aggs.len(), 2);
+        assert_eq!(b.query.partial_arity(), 6);
+    }
+}

@@ -1,0 +1,58 @@
+//! SQL front-end errors, with byte positions into the source string.
+
+use std::fmt;
+
+/// A lexing, parsing, or binding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the SQL text, if known.
+    pub position: Option<usize>,
+}
+
+impl SqlError {
+    /// An error at a position.
+    pub fn at(position: usize, message: impl Into<String>) -> Self {
+        SqlError {
+            message: message.into(),
+            position: Some(position),
+        }
+    }
+
+    /// An error with no specific position (binder-level).
+    pub fn new(message: impl Into<String>) -> Self {
+        SqlError {
+            message: message.into(),
+            position: None,
+        }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.position {
+            Some(p) => write!(f, "SQL error at byte {p}: {}", self.message),
+            None => write!(f, "SQL error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_with_and_without_position() {
+        assert_eq!(
+            SqlError::at(5, "unexpected ','").to_string(),
+            "SQL error at byte 5: unexpected ','"
+        );
+        assert_eq!(
+            SqlError::new("no such column").to_string(),
+            "SQL error: no such column"
+        );
+    }
+}

@@ -1,0 +1,302 @@
+//! Tokenizer.
+
+use crate::error::SqlError;
+
+/// What a token is.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword or bare identifier; keywords are recognized
+    /// case-insensitively at parse time via [`Token::keyword`].
+    Ident(String),
+    /// Integer literal (optionally negative).
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (with `''` escaping).
+    StrLit(String),
+    /// A comparison operator (`=`, `<>`, `<`, `<=`, `>`, `>=`).
+    Cmp(adaptagg_model::Compare),
+    /// `*`.
+    Star,
+    /// `,`.
+    Comma,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+}
+
+/// A token plus its byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub kind: TokenKind,
+    /// Byte offset of the token's first character.
+    pub position: usize,
+}
+
+impl Token {
+    /// The uppercase form of an identifier token, for keyword matching
+    /// (SQL keywords are case-insensitive).
+    pub fn keyword(&self) -> Option<String> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s.to_ascii_uppercase()),
+            _ => None,
+        }
+    }
+
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = sql.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '*' => {
+                out.push(Token {
+                    kind: TokenKind::Star,
+                    position: i,
+                });
+                i += 1;
+            }
+            ',' => {
+                out.push(Token {
+                    kind: TokenKind::Comma,
+                    position: i,
+                });
+                i += 1;
+            }
+            '(' => {
+                out.push(Token {
+                    kind: TokenKind::LParen,
+                    position: i,
+                });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    position: i,
+                });
+                i += 1;
+            }
+            '=' => {
+                out.push(Token {
+                    kind: TokenKind::Cmp(adaptagg_model::Compare::Eq),
+                    position: i,
+                });
+                i += 1;
+            }
+            '<' | '>' => {
+                let start = i;
+                let next = bytes.get(i + 1).map(|&b| b as char);
+                let (op, len) = match (c, next) {
+                    ('<', Some('>')) => (adaptagg_model::Compare::Ne, 2),
+                    ('<', Some('=')) => (adaptagg_model::Compare::Le, 2),
+                    ('>', Some('=')) => (adaptagg_model::Compare::Ge, 2),
+                    ('<', _) => (adaptagg_model::Compare::Lt, 1),
+                    ('>', _) => (adaptagg_model::Compare::Gt, 1),
+                    _ => unreachable!(),
+                };
+                out.push(Token {
+                    kind: TokenKind::Cmp(op),
+                    position: start,
+                });
+                i += len;
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i).map(|&b| b as char) {
+                        Some('\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(c) => {
+                            s.push(c);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(SqlError::at(start, "unterminated string literal"))
+                        }
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::StrLit(s),
+                    position: start,
+                });
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())) =>
+            {
+                let start = i;
+                i += 1; // sign or first digit
+                let mut is_float = false;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_digit() || c == '_' {
+                        i += 1;
+                    } else if c == '.' && !is_float {
+                        is_float = true;
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = sql[start..i].replace('_', "");
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| {
+                        SqlError::at(start, format!("bad float literal '{text}'"))
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| {
+                        SqlError::at(start, format!("bad integer literal '{text}'"))
+                    })?)
+                };
+                out.push(Token {
+                    kind,
+                    position: start,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident(sql[start..i].to_string()),
+                    position: start,
+                });
+            }
+            other => {
+                return Err(SqlError::at(i, format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_a_query() {
+        let ks = kinds("SELECT g, SUM(v) FROM r GROUP BY g");
+        assert_eq!(ks.len(), 12);
+        assert_eq!(ks[0], TokenKind::Ident("SELECT".into()));
+        assert_eq!(ks[2], TokenKind::Comma);
+        assert_eq!(ks[4], TokenKind::LParen);
+        assert_eq!(ks[6], TokenKind::RParen);
+    }
+
+    #[test]
+    fn star_and_underscored_idents() {
+        let ks = kinds("count(*) flag_status");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("count".into()),
+                TokenKind::LParen,
+                TokenKind::Star,
+                TokenKind::RParen,
+                TokenKind::Ident("flag_status".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_point_at_tokens() {
+        let ts = tokenize("a ,b").unwrap();
+        assert_eq!(ts[0].position, 0);
+        assert_eq!(ts[1].position, 2);
+        assert_eq!(ts[2].position, 3);
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        let err = tokenize("SELECT a;").unwrap_err();
+        assert!(err.message.contains(';'));
+        assert!(err.position.is_some());
+    }
+
+    #[test]
+    fn numbers_and_strings_and_operators() {
+        use adaptagg_model::Compare;
+        let ks = kinds("v >= -1_000 and tag = 'it''s' or x < 2.5");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("v".into()),
+                TokenKind::Cmp(Compare::Ge),
+                TokenKind::Int(-1000),
+                TokenKind::Ident("and".into()),
+                TokenKind::Ident("tag".into()),
+                TokenKind::Cmp(Compare::Eq),
+                TokenKind::StrLit("it's".into()),
+                TokenKind::Ident("or".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Cmp(Compare::Lt),
+                TokenKind::Float(2.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        use adaptagg_model::Compare;
+        assert_eq!(kinds("<>"), vec![TokenKind::Cmp(Compare::Ne)]);
+        assert_eq!(kinds("<="), vec![TokenKind::Cmp(Compare::Le)]);
+        assert_eq!(kinds(">="), vec![TokenKind::Cmp(Compare::Ge)]);
+        assert_eq!(
+            kinds("< ="),
+            vec![
+                TokenKind::Cmp(Compare::Lt),
+                TokenKind::Cmp(Compare::Eq)
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn keyword_is_case_insensitive() {
+        let ts = tokenize("select").unwrap();
+        assert_eq!(ts[0].keyword().unwrap(), "SELECT");
+        assert_eq!(ts[0].ident().unwrap(), "select");
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(tokenize("   ").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,57 @@
+//! # adaptagg-sql
+//!
+//! A small SQL front-end for the aggregate queries the paper studies
+//! (§2's basic form):
+//!
+//! ```sql
+//! SELECT g, SUM(v), COUNT(*) FROM r GROUP BY g
+//! SELECT DISTINCT orderkey FROM lineitem
+//! SELECT AVG(quantity) FROM lineitem          -- scalar aggregation
+//! SELECT g, MAX(v) AS top FROM r WHERE v >= 100 AND tag = 'hot' GROUP BY g
+//! ```
+//!
+//! Three stages:
+//!
+//! * [`lexer`] — tokenize with source positions;
+//! * [`parser`] — recursive descent into the [`ast`];
+//! * [`mod@bind`] — resolve column names against a
+//!   [`adaptagg_model::Schema`], validate SQL grouping rules (every bare
+//!   select column must be grouped, aggregate inputs must exist, DISTINCT
+//!   takes no aggregates), and emit an executable
+//!   [`adaptagg_model::AggQuery`] plus output column names.
+//!
+//! WHERE supports a conjunction of column-vs-literal comparisons, applied
+//! by the scan before projection (the paper's `[where {predicates}]`).
+//! HAVING is intentionally absent: the paper scopes it out ("a properly
+//! constructed HAVING clause … does not directly affect the performance
+//! of the aggregation algorithms", §2).
+//!
+//! ```
+//! use adaptagg_model::{DataType, Field, Schema};
+//! let schema = Schema::new(vec![
+//!     Field::new("g", DataType::Int),
+//!     Field::new("v", DataType::Int),
+//! ]);
+//! let bound = adaptagg_sql::compile("SELECT g, SUM(v) FROM r GROUP BY g", &schema).unwrap();
+//! assert_eq!(bound.query.group_by, vec![0]);
+//! assert_eq!(bound.output_names, vec!["g", "SUM(v)"]);
+//! ```
+
+pub mod ast;
+pub mod bind;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{AggArg, ItemExpr, SelectItem, SelectStmt};
+pub use bind::{bind, BoundQuery};
+pub use error::SqlError;
+pub use lexer::{tokenize, Token, TokenKind};
+pub use parser::parse;
+
+use adaptagg_model::Schema;
+
+/// Parse and bind a SQL string against a schema in one step.
+pub fn compile(sql: &str, schema: &Schema) -> Result<BoundQuery, SqlError> {
+    bind(&parse(sql)?, schema)
+}

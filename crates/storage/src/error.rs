@@ -1,0 +1,85 @@
+//! Storage errors.
+
+use adaptagg_model::ModelError;
+use std::fmt;
+
+/// Errors from the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A tuple was larger than a whole page and can never be stored.
+    TupleTooLarge {
+        /// Encoded tuple size in bytes.
+        tuple_bytes: usize,
+        /// Page capacity in bytes.
+        page_bytes: usize,
+    },
+    /// A named file was not found on the disk.
+    NoSuchFile(String),
+    /// A page index was out of range for a file.
+    PageOutOfRange {
+        /// Requested page index.
+        page: usize,
+        /// Number of pages in the file.
+        pages: usize,
+    },
+    /// A page's bytes failed to decode.
+    Model(ModelError),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::TupleTooLarge {
+                tuple_bytes,
+                page_bytes,
+            } => write!(
+                f,
+                "tuple of {tuple_bytes} B cannot fit a {page_bytes} B page"
+            ),
+            StorageError::NoSuchFile(name) => write!(f, "no such file: {name}"),
+            StorageError::PageOutOfRange { page, pages } => {
+                write!(f, "page {page} out of range (file has {pages} pages)")
+            }
+            StorageError::Model(e) => write!(f, "decode failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for StorageError {
+    fn from(e: ModelError) -> Self {
+        StorageError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = StorageError::TupleTooLarge {
+            tuple_bytes: 9000,
+            page_bytes: 4096,
+        };
+        assert!(e.to_string().contains("9000"));
+        assert!(StorageError::NoSuchFile("r".into()).to_string().contains("r"));
+        let e = StorageError::PageOutOfRange { page: 9, pages: 3 };
+        assert!(e.to_string().contains("page 9"));
+    }
+
+    #[test]
+    fn model_error_converts_and_sources() {
+        use std::error::Error;
+        let e: StorageError = ModelError::Corrupt("bad").into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,33 @@
+//! # adaptagg-storage
+//!
+//! Paged storage for the simulated shared-nothing cluster:
+//!
+//! * [`Page`] — a fixed-capacity byte page of encoded tuples (4 KB disk
+//!   pages by default; the network layer reuses the same type for 2 KB
+//!   message blocks).
+//! * [`HeapFile`] — an append-only sequence of pages: a node's partition of
+//!   the base relation, a result file, or a spooled overflow bucket.
+//! * [`SimDisk`] — one node's disk: named heap files plus the page-I/O
+//!   event stream ([`adaptagg_model::CostEvent`]) that feeds the virtual
+//!   clock. The *data* is held in memory (this is a simulation), but every
+//!   page that the paper's algorithms would have read or written is
+//!   counted, which is all the cost model needs.
+//! * [`SpillFile`] — overflow-bucket spooling for the memory-bounded hash
+//!   table (write tuples out, seal pages, read them back bucket-by-bucket).
+//!
+//! Charging convention (see `adaptagg_model::event`): this crate charges
+//! **page-level I/O only**; per-tuple CPU costs are charged by the compute
+//! layers.
+
+pub mod disk;
+pub mod error;
+pub mod heapfile;
+pub mod page;
+pub mod persist;
+pub mod spill;
+
+pub use disk::{IoCounters, SimDisk};
+pub use error::StorageError;
+pub use heapfile::HeapFile;
+pub use page::Page;
+pub use spill::SpillFile;

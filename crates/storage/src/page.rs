@@ -1,0 +1,234 @@
+//! Fixed-capacity pages of encoded tuples.
+//!
+//! A page is a byte buffer plus a tuple count. Tuples are stored in the
+//! [`adaptagg_model::encode`] wire format, back to back. The same type
+//! serves 4 KB disk pages and 2 KB network message blocks — only the
+//! capacity differs.
+
+use crate::error::StorageError;
+use adaptagg_model::{decode_tuple, encode_tuple, encoded_len, Value};
+
+/// A page of encoded tuples with a byte-capacity bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Page {
+    capacity: usize,
+    data: Vec<u8>,
+    tuples: u32,
+}
+
+impl Page {
+    /// An empty page with the given byte capacity.
+    pub fn new(capacity: usize) -> Self {
+        Page {
+            capacity,
+            data: Vec::new(),
+            tuples: 0,
+        }
+    }
+
+    /// Byte capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently used.
+    pub fn bytes_used(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of tuples on the page.
+    pub fn tuple_count(&self) -> usize {
+        self.tuples as usize
+    }
+
+    /// Whether the page holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples == 0
+    }
+
+    /// Whether a tuple of `n` encoded bytes would fit.
+    pub fn fits(&self, n: usize) -> bool {
+        self.data.len() + n <= self.capacity
+    }
+
+    /// Try to append a tuple. Returns `Ok(true)` if stored, `Ok(false)` if
+    /// the page is full (caller seals it and starts a new one), or an error
+    /// if the tuple can never fit *any* page of this capacity.
+    pub fn try_push(&mut self, values: &[Value]) -> Result<bool, StorageError> {
+        let n = encoded_len(values);
+        if n > self.capacity {
+            return Err(StorageError::TupleTooLarge {
+                tuple_bytes: n,
+                page_bytes: self.capacity,
+            });
+        }
+        if !self.fits(n) {
+            return Ok(false);
+        }
+        encode_tuple(values, &mut self.data);
+        self.tuples += 1;
+        Ok(true)
+    }
+
+    /// Iterate over the page's tuples, decoding lazily.
+    pub fn iter(&self) -> PageIter<'_> {
+        PageIter {
+            data: &self.data,
+            pos: 0,
+            remaining: self.tuples,
+        }
+    }
+
+    /// Decode all tuples into vectors (convenience for tests and stores).
+    pub fn decode_all(&self) -> Result<Vec<Vec<Value>>, StorageError> {
+        self.iter().collect()
+    }
+
+    /// Clear the page for reuse (capacity retained — the "workhorse
+    /// collection" pattern: exchange operators reuse one page per
+    /// destination).
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.tuples = 0;
+    }
+
+    /// The raw encoded bytes (persistence).
+    pub fn raw_data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Rebuild a page from its raw parts, verifying that the bytes decode
+    /// to exactly `tuples` tuples of `data.len()` bytes (persistence).
+    pub fn from_raw(capacity: usize, data: Vec<u8>, tuples: u32) -> Result<Self, StorageError> {
+        if data.len() > capacity {
+            return Err(StorageError::TupleTooLarge {
+                tuple_bytes: data.len(),
+                page_bytes: capacity,
+            });
+        }
+        let page = Page {
+            capacity,
+            data,
+            tuples,
+        };
+        // `iter` stops after `tuples` decoded rows; require that they
+        // decode cleanly and span the whole buffer (no trailing garbage).
+        let mut pos = 0usize;
+        for t in page.iter() {
+            pos += adaptagg_model::encoded_len(&t?);
+        }
+        if pos != page.data.len() {
+            return Err(StorageError::Model(adaptagg_model::ModelError::Corrupt(
+                "page bytes longer than its tuples",
+            )));
+        }
+        Ok(page)
+    }
+}
+
+/// Iterator over a page's tuples.
+#[derive(Debug)]
+pub struct PageIter<'a> {
+    data: &'a [u8],
+    pos: usize,
+    remaining: u32,
+}
+
+impl Iterator for PageIter<'_> {
+    type Item = Result<Vec<Value>, StorageError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        match decode_tuple(&self.data[self.pos..]) {
+            Ok((values, used)) => {
+                self.pos += used;
+                Some(Ok(values))
+            }
+            Err(e) => {
+                self.remaining = 0;
+                Some(Err(e.into()))
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptagg_model::Value;
+
+    fn ints(n: i64) -> Vec<Value> {
+        vec![Value::Int(n), Value::Int(n * 2)]
+    }
+
+    #[test]
+    fn push_until_full_then_refuse() {
+        let mut p = Page::new(64);
+        let mut stored = 0;
+        while p.try_push(&ints(stored)).unwrap() {
+            stored += 1;
+        }
+        // Each tuple is 2 + 2*(1+8) = 20 bytes; 3 fit in 64.
+        assert_eq!(stored, 3);
+        assert_eq!(p.tuple_count(), 3);
+        assert_eq!(p.bytes_used(), 60);
+        assert!(!p.fits(20));
+    }
+
+    #[test]
+    fn oversized_tuple_is_an_error_not_a_full_page() {
+        let mut p = Page::new(16);
+        let big = vec![Value::Str("x".repeat(100).into())];
+        assert!(matches!(
+            p.try_push(&big),
+            Err(StorageError::TupleTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn iteration_round_trips_in_order() {
+        let mut p = Page::new(4096);
+        for i in 0..50 {
+            assert!(p.try_push(&ints(i)).unwrap());
+        }
+        let decoded = p.decode_all().unwrap();
+        assert_eq!(decoded.len(), 50);
+        for (i, t) in decoded.iter().enumerate() {
+            assert_eq!(t[0], Value::Int(i as i64));
+        }
+        assert_eq!(p.iter().size_hint(), (50, Some(50)));
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut p = Page::new(128);
+        p.try_push(&ints(1)).unwrap();
+        p.clear();
+        assert!(p.is_empty());
+        assert_eq!(p.bytes_used(), 0);
+        assert!(p.try_push(&ints(2)).unwrap());
+    }
+
+    #[test]
+    fn empty_page_iterates_nothing() {
+        let p = Page::new(4096);
+        assert_eq!(p.iter().count(), 0);
+    }
+
+    #[test]
+    fn mixed_width_tuples() {
+        let mut p = Page::new(4096);
+        p.try_push(&[Value::Null]).unwrap();
+        p.try_push(&[Value::Str("abc".into()), Value::Float(1.5)]).unwrap();
+        let all = p.decode_all().unwrap();
+        assert_eq!(all[0], vec![Value::Null]);
+        assert_eq!(all[1], vec![Value::Str("abc".into()), Value::Float(1.5)]);
+    }
+}

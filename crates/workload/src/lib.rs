@@ -1,0 +1,33 @@
+//! # adaptagg-workload
+//!
+//! Generators for the paper's experimental data:
+//!
+//! * [`RelationSpec`] — uniform relations parameterized by tuple count,
+//!   group count (grouping selectivity `S = groups/tuples`), tuple width
+//!   (100-byte tuples in the study), and RNG seed.
+//! * [`placement`] — how base tuples land on nodes; the study used
+//!   round-robin ("The 2 Million 100 byte tuples were partitioned in a
+//!   round-robin fashion", §5).
+//! * [`skew`] — §6's two skew families: *input skew* (same groups per
+//!   node, different tuple counts) and *output skew* (same tuple counts,
+//!   different group counts; Figure 9's configuration assigns four of the
+//!   eight nodes one group each and spreads the rest).
+//! * [`tpcd`] — TPC-D-flavoured workloads covering the selectivity
+//!   spectrum the introduction cites (result sizes from 2 tuples to
+//!   ~1.4 M on a 100 GB database).
+//!
+//! Base tuples have the fixed layout `(group: Int, value: Int, pad: Str)`;
+//! the default aggregation query groups on column 0 and aggregates
+//! column 1, giving a projectivity close to Table 1's 16 %.
+
+pub mod placement;
+pub mod relation;
+pub mod skew;
+pub mod tpcd;
+pub mod zipf;
+
+pub use placement::{round_robin_partitions, Placement};
+pub use relation::{default_query, generate_partitions, RelationSpec};
+pub use skew::{InputSkewSpec, OutputSkewSpec};
+pub use tpcd::TpcdWorkload;
+pub use zipf::ZipfSpec;

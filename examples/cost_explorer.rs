@@ -1,0 +1,73 @@
+//! Explore the paper's analytical cost model (§2–4): sweep the grouping
+//! selectivity on both network types and print the per-phase breakdown of
+//! a chosen point.
+//!
+//! ```sh
+//! cargo run --release --example cost_explorer
+//! ```
+
+use adaptagg::prelude::*;
+
+fn sweep(title: &str, cfg: &ModelConfig) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "selectivity", "C-2P", "2P", "Rep", "Samp", "A-2P", "winner"
+    );
+    let algos = [
+        CostAlgorithm::CentralizedTwoPhase,
+        CostAlgorithm::TwoPhase,
+        CostAlgorithm::Repartitioning,
+        CostAlgorithm::Sampling,
+        CostAlgorithm::AdaptiveTwoPhase,
+    ];
+    for row in selectivity_sweep(cfg, &algos, 1) {
+        let (wi, _) = row
+            .times_ms
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap();
+        print!("{:>12.3e}", row.selectivity);
+        for t in &row.times_ms {
+            print!(" {:>10.0}", t);
+        }
+        println!(" {:>8}", algos[wi].label());
+    }
+}
+
+fn main() {
+    let fast = ModelConfig::paper_standard();
+    sweep("32 nodes, 8M tuples, high-speed network (ms)", &fast);
+
+    let slow = ModelConfig::paper_cluster();
+    sweep("8 nodes, 2M tuples, 10Mbit shared bus (ms)", &slow);
+
+    // Per-phase anatomy of one interesting point: just past the memory
+    // knee, where the adaptive switch pays off.
+    let s = 0.01;
+    println!("\n=== anatomy at S = {s} (fast network) ===");
+    for algo in [
+        CostAlgorithm::TwoPhase,
+        CostAlgorithm::Repartitioning,
+        CostAlgorithm::AdaptiveTwoPhase,
+    ] {
+        println!("{}:", algo.label());
+        println!("{}", algo.cost(&fast, s));
+    }
+
+    // Scaleup curves (Figures 5–6).
+    println!("\n=== scaleup, S = 2e-6 (1.0 = ideal) ===");
+    for algo in [
+        CostAlgorithm::TwoPhase,
+        CostAlgorithm::AdaptiveTwoPhase,
+        CostAlgorithm::AdaptiveRepartitioning,
+    ] {
+        let curve = scaleup_curve(&fast, algo, 2.0e-6, &[1, 4, 16, 32], 250_000.0);
+        print!("{:<6}", algo.label());
+        for (n, _, su) in curve {
+            print!("  N={n}: {su:.3}");
+        }
+        println!();
+    }
+}

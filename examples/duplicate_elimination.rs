@@ -1,0 +1,64 @@
+//! Duplicate elimination: `SELECT DISTINCT` is aggregation with no
+//! aggregate functions and a result that can approach the input size —
+//! the far-right end of the paper's selectivity spectrum, where
+//! Repartitioning-style processing is essential.
+//!
+//! ```sh
+//! cargo run --release --example duplicate_elimination
+//! ```
+
+use adaptagg::prelude::*;
+
+fn main() {
+    // 120 K order-line rows over 40 K distinct orders: DISTINCT keeps a
+    // third of the input.
+    let w = TpcdWorkload::new(120_000);
+    let query = TpcdWorkload::distinct_orders_query();
+    let params = CostParams {
+        max_hash_entries: 2_000, // small memory: the 2P family must spill
+        ..CostParams::cluster_default()
+    };
+    let cluster = ClusterConfig::new(8, params);
+    let parts = w.generate_partitions(cluster.nodes);
+    let reference = reference_aggregate(&parts, &query).unwrap();
+
+    println!("query    : {query}");
+    println!("input    : {} rows → {} distinct orders\n", w.rows, reference.len());
+    println!(
+        "{:<8} {:>12} {:>10} {:>13}",
+        "algo", "virtual ms", "spilled", "vs best"
+    );
+
+    let mut results = Vec::new();
+    for kind in [
+        AlgorithmKind::TwoPhase,
+        AlgorithmKind::Repartitioning,
+        AlgorithmKind::Sampling,
+        AlgorithmKind::AdaptiveTwoPhase,
+        AlgorithmKind::AdaptiveRepartitioning,
+    ] {
+        let out = run_algorithm(kind, &cluster, &parts, &query).expect("run succeeds");
+        assert_eq!(out.rows, reference, "{kind} diverged");
+        results.push((kind, out.elapsed_ms(), out.total_spilled()));
+    }
+    let best = results
+        .iter()
+        .map(|(_, t, _)| *t)
+        .fold(f64::INFINITY, f64::min);
+    for (kind, t, spilled) in &results {
+        println!(
+            "{:<8} {:>12.1} {:>10} {:>12.2}x",
+            kind.label(),
+            t,
+            spilled,
+            t / best
+        );
+    }
+    println!(
+        "\nAt duplicate-elimination selectivities, local aggregation stops\n\
+         compressing: Two Phase ships nearly as much as Repartitioning and\n\
+         pays intermediate I/O on top. The adaptive algorithms converge to\n\
+         Repartitioning behaviour on their own — the paper recommends\n\
+         supporting A-Rep exactly for this workload (§7)."
+    );
+}

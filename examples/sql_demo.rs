@@ -1,0 +1,69 @@
+//! SQL front-end demo: compile textual queries against the TPC-D-ish
+//! schema and run them through the adaptive engine.
+//!
+//! ```sh
+//! cargo run --release --example sql_demo
+//! ```
+
+use adaptagg::model::{DataType, Field, Schema};
+use adaptagg::prelude::*;
+
+fn main() {
+    // The lineitem-flavoured layout of `TpcdWorkload`.
+    let schema = Schema::new(vec![
+        Field::new("flag_status", DataType::Int),
+        Field::new("orderkey", DataType::Int),
+        Field::new("quantity", DataType::Int),
+        Field::new("extendedprice", DataType::Int),
+        Field::new("pad", DataType::Str),
+    ]);
+    let w = TpcdWorkload::new(60_000);
+    let cluster = ClusterConfig::new(8, CostParams::cluster_default());
+    let parts = w.generate_partitions(cluster.nodes);
+
+    let queries = [
+        "SELECT flag_status, SUM(quantity), AVG(extendedprice), COUNT(*) \
+         FROM lineitem GROUP BY flag_status",
+        "SELECT orderkey, MAX(quantity) FROM lineitem GROUP BY orderkey",
+        "SELECT DISTINCT orderkey FROM lineitem",
+        "SELECT STDDEV_POP(quantity) FROM lineitem",
+        "SELECT flag_status, COUNT(*) AS big_items FROM lineitem \
+         WHERE quantity >= 40 GROUP BY flag_status",
+    ];
+
+    for sql in queries {
+        println!("sql> {sql}");
+        let bound = match compile_sql(sql, &schema) {
+            Ok(b) => b,
+            Err(e) => {
+                println!("  {e}\n");
+                continue;
+            }
+        };
+        let out = run_algorithm(AlgorithmKind::AdaptiveTwoPhase, &cluster, &parts, &bound.query)
+            .expect("run succeeds");
+        println!(
+            "  {} rows in {:.1} virtual ms   [{}]",
+            out.rows.len(),
+            out.elapsed_ms(),
+            bound.output_names.join(", ")
+        );
+        for row in out.rows.iter().take(4) {
+            println!("    {row}");
+        }
+        if out.rows.len() > 4 {
+            println!("    … {} more", out.rows.len() - 4);
+        }
+        println!();
+    }
+
+    // Errors come back with context, not panics.
+    for bad in [
+        "SELECT nope FROM lineitem GROUP BY nope2",
+        "SELECT quantity FROM lineitem",
+        "SELECT SUM(pad) FROM lineitem",
+    ] {
+        println!("sql> {bad}");
+        println!("  {}\n", compile_sql(bad, &schema).unwrap_err());
+    }
+}

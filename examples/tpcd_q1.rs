@@ -1,0 +1,52 @@
+//! TPC-D-flavoured workloads: the motivation of the paper's introduction
+//! ("in the TPC-D benchmark 15 out of 17 queries contain aggregate
+//! operations", with result sizes from 2 tuples to over a million).
+//!
+//! Runs Q1-style (6 groups, 4 aggregates), a per-order aggregate
+//! (~rows/4 groups), and DISTINCT orders — three points spanning the
+//! selectivity spectrum — under the Sampling algorithm, showing its
+//! decision flip.
+//!
+//! ```sh
+//! cargo run --release --example tpcd_q1
+//! ```
+
+use adaptagg::prelude::*;
+
+fn main() {
+    let w = TpcdWorkload::new(100_000);
+    let cluster = ClusterConfig::new(8, CostParams::cluster_default());
+    let parts = w.generate_partitions(cluster.nodes);
+
+    for (name, query) in [
+        ("Q1-style  (flag_status groups)", TpcdWorkload::q1_query()),
+        ("per-order (orderkey groups)", TpcdWorkload::per_order_query()),
+        ("DISTINCT orders", TpcdWorkload::distinct_orders_query()),
+    ] {
+        let reference = reference_aggregate(&parts, &query).unwrap();
+        let out = run_algorithm(AlgorithmKind::Sampling, &cluster, &parts, &query)
+            .expect("run succeeds");
+        assert_eq!(out.rows, reference);
+        let choice = out.nodes[0]
+            .events
+            .iter()
+            .find_map(|e| match e {
+                AdaptEvent::SamplingChose(c) => Some(*c),
+                _ => None,
+            })
+            .expect("sampling decision recorded");
+        println!("{name}");
+        println!("  query        : {query}");
+        println!("  result size  : {} groups (S = {:.2e})", out.rows.len(),
+            out.rows.len() as f64 / w.rows as f64);
+        println!("  sampler chose: {choice}");
+        println!("  virtual time : {:.1} ms", out.elapsed_ms());
+        if name.starts_with("Q1") {
+            println!("  result rows  :");
+            for row in &out.rows {
+                println!("    {row}");
+            }
+        }
+        println!();
+    }
+}

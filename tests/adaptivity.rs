@@ -1,0 +1,208 @@
+//! Behavioural tests of the adaptive machinery: *when* the algorithms
+//! switch, fall back, or decide — not just what they compute.
+
+use adaptagg::prelude::*;
+
+fn cluster(nodes: usize, m: usize) -> ClusterConfig {
+    ClusterConfig::new(
+        nodes,
+        CostParams {
+            max_hash_entries: m,
+            ..CostParams::paper_default()
+        },
+    )
+}
+
+fn switched(events: &[AdaptEvent]) -> Option<u64> {
+    events.iter().find_map(|e| match e {
+        AdaptEvent::SwitchedToRepartitioning { at_tuple } => Some(*at_tuple),
+        _ => None,
+    })
+}
+
+fn fell_back(events: &[AdaptEvent]) -> Option<(u64, bool)> {
+    events.iter().find_map(|e| match e {
+        AdaptEvent::FellBackToTwoPhase {
+            at_tuple,
+            local_decision,
+        } => Some((*at_tuple, *local_decision)),
+        _ => None,
+    })
+}
+
+#[test]
+fn a2p_switches_iff_local_groups_exceed_memory() {
+    let query = default_query();
+    // Below M: no switch.
+    let spec = RelationSpec::uniform(8_000, 400);
+    let parts = generate_partitions(&spec, 4);
+    let out = run_algorithm(AlgorithmKind::AdaptiveTwoPhase, &cluster(4, 500), &parts, &query)
+        .unwrap();
+    assert!(out.adapted_nodes().is_empty());
+
+    // Above M: every node switches, and not before M distinct groups
+    // could have been observed.
+    let spec = RelationSpec::uniform(8_000, 4_000);
+    let parts = generate_partitions(&spec, 4);
+    let out = run_algorithm(AlgorithmKind::AdaptiveTwoPhase, &cluster(4, 500), &parts, &query)
+        .unwrap();
+    assert_eq!(out.adapted_nodes().len(), 4);
+    for n in &out.nodes {
+        let at = switched(&n.events).expect("switch recorded");
+        assert!(at >= 500, "switched after only {at} tuples");
+        assert!(at <= 2_000, "switch recorded past the node's input");
+    }
+}
+
+#[test]
+fn a2p_switch_point_tracks_memory_budget() {
+    // Larger budget → later switch.
+    let query = default_query();
+    let spec = RelationSpec::uniform(12_000, 6_000);
+    let mut switch_points = Vec::new();
+    for m in [100usize, 400, 1_000] {
+        let parts = generate_partitions(&spec, 4);
+        let out =
+            run_algorithm(AlgorithmKind::AdaptiveTwoPhase, &cluster(4, m), &parts, &query)
+                .unwrap();
+        let avg: f64 = out
+            .nodes
+            .iter()
+            .map(|n| switched(&n.events).unwrap() as f64)
+            .sum::<f64>()
+            / out.nodes.len() as f64;
+        switch_points.push(avg);
+    }
+    assert!(
+        switch_points.windows(2).all(|w| w[0] < w[1]),
+        "switch points should grow with M: {switch_points:?}"
+    );
+}
+
+#[test]
+fn a2p_local_phase_never_spills() {
+    // A2P's defining guarantee: the scan side replaces overflow I/O with
+    // forwarding. Any spill must come from the merge phase, bounded by
+    // the merge table size — with G/N < M there is none at all.
+    let query = default_query();
+    let spec = RelationSpec::uniform(20_000, 1_600); // G/N = 400 < M
+    let parts = generate_partitions(&spec, 4);
+    let out = run_algorithm(AlgorithmKind::AdaptiveTwoPhase, &cluster(4, 500), &parts, &query)
+        .unwrap();
+    assert_eq!(out.adapted_nodes().len(), 4, "G_local=1600 > M=500: switches");
+    assert_eq!(out.total_spilled(), 0);
+
+    // Plain 2P on the same data spills.
+    let parts = generate_partitions(&spec, 4);
+    let tp = run_algorithm(AlgorithmKind::TwoPhase, &cluster(4, 500), &parts, &query).unwrap();
+    assert!(tp.total_spilled() > 0);
+}
+
+#[test]
+fn arep_falls_back_locally_on_few_groups() {
+    let query = default_query();
+    let spec = RelationSpec::uniform(40_000, 20);
+    let parts = generate_partitions(&spec, 4);
+    let out = run_algorithm(
+        AlgorithmKind::AdaptiveRepartitioning,
+        &cluster(4, 1_000),
+        &parts,
+        &query,
+    )
+    .unwrap();
+    assert_eq!(out.adapted_nodes().len(), 4, "all nodes must leave Rep mode");
+    // At least one node decided from its own observation (the others may
+    // have been told by the broadcast, depending on timing).
+    assert!(out
+        .nodes
+        .iter()
+        .any(|n| matches!(fell_back(&n.events), Some((_, true)))));
+}
+
+#[test]
+fn arep_stays_repartitioning_on_many_groups() {
+    let query = default_query();
+    let spec = RelationSpec::uniform(40_000, 15_000);
+    let parts = generate_partitions(&spec, 4);
+    let out = run_algorithm(
+        AlgorithmKind::AdaptiveRepartitioning,
+        &cluster(4, 50_000),
+        &parts,
+        &query,
+    )
+    .unwrap();
+    assert!(
+        out.adapted_nodes().is_empty(),
+        "unexpected fallback: {:?}",
+        out.nodes.iter().map(|n| &n.events).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn sampling_decision_respects_threshold() {
+    let query = default_query();
+    let config = cluster(4, 10_000);
+    // Default threshold for 4 nodes is 40 groups.
+    for (groups, expect_rep) in [(10usize, false), (20_000usize, true)] {
+        let spec = RelationSpec::uniform(40_000, groups);
+        let parts = generate_partitions(&spec, 4);
+        let out = run_algorithm(AlgorithmKind::Sampling, &config, &parts, &query).unwrap();
+        for n in &out.nodes {
+            let chose_rep = n.events.iter().any(|e| {
+                matches!(
+                    e,
+                    AdaptEvent::SamplingChose(AlgorithmChoice::Repartitioning)
+                )
+            });
+            assert_eq!(chose_rep, expect_rep, "groups = {groups}");
+        }
+    }
+}
+
+#[test]
+fn output_skew_nodes_decide_independently() {
+    // §6.2: under output skew, exactly the group-rich nodes switch.
+    let spec = OutputSkewSpec::new(6, 3_000, 2_400, 3);
+    let parts = spec.generate_partitions();
+    let config = cluster(6, 150);
+    let out = run_algorithm(
+        AlgorithmKind::AdaptiveTwoPhase,
+        &config,
+        &parts,
+        &default_query(),
+    )
+    .unwrap();
+    assert_eq!(out.adapted_nodes(), vec![3, 4, 5]);
+}
+
+#[test]
+fn custom_config_tunes_arep_fallback() {
+    let query = default_query();
+    let spec = RelationSpec::uniform(40_000, 300);
+    let parts = generate_partitions(&spec, 4);
+    let config = cluster(4, 10_000);
+
+    // min_groups below the true count: stays Rep.
+    let stay = AlgoConfig::default_for(4).with_crossover_threshold(100);
+    let out = run_algorithm_with(
+        AlgorithmKind::AdaptiveRepartitioning,
+        &config,
+        &parts,
+        &query,
+        &stay,
+    )
+    .unwrap();
+    assert!(out.adapted_nodes().is_empty());
+
+    // min_groups above the true count: falls back.
+    let fall = AlgoConfig::default_for(4).with_crossover_threshold(1_000);
+    let out = run_algorithm_with(
+        AlgorithmKind::AdaptiveRepartitioning,
+        &config,
+        &parts,
+        &query,
+        &fall,
+    )
+    .unwrap();
+    assert_eq!(out.adapted_nodes().len(), 4);
+}

@@ -1,0 +1,163 @@
+//! The foundational integration invariant: every parallel aggregation
+//! algorithm produces exactly the single-node reference result, across
+//! cluster sizes, memory budgets, networks, query shapes, and data
+//! distributions.
+
+use adaptagg::prelude::*;
+
+fn check_all(
+    parts: &[adaptagg::storage::HeapFile],
+    query: &AggQuery,
+    nodes: usize,
+    params: CostParams,
+) {
+    let reference = reference_aggregate(parts, query).unwrap();
+    let config = ClusterConfig::new(nodes, params);
+    for kind in AlgorithmKind::ALL {
+        let out = run_algorithm(kind, &config, parts, query).expect("run succeeds");
+        assert_eq!(
+            out.rows, reference,
+            "{kind} diverged ({nodes} nodes, query {query})"
+        );
+    }
+}
+
+#[test]
+fn uniform_across_selectivity_spectrum() {
+    for groups in [1usize, 7, 100, 2_000, 10_000] {
+        let spec = RelationSpec::uniform(20_000, groups).with_seed(groups as u64);
+        let parts = generate_partitions(&spec, 8);
+        check_all(&parts, &default_query(), 8, CostParams::paper_default());
+    }
+}
+
+#[test]
+fn tight_memory_budgets() {
+    let spec = RelationSpec::uniform(10_000, 1_500);
+    for m in [1usize, 16, 200, 5_000] {
+        let parts = generate_partitions(&spec, 4);
+        let params = CostParams {
+            max_hash_entries: m,
+            ..CostParams::paper_default()
+        };
+        check_all(&parts, &default_query(), 4, params);
+    }
+}
+
+#[test]
+fn cluster_sizes_including_single_node() {
+    for nodes in [1usize, 2, 3, 8, 16] {
+        let spec = RelationSpec::uniform(8_000, 300);
+        let parts = generate_partitions(&spec, nodes);
+        check_all(&parts, &default_query(), nodes, CostParams::paper_default());
+    }
+}
+
+#[test]
+fn shared_bus_network() {
+    let spec = RelationSpec::uniform(12_000, 800);
+    let parts = generate_partitions(&spec, 8);
+    check_all(&parts, &default_query(), 8, CostParams::cluster_default());
+}
+
+#[test]
+fn every_aggregate_function_mix() {
+    let spec = RelationSpec::uniform(6_000, 250);
+    let parts = generate_partitions(&spec, 4);
+    let query = AggQuery::new(
+        vec![0],
+        vec![
+            AggSpec::count_star(),
+            AggSpec::over(AggFunc::Count, 1),
+            AggSpec::over(AggFunc::Sum, 1),
+            AggSpec::over(AggFunc::Avg, 1),
+            AggSpec::over(AggFunc::Min, 1),
+            AggSpec::over(AggFunc::Max, 1),
+            AggSpec::over(AggFunc::VarPop, 1),
+            AggSpec::over(AggFunc::StddevPop, 1),
+        ],
+    );
+    // (Integer inputs keep the variance moments exactly representable in
+    // f64, so cross-algorithm equality is bit-exact.)
+    check_all(&parts, &query, 4, CostParams::paper_default());
+}
+
+#[test]
+fn duplicate_elimination_query() {
+    let spec = RelationSpec::uniform(10_000, 4_000);
+    let parts = generate_partitions(&spec, 8);
+    let params = CostParams {
+        max_hash_entries: 300,
+        ..CostParams::paper_default()
+    };
+    check_all(&parts, &AggQuery::distinct(vec![0]), 8, params);
+}
+
+#[test]
+fn scalar_aggregation_query() {
+    let spec = RelationSpec::uniform(5_000, 123);
+    let parts = generate_partitions(&spec, 4);
+    let query = AggQuery::new(
+        vec![],
+        vec![AggSpec::over(AggFunc::Sum, 1), AggSpec::count_star()],
+    );
+    check_all(&parts, &query, 4, CostParams::paper_default());
+}
+
+#[test]
+fn output_skewed_data() {
+    let spec = OutputSkewSpec::paper_figure9(2_500, 3_000);
+    let parts = spec.generate_partitions();
+    let params = CostParams {
+        max_hash_entries: 200,
+        ..CostParams::cluster_default()
+    };
+    check_all(&parts, &default_query(), 8, params);
+}
+
+#[test]
+fn input_skewed_data() {
+    let spec = InputSkewSpec::new(4, 2_000, 150);
+    let parts = spec.generate_partitions();
+    check_all(&parts, &default_query(), 4, CostParams::paper_default());
+}
+
+#[test]
+fn tpcd_queries() {
+    let w = TpcdWorkload::new(12_000);
+    let parts = w.generate_partitions(8);
+    for query in [
+        TpcdWorkload::q1_query(),
+        TpcdWorkload::per_order_query(),
+        TpcdWorkload::distinct_orders_query(),
+    ] {
+        check_all(&parts, &query, 8, CostParams::cluster_default());
+    }
+}
+
+#[test]
+fn multi_column_group_by() {
+    // Group on (g mod …, tag) pairs via the TPC-D layout's two columns.
+    let w = TpcdWorkload::new(5_000);
+    let parts = w.generate_partitions(4);
+    let query = AggQuery::new(
+        vec![0, 1],
+        vec![AggSpec::over(AggFunc::Sum, 2)],
+    );
+    check_all(&parts, &query, 4, CostParams::paper_default());
+}
+
+#[test]
+fn empty_relation() {
+    let parts: Vec<adaptagg::storage::HeapFile> = (0..4)
+        .map(|_| adaptagg::storage::HeapFile::with_default_pages())
+        .collect();
+    check_all(&parts, &default_query(), 4, CostParams::paper_default());
+}
+
+#[test]
+fn single_tuple_relation() {
+    let spec = RelationSpec::uniform(1, 1);
+    let parts = generate_partitions(&spec, 4); // 3 nodes get nothing
+    check_all(&parts, &default_query(), 4, CostParams::paper_default());
+}

@@ -1,0 +1,121 @@
+//! Regression pins for the analytical cost model: exact values at
+//! canonical points, hand-derived once from the §2 formulas with the
+//! DESIGN.md corrections. If a cost formula changes, these fail loudly —
+//! every figure depends on them.
+
+use adaptagg::cost::{CostAlgorithm, ModelConfig};
+
+fn near(actual: f64, expected: f64, what: &str) {
+    assert!(
+        (actual - expected).abs() < expected.abs() * 1e-9 + 1e-9,
+        "{what}: {actual} != {expected}"
+    );
+}
+
+/// Two Phase at scalar aggregation on the standard 32-node config.
+///
+/// Hand derivation (|R_i| = 250 000 tuples, R_i = 25 MB, P = 4 KB):
+///   scan IO      = 25e6/4096 × 1.15 ms           = 7 019.0425… ms
+///   select       = 250 000 × (t_r + t_w) = 250 000 × 0.01 ms = 2 500 ms
+///   local agg    = 250 000 × (t_r+t_h+t_a) = 250 000 × 0.025 = 6 250 ms
+///   result gen   = 1 group × t_w                              ≈ 0 ms
+///   send         = 16 B / 4096 per page × (m_p + m_l)         ≈ 0.0005 ms
+///   merge        = 32 partials × (t_r+t_a) + recv + store     ≈ 1.3 ms
+#[test]
+fn two_phase_scalar_aggregation_pinned() {
+    let cfg = ModelConfig::paper_standard();
+    let b = CostAlgorithm::TwoPhase.cost(&cfg, 1.0 / cfg.tuples);
+
+    let p = &cfg.params;
+    let tuples_i = 250_000.0;
+    let scan_io = (25_000_000.0 / 4096.0) * 1.15;
+    let select = tuples_i * (p.t_read() + p.t_write());
+    let local = tuples_i * (p.t_read() + p.t_hash() + p.t_agg());
+
+    near(b.phases[0].io_ms, scan_io, "phase1 io");
+    // CPU = select + local agg + result gen (1 row) + msg protocol.
+    let result_gen = 1.0 * p.t_write();
+    let send_pages = (1.0 * cfg.projected_tuple_bytes()) / p.page_bytes as f64;
+    let protocol = send_pages * p.t_msg_protocol();
+    near(
+        b.phases[0].cpu_ms,
+        select + local + result_gen + protocol,
+        "phase1 cpu",
+    );
+    near(
+        b.phases[0].net_ms,
+        send_pages * p.network.ms_per_page(),
+        "phase1 net",
+    );
+    // Whole-query total is dominated by the above; pin it too.
+    near(b.total_ms(), 15_769.068046875, "2P scalar total");
+}
+
+/// Repartitioning at S = 1e-3 (G = 8 000 ≥ N, no overflow anywhere).
+#[test]
+fn repartitioning_mid_selectivity_pinned() {
+    let cfg = ModelConfig::paper_standard();
+    let p = &cfg.params;
+    let b = CostAlgorithm::Repartitioning.cost(&cfg, 1e-3);
+
+    let tuples_i = 250_000.0;
+    let scan_io = (25_000_000.0 / 4096.0) * 1.15;
+    let select = tuples_i * (p.t_read() + p.t_write() + p.t_hash() + p.t_dest());
+    let send_pages = tuples_i * cfg.projected_tuple_bytes() / p.page_bytes as f64;
+    near(b.phases[0].io_ms, scan_io, "partition io");
+    near(
+        b.phases[0].cpu_ms,
+        select + send_pages * p.t_msg_protocol(),
+        "partition cpu",
+    );
+    near(
+        b.phases[0].net_ms,
+        send_pages * p.network.ms_per_page(),
+        "partition net (latency-only)",
+    );
+
+    // Phase 2: every node receives |R|/N tuples and holds G/N groups.
+    let recv_tuples = 250_000.0;
+    let groups_here = 8_000.0 / 32.0;
+    let recv_pages = recv_tuples * cfg.projected_tuple_bytes() / p.page_bytes as f64;
+    let store_pages = groups_here * cfg.projected_tuple_bytes() / p.page_bytes as f64;
+    near(
+        b.phases[1].cpu_ms,
+        recv_pages * p.t_msg_protocol()
+            + recv_tuples * (p.t_read() + p.t_agg())
+            + groups_here * p.t_write(),
+        "aggregate cpu",
+    );
+    near(b.phases[1].io_ms, store_pages * p.io_seq_ms, "store io");
+}
+
+/// The 2P overflow term at S = 0.01 (G_local = 80 000 > M = 10 000).
+#[test]
+fn two_phase_overflow_term_pinned() {
+    let cfg = ModelConfig::paper_standard();
+    let p = &cfg.params;
+    let b = CostAlgorithm::TwoPhase.cost(&cfg, 0.01);
+
+    let scan_io = (25_000_000.0 / 4096.0) * 1.15;
+    let projected_bytes = 25_000_000.0 * p.projectivity;
+    let overflow_frac = 1.0 - 10_000.0 / 80_000.0; // 0.875
+    let overflow_io = overflow_frac * (projected_bytes / p.page_bytes as f64) * 2.0 * p.io_seq_ms;
+    near(b.phases[0].io_ms, scan_io + overflow_io, "phase1 io with overflow");
+}
+
+/// The shared-bus network multiplies per-node volume by N.
+#[test]
+fn shared_bus_serialization_pinned() {
+    let mut cfg = ModelConfig::paper_cluster(); // 8 nodes, 2M tuples
+    cfg.params.network = adaptagg::model::NetworkKind::SharedBus { ms_per_page: 2.0 };
+    let p = &cfg.params;
+    let b = CostAlgorithm::Repartitioning.cost(&cfg, 1e-2);
+
+    let tuples_i = 250_000.0;
+    let send_pages = tuples_i * cfg.projected_tuple_bytes() / p.page_bytes as f64;
+    near(
+        b.phases[0].net_ms,
+        send_pages * 8.0 * 2.0,
+        "bus: cluster volume serializes",
+    );
+}

@@ -1,0 +1,129 @@
+//! Cross-validation: the analytical cost model (Figures 1–7) and the
+//! measured execution engine (Figures 8–9) must agree on the *orderings*
+//! the paper draws conclusions from — who wins at each end of the
+//! selectivity range, on each network.
+
+use adaptagg::prelude::*;
+
+/// Run one algorithm on the engine and return elapsed virtual ms.
+fn measured(kind: AlgorithmKind, groups: usize, params: &CostParams) -> f64 {
+    const TUPLES: usize = 40_000;
+    const NODES: usize = 8;
+    let spec = RelationSpec::uniform(TUPLES, groups);
+    let parts = generate_partitions(&spec, NODES);
+    let config = ClusterConfig::new(NODES, params.clone());
+    run_algorithm(kind, &config, &parts, &default_query())
+        .expect("run succeeds")
+        .elapsed_ms()
+}
+
+/// Evaluate the model at the same geometry.
+fn modeled(alg: CostAlgorithm, groups: usize, params: &CostParams) -> f64 {
+    let cfg = ModelConfig {
+        params: params.clone(),
+        nodes: 8,
+        tuples: 40_000.0,
+        io_enabled: true,
+    };
+    alg.cost(&cfg, groups as f64 / 40_000.0).total_ms()
+}
+
+/// Scale memory so the knee sits inside the sweep, like the paper's
+/// 10 K entries against 250 K tuples/node.
+fn params() -> CostParams {
+    CostParams {
+        max_hash_entries: 250,
+        ..CostParams::paper_default()
+    }
+}
+
+#[test]
+fn low_selectivity_ordering_agrees() {
+    let p = params();
+    let groups = 8;
+    // Model: 2P < Rep.
+    assert!(
+        modeled(CostAlgorithm::TwoPhase, groups, &p)
+            < modeled(CostAlgorithm::Repartitioning, groups, &p)
+    );
+    // Engine: same.
+    assert!(
+        measured(AlgorithmKind::TwoPhase, groups, &p)
+            < measured(AlgorithmKind::Repartitioning, groups, &p)
+    );
+}
+
+#[test]
+fn high_selectivity_ordering_agrees() {
+    let p = params();
+    let groups = 20_000; // duplicate-elimination end
+    assert!(
+        modeled(CostAlgorithm::Repartitioning, groups, &p)
+            < modeled(CostAlgorithm::TwoPhase, groups, &p)
+    );
+    assert!(
+        measured(AlgorithmKind::Repartitioning, groups, &p)
+            < measured(AlgorithmKind::TwoPhase, groups, &p)
+    );
+}
+
+#[test]
+fn adaptive_two_phase_tracks_the_winner_at_both_ends() {
+    let p = params();
+    for groups in [8usize, 20_000] {
+        let a2p = measured(AlgorithmKind::AdaptiveTwoPhase, groups, &p);
+        let best = measured(AlgorithmKind::TwoPhase, groups, &p)
+            .min(measured(AlgorithmKind::Repartitioning, groups, &p));
+        assert!(
+            a2p <= best * 1.2,
+            "groups={groups}: A-2P {a2p} vs best static {best}"
+        );
+    }
+}
+
+#[test]
+fn shared_bus_flips_the_middle_regime_in_both() {
+    // Just past the memory knee: on a fast network switching (A2P) is
+    // harmless; on the shared bus plain 2P wins because spilling is
+    // cheaper than shipping.
+    let groups = 4_000;
+    let fast = params();
+    let slow = CostParams {
+        network: NetworkKind::ethernet_default(),
+        ..params()
+    };
+    // Model: Rep's penalty for the bus is much larger than 2P's.
+    let rep_penalty = modeled(CostAlgorithm::Repartitioning, groups, &slow)
+        / modeled(CostAlgorithm::Repartitioning, groups, &fast);
+    let tp_penalty =
+        modeled(CostAlgorithm::TwoPhase, groups, &slow) / modeled(CostAlgorithm::TwoPhase, groups, &fast);
+    assert!(rep_penalty > tp_penalty);
+    // Engine: same.
+    let rep_penalty_m = measured(AlgorithmKind::Repartitioning, groups, &slow)
+        / measured(AlgorithmKind::Repartitioning, groups, &fast);
+    let tp_penalty_m = measured(AlgorithmKind::TwoPhase, groups, &slow)
+        / measured(AlgorithmKind::TwoPhase, groups, &fast);
+    assert!(rep_penalty_m > tp_penalty_m);
+}
+
+#[test]
+fn model_magnitudes_are_in_the_engines_ballpark() {
+    // Not a calibration claim — just that the two costings of the same
+    // geometry stay within a small factor, so the figures are mutually
+    // interpretable.
+    let p = params();
+    for groups in [8usize, 2_000, 20_000] {
+        for (alg_m, alg_e) in [
+            (CostAlgorithm::TwoPhase, AlgorithmKind::TwoPhase),
+            (CostAlgorithm::Repartitioning, AlgorithmKind::Repartitioning),
+        ] {
+            let m = modeled(alg_m, groups, &p);
+            let e = measured(alg_e, groups, &p);
+            let ratio = if m > e { m / e } else { e / m };
+            assert!(
+                ratio < 3.0,
+                "{alg_e} at {groups} groups: model {m} vs engine {e}"
+            );
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based integration tests: random relations, random queries,
+//! random cluster shapes — every algorithm must equal the reference.
+
+use adaptagg::prelude::*;
+use adaptagg::storage::HeapFile;
+use proptest::prelude::*;
+
+fn partitions_from(rows: &[(i64, i64)], nodes: usize) -> Vec<HeapFile> {
+    let mut parts: Vec<HeapFile> = (0..nodes).map(|_| HeapFile::new(512)).collect();
+    for (i, &(g, v)) in rows.iter().enumerate() {
+        parts[i % nodes]
+            .append(&[Value::Int(g), Value::Int(v)])
+            .unwrap();
+    }
+    parts
+}
+
+fn query() -> AggQuery {
+    AggQuery::new(
+        vec![0],
+        vec![
+            AggSpec::over(AggFunc::Sum, 1),
+            AggSpec::over(AggFunc::Avg, 1),
+            AggSpec::over(AggFunc::Min, 1),
+            AggSpec::count_star(),
+        ],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline property: arbitrary data, arbitrary skew in the group
+    /// ids, tiny memory, any cluster size — all nine strategies agree
+    /// with the single-node reference.
+    #[test]
+    fn prop_all_algorithms_equal_reference(
+        rows in proptest::collection::vec((-40i64..40, -1000i64..1000), 1..600),
+        nodes in 1usize..6,
+        m in 1usize..64,
+    ) {
+        let parts = partitions_from(&rows, nodes);
+        let q = query();
+        let reference = reference_aggregate(&parts, &q).unwrap();
+        let config = ClusterConfig::new(nodes, CostParams {
+            max_hash_entries: m,
+            ..CostParams::paper_default()
+        });
+        for kind in AlgorithmKind::ALL {
+            let out = run_algorithm(kind, &config, &parts, &q).expect("run succeeds");
+            prop_assert_eq!(&out.rows, &reference, "{} diverged", kind);
+        }
+    }
+
+    /// Results are invariant to the partitioning of the input across
+    /// nodes (the algorithms must not depend on placement).
+    #[test]
+    fn prop_placement_invariance(
+        rows in proptest::collection::vec((-20i64..20, -100i64..100), 1..300),
+        split in 1usize..5,
+    ) {
+        let q = query();
+        let a = partitions_from(&rows, 4);
+        // A different deal: chunk contiguously instead of round-robin.
+        let mut b: Vec<HeapFile> = (0..4).map(|_| HeapFile::new(512)).collect();
+        let chunk = rows.len().div_ceil(split.min(4));
+        for (i, &(g, v)) in rows.iter().enumerate() {
+            b[(i / chunk.max(1)).min(3)]
+                .append(&[Value::Int(g), Value::Int(v)])
+                .unwrap();
+        }
+        let config = ClusterConfig::new(4, CostParams::paper_default());
+        let ra = run_algorithm(AlgorithmKind::AdaptiveTwoPhase, &config, &a, &q).unwrap();
+        let rb = run_algorithm(AlgorithmKind::AdaptiveTwoPhase, &config, &b, &q).unwrap();
+        prop_assert_eq!(ra.rows, rb.rows);
+    }
+
+    /// Duplicate elimination returns exactly the distinct keys.
+    #[test]
+    fn prop_distinct_is_exact(
+        rows in proptest::collection::vec((-30i64..30, 0i64..1), 0..300),
+        nodes in 1usize..5,
+    ) {
+        let parts = partitions_from(&rows, nodes);
+        let q = AggQuery::distinct(vec![0]);
+        let config = ClusterConfig::new(nodes, CostParams {
+            max_hash_entries: 8,
+            ..CostParams::paper_default()
+        });
+        let out = run_algorithm(AlgorithmKind::AdaptiveRepartitioning, &config, &parts, &q)
+            .expect("run succeeds");
+        let mut expect: Vec<i64> = rows.iter().map(|&(g, _)| g).collect();
+        expect.sort_unstable();
+        expect.dedup();
+        let got: Vec<i64> = out
+            .rows
+            .iter()
+            .map(|r| r.key.values()[0].as_i64().unwrap())
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,77 @@
+//! Scale tests: the paper's analytical configuration (32 nodes) run for
+//! real on the simulated cluster, plus larger-than-default relations.
+//! These take a few seconds in release mode and guard against anything
+//! that only breaks at width (channel fan-in, bus contention, per-node
+//! state).
+
+use adaptagg::prelude::*;
+
+#[test]
+fn thirty_two_node_cluster_runs_all_strategies() {
+    let spec = RelationSpec::uniform(64_000, 5_000);
+    let parts = generate_partitions(&spec, 32);
+    let query = default_query();
+    let reference = reference_aggregate(&parts, &query).unwrap();
+    let params = CostParams {
+        max_hash_entries: 500,
+        ..CostParams::paper_default()
+    };
+    let config = ClusterConfig::new(32, params);
+    for kind in AlgorithmKind::ALL {
+        let out = run_algorithm(kind, &config, &parts, &query).expect("run succeeds");
+        assert_eq!(out.rows, reference, "{kind} diverged at 32 nodes");
+        assert_eq!(out.run.per_node.len(), 32);
+    }
+}
+
+#[test]
+fn measured_scaleup_is_flat_for_adaptive_two_phase() {
+    // The engine's answer to Figure 5: per-node load fixed, virtual time
+    // roughly flat as the cluster grows (fast network).
+    let mut times = Vec::new();
+    for nodes in [2usize, 8, 32] {
+        let spec = RelationSpec::uniform(4_000 * nodes, 50).with_seed(nodes as u64);
+        let parts = generate_partitions(&spec, nodes);
+        let config = ClusterConfig::new(nodes, CostParams::paper_default());
+        let out = run_algorithm(
+            AlgorithmKind::AdaptiveTwoPhase,
+            &config,
+            &parts,
+            &default_query(),
+        )
+        .expect("run succeeds");
+        times.push((nodes, out.elapsed_ms()));
+    }
+    let t2 = times[0].1;
+    let t32 = times[2].1;
+    assert!(
+        t32 < t2 * 1.3,
+        "scaleup broke: {t2} ms at N=2 vs {t32} ms at N=32 ({times:?})"
+    );
+}
+
+#[test]
+fn half_million_tuples_through_the_adaptive_path() {
+    // Big enough to hammer the blocking, spill, and merge paths; small
+    // enough for CI. A-2P with a tight budget exercises every moving
+    // part at once.
+    let spec = RelationSpec::uniform(500_000, 60_000);
+    let parts = generate_partitions(&spec, 8);
+    let params = CostParams {
+        max_hash_entries: 2_000,
+        ..CostParams::cluster_default()
+    };
+    let config = ClusterConfig::new(8, params);
+    let out = run_algorithm(
+        AlgorithmKind::AdaptiveTwoPhase,
+        &config,
+        &parts,
+        &default_query(),
+    )
+    .expect("run succeeds");
+    assert_eq!(out.rows.len(), 60_000);
+    assert_eq!(out.adapted_nodes().len(), 8, "every node must switch");
+    // Sanity on totals: every base tuple was scanned exactly once.
+    let scanned: u64 = out.nodes.iter().map(|n| n.agg.raw_in).sum();
+    assert!(scanned >= 500_000);
+}

@@ -1,0 +1,129 @@
+//! SQL → engine integration: textual queries compile, run on the
+//! cluster, and agree with hand-built queries and the reference.
+
+use adaptagg::model::{DataType, Field, Schema};
+use adaptagg::prelude::*;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Field::new("g", DataType::Int),
+        Field::new("v", DataType::Int),
+        Field::new("pad", DataType::Str),
+    ])
+}
+
+#[test]
+fn sql_query_equals_hand_built_query() {
+    let spec = RelationSpec::uniform(8_000, 120);
+    let parts = generate_partitions(&spec, 4);
+    let config = ClusterConfig::new(4, CostParams::paper_default());
+
+    let bound = compile_sql("SELECT g, SUM(v), COUNT(*) FROM r GROUP BY g", &schema()).unwrap();
+    assert_eq!(bound.query, default_query());
+
+    let via_sql =
+        run_algorithm(AlgorithmKind::AdaptiveTwoPhase, &config, &parts, &bound.query).unwrap();
+    let reference = reference_aggregate(&parts, &bound.query).unwrap();
+    assert_eq!(via_sql.rows, reference);
+    assert_eq!(bound.output_names, vec!["g", "SUM(v)", "COUNT(*)"]);
+}
+
+#[test]
+fn sql_distinct_runs_as_duplicate_elimination() {
+    let spec = RelationSpec::uniform(6_000, 2_000);
+    let parts = generate_partitions(&spec, 4);
+    let config = ClusterConfig::new(4, CostParams::paper_default());
+
+    let bound = compile_sql("SELECT DISTINCT g FROM r", &schema()).unwrap();
+    assert!(bound.query.aggs.is_empty());
+    let out = run_algorithm(
+        AlgorithmKind::AdaptiveRepartitioning,
+        &config,
+        &parts,
+        &bound.query,
+    )
+    .unwrap();
+    assert_eq!(out.rows.len(), 2_000);
+}
+
+#[test]
+fn sql_scalar_aggregate_over_every_strategy() {
+    let spec = RelationSpec::uniform(4_000, 77);
+    let parts = generate_partitions(&spec, 4);
+    let config = ClusterConfig::new(4, CostParams::paper_default());
+
+    let bound = compile_sql(
+        "SELECT COUNT(*), MIN(v), MAX(v), AVG(v), VAR_POP(v) FROM r",
+        &schema(),
+    )
+    .unwrap();
+    let reference = reference_aggregate(&parts, &bound.query).unwrap();
+    assert_eq!(reference.len(), 1);
+    for kind in AlgorithmKind::ALL {
+        let out = run_algorithm(kind, &config, &parts, &bound.query).unwrap();
+        assert_eq!(out.rows, reference, "{kind}");
+    }
+    assert_eq!(
+        out_count(&reference),
+        4_000,
+        "COUNT(*) column should count every row"
+    );
+}
+
+fn out_count(rows: &[ResultRow]) -> i64 {
+    rows[0].aggs[0].as_i64().unwrap()
+}
+
+#[test]
+fn sql_where_filters_before_aggregation() {
+    let spec = RelationSpec::uniform(10_000, 100);
+    let parts = generate_partitions(&spec, 4);
+    let config = ClusterConfig::new(4, CostParams::paper_default());
+
+    // v is uniform in 0..1000: keep ~30% of rows and a key-range of groups.
+    let bound = compile_sql(
+        "SELECT g, COUNT(*), SUM(v) FROM r WHERE v < 300 AND g >= 10 GROUP BY g",
+        &schema(),
+    )
+    .unwrap();
+    assert_eq!(bound.query.filter.len(), 2);
+
+    let reference = reference_aggregate(&parts, &bound.query).unwrap();
+    assert_eq!(reference.len(), 90, "groups 10..100 survive the g filter");
+    // Every algorithm agrees on the filtered result.
+    for kind in AlgorithmKind::ALL {
+        let out = run_algorithm(kind, &config, &parts, &bound.query).unwrap();
+        assert_eq!(out.rows, reference, "{kind}");
+    }
+    // The counts reflect the v filter (~30% of 100 rows per group).
+    for row in &reference {
+        let n = row.aggs[0].as_i64().unwrap();
+        assert!((10..=60).contains(&n), "group count {n} implausible");
+    }
+}
+
+#[test]
+fn sql_where_that_filters_everything_yields_empty() {
+    let spec = RelationSpec::uniform(1_000, 10);
+    let parts = generate_partitions(&spec, 4);
+    let config = ClusterConfig::new(4, CostParams::paper_default());
+    let bound = compile_sql("SELECT g, COUNT(*) FROM r WHERE v < -1 GROUP BY g", &schema())
+        .unwrap();
+    let out =
+        run_algorithm(AlgorithmKind::AdaptiveTwoPhase, &config, &parts, &bound.query).unwrap();
+    assert!(out.rows.is_empty());
+}
+
+#[test]
+fn sql_errors_are_surfaced_not_panicked() {
+    for bad in [
+        "SELECT",
+        "SELECT g FROM",
+        "SELECT g, SUM(v) FROM r GROUP BY missing",
+        "SELECT v FROM r GROUP BY g",
+        "SELECT SUM(pad) FROM r",
+        "FROM r SELECT g",
+    ] {
+        assert!(compile_sql(bad, &schema()).is_err(), "{bad} should fail");
+    }
+}

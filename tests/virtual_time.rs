@@ -1,0 +1,229 @@
+//! Virtual-time invariants: the simulated costs must order the algorithms
+//! the way the paper's analysis says they order, and the accounting
+//! itself must be internally consistent.
+
+use adaptagg::prelude::*;
+
+fn run(
+    kind: AlgorithmKind,
+    parts: &[adaptagg::storage::HeapFile],
+    nodes: usize,
+    params: CostParams,
+) -> RunOutcome {
+    let config = ClusterConfig::new(nodes, params);
+    run_algorithm(kind, &config, parts, &default_query()).expect("run succeeds")
+}
+
+#[test]
+fn repartitioning_ships_more_than_two_phase_at_low_selectivity() {
+    let spec = RelationSpec::uniform(20_000, 50);
+    let parts = generate_partitions(&spec, 8);
+    let tp = run(AlgorithmKind::TwoPhase, &parts, 8, CostParams::paper_default());
+    let rep = run(
+        AlgorithmKind::Repartitioning,
+        &parts,
+        8,
+        CostParams::paper_default(),
+    );
+    // 2P ships ~groups·N partials; Rep ships the whole relation.
+    assert!(tp.run.total_net().tuples_sent < 1_000);
+    assert_eq!(rep.run.total_net().tuples_sent, 20_000);
+    assert!(tp.elapsed_ms() < rep.elapsed_ms());
+}
+
+#[test]
+fn shared_bus_is_slower_than_fast_network_for_repartitioning() {
+    let spec = RelationSpec::uniform(20_000, 2_000);
+    let parts = generate_partitions(&spec, 8);
+    let fast = run(
+        AlgorithmKind::Repartitioning,
+        &parts,
+        8,
+        CostParams::paper_default(),
+    );
+    let slow = run(
+        AlgorithmKind::Repartitioning,
+        &parts,
+        8,
+        CostParams::cluster_default(),
+    );
+    assert!(
+        slow.elapsed_ms() > fast.elapsed_ms() * 1.5,
+        "bus {} vs fast {}",
+        slow.elapsed_ms(),
+        fast.elapsed_ms()
+    );
+    // The bus was genuinely occupied.
+    assert!(slow.run.bus_busy_ms > 0.0);
+    assert_eq!(fast.run.bus_busy_ms, 0.0);
+}
+
+#[test]
+fn virtual_time_is_deterministic_for_static_algorithms() {
+    let spec = RelationSpec::uniform(10_000, 700);
+    let parts = generate_partitions(&spec, 4);
+    for kind in [
+        AlgorithmKind::CentralizedTwoPhase,
+        AlgorithmKind::TwoPhase,
+        AlgorithmKind::Repartitioning,
+    ] {
+        let a = run(kind, &parts, 4, CostParams::paper_default());
+        let b = run(kind, &parts, 4, CostParams::paper_default());
+        assert_eq!(
+            a.elapsed_ms(),
+            b.elapsed_ms(),
+            "{kind} virtual time not reproducible"
+        );
+        for (x, y) in a.run.per_node.iter().zip(&b.run.per_node) {
+            assert_eq!(x.clock_ms, y.clock_ms, "{kind} node clock differs");
+        }
+    }
+}
+
+#[test]
+fn breakdown_sums_to_clock() {
+    let spec = RelationSpec::uniform(8_000, 500);
+    let parts = generate_partitions(&spec, 4);
+    let out = run(AlgorithmKind::TwoPhase, &parts, 4, CostParams::cluster_default());
+    for r in &out.run.per_node {
+        let total = r.breakdown.total_ms();
+        assert!(
+            (total - r.clock_ms).abs() < 1e-6,
+            "node {}: breakdown {total} != clock {}",
+            r.node,
+            r.clock_ms
+        );
+    }
+}
+
+#[test]
+fn bus_occupancy_matches_pages_sent() {
+    let spec = RelationSpec::uniform(6_000, 600);
+    let parts = generate_partitions(&spec, 4);
+    let out = run(
+        AlgorithmKind::Repartitioning,
+        &parts,
+        4,
+        CostParams::cluster_default(),
+    );
+    let pages = out.run.total_net().pages_sent() as f64;
+    assert!(
+        (out.run.bus_busy_ms - pages * 2.0).abs() < 1e-6,
+        "bus busy {} vs {} pages x 2ms",
+        out.run.bus_busy_ms,
+        pages
+    );
+}
+
+#[test]
+fn more_memory_never_hurts_two_phase() {
+    let spec = RelationSpec::uniform(16_000, 3_000);
+    let mut times = Vec::new();
+    for m in [100usize, 1_000, 10_000] {
+        let parts = generate_partitions(&spec, 4);
+        let out = run(
+            AlgorithmKind::TwoPhase,
+            &parts,
+            4,
+            CostParams {
+                max_hash_entries: m,
+                ..CostParams::paper_default()
+            },
+        );
+        times.push((m, out.elapsed_ms(), out.total_spilled()));
+    }
+    assert!(times[0].2 > times[2].2, "spill must shrink with memory");
+    assert!(
+        times[0].1 > times[2].1,
+        "2P with M=100 ({} ms) should be slower than with M=10000 ({} ms)",
+        times[0].1,
+        times[2].1
+    );
+}
+
+#[test]
+fn waiting_shows_up_under_input_skew() {
+    // One node has 3x the data; the others finish their scans and wait
+    // for its partials. Final clocks equalize (that is what waiting
+    // means), but the *work* distribution shows the skew, and the
+    // non-skewed nodes accumulate wait time.
+    let spec = InputSkewSpec::new(4, 4_000, 100);
+    let parts = spec.generate_partitions();
+    let out = run(AlgorithmKind::TwoPhase, &parts, 4, CostParams::paper_default());
+    assert!(
+        out.run.work_imbalance() > 1.5,
+        "work imbalance {}",
+        out.run.work_imbalance()
+    );
+    // The skewed node (0) does the most work and never waits long; a
+    // non-skewed node waits for it.
+    let w0 = out.run.per_node[0].breakdown.cpu_ms + out.run.per_node[0].breakdown.io_ms;
+    let w1 = out.run.per_node[1].breakdown.cpu_ms + out.run.per_node[1].breakdown.io_ms;
+    assert!(w0 > 2.0 * w1, "node0 work {w0} vs node1 {w1}");
+    assert!(out.run.per_node[1].breakdown.wait_ms > out.run.per_node[0].breakdown.wait_ms);
+}
+
+#[test]
+fn phase_marks_split_the_timeline() {
+    let spec = RelationSpec::uniform(8_000, 400);
+    let parts = generate_partitions(&spec, 4);
+    for kind in AlgorithmKind::ALL {
+        let out = run(kind, &parts, 4, CostParams::paper_default());
+        for r in &out.run.per_node {
+            // C2P ships to a coordinator: every node still marks phase 1.
+            let p1 = r
+                .mark_ms("phase1")
+                .unwrap_or_else(|| panic!("{kind}: node {} has no phase1 mark", r.node));
+            assert!(p1 > 0.0, "{kind}: phase1 at 0");
+            assert!(
+                p1 <= r.clock_ms + 1e-9,
+                "{kind}: phase1 {p1} after clock end {}",
+                r.clock_ms
+            );
+        }
+    }
+}
+
+#[test]
+fn measured_phase_split_matches_the_models_proportions() {
+    // Cross-validation at phase granularity: the model's phase-1 share of
+    // total time and the engine's phase-1 share agree within a factor.
+    let spec = RelationSpec::uniform(40_000, 50);
+    let parts = generate_partitions(&spec, 8);
+    let out = run(AlgorithmKind::TwoPhase, &parts, 8, CostParams::paper_default());
+    let p1: f64 = out
+        .run
+        .per_node
+        .iter()
+        .map(|r| r.mark_ms("phase1").unwrap())
+        .fold(0.0, f64::max);
+    let measured_share = p1 / out.elapsed_ms();
+
+    let model = adaptagg::cost::ModelConfig {
+        params: CostParams::paper_default(),
+        nodes: 8,
+        tuples: 40_000.0,
+        io_enabled: true,
+    };
+    let b = adaptagg::cost::CostAlgorithm::TwoPhase.cost(&model, 50.0 / 40_000.0);
+    let model_share = b.phases[0].total_ms() / b.total_ms();
+
+    assert!(
+        (measured_share - model_share).abs() < 0.2,
+        "phase-1 share: measured {measured_share:.2} vs model {model_share:.2}"
+    );
+}
+
+#[test]
+fn elapsed_is_max_of_node_clocks() {
+    let spec = RelationSpec::uniform(5_000, 100);
+    let parts = generate_partitions(&spec, 4);
+    let out = run(AlgorithmKind::TwoPhase, &parts, 4, CostParams::paper_default());
+    let max = out
+        .run
+        .per_node
+        .iter()
+        .map(|r| r.clock_ms)
+        .fold(0.0f64, f64::max);
+    assert_eq!(out.elapsed_ms(), max);
+}
