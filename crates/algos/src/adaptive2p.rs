@@ -70,12 +70,12 @@ pub fn run_node_with(
     // partitioned (plain Two Phase behaviour).
     if !scan.switched {
         let partials = scan.table.drain_partial_rows(&mut ctx.clock);
-        ex.switch_kind(ctx, RowKind::Partial);
+        ex.switch_kind(ctx, RowKind::Partial)?;
         for row in &partials {
             ex.route(ctx, row, false)?;
         }
     }
-    ex.finish(ctx);
+    ex.finish(ctx)?;
     ctx.clock.mark("phase1");
 
     // Merge phase: raw + partial interleaved, one bounded table.
@@ -128,11 +128,11 @@ impl ScanState {
                 // The switch (§3.2): flush accumulated partials to their
                 // owners, freeing memory, then forward raws.
                 let partials = self.table.drain_partial_rows(&mut ctx.clock);
-                ex.switch_kind(ctx, RowKind::Partial);
+                ex.switch_kind(ctx, RowKind::Partial)?;
                 for row in &partials {
                     ex.route(ctx, row, false)?;
                 }
-                ex.switch_kind(ctx, RowKind::Raw);
+                ex.switch_kind(ctx, RowKind::Raw)?;
                 self.switched = true;
                 events.push(AdaptEvent::SwitchedToRepartitioning {
                     at_tuple: self.raw_seen,

@@ -67,8 +67,10 @@ pub fn run_node(
         }
 
         // Poll for a peer's EndOfPhase; buffer anything else data-like.
+        // A peer's abort surfaces here as an error (`try_recv` intercepts
+        // it), ending the scan promptly.
         if scanned.is_multiple_of(poll) && !fallen_back {
-            while let Some(msg) = ctx.try_recv() {
+            while let Some(msg) = ctx.try_recv()? {
                 match msg.payload {
                     Payload::Control(Control::EndOfPhase { .. }) => {
                         fallen_back = true;
@@ -88,7 +90,7 @@ pub fn run_node(
                 // "Follow suit … sending their own end-of-phase message."
                 ctx.broadcast_control(Control::EndOfPhase {
                     groups_seen: seen_keys.len() as u64,
-                });
+                })?;
                 signalled = true;
             }
         }
@@ -103,7 +105,7 @@ pub fn run_node(
             });
             ctx.broadcast_control(Control::EndOfPhase {
                 groups_seen: seen_keys.len() as u64,
-            });
+            })?;
         }
 
         if fallen_back {
@@ -121,13 +123,13 @@ pub fn run_node(
     if let Some(mut state) = a2p {
         if !state.switched {
             let partials = state.table.drain_partial_rows(&mut ctx.clock);
-            ex.switch_kind(ctx, RowKind::Partial);
+            ex.switch_kind(ctx, RowKind::Partial)?;
             for row in &partials {
                 ex.route(ctx, row, false)?;
             }
         }
     }
-    ex.finish(ctx);
+    ex.finish(ctx)?;
     ctx.clock.mark("phase1");
 
     // Merge phase "uses the hash table left by the repartitioning phase":
@@ -260,5 +262,38 @@ mod tests {
             matches!((fell, switched), (Some(f), Some(s)) if f < s)
         });
         assert!(double, "expected fallback followed by re-switch");
+    }
+
+    #[test]
+    fn scan_poll_rejects_unknown_controls() {
+        // The mid-scan poll accepts EndOfPhase (the fallback signal),
+        // racing data, and end-of-stream markers — a rogue control is a
+        // typed protocol violation attributed to the scanning node.
+        let spec = RelationSpec::uniform(4_000, 300);
+        let parts = generate_partitions(&spec, 2);
+        let config = ClusterConfig::new(2, CostParams::paper_default());
+        let plan = crate::common::QueryPlan::new(&default_query());
+        let cfg = AlgoConfig::default_for(2);
+        let r = adaptagg_exec::run_cluster(&config, parts, |ctx| {
+            if ctx.id() == 0 {
+                ctx.send_control(
+                    1,
+                    Control::SamplingDecision {
+                        use_repartitioning: true,
+                        groups_in_sample: 0,
+                    },
+                )?;
+                // Consume the peer's traffic until its abort arrives.
+                loop {
+                    ctx.recv()?;
+                }
+            } else {
+                run_node(ctx, &plan, &cfg).map(|_| ())
+            }
+        });
+        assert_eq!(
+            r.err(),
+            Some(ExecError::Protocol("unexpected control during ARep scan"))
+        );
     }
 }

@@ -38,15 +38,15 @@ pub fn run_node(
     operators::scan_project(ctx, "base", &plan.base.filter, &plan.projection, |ctx, values| {
         scanned += 1;
         if let Some(page) = blocker.add(0, &values)? {
-            broadcast_page(ctx, &page);
+            broadcast_page(ctx, &page)?;
         }
         Ok(())
     })?;
     for (_, page) in blocker.flush() {
-        broadcast_page(ctx, &page);
+        broadcast_page(ctx, &page)?;
     }
     for dest in 0..nodes {
-        ctx.send_control(dest, Control::EndOfStream);
+        ctx.send_control(dest, Control::EndOfStream)?;
     }
     ctx.clock.mark("phase1");
 
@@ -58,7 +58,7 @@ pub fn run_node(
     let mut eos = 0usize;
     let mut discarded: u64 = 0;
     while eos < nodes {
-        let msg = ctx.recv();
+        let msg = ctx.recv()?;
         match msg.payload {
             Payload::Data { page, .. } => {
                 for tuple in page.iter() {
@@ -90,10 +90,11 @@ pub fn run_node(
     })
 }
 
-fn broadcast_page(ctx: &mut NodeCtx, page: &Page) {
+fn broadcast_page(ctx: &mut NodeCtx, page: &Page) -> Result<(), ExecError> {
     for dest in 0..ctx.nodes() {
-        ctx.send_page(dest, RowKind::Raw, page.clone());
+        ctx.send_page(dest, RowKind::Raw, page.clone())?;
     }
+    Ok(())
 }
 
 fn push_one(
@@ -173,6 +174,36 @@ mod tests {
             "broadcast {} vs repartitioning {}",
             bcast.elapsed_ms(),
             rep.elapsed_ms()
+        );
+    }
+
+    #[test]
+    fn merge_rejects_unknown_controls() {
+        let spec = RelationSpec::uniform(2_000, 50);
+        let parts = generate_partitions(&spec, 2);
+        let config = ClusterConfig::new(2, CostParams::paper_default());
+        let plan = crate::common::QueryPlan::new(&default_query());
+        let cfg = AlgoConfig::default_for(2);
+        let r = adaptagg_exec::run_cluster(&config, parts, |ctx| {
+            if ctx.id() == 0 {
+                ctx.send_control(
+                    1,
+                    Control::SamplingDecision {
+                        use_repartitioning: false,
+                        groups_in_sample: 0,
+                    },
+                )?;
+                // Consume the peer's broadcast until its abort arrives.
+                loop {
+                    ctx.recv()?;
+                }
+            } else {
+                run_node(ctx, &plan, &cfg).map(|_| ())
+            }
+        });
+        assert_eq!(
+            r.err(),
+            Some(ExecError::Protocol("unexpected control in broadcast merge"))
         );
     }
 }

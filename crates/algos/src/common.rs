@@ -81,7 +81,7 @@ pub fn merge_phase_store(
     let mut eos = pre_eos;
     let nodes = ctx.nodes();
     while eos < nodes {
-        let msg = ctx.recv();
+        let msg = ctx.recv()?;
         match msg.payload {
             adaptagg_net::Payload::Data { kind, page } => {
                 push_page(&mut agg, kind, &page, &mut ctx.clock)?;
@@ -131,7 +131,7 @@ pub fn ship_partials_partitioned(
     for row in &partials {
         ex.route(ctx, row, false)?;
     }
-    ex.finish(ctx);
+    ex.finish(ctx)?;
     ctx.clock.mark("phase1");
     Ok(())
 }
@@ -153,8 +153,8 @@ pub fn ship_partials_to(
     for row in &partials {
         ex.send_to(ctx, coordinator, row)?;
     }
-    ex.flush(ctx);
-    ctx.send_control(coordinator, Control::EndOfStream);
+    ex.flush(ctx)?;
+    ctx.send_control(coordinator, Control::EndOfStream)?;
     ctx.clock.mark("phase1");
     Ok(())
 }
@@ -225,5 +225,35 @@ mod tests {
         let mut all: Vec<ResultRow> = run.outputs.into_iter().flatten().collect();
         adaptagg_model::query::sort_rows(&mut all);
         assert_eq!(all, reference);
+    }
+
+    #[test]
+    fn merge_phase_rejects_unknown_controls() {
+        // A control that has no business in a merge phase (a sampling
+        // decision) must surface as a typed protocol violation, not a
+        // panic — and attribution must point at the receiver that
+        // detected it, not at a cascade.
+        let spec = RelationSpec::uniform(200, 10);
+        let parts = adaptagg_workload::generate_partitions(&spec, 2);
+        let config = ClusterConfig::new(2, CostParams::paper_default());
+        let plan = plan();
+        let r = run_cluster(&config, parts, |ctx| {
+            if ctx.id() == 0 {
+                ctx.send_control(
+                    1,
+                    Control::SamplingDecision {
+                        use_repartitioning: true,
+                        groups_in_sample: 0,
+                    },
+                )?;
+                Ok(())
+            } else {
+                merge_phase_store(ctx, &plan, 100, 4, Vec::new(), 0).map(|_| ())
+            }
+        });
+        assert_eq!(
+            r.err(),
+            Some(ExecError::Protocol("unexpected control in merge phase"))
+        );
     }
 }

@@ -58,11 +58,11 @@ pub fn run_node(
 
     // Drain the local table as partials only now (end of input).
     let partials = table.drain_partial_rows(&mut ctx.clock);
-    ex.switch_kind(ctx, RowKind::Partial);
+    ex.switch_kind(ctx, RowKind::Partial)?;
     for row in &partials {
         ex.route(ctx, row, false)?;
     }
-    ex.finish(ctx);
+    ex.finish(ctx)?;
     ctx.clock.mark("phase1");
 
     let (rows, mut agg) = merge_phase_store(ctx, plan, max_entries, fanout, Vec::new(), 0)?;

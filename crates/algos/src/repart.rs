@@ -46,7 +46,7 @@ pub fn run_node_with(
     operators::scan_project(ctx, "base", &plan.base.filter, &plan.projection, |ctx, values| {
         ex.route(ctx, &values, true)
     })?;
-    ex.finish(ctx);
+    ex.finish(ctx)?;
     ctx.clock.mark("phase1");
 
     // Phase 2: aggregate everything that hashed here, store locally.

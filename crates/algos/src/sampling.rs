@@ -92,8 +92,8 @@ fn estimate_and_decide(
     for key in keys {
         ex.send_to(ctx, COORDINATOR, &key.into_values())?;
     }
-    ex.flush(ctx);
-    ctx.send_control(COORDINATOR, Control::EndOfStream);
+    ex.flush(ctx)?;
+    ctx.send_control(COORDINATOR, Control::EndOfStream)?;
 
     if ctx.id() == COORDINATOR {
         // Merge sample keys; the distinct count is a lower bound on the
@@ -104,7 +104,7 @@ fn estimate_and_decide(
         let mut all_keys: Vec<Vec<adaptagg_model::Value>> = Vec::new();
         let mut eos = 0;
         while eos < ctx.nodes() {
-            let msg = ctx.recv();
+            let msg = ctx.recv()?;
             match msg.payload {
                 Payload::Data { page, .. } => {
                     for t in page.iter() {
@@ -121,7 +121,7 @@ fn estimate_and_decide(
         ctx.broadcast_control(Control::SamplingDecision {
             use_repartitioning: choice == AlgorithmChoice::Repartitioning,
             groups_in_sample: groups,
-        });
+        })?;
         // The coordinator cannot receive phase-1 traffic yet: peers start
         // phase 1 only after this broadcast.
         Ok((choice, Vec::new(), 0))
@@ -131,7 +131,7 @@ fn estimate_and_decide(
         let mut pre_received = Vec::new();
         let mut pre_eos = 0usize;
         loop {
-            let msg = ctx.recv();
+            let msg = ctx.recv()?;
             match msg.payload {
                 Payload::Control(Control::SamplingDecision {
                     use_repartitioning, ..
@@ -145,9 +145,11 @@ fn estimate_and_decide(
                 }
                 Payload::Data { kind, page } => pre_received.push((kind, page)),
                 Payload::Control(Control::EndOfStream) => pre_eos += 1,
-                Payload::Control(Control::EndOfPhase { .. }) => {
+                // Abort never reaches this match (`recv` intercepts it);
+                // any other control here is a protocol violation.
+                Payload::Control(_) => {
                     return Err(ExecError::Protocol(
-                        "EndOfPhase during sampling decision wait",
+                        "unexpected control during sampling decision wait",
                     ))
                 }
             }
@@ -248,5 +250,60 @@ mod tests {
             tp.elapsed_ms()
         );
         assert_eq!(out.rows, tp.rows);
+    }
+
+    #[test]
+    fn coordinator_rejects_unknown_controls_during_estimation() {
+        // A rogue control in the coordinator's sample-gather loop is a
+        // typed protocol violation, attributed to the coordinator.
+        let spec = RelationSpec::uniform(400, 10);
+        let parts = generate_partitions(&spec, 2);
+        let config = ClusterConfig::new(2, CostParams::paper_default());
+        let plan = crate::common::QueryPlan::new(&default_query());
+        let cfg = AlgoConfig::default_for(2);
+        let r = adaptagg_exec::run_cluster(&config, parts, |ctx| {
+            if ctx.id() == COORDINATOR {
+                estimate_and_decide(ctx, &plan, &cfg).map(|_| ())
+            } else {
+                ctx.send_control(COORDINATOR, Control::EndOfPhase { groups_seen: 0 })?;
+                Ok(())
+            }
+        });
+        assert_eq!(
+            r.err(),
+            Some(ExecError::Protocol("unexpected control during sampling"))
+        );
+    }
+
+    #[test]
+    fn worker_rejects_unknown_controls_while_awaiting_decision() {
+        // The worker's decision wait accepts the decision, racing phase-1
+        // traffic, and end-of-stream markers — anything else is a typed
+        // protocol violation.
+        let spec = RelationSpec::uniform(400, 10);
+        let parts = generate_partitions(&spec, 2);
+        let config = ClusterConfig::new(2, CostParams::paper_default());
+        let plan = crate::common::QueryPlan::new(&default_query());
+        let cfg = AlgoConfig::default_for(2);
+        let r = adaptagg_exec::run_cluster(&config, parts, |ctx| {
+            if ctx.id() == COORDINATOR {
+                // Answer the worker's sample with a rogue control instead
+                // of a decision, then drain its phase-0 stream.
+                ctx.send_control(1, Control::EndOfPhase { groups_seen: 0 })?;
+                loop {
+                    if let Payload::Control(Control::EndOfStream) = ctx.recv()?.payload {
+                        return Ok(());
+                    }
+                }
+            } else {
+                estimate_and_decide(ctx, &plan, &cfg).map(|_| ())
+            }
+        });
+        assert_eq!(
+            r.err(),
+            Some(ExecError::Protocol(
+                "unexpected control during sampling decision wait"
+            ))
+        );
     }
 }

@@ -55,6 +55,7 @@ pub struct Clock {
     params: CostParams,
     breakdown: TimeBreakdown,
     marks: Vec<PhaseMark>,
+    slowdown: f64,
 }
 
 impl Clock {
@@ -65,7 +66,23 @@ impl Clock {
             params,
             breakdown: TimeBreakdown::default(),
             marks: Vec::new(),
+            slowdown: 1.0,
         }
+    }
+
+    /// Inflate every subsequent CPU/disk event by `factor` — a fault
+    /// plan's per-node slowdown (a degraded, not dead, node). `1.0` is the
+    /// nominal default and is exactly cost-free (`x * 1.0 == x` in IEEE
+    /// 754), so an unslowed clock ticks identically to one without the
+    /// feature.
+    pub fn set_slowdown(&mut self, factor: f64) {
+        assert!(factor >= 1.0, "slowdown factor must be >= 1.0");
+        self.slowdown = factor;
+    }
+
+    /// The current slowdown factor.
+    pub fn slowdown(&self) -> f64 {
+        self.slowdown
     }
 
     /// Record a phase boundary at the current virtual time.
@@ -119,7 +136,7 @@ impl Clock {
 
 impl CostTracker for Clock {
     fn record(&mut self, event: CostEvent, count: u64) {
-        let dt = event.unit_ms(&self.params) * count as f64;
+        let dt = event.unit_ms(&self.params) * count as f64 * self.slowdown;
         self.now_ms += dt;
         match event {
             CostEvent::PageReadSeq | CostEvent::PageWriteSeq | CostEvent::PageReadRand => {
@@ -177,6 +194,20 @@ mod tests {
         c.observe(2.5);
         c.record(CostEvent::PageWriteSeq, 1);
         assert!((c.breakdown().total_ms() - c.now_ms()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slowdown_inflates_events_only() {
+        let mut c = clock();
+        c.set_slowdown(2.0);
+        c.record(CostEvent::PageReadSeq, 2); // 2 × 1.15 × 2.0 = 4.6 ms
+        assert!((c.now_ms() - 4.6).abs() < 1e-9);
+        // Network/Lamport advances are wall positions, not work: unscaled.
+        c.advance_net_to(5.0);
+        assert!((c.now_ms() - 5.0).abs() < 1e-9);
+        c.observe(6.0);
+        assert!((c.now_ms() - 6.0).abs() < 1e-9);
+        assert_eq!(c.slowdown(), 2.0);
     }
 
     #[test]

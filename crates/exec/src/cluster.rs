@@ -2,11 +2,12 @@
 //! each, gather outputs and reports.
 
 use crate::error::ExecError;
-use crate::node::NodeCtx;
+use crate::node::{NodeCtx, DEFAULT_WATCHDOG};
 use crate::runstats::{NodeReport, RunResult};
 use adaptagg_model::CostParams;
-use adaptagg_net::Fabric;
+use adaptagg_net::{Control, Fabric, FaultPlan};
 use adaptagg_storage::{HeapFile, SimDisk};
+use std::time::Duration;
 
 /// Cluster shape and cost parameters for a run.
 #[derive(Debug, Clone)]
@@ -16,13 +17,35 @@ pub struct ClusterConfig {
     /// Table 1 constants, including the network kind and the hash-table
     /// budget `M`.
     pub params: CostParams,
+    /// Seeded fault schedule ([`FaultPlan::none()`] by default — zero
+    /// overhead anywhere when disabled).
+    pub fault_plan: FaultPlan,
+    /// Real-time receive deadline per node (the hang backstop).
+    pub watchdog: Duration,
 }
 
 impl ClusterConfig {
     /// A cluster of `nodes` nodes with the given parameters.
     pub fn new(nodes: usize, params: CostParams) -> Self {
         assert!(nodes > 0, "cluster needs at least one node");
-        ClusterConfig { nodes, params }
+        ClusterConfig {
+            nodes,
+            params,
+            fault_plan: FaultPlan::none(),
+            watchdog: DEFAULT_WATCHDOG,
+        }
+    }
+
+    /// Run under a seeded fault schedule.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Override the real-time receive deadline (tests use short ones).
+    pub fn with_watchdog(mut self, timeout: Duration) -> Self {
+        self.watchdog = timeout;
+        self
     }
 
     /// The paper's implementation platform: 8 nodes on a shared 10 Mbit
@@ -54,6 +77,18 @@ pub struct ClusterRun<T> {
 ///
 /// Threads are real (the run exercises real channels and real contention
 /// on the shared-bus model); time is virtual.
+///
+/// ## Failure propagation and attribution
+///
+/// A node whose body fails broadcasts [`Control::Abort`] before its
+/// endpoint drops, so peers blocked waiting for its data fail promptly
+/// with [`ExecError::Aborted`] instead of hanging (the per-node watchdog
+/// is the backstop if even the abort is lost). Several nodes usually
+/// error on one failure — the originator plus its cascades — so the
+/// reported error is chosen by attribution class first
+/// ([`ExecError::attribution_class`]: primary < watchdog < cascade),
+/// earliest virtual failure time second: the *first cause*, not whichever
+/// thread happened to be joined first.
 pub fn run_cluster<T, F>(
     config: &ClusterConfig,
     partitions: Vec<HeapFile>,
@@ -68,18 +103,36 @@ where
         config.nodes,
         "one partition per node required"
     );
-    let endpoints = Fabric::new(config.nodes, config.params.network).into_endpoints();
+    let endpoints =
+        Fabric::with_faults(config.nodes, config.params.network, &config.fault_plan)
+            .into_endpoints();
 
-    let results: Vec<Result<(T, NodeReport, f64), ExecError>> = std::thread::scope(|scope| {
+    type NodeOk<T> = (T, NodeReport, f64);
+    let results: Vec<Result<NodeOk<T>, (ExecError, f64)>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(config.nodes);
         for (endpoint, partition) in endpoints.into_iter().zip(partitions) {
             let params = config.params.clone();
             let body = &body;
+            let config = &*config;
             handles.push(scope.spawn(move || {
                 let node = endpoint.node();
                 let disk = SimDisk::with_base_partition(partition);
                 let mut ctx = NodeCtx::new(endpoint, disk, params);
-                let out = body(&mut ctx)?;
+                ctx.apply_faults(config.fault_plan.node(node));
+                ctx.set_watchdog(config.watchdog);
+                let out = match body(&mut ctx) {
+                    Ok(out) => out,
+                    Err(e) => {
+                        let at_ms = ctx.clock.now_ms();
+                        // Tell the survivors why we are leaving; ignore
+                        // delivery failures (a peer may be gone already).
+                        let _ = ctx.broadcast_control(Control::Abort {
+                            origin: node,
+                            reason: e.to_string(),
+                        });
+                        return Err((e, at_ms));
+                    }
+                };
                 let report = NodeReport {
                     node,
                     clock_ms: ctx.clock.now_ms(),
@@ -101,7 +154,10 @@ where
                         .map(|s| s.to_string())
                         .or_else(|| panic.downcast_ref::<String>().cloned())
                         .unwrap_or_else(|| "non-string panic".to_string());
-                    Err(ExecError::NodePanic { node, message })
+                    // A panicking thread never reached the abort
+                    // broadcast; rank it at the end of virtual time so a
+                    // typed primary error at the same class wins.
+                    Err((ExecError::NodePanic { node, message }, f64::INFINITY))
                 })
             })
             .collect()
@@ -110,11 +166,30 @@ where
     let mut outputs = Vec::with_capacity(config.nodes);
     let mut per_node = Vec::with_capacity(config.nodes);
     let mut bus_busy_ms = 0.0f64;
+    let mut failure: Option<(ExecError, f64)> = None;
     for r in results {
-        let (out, report, bus) = r?;
-        outputs.push(out);
-        per_node.push(report);
-        bus_busy_ms = bus_busy_ms.max(bus);
+        match r {
+            Ok((out, report, bus)) => {
+                outputs.push(out);
+                per_node.push(report);
+                bus_busy_ms = bus_busy_ms.max(bus);
+            }
+            Err((e, at_ms)) => {
+                let better = match &failure {
+                    None => true,
+                    Some((best, best_ms)) => {
+                        let (c, bc) = (e.attribution_class(), best.attribution_class());
+                        c < bc || (c == bc && at_ms < *best_ms)
+                    }
+                };
+                if better {
+                    failure = Some((e, at_ms));
+                }
+            }
+        }
+    }
+    if let Some((e, _)) = failure {
+        return Err(e);
     }
 
     Ok(ClusterRun {
@@ -178,10 +253,10 @@ mod tests {
                 ctx.clock.record(CostEvent::PageReadRand, 2); // 30 ms
                 let mut page = Page::new(2048);
                 page.try_push(&[Value::Int(1)]).unwrap();
-                ctx.send_page(1, DataKind::Raw, page);
+                ctx.send_page(1, DataKind::Raw, page)?;
                 Ok(ctx.clock.now_ms())
             } else {
-                let msg = ctx.recv();
+                let msg = ctx.recv()?;
                 assert!(msg.payload.is_data());
                 Ok(ctx.clock.now_ms())
             }
@@ -221,10 +296,10 @@ mod tests {
             let peer = 1 - ctx.id();
             let mut page = Page::new(2048);
             page.try_push(&[Value::Int(ctx.id() as i64)]).unwrap();
-            ctx.send_page(peer, DataKind::Raw, page);
+            ctx.send_page(peer, DataKind::Raw, page)?;
             // Drain the incoming page so channels stay clean.
             loop {
-                match ctx.recv().payload {
+                match ctx.recv()?.payload {
                     Payload::Data { .. } => break,
                     Payload::Control(Control::EndOfStream) => {}
                     _ => {}
@@ -244,5 +319,99 @@ mod tests {
     fn partition_count_must_match() {
         let config = ClusterConfig::new(2, CostParams::paper_default());
         let _ = run_cluster(&config, partitions(1, 0), |_| Ok(()));
+    }
+
+    #[test]
+    fn failure_is_attributed_to_the_originating_node() {
+        // Node 2 fails while nodes 0 and 1 block on recv. Without the
+        // abort protocol they would hang; without class-ranked attribution
+        // the run could report node 0's cascade (`Aborted`) because its
+        // thread is joined first. The originator's primary error must win.
+        let config = ClusterConfig::new(3, CostParams::paper_default())
+            .with_watchdog(std::time::Duration::from_secs(5));
+        let r = run_cluster(&config, partitions(3, 0), |ctx| {
+            if ctx.id() == 2 {
+                return Err(ExecError::Protocol("node 2's own failure"));
+            }
+            ctx.recv()?; // blocks until node 2's abort arrives
+            Ok(())
+        });
+        assert_eq!(r.err(), Some(ExecError::Protocol("node 2's own failure")));
+    }
+
+    #[test]
+    fn earliest_virtual_failure_wins_within_a_class() {
+        // Two primary failures: node 1 fails at t=0, node 0 at t=15.
+        // The earlier one is the cause to report.
+        let config = ClusterConfig::new(2, CostParams::paper_default());
+        let r = run_cluster(&config, partitions(2, 0), |ctx| -> Result<(), ExecError> {
+            if ctx.id() == 0 {
+                ctx.clock.record(CostEvent::PageReadRand, 1); // 15 ms
+                Err(ExecError::Protocol("late failure"))
+            } else {
+                Err(ExecError::Protocol("early failure"))
+            }
+        });
+        assert_eq!(r.err(), Some(ExecError::Protocol("early failure")));
+    }
+
+    #[test]
+    fn injected_crash_surfaces_as_typed_error() {
+        let plan = adaptagg_net::FaultPlan::new(1).with_crash(1, 5);
+        let config = ClusterConfig::new(2, CostParams::paper_default())
+            .with_fault_plan(plan)
+            .with_watchdog(std::time::Duration::from_secs(5));
+        let r = run_cluster(&config, partitions(2, 20), |ctx| {
+            for _ in 0..20 {
+                ctx.fault_tick()?;
+            }
+            // Node 0 then waits for traffic that will never come; the
+            // abort from node 1 must release it.
+            if ctx.id() == 0 {
+                ctx.recv()?;
+            }
+            Ok(())
+        });
+        assert_eq!(
+            r.err(),
+            Some(ExecError::InjectedCrash {
+                node: 1,
+                at_tuple: 5
+            })
+        );
+    }
+
+    #[test]
+    fn slowdown_fault_inflates_one_node_only() {
+        let work = |ctx: &mut NodeCtx| {
+            ctx.clock.record(CostEvent::PageReadSeq, 10);
+            Ok(ctx.clock.now_ms())
+        };
+        let config = ClusterConfig::new(2, CostParams::paper_default());
+        let nominal = run_cluster(&config, partitions(2, 0), work).unwrap();
+        let slowed_config = ClusterConfig::new(2, CostParams::paper_default())
+            .with_fault_plan(adaptagg_net::FaultPlan::new(2).with_slowdown(1, 3.0));
+        let slowed = run_cluster(&slowed_config, partitions(2, 0), work).unwrap();
+        assert_eq!(slowed.outputs[0], nominal.outputs[0]);
+        assert!((slowed.outputs[1] - 3.0 * nominal.outputs[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn watchdog_breaks_a_hang_even_without_an_abort() {
+        // A node that simply never sends (no error, so no abort broadcast)
+        // must not hang its peer forever: the watchdog converts the wait
+        // into a typed error.
+        let config = ClusterConfig::new(2, CostParams::paper_default())
+            .with_watchdog(std::time::Duration::from_millis(100));
+        let r = run_cluster(&config, partitions(2, 0), |ctx| {
+            if ctx.id() == 0 {
+                ctx.recv()?; // nothing ever arrives
+            }
+            Ok(())
+        });
+        match r {
+            Err(ExecError::Watchdog { node: 0, waited_ms }) => assert_eq!(waited_ms, 100),
+            other => panic!("expected Watchdog, got {:?}", other.err()),
+        }
     }
 }

@@ -86,7 +86,7 @@ impl Exchange {
 
     fn push_to(&mut self, ctx: &mut NodeCtx, dest: usize, values: &[Value]) -> Result<(), ExecError> {
         if let Some(page) = self.blocker.add(dest, values)? {
-            ctx.send_page(dest, self.kind, page);
+            ctx.send_page(dest, self.kind, page)?;
         }
         self.routed += 1;
         Ok(())
@@ -94,27 +94,30 @@ impl Exchange {
 
     /// Switch the data kind, flushing any buffered pages of the old kind
     /// first (A2P: partial flush → raw forwarding).
-    pub fn switch_kind(&mut self, ctx: &mut NodeCtx, kind: DataKind) {
+    pub fn switch_kind(&mut self, ctx: &mut NodeCtx, kind: DataKind) -> Result<(), ExecError> {
         if kind != self.kind {
-            self.flush(ctx);
+            self.flush(ctx)?;
             self.kind = kind;
         }
+        Ok(())
     }
 
     /// Send all buffered partial pages.
-    pub fn flush(&mut self, ctx: &mut NodeCtx) {
+    pub fn flush(&mut self, ctx: &mut NodeCtx) -> Result<(), ExecError> {
         for (dest, page) in self.blocker.flush() {
-            ctx.send_page(dest, self.kind, page);
+            ctx.send_page(dest, self.kind, page)?;
         }
+        Ok(())
     }
 
     /// Flush and send `EndOfStream` to **every** node (including self):
     /// receivers complete a phase after one EOS per node.
-    pub fn finish(mut self, ctx: &mut NodeCtx) {
-        self.flush(ctx);
+    pub fn finish(mut self, ctx: &mut NodeCtx) -> Result<(), ExecError> {
+        self.flush(ctx)?;
         for dest in 0..ctx.nodes() {
-            ctx.send_control(dest, Control::EndOfStream);
+            ctx.send_control(dest, Control::EndOfStream)?;
         }
+        Ok(())
     }
 }
 
@@ -163,15 +166,15 @@ mod tests {
             ex.route(&mut tx, &row(g), true).unwrap();
         }
         assert_eq!(ex.routed(), 500);
-        ex.finish(&mut tx);
+        ex.finish(&mut tx).unwrap();
 
         // Count tuples arriving at node 1 (EOS from node 0 only; node 1
         // would normally EOS itself — emulate that).
-        rx.send_control(1, Control::EndOfStream);
+        rx.send_control(1, Control::EndOfStream).unwrap();
         let mut got = 0;
         let mut eos = 0;
         while eos < 2 {
-            let msg = rx.recv();
+            let msg = rx.recv().unwrap();
             match msg.payload {
                 Payload::Data { kind, page } => {
                     assert_eq!(kind, DataKind::Raw);
@@ -192,11 +195,11 @@ mod tests {
         for g in 0..10 {
             ex.route(&mut n0, &row(g), false).unwrap();
         }
-        ex.finish(&mut n0);
+        ex.finish(&mut n0).unwrap();
         let mut got = 0;
         let mut eos = 0;
         while eos < 1 {
-            match n0.recv().payload {
+            match n0.recv().unwrap().payload {
                 Payload::Data { page, .. } => got += page.tuple_count(),
                 Payload::Control(Control::EndOfStream) => eos += 1,
                 _ => panic!(),
@@ -228,14 +231,14 @@ mod tests {
         let mut n0 = ctxs.pop().unwrap();
         let mut ex = Exchange::new(1, 2048, 1, DataKind::Partial);
         ex.route(&mut n0, &row(1), false).unwrap();
-        ex.switch_kind(&mut n0, DataKind::Raw);
+        ex.switch_kind(&mut n0, DataKind::Raw).unwrap();
         ex.route(&mut n0, &row(2), false).unwrap();
-        ex.finish(&mut n0);
+        ex.finish(&mut n0).unwrap();
 
         let mut kinds = Vec::new();
         let mut eos = 0;
         while eos < 1 {
-            match n0.recv().payload {
+            match n0.recv().unwrap().payload {
                 Payload::Data { kind, .. } => kinds.push(kind),
                 Payload::Control(Control::EndOfStream) => eos += 1,
                 _ => panic!(),

@@ -36,5 +36,8 @@ pub use clock::{Clock, PhaseMark, TimeBreakdown};
 pub use cluster::{run_cluster, ClusterConfig, ClusterRun};
 pub use error::ExecError;
 pub use exchange::Exchange;
-pub use node::NodeCtx;
+pub use node::{NodeCtx, DEFAULT_WATCHDOG};
 pub use runstats::{NodeReport, RunResult};
+
+/// Re-export: fault plans are configured on [`ClusterConfig`].
+pub use adaptagg_net::{FaultPlan, LinkFaults, NodeFaults};

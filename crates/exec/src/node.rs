@@ -1,14 +1,24 @@
 //! Node context: one node's view of the cluster.
 
 use crate::clock::Clock;
+use crate::error::ExecError;
 use adaptagg_model::{CostEvent, CostParams, CostTracker};
-use adaptagg_net::{Control, DataKind, Endpoint, Message, NetStats, Payload};
+use adaptagg_net::{Control, DataKind, Endpoint, Message, NetError, NetStats, NodeFaults, Payload};
 use adaptagg_storage::{Page, SimDisk};
+use std::time::Duration;
+
+/// Default real-time receive deadline — generous: virtual time is cheap,
+/// so a healthy run never comes close, while a genuinely wedged protocol
+/// surfaces [`ExecError::Watchdog`] instead of hanging the process.
+pub const DEFAULT_WATCHDOG: Duration = Duration::from_secs(30);
 
 /// Everything an algorithm touches on one node: identity, virtual clock,
 /// private disk, and the network endpoint. All messaging goes through this
 /// type so that protocol CPU (`m_p`) and transfer time are charged the same
-/// way by every algorithm.
+/// way by every algorithm — and so failure handling is uniform: sends and
+/// receives return [`ExecError`]s, an incoming [`Control::Abort`] is turned
+/// into [`ExecError::Aborted`] before any algorithm sees it, and the
+/// real-time watchdog bounds every blocking receive.
 #[derive(Debug)]
 pub struct NodeCtx {
     id: usize,
@@ -19,6 +29,9 @@ pub struct NodeCtx {
     /// The node's private disk.
     pub disk: SimDisk,
     endpoint: Endpoint,
+    faults: NodeFaults,
+    tuples_scanned: u64,
+    watchdog: Duration,
 }
 
 impl NodeCtx {
@@ -30,6 +43,36 @@ impl NodeCtx {
             clock: Clock::new(params),
             disk,
             endpoint,
+            faults: NodeFaults::default(),
+            tuples_scanned: 0,
+            watchdog: DEFAULT_WATCHDOG,
+        }
+    }
+
+    /// Apply a fault plan's per-node faults: the slowdown inflates the
+    /// clock from now on; the crash point arms [`NodeCtx::fault_tick`].
+    pub fn apply_faults(&mut self, faults: NodeFaults) {
+        self.clock.set_slowdown(faults.slowdown_factor);
+        self.faults = faults;
+    }
+
+    /// Set the real-time receive deadline (tests use short ones).
+    pub fn set_watchdog(&mut self, timeout: Duration) {
+        self.watchdog = timeout;
+    }
+
+    /// Count one scanned tuple against the node's crash schedule. Called
+    /// by the scan operator per tuple; returns
+    /// [`ExecError::InjectedCrash`] once the scheduled crash point is
+    /// reached. A plan without a crash for this node never fails.
+    pub fn fault_tick(&mut self) -> Result<(), ExecError> {
+        self.tuples_scanned += 1;
+        match self.faults.crash_at_tuple {
+            Some(k) if self.tuples_scanned > k => Err(ExecError::InjectedCrash {
+                node: self.id,
+                at_tuple: k,
+            }),
+            _ => Ok(()),
         }
     }
 
@@ -61,47 +104,80 @@ impl NodeCtx {
 
     /// Send one message page of tuples to `to`, charging sender-side
     /// protocol cost (`m_p`) and occupying the node until the transfer
-    /// completes (`m_l` / shared-bus wait).
-    pub fn send_page(&mut self, to: usize, kind: DataKind, page: Page) {
+    /// completes (`m_l` / shared-bus wait). Fails with
+    /// [`ExecError::Net`] if the peer is already gone.
+    pub fn send_page(&mut self, to: usize, kind: DataKind, page: Page) -> Result<(), ExecError> {
         self.clock.record(CostEvent::MsgProtocol, 1);
-        let done = self.endpoint.send_data(to, kind, page, self.clock.now_ms());
+        let done = self.endpoint.send_data(to, kind, page, self.clock.now_ms())?;
         self.clock.advance_net_to(done);
+        Ok(())
     }
 
     /// Send a control message (free: piggy-backed per §3.3).
-    pub fn send_control(&mut self, to: usize, control: Control) {
-        self.endpoint.send_control(to, control, self.clock.now_ms());
+    pub fn send_control(&mut self, to: usize, control: Control) -> Result<(), ExecError> {
+        self.endpoint
+            .send_control(to, control, self.clock.now_ms())?;
+        Ok(())
     }
 
-    /// Broadcast a control message to all other nodes.
-    pub fn broadcast_control(&mut self, control: Control) {
+    /// Broadcast a control message to all other nodes (peers that already
+    /// died are skipped — see `Endpoint::broadcast_control`).
+    pub fn broadcast_control(&mut self, control: Control) -> Result<(), ExecError> {
         let now = self.clock.now_ms();
-        self.endpoint.broadcast_control(control, now);
+        self.endpoint.broadcast_control(control, now)?;
+        Ok(())
+    }
+
+    /// Map an [`Control::Abort`] arrival to the error that propagates the
+    /// origin's failure, before any algorithm-level match sees it.
+    fn intercept(&self, msg: Message) -> Result<Message, ExecError> {
+        if let Payload::Control(Control::Abort { origin, reason }) = msg.payload {
+            return Err(ExecError::Aborted { origin, reason });
+        }
+        Ok(msg)
     }
 
     /// Blocking receive: observes the message's timestamp (Lamport) and
-    /// charges receiver-side protocol cost for data pages.
-    pub fn recv(&mut self) -> Message {
-        let msg = self.endpoint.recv();
+    /// charges receiver-side protocol cost for data pages. Bounded by the
+    /// real-time watchdog; an incoming abort surfaces as
+    /// [`ExecError::Aborted`].
+    pub fn recv(&mut self) -> Result<Message, ExecError> {
+        let msg = self
+            .endpoint
+            .recv_timeout(self.watchdog)
+            .map_err(|e| match e {
+                NetError::Deadline { waited_ms } => ExecError::Watchdog {
+                    node: self.id,
+                    waited_ms,
+                },
+                other => ExecError::Net(other),
+            })?;
+        let msg = self.intercept(msg)?;
         self.clock.observe(msg.sent_at_ms);
         if msg.payload.is_data() {
             self.clock.record(CostEvent::MsgProtocol, 1);
         }
-        msg
+        Ok(msg)
     }
 
     /// Non-blocking receive of a message that has *virtually arrived* by
     /// the node's current time, with the same accounting. Messages whose
     /// transfer completes in the node's virtual future stay queued — a
     /// poll cannot see the future (see `Endpoint::try_recv_arrived`).
-    pub fn try_recv(&mut self) -> Option<Message> {
+    /// An incoming abort surfaces as [`ExecError::Aborted`] even if its
+    /// virtual timestamp is in the future — failure propagation must not
+    /// wait on simulated time.
+    pub fn try_recv(&mut self) -> Result<Option<Message>, ExecError> {
         let now = self.clock.now_ms();
-        let msg = self.endpoint.try_recv_arrived(now)?;
+        let Some(msg) = self.endpoint.try_recv_arrived(now) else {
+            return Ok(None);
+        };
+        let msg = self.intercept(msg)?;
         self.clock.observe(msg.sent_at_ms);
         if msg.payload.is_data() {
             self.clock.record(CostEvent::MsgProtocol, 1);
         }
-        Some(msg)
+        Ok(Some(msg))
     }
 
     /// Receive data pages until an `EndOfStream` has arrived from every
@@ -120,7 +196,7 @@ impl NodeCtx {
     {
         let mut eos = 0usize;
         while eos < self.nodes {
-            let msg = self.recv();
+            let msg = self.recv()?;
             match msg.payload {
                 Payload::Data { kind, page } => {
                     on_page(&mut self.clock, &mut self.disk, kind, page)?
@@ -162,12 +238,12 @@ mod tests {
     #[test]
     fn send_charges_protocol_and_transfer() {
         let (mut a, mut b) = two_nodes(NetworkKind::HighSpeed { latency_ms: 0.5 });
-        a.send_page(1, DataKind::Raw, page_of(3));
+        a.send_page(1, DataKind::Raw, page_of(3)).unwrap();
         // m_p = 0.025 ms cpu, then 0.5 ms transfer.
         assert!((a.clock.now_ms() - 0.525).abs() < 1e-9);
         assert!((a.clock.breakdown().net_ms - 0.5).abs() < 1e-9);
 
-        let msg = b.recv();
+        let msg = b.recv().unwrap();
         // Receiver observed the timestamp (0.525) and charged its m_p.
         assert!((b.clock.now_ms() - 0.55).abs() < 1e-9);
         assert!((b.clock.breakdown().wait_ms - 0.525).abs() < 1e-9);
@@ -177,9 +253,9 @@ mod tests {
     #[test]
     fn control_messages_are_free() {
         let (mut a, mut b) = two_nodes(NetworkKind::high_speed_default());
-        a.send_control(1, Control::EndOfStream);
+        a.send_control(1, Control::EndOfStream).unwrap();
         assert_eq!(a.clock.now_ms(), 0.0);
-        let msg = b.recv();
+        let msg = b.recv().unwrap();
         assert_eq!(b.clock.now_ms(), 0.0);
         assert!(matches!(msg.payload, Payload::Control(Control::EndOfStream)));
     }
@@ -188,9 +264,9 @@ mod tests {
     fn recv_until_all_eos_counts_every_sender() {
         let (mut a, mut b) = two_nodes(NetworkKind::high_speed_default());
         // a sends one page + EOS to b; b must also EOS itself.
-        a.send_page(1, DataKind::Partial, page_of(2));
-        a.send_control(1, Control::EndOfStream);
-        b.send_control(1, Control::EndOfStream); // self-EOS
+        a.send_page(1, DataKind::Partial, page_of(2)).unwrap();
+        a.send_control(1, Control::EndOfStream).unwrap();
+        b.send_control(1, Control::EndOfStream).unwrap(); // self-EOS
 
         let mut pages = 0;
         b.recv_until_all_eos(
@@ -208,9 +284,9 @@ mod tests {
     #[test]
     fn recv_until_all_eos_routes_other_controls() {
         let (mut a, mut b) = two_nodes(NetworkKind::high_speed_default());
-        a.send_control(1, Control::EndOfPhase { groups_seen: 3 });
-        a.send_control(1, Control::EndOfStream);
-        b.send_control(1, Control::EndOfStream);
+        a.send_control(1, Control::EndOfPhase { groups_seen: 3 }).unwrap();
+        a.send_control(1, Control::EndOfStream).unwrap();
+        b.send_control(1, Control::EndOfStream).unwrap();
         let mut phases = 0;
         b.recv_until_all_eos(
             |_, _, _, _| Ok(()),
@@ -229,28 +305,105 @@ mod tests {
         // A poll must not see messages whose transfer completes in the
         // receiver's virtual future (the causality rule ARep relies on).
         let (mut a, mut b) = two_nodes(NetworkKind::HighSpeed { latency_ms: 5.0 });
-        a.send_page(1, DataKind::Raw, page_of(1)); // arrives at t = 5+m_p
+        a.send_page(1, DataKind::Raw, page_of(1)).unwrap(); // arrives at t = 5+m_p
         assert!(
-            b.try_recv().is_none(),
+            b.try_recv().unwrap().is_none(),
             "b at t=0 must not see a t=5 message"
         );
         // Advance b's virtual clock past the arrival: now visible.
         b.clock.record(adaptagg_model::CostEvent::PageReadRand, 1); // +15ms
-        let msg = b.try_recv().expect("message has arrived by t=15");
+        let msg = b.try_recv().unwrap().expect("message has arrived by t=15");
         assert!(msg.payload.is_data());
     }
 
     #[test]
     fn blocking_recv_delivers_the_future_and_waits() {
         let (mut a, mut b) = two_nodes(NetworkKind::HighSpeed { latency_ms: 5.0 });
-        a.send_page(1, DataKind::Raw, page_of(1));
+        a.send_page(1, DataKind::Raw, page_of(1)).unwrap();
         // A failed poll stashes the message; a blocking recv must still
         // deliver it (waiting until its virtual arrival).
-        assert!(b.try_recv().is_none());
-        let msg = b.recv();
+        assert!(b.try_recv().unwrap().is_none());
+        let msg = b.recv().unwrap();
         assert!(msg.payload.is_data());
         assert!(b.clock.now_ms() >= 5.0);
         assert!(b.clock.breakdown().wait_ms > 0.0);
+    }
+
+    #[test]
+    fn abort_surfaces_as_error_on_recv_and_poll() {
+        let (mut a, mut b) = two_nodes(NetworkKind::high_speed_default());
+        a.send_control(
+            1,
+            Control::Abort {
+                origin: 0,
+                reason: "test failure".into(),
+            },
+        )
+        .unwrap();
+        match b.recv() {
+            Err(crate::ExecError::Aborted { origin, reason }) => {
+                assert_eq!(origin, 0);
+                assert!(reason.contains("test failure"));
+            }
+            other => panic!("expected Aborted, got {other:?}"),
+        }
+
+        // Polls see aborts too, even with a future-stamped abort: failure
+        // propagation must not wait on virtual time.
+        let (mut a, mut b) = two_nodes(NetworkKind::HighSpeed { latency_ms: 5.0 });
+        a.clock.observe(1000.0); // a is far ahead in virtual time
+        a.send_control(
+            1,
+            Control::Abort {
+                origin: 0,
+                reason: "late".into(),
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            b.try_recv(),
+            Err(crate::ExecError::Aborted { origin: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn watchdog_turns_silence_into_typed_error() {
+        let (_a, mut b) = two_nodes(NetworkKind::high_speed_default());
+        b.set_watchdog(std::time::Duration::from_millis(30));
+        match b.recv() {
+            Err(crate::ExecError::Watchdog { node, waited_ms }) => {
+                assert_eq!(node, 1);
+                assert_eq!(waited_ms, 30);
+            }
+            other => panic!("expected Watchdog, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_tick_crashes_at_the_scheduled_tuple() {
+        let (mut a, _b) = two_nodes(NetworkKind::high_speed_default());
+        a.apply_faults(adaptagg_net::NodeFaults {
+            crash_at_tuple: Some(3),
+            slowdown_factor: 1.0,
+        });
+        for _ in 0..3 {
+            a.fault_tick().unwrap();
+        }
+        assert_eq!(
+            a.fault_tick(),
+            Err(crate::ExecError::InjectedCrash {
+                node: 0,
+                at_tuple: 3
+            })
+        );
+    }
+
+    #[test]
+    fn benign_faults_never_tick() {
+        let (mut a, _b) = two_nodes(NetworkKind::high_speed_default());
+        for _ in 0..10_000 {
+            a.fault_tick().unwrap();
+        }
     }
 
     #[test]

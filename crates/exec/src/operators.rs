@@ -58,6 +58,9 @@ where
         let page = file.page(pi)?.clone();
         for tuple in page.iter() {
             let values = tuple?;
+            // Scanned tuples are the fault plan's crash currency — a node
+            // scheduled to crash at tuple K dies right here.
+            ctx.fault_tick()?;
             ctx.clock.record(CostEvent::TupleRead, 1);
             if !adaptagg_model::matches_all(filter, &values)? {
                 continue;

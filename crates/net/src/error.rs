@@ -1,0 +1,53 @@
+//! Typed messaging-layer errors.
+
+use std::fmt;
+
+/// Why a send or receive on the fabric failed. These replace the old
+/// `expect(...)` panics: a peer dying mid-run now surfaces as a value the
+/// execution layer can attribute and propagate instead of a thread abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetError {
+    /// The destination endpoint no longer exists — its node's thread has
+    /// already returned (crashed or finished early).
+    PeerDown {
+        /// The unreachable node.
+        peer: usize,
+    },
+    /// Every sender endpoint was dropped while this node was blocked
+    /// receiving: nothing can ever arrive again.
+    Disconnected,
+    /// A real-time receive deadline elapsed (the cluster watchdog — the
+    /// backstop against protocol hangs).
+    Deadline {
+        /// How long the receiver waited, in real milliseconds.
+        waited_ms: u64,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::PeerDown { peer } => write!(f, "peer node {peer} is down"),
+            NetError::Disconnected => write!(f, "all peers disconnected"),
+            NetError::Deadline { waited_ms } => {
+                write!(f, "receive deadline elapsed after {waited_ms} ms")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_peer() {
+        assert!(NetError::PeerDown { peer: 3 }.to_string().contains("3"));
+        assert!(NetError::Deadline { waited_ms: 250 }
+            .to_string()
+            .contains("250"));
+        assert!(!NetError::Disconnected.to_string().is_empty());
+    }
+}

@@ -9,14 +9,36 @@
 //! execution cannot deadlock regardless of phase structure; back-pressure
 //! is not modelled (the paper's model has none either — network cost is
 //! pure transfer time).
+//!
+//! ## Reliability under fault injection
+//!
+//! Every message carries a per-link sequence number. Receivers drop
+//! duplicates and reassemble send order per sender, so the fabric is
+//! at-least-once-with-dedup: [`crate::FaultPlan`] link faults (drop =
+//! delayed retransmit, duplication, reordering) perturb timing but never
+//! correctness. Sends and receives return typed [`NetError`]s instead of
+//! panicking when a peer is gone — the execution layer turns these into
+//! graceful, attributed run failures.
+//!
+//! A held-back (reordered) message is flushed by the next send on the
+//! same link; since every data-carrying link later carries an
+//! `EndOfStream` (all algorithms close their streams), no message can be
+//! held forever.
 
+use crate::error::NetError;
+use crate::fault::{FaultPlan, LinkFaults, SplitMix64};
 use crate::message::{Control, DataKind, Message, Payload};
 use crate::network::Network;
 use crate::stats::NetStats;
 use adaptagg_model::NetworkKind;
 use adaptagg_storage::Page;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use std::time::Duration;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// How many per-page transfer times a "dropped" (retransmitted) message
+/// arrives late by.
+const RETRANSMIT_PENALTY_PAGES: f64 = 3.0;
 
 /// Builds endpoints for an `n`-node cluster.
 #[derive(Debug)]
@@ -25,11 +47,17 @@ pub struct Fabric {
 }
 
 impl Fabric {
-    /// A fabric of `n` endpoints over the given network model.
+    /// A fault-free fabric of `n` endpoints over the given network model.
     pub fn new(n: usize, kind: NetworkKind) -> Self {
+        Fabric::with_faults(n, kind, &FaultPlan::none())
+    }
+
+    /// A fabric whose links suffer the given plan's message faults.
+    pub fn with_faults(n: usize, kind: NetworkKind, plan: &FaultPlan) -> Self {
         let network = Network::new(kind);
         let (senders, receivers): (Vec<Sender<Message>>, Vec<Receiver<Message>>) =
             (0..n).map(|_| unbounded()).unzip();
+        let link_faults = plan.link_faults();
         let endpoints = receivers
             .into_iter()
             .enumerate()
@@ -41,6 +69,16 @@ impl Fabric {
                 pending: std::collections::VecDeque::new(),
                 network: network.clone(),
                 stats: NetStats::default(),
+                link_faults,
+                links: (0..n)
+                    .map(|to| LinkState {
+                        rng: plan.link_rng(id, to),
+                        held: None,
+                        next_seq: 0,
+                    })
+                    .collect(),
+                expected_seq: vec![0; n],
+                ooo: (0..n).map(|_| BTreeMap::new()).collect(),
             })
             .collect();
         Fabric { endpoints }
@@ -62,6 +100,17 @@ impl Fabric {
     }
 }
 
+/// Sender-side state for one outgoing link.
+#[derive(Debug)]
+struct LinkState {
+    /// The link's deterministic fault stream.
+    rng: SplitMix64,
+    /// A reordered message awaiting the link's next send.
+    held: Option<Message>,
+    /// Sequence number for the next message on this link.
+    next_seq: u64,
+}
+
 /// One node's attachment to the fabric.
 #[derive(Debug)]
 pub struct Endpoint {
@@ -69,11 +118,20 @@ pub struct Endpoint {
     nodes: usize,
     senders: Vec<Sender<Message>>,
     rx: Receiver<Message>,
-    /// Messages pulled off the channel whose virtual arrival time is
-    /// still in this node's future (see [`Endpoint::try_recv_arrived`]).
+    /// In-sequence messages awaiting delivery — either reassembled from
+    /// the channel or stashed because their virtual arrival time is still
+    /// in this node's future (see [`Endpoint::try_recv_arrived`]).
     pending: std::collections::VecDeque<Message>,
     network: Network,
     stats: NetStats,
+    /// Per-link fault probabilities (all zero when injection is off).
+    link_faults: LinkFaults,
+    /// Per-destination link state (seq stamping + fault stream).
+    links: Vec<LinkState>,
+    /// Next expected sequence number per sender.
+    expected_seq: Vec<u64>,
+    /// Out-of-order messages buffered per sender until their gap fills.
+    ooo: Vec<BTreeMap<u64, Message>>,
 }
 
 impl Endpoint {
@@ -97,66 +155,164 @@ impl Endpoint {
         &self.stats
     }
 
+    /// Virtual-time latency added to a message the fault plan drops
+    /// (modelling its retransmit).
+    fn retransmit_penalty_ms(&self) -> f64 {
+        RETRANSMIT_PENALTY_PAGES * self.network.kind().ms_per_page()
+    }
+
     /// Send a data page to `to`. `now_ms` is the sender's virtual time
     /// when the send is issued; the return value is the virtual time when
     /// the transfer completes, which the caller assigns back to its clock
     /// (the sender is occupied for the duration, matching the analytical
     /// model's `m_l` charge). The receiver will observe at least this time.
-    pub fn send_data(&mut self, to: usize, kind: DataKind, page: Page, now_ms: f64) -> f64 {
+    ///
+    /// Fails with [`NetError::PeerDown`] if `to`'s endpoint was dropped
+    /// (its node already failed or finished).
+    pub fn send_data(
+        &mut self,
+        to: usize,
+        kind: DataKind,
+        page: Page,
+        now_ms: f64,
+    ) -> Result<f64, NetError> {
         debug_assert!(to < self.nodes, "destination {to} out of range");
-        let done = self.network.transfer(now_ms, 1);
+        let mut done = self.network.transfer(now_ms, 1);
         self.stats
             .on_send_data(kind, page.bytes_used(), page.tuple_count());
+        let fate = self.roll_link_faults(to);
+        if fate.drop {
+            // Lost on the wire, retransmitted: same message, same sequence
+            // number, arriving late — and the sender is occupied until the
+            // retransmit completes.
+            done += self.retransmit_penalty_ms();
+            self.stats.injected_drops += 1;
+        }
         let msg = Message {
             from: self.node,
+            seq: self.stamp_seq(to),
             sent_at_ms: done,
             payload: Payload::Data { kind, page },
         };
-        // A send can only fail if the receiver endpoint was dropped, which
-        // means that node's thread already finished its run closure — a
-        // protocol violation by the algorithm, not a recoverable state.
-        self.senders[to].send(msg).expect("receiver endpoint dropped");
-        done
+        self.link_send(to, msg, fate)?;
+        Ok(done)
     }
 
     /// Send a control message to `to` (zero transfer time; see
     /// [`Message::transfer_pages`]).
-    pub fn send_control(&mut self, to: usize, control: Control, now_ms: f64) {
+    pub fn send_control(
+        &mut self,
+        to: usize,
+        control: Control,
+        now_ms: f64,
+    ) -> Result<(), NetError> {
         debug_assert!(to < self.nodes, "destination {to} out of range");
         self.stats.control_sent += 1;
+        let mut fate = self.roll_link_faults(to);
+        let mut sent_at_ms = now_ms;
+        if fate.drop {
+            sent_at_ms += self.retransmit_penalty_ms();
+            self.stats.injected_drops += 1;
+        }
+        // Only data pages are ever held back: holding a control message
+        // could stall a protocol (e.g. a decision broadcast) until the
+        // link's next send, which may be its last.
+        fate.reorder = false;
         let msg = Message {
             from: self.node,
-            sent_at_ms: now_ms,
+            seq: self.stamp_seq(to),
+            sent_at_ms,
             payload: Payload::Control(control),
         };
-        self.senders[to].send(msg).expect("receiver endpoint dropped");
+        self.link_send(to, msg, fate)
     }
 
-    /// Broadcast a control message to every *other* node.
-    pub fn broadcast_control(&mut self, control: Control, now_ms: f64) {
+    /// Broadcast a control message to every *other* node. Peers that are
+    /// already down are skipped — a failing node must be able to notify
+    /// the survivors even when some peers died first.
+    pub fn broadcast_control(&mut self, control: Control, now_ms: f64) -> Result<(), NetError> {
         for to in 0..self.nodes {
             if to != self.node {
-                self.send_control(to, control.clone(), now_ms);
+                if let Err(NetError::PeerDown { .. }) =
+                    self.send_control(to, control.clone(), now_ms)
+                {
+                    continue;
+                }
             }
         }
+        Ok(())
+    }
+
+    /// Draw this send's fault fate from the link's deterministic stream.
+    /// Self-sends are loopback — never faulted. A fault-free plan draws
+    /// nothing (zero cost, identical streams with or without the layer).
+    fn roll_link_faults(&mut self, to: usize) -> LinkFate {
+        if to == self.node || !self.link_faults.any() {
+            return LinkFate::default();
+        }
+        let rng = &mut self.links[to].rng;
+        LinkFate {
+            drop: rng.next_f64() < self.link_faults.drop_prob,
+            dup: rng.next_f64() < self.link_faults.dup_prob,
+            reorder: rng.next_f64() < self.link_faults.reorder_prob,
+        }
+    }
+
+    /// Stamp the next sequence number for the `self → to` link.
+    fn stamp_seq(&mut self, to: usize) -> u64 {
+        let seq = self.links[to].next_seq;
+        self.links[to].next_seq += 1;
+        seq
+    }
+
+    /// Physically transmit `msg` on the link, applying duplication and
+    /// reordering, and flushing any previously held message.
+    fn link_send(&mut self, to: usize, msg: Message, fate: LinkFate) -> Result<(), NetError> {
+        let mut delivered = false;
+        if fate.dup {
+            self.stats.injected_dups += 1;
+            self.push_wire(to, msg.clone())?;
+            delivered = true;
+        }
+        if fate.reorder && self.links[to].held.is_none() {
+            self.stats.injected_reorders += 1;
+            self.links[to].held = Some(msg);
+            return Ok(());
+        }
+        if let Err(e) = self.push_wire(to, msg) {
+            // With a duplicate already through, this copy is redundant: the
+            // receiver deduplicated the first one and may have legitimately
+            // finished and closed its endpoint in between. At-least-once
+            // delivery was satisfied; only a send with *no* copy delivered
+            // is a real peer failure.
+            return if delivered { Ok(()) } else { Err(e) };
+        }
+        if let Some(held) = self.links[to].held.take() {
+            self.push_wire(to, held)?;
+        }
+        Ok(())
+    }
+
+    fn push_wire(&mut self, to: usize, msg: Message) -> Result<(), NetError> {
+        self.senders[to]
+            .send(msg)
+            .map_err(|_| NetError::PeerDown { peer: to })
     }
 
     /// Blocking receive. Returns the message; the caller merges
     /// `msg.sent_at_ms` into its clock and charges receive-side costs.
     /// Blocking means "wait until something arrives", so virtual arrival
     /// times in the future are fine (the wait becomes Lamport time).
-    /// Pending messages stashed by [`Endpoint::try_recv_arrived`] are
-    /// delivered first, earliest virtual timestamp first.
-    ///
-    /// Panics if all senders disappeared (protocol violation: a phase is
-    /// waiting for data that can never arrive).
-    pub fn recv(&mut self) -> Message {
-        if let Some(msg) = self.pop_pending(f64::INFINITY) {
-            return msg;
+    /// Messages stashed by [`Endpoint::try_recv_arrived`] are delivered
+    /// first, earliest virtual timestamp first.
+    pub fn recv(&mut self) -> Result<Message, NetError> {
+        loop {
+            if let Some(msg) = self.pop_pending(f64::INFINITY) {
+                return Ok(msg);
+            }
+            let msg = self.rx.recv().map_err(|_| NetError::Disconnected)?;
+            self.ingest(msg);
         }
-        let msg = self.rx.recv().expect("all sender endpoints dropped");
-        self.note_received(&msg);
-        msg
     }
 
     /// Non-blocking receive of a message that has *virtually arrived* by
@@ -167,17 +323,10 @@ impl Endpoint {
     /// rule, polls would Lamport-drag every clock forward in a feedback
     /// loop and inflate elapsed times cluster-wide.
     pub fn try_recv_arrived(&mut self, now_ms: f64) -> Option<Message> {
-        if let Some(msg) = self.pop_pending(now_ms) {
-            return Some(msg);
-        }
         while let Ok(msg) = self.rx.try_recv() {
-            if msg.sent_at_ms <= now_ms {
-                self.note_received(&msg);
-                return Some(msg);
-            }
-            self.pending.push_back(msg);
+            self.ingest(msg);
         }
-        None
+        self.pop_pending(now_ms)
     }
 
     /// Non-blocking receive regardless of virtual arrival time (tests).
@@ -185,25 +334,71 @@ impl Endpoint {
         self.try_recv_arrived(f64::INFINITY)
     }
 
-    /// Receive with a real-time timeout — used only by tests that must not
-    /// hang on protocol bugs.
-    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<Message, RecvTimeoutError> {
-        if let Some(msg) = self.pop_pending(f64::INFINITY) {
-            return Ok(msg);
+    /// Receive with a real-time deadline — the watchdog against protocol
+    /// hangs: even if every peer died without a trace, the receiver
+    /// surfaces [`NetError::Deadline`] instead of blocking forever.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<Message, NetError> {
+        let start = Instant::now();
+        loop {
+            if let Some(msg) = self.pop_pending(f64::INFINITY) {
+                return Ok(msg);
+            }
+            let remaining = timeout
+                .checked_sub(start.elapsed())
+                .ok_or(NetError::Deadline {
+                    waited_ms: timeout.as_millis() as u64,
+                })?;
+            match self.rx.recv_timeout(remaining) {
+                Ok(msg) => self.ingest(msg),
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(NetError::Deadline {
+                        waited_ms: timeout.as_millis() as u64,
+                    })
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(NetError::Disconnected),
+            }
         }
-        let msg = self.rx.recv_timeout(timeout)?;
-        self.note_received(&msg);
-        Ok(msg)
+    }
+
+    /// Feed a raw wire arrival through per-sender dedup + reassembly.
+    /// In-sequence messages (and any out-of-order successors they
+    /// unblock) land in `pending`; duplicates are dropped; gaps wait.
+    fn ingest(&mut self, msg: Message) {
+        let from = msg.from;
+        let expected = &mut self.expected_seq[from];
+        match msg.seq.cmp(expected) {
+            std::cmp::Ordering::Less => {
+                self.stats.dup_dropped += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                // Insert overwrites an identical buffered duplicate.
+                self.ooo[from].insert(msg.seq, msg);
+            }
+            std::cmp::Ordering::Equal => {
+                *expected += 1;
+                self.pending.push_back(msg);
+                while let Some(next) = self.ooo[from].remove(&self.expected_seq[from]) {
+                    self.expected_seq[from] += 1;
+                    self.pending.push_back(next);
+                }
+            }
+        }
     }
 
     /// Pop the earliest-timestamped pending message that arrived by
-    /// `deadline_ms`.
+    /// `deadline_ms`. Abort notifications are exempt from the deadline:
+    /// failure propagation is about real execution, not simulated time, so
+    /// a poll must see an abort even when its virtual timestamp is ahead
+    /// of the polling node's clock.
     fn pop_pending(&mut self, deadline_ms: f64) -> Option<Message> {
         let idx = self
             .pending
             .iter()
             .enumerate()
-            .filter(|(_, m)| m.sent_at_ms <= deadline_ms)
+            .filter(|(_, m)| {
+                m.sent_at_ms <= deadline_ms
+                    || matches!(&m.payload, Payload::Control(Control::Abort { .. }))
+            })
             .min_by(|(_, a), (_, b)| a.sent_at_ms.total_cmp(&b.sent_at_ms))
             .map(|(i, _)| i)?;
         let msg = self.pending.remove(idx).expect("index valid");
@@ -217,6 +412,14 @@ impl Endpoint {
             Payload::Control(_) => self.stats.control_received += 1,
         }
     }
+}
+
+/// The fate the fault stream assigned to one send.
+#[derive(Debug, Default, Clone, Copy)]
+struct LinkFate {
+    drop: bool,
+    dup: bool,
+    reorder: bool,
 }
 
 #[cfg(test)]
@@ -240,10 +443,11 @@ mod tests {
         assert_eq!(a.node(), 0);
         assert_eq!(b.node(), 1);
 
-        let done = a.send_data(1, DataKind::Raw, page_with(3), 10.0);
+        let done = a.send_data(1, DataKind::Raw, page_with(3), 10.0).unwrap();
         assert_eq!(done, 10.5);
-        let msg = b.recv();
+        let msg = b.recv().unwrap();
         assert_eq!(msg.from, 0);
+        assert_eq!(msg.seq, 0);
         assert_eq!(msg.sent_at_ms, 10.5);
         match msg.payload {
             Payload::Data { kind, page } => {
@@ -261,8 +465,8 @@ mod tests {
     fn self_send_works() {
         let mut eps = Fabric::new(1, NetworkKind::high_speed_default()).into_endpoints();
         let mut a = eps.pop().unwrap();
-        a.send_data(0, DataKind::Partial, page_with(1), 0.0);
-        let msg = a.recv();
+        a.send_data(0, DataKind::Partial, page_with(1), 0.0).unwrap();
+        let msg = a.recv().unwrap();
         assert_eq!(msg.from, 0);
         assert!(msg.payload.is_data());
     }
@@ -273,7 +477,8 @@ mod tests {
         let mut c = eps.pop().unwrap();
         let mut b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
-        a.broadcast_control(Control::EndOfPhase { groups_seen: 7 }, 1.0);
+        a.broadcast_control(Control::EndOfPhase { groups_seen: 7 }, 1.0)
+            .unwrap();
         for ep in [&mut b, &mut c] {
             let msg = ep.recv_timeout(Duration::from_secs(1)).unwrap();
             assert_eq!(
@@ -297,12 +502,12 @@ mod tests {
         let mut eps = Fabric::new(2, NetworkKind::SharedBus { ms_per_page: 2.0 }).into_endpoints();
         let mut b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
-        let t1 = a.send_data(1, DataKind::Raw, page_with(1), 0.0);
-        let t2 = a.send_data(1, DataKind::Raw, page_with(1), 0.0);
+        let t1 = a.send_data(1, DataKind::Raw, page_with(1), 0.0).unwrap();
+        let t2 = a.send_data(1, DataKind::Raw, page_with(1), 0.0).unwrap();
         assert_eq!(t1, 2.0);
         assert_eq!(t2, 4.0, "second page waits for the bus");
-        assert_eq!(b.recv().sent_at_ms, 2.0);
-        assert_eq!(b.recv().sent_at_ms, 4.0);
+        assert_eq!(b.recv().unwrap().sent_at_ms, 2.0);
+        assert_eq!(b.recv().unwrap().sent_at_ms, 4.0);
     }
 
     #[test]
@@ -312,9 +517,10 @@ mod tests {
         let mut a = eps.pop().unwrap();
         let h = std::thread::spawn(move || {
             for i in 0..10 {
-                a.send_data(1, DataKind::Raw, page_with(i + 1), i as f64);
+                a.send_data(1, DataKind::Raw, page_with(i + 1), i as f64)
+                    .unwrap();
             }
-            a.send_control(1, Control::EndOfStream, 10.0);
+            a.send_control(1, Control::EndOfStream, 10.0).unwrap();
         });
         let mut pages = 0;
         loop {
@@ -327,5 +533,207 @@ mod tests {
         }
         h.join().unwrap();
         assert_eq!(pages, 10);
+    }
+
+    #[test]
+    fn send_to_dropped_peer_is_a_typed_error() {
+        let mut eps = Fabric::new(2, NetworkKind::high_speed_default()).into_endpoints();
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        drop(b);
+        assert_eq!(
+            a.send_data(1, DataKind::Raw, page_with(1), 0.0),
+            Err(NetError::PeerDown { peer: 1 })
+        );
+        assert_eq!(
+            a.send_control(1, Control::EndOfStream, 0.0),
+            Err(NetError::PeerDown { peer: 1 })
+        );
+        // A broadcast skips the dead peer instead of failing.
+        assert!(a.broadcast_control(Control::EndOfStream, 0.0).is_ok());
+    }
+
+    #[test]
+    fn recv_timeout_reports_deadline() {
+        let mut eps = Fabric::new(2, NetworkKind::high_speed_default()).into_endpoints();
+        let mut b = eps.pop().unwrap();
+        let _a = eps.pop().unwrap();
+        match b.recv_timeout(Duration::from_millis(20)) {
+            Err(NetError::Deadline { waited_ms }) => assert_eq!(waited_ms, 20),
+            other => panic!("expected deadline, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sequence_numbers_are_per_link() {
+        let mut eps = Fabric::new(3, NetworkKind::high_speed_default()).into_endpoints();
+        let mut c = eps.pop().unwrap();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.send_data(1, DataKind::Raw, page_with(1), 0.0).unwrap();
+        a.send_data(2, DataKind::Raw, page_with(1), 0.0).unwrap();
+        a.send_data(1, DataKind::Raw, page_with(1), 0.0).unwrap();
+        assert_eq!(b.recv().unwrap().seq, 0);
+        assert_eq!(b.recv().unwrap().seq, 1);
+        assert_eq!(c.recv().unwrap().seq, 0);
+    }
+
+    #[test]
+    fn duplicates_are_dropped_by_seq() {
+        let mut eps = Fabric::new(2, NetworkKind::high_speed_default()).into_endpoints();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        // Forge a duplicate by sending the same seq twice on the wire.
+        let msg = Message {
+            from: 0,
+            seq: 0,
+            sent_at_ms: 1.0,
+            payload: Payload::Data {
+                kind: DataKind::Raw,
+                page: page_with(2),
+            },
+        };
+        a.push_wire(1, msg.clone()).unwrap();
+        a.push_wire(1, msg).unwrap();
+        assert!(b.try_recv().is_some());
+        assert!(b.try_recv().is_none(), "duplicate must be dropped");
+        assert_eq!(b.stats().dup_dropped, 1);
+        assert_eq!(b.stats().pages_received, 1, "dup not counted as received");
+    }
+
+    #[test]
+    fn out_of_order_arrivals_are_reassembled() {
+        let mut eps = Fabric::new(2, NetworkKind::high_speed_default()).into_endpoints();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        for seq in [2u64, 0, 1] {
+            let msg = Message {
+                from: 0,
+                seq,
+                sent_at_ms: seq as f64,
+                payload: Payload::Data {
+                    kind: DataKind::Raw,
+                    page: page_with(seq as usize + 1),
+                },
+            };
+            a.push_wire(1, msg).unwrap();
+        }
+        let seqs: Vec<u64> = (0..3).map(|_| b.recv().unwrap().seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2], "delivery must follow send order");
+    }
+
+    #[test]
+    fn drop_fault_delays_but_delivers() {
+        let plan = FaultPlan::new(3).with_link_faults(LinkFaults {
+            drop_prob: 1.0, // every message is "dropped" (retransmitted)
+            ..LinkFaults::default()
+        });
+        let mut eps =
+            Fabric::with_faults(2, NetworkKind::HighSpeed { latency_ms: 0.5 }, &plan)
+                .into_endpoints();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        let done = a.send_data(1, DataKind::Raw, page_with(1), 0.0).unwrap();
+        assert_eq!(done, 0.5 + 3.0 * 0.5, "retransmit penalty charged");
+        let msg = b.recv().unwrap();
+        assert_eq!(msg.sent_at_ms, done, "late, but delivered exactly once");
+        assert!(b.try_recv().is_none());
+        assert_eq!(a.stats().injected_drops, 1);
+    }
+
+    #[test]
+    fn dup_fault_is_invisible_after_dedup() {
+        let plan = FaultPlan::new(4).with_link_faults(LinkFaults {
+            dup_prob: 1.0,
+            ..LinkFaults::default()
+        });
+        let mut eps = Fabric::with_faults(2, NetworkKind::high_speed_default(), &plan)
+            .into_endpoints();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        for _ in 0..5 {
+            a.send_data(1, DataKind::Raw, page_with(1), 0.0).unwrap();
+        }
+        a.send_control(1, Control::EndOfStream, 0.0).unwrap();
+        let mut data = 0;
+        loop {
+            match b.recv().unwrap().payload {
+                Payload::Data { .. } => data += 1,
+                Payload::Control(Control::EndOfStream) => break,
+                _ => unreachable!(),
+            }
+        }
+        assert_eq!(data, 5, "every page delivered exactly once");
+        assert_eq!(a.stats().injected_dups, 6);
+        // The duplicate of the final EndOfStream is still on the wire when
+        // the loop breaks, so only the five data duplicates were discarded.
+        assert_eq!(b.stats().dup_dropped, 5);
+    }
+
+    #[test]
+    fn reorder_fault_preserves_send_order_after_reassembly() {
+        let plan = FaultPlan::new(5).with_link_faults(LinkFaults {
+            reorder_prob: 1.0,
+            ..LinkFaults::default()
+        });
+        let mut eps = Fabric::with_faults(2, NetworkKind::high_speed_default(), &plan)
+            .into_endpoints();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        for i in 0..6 {
+            a.send_data(1, DataKind::Raw, page_with(i + 1), i as f64)
+                .unwrap();
+        }
+        a.send_control(1, Control::EndOfStream, 6.0).unwrap();
+        let mut sizes = Vec::new();
+        loop {
+            match b.recv().unwrap().payload {
+                Payload::Data { page, .. } => sizes.push(page.tuple_count()),
+                Payload::Control(Control::EndOfStream) => break,
+                _ => unreachable!(),
+            }
+        }
+        assert_eq!(sizes, vec![1, 2, 3, 4, 5, 6]);
+        assert!(a.stats().injected_reorders > 0);
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_per_seed() {
+        let run = |seed: u64| -> (u64, u64, u64) {
+            let plan = FaultPlan::new(seed).with_link_faults(LinkFaults {
+                drop_prob: 0.3,
+                dup_prob: 0.3,
+                reorder_prob: 0.3,
+            });
+            let mut eps = Fabric::with_faults(2, NetworkKind::high_speed_default(), &plan)
+                .into_endpoints();
+            let _b = eps.pop().unwrap();
+            let mut a = eps.pop().unwrap();
+            for i in 0..50 {
+                a.send_data(1, DataKind::Raw, page_with(1), i as f64)
+                    .unwrap();
+            }
+            let s = a.stats();
+            (s.injected_drops, s.injected_dups, s.injected_reorders)
+        };
+        assert_eq!(run(11), run(11), "same seed, same schedule");
+        assert_ne!(run(11), run(12), "different seeds differ");
+    }
+
+    #[test]
+    fn fault_free_plan_adds_nothing() {
+        // With FaultPlan::none() the fabric must behave byte-identically
+        // to the pre-injection fabric: same timestamps, no fault stats.
+        let mut eps = Fabric::new(2, NetworkKind::HighSpeed { latency_ms: 0.5 }).into_endpoints();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        let done = a.send_data(1, DataKind::Raw, page_with(1), 1.0).unwrap();
+        assert_eq!(done, 1.5);
+        assert_eq!(b.recv().unwrap().sent_at_ms, 1.5);
+        let s = a.stats();
+        assert_eq!(
+            (s.injected_drops, s.injected_dups, s.injected_reorders),
+            (0, 0, 0)
+        );
     }
 }

@@ -1,0 +1,319 @@
+//! Deterministic fault injection for the simulated cluster.
+//!
+//! A [`FaultPlan`] describes every fault a run will suffer, derived
+//! entirely from a seed: per-node crashes (a node dies after scanning its
+//! K-th tuple), per-node slowdowns (the node's CPU/disk events take
+//! `slowdown_factor`× their normal virtual time), and per-link message
+//! faults (drop, duplication, reordering).
+//!
+//! ## Determinism
+//!
+//! Link faults are decided by a per-link [`SplitMix64`] stream seeded from
+//! `(plan seed, from, to)`. Every send on a link draws from that link's
+//! stream and nowhere else, and sends on one link are serialized by the
+//! sending node's thread — so the k-th message on a link suffers the same
+//! fate on every run with the same seed, regardless of how the OS
+//! schedules threads. Node faults are plain per-node values, deterministic
+//! by construction.
+//!
+//! ## Failure semantics
+//!
+//! The fabric models a *reliable transport over a lossy wire* (TCP-like):
+//! a dropped message is retransmitted — it arrives late (a fixed
+//! virtual-time penalty), never never-at-all; a duplicated message is
+//! delivered once (receivers de-duplicate by per-link sequence number);
+//! a reordered message is delivered in send order (receivers reassemble
+//! by sequence number). Exactness of aggregation results is therefore
+//! preserved under arbitrary link-fault schedules; what the faults perturb
+//! is *timing* and the order in which polls observe traffic. Crashes are
+//! the only fault that aborts a run — surfaced as a typed error by the
+//! execution layer, never as a wrong answer.
+
+/// Faults assigned to one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeFaults {
+    /// Die (with a typed error) immediately after scanning this many
+    /// tuples. `None` = never.
+    pub crash_at_tuple: Option<u64>,
+    /// Multiplier on the virtual duration of the node's CPU and disk
+    /// events. `1.0` = nominal speed.
+    pub slowdown_factor: f64,
+}
+
+impl Default for NodeFaults {
+    fn default() -> Self {
+        NodeFaults {
+            crash_at_tuple: None,
+            slowdown_factor: 1.0,
+        }
+    }
+}
+
+impl NodeFaults {
+    /// Whether this node runs entirely fault-free.
+    pub fn is_benign(&self) -> bool {
+        self.crash_at_tuple.is_none() && self.slowdown_factor == 1.0
+    }
+}
+
+/// Per-message fault probabilities applied to every link.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LinkFaults {
+    /// Probability a message is "dropped" — retransmitted, arriving with a
+    /// fixed virtual-latency penalty.
+    pub drop_prob: f64,
+    /// Probability a message is transmitted twice (same sequence number;
+    /// the receiver drops the duplicate).
+    pub dup_prob: f64,
+    /// Probability a *data* message is held back and transmitted after the
+    /// link's next message (the receiver reassembles send order).
+    pub reorder_prob: f64,
+}
+
+impl LinkFaults {
+    /// Whether any link fault can fire.
+    pub fn any(&self) -> bool {
+        self.drop_prob > 0.0 || self.dup_prob > 0.0 || self.reorder_prob > 0.0
+    }
+}
+
+/// The complete, seeded fault schedule for one cluster run.
+///
+/// `FaultPlan::none()` (the default) injects nothing and adds no cost
+/// anywhere on the messaging or execution path.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    nodes: Vec<NodeFaults>,
+    links: LinkFaults,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, zero overhead.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// An empty plan carrying a seed, to be populated with the `with_*`
+    /// builders (targeted tests).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A randomized schedule for an `n`-node cluster, fully determined by
+    /// `seed`: some runs get link noise, some get crashes, some slowdowns,
+    /// many get combinations, a few get nothing.
+    pub fn random(seed: u64, n: usize) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let links = if rng.next_f64() < 0.7 {
+            LinkFaults {
+                drop_prob: rng.next_f64() * 0.12,
+                dup_prob: rng.next_f64() * 0.12,
+                reorder_prob: rng.next_f64() * 0.12,
+            }
+        } else {
+            LinkFaults::default()
+        };
+        let nodes = (0..n)
+            .map(|_| {
+                let crash_at_tuple = if rng.next_f64() < 0.2 {
+                    Some(rng.next_below(1200))
+                } else {
+                    None
+                };
+                let slowdown_factor = if rng.next_f64() < 0.25 {
+                    1.0 + rng.next_f64() * 3.0
+                } else {
+                    1.0
+                };
+                NodeFaults {
+                    crash_at_tuple,
+                    slowdown_factor,
+                }
+            })
+            .collect();
+        FaultPlan { seed, nodes, links }
+    }
+
+    /// Crash `node` after it scans `tuple` tuples.
+    pub fn with_crash(mut self, node: usize, tuple: u64) -> Self {
+        self.node_mut(node).crash_at_tuple = Some(tuple);
+        self
+    }
+
+    /// Slow `node` down by `factor` (≥ 1.0).
+    pub fn with_slowdown(mut self, node: usize, factor: f64) -> Self {
+        assert!(factor >= 1.0, "slowdown factor must be >= 1.0");
+        self.node_mut(node).slowdown_factor = factor;
+        self
+    }
+
+    /// Apply `links` fault probabilities to every link.
+    pub fn with_link_faults(mut self, links: LinkFaults) -> Self {
+        self.links = links;
+        self
+    }
+
+    fn node_mut(&mut self, node: usize) -> &mut NodeFaults {
+        if self.nodes.len() <= node {
+            self.nodes.resize(node + 1, NodeFaults::default());
+        }
+        &mut self.nodes[node]
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Faults for `node` (default = benign for nodes beyond the plan).
+    pub fn node(&self, node: usize) -> NodeFaults {
+        self.nodes.get(node).copied().unwrap_or_default()
+    }
+
+    /// The uniform per-link fault probabilities.
+    pub fn link_faults(&self) -> LinkFaults {
+        self.links
+    }
+
+    /// Whether any fault anywhere can fire.
+    pub fn is_enabled(&self) -> bool {
+        self.links.any() || self.nodes.iter().any(|n| !n.is_benign())
+    }
+
+    /// Whether any node is scheduled to crash (runs with crashes may
+    /// legitimately end in an error; runs without must produce exact
+    /// results).
+    pub fn has_crash(&self) -> bool {
+        self.nodes.iter().any(|n| n.crash_at_tuple.is_some())
+    }
+
+    /// The deterministic fault stream for the `from → to` link.
+    pub fn link_rng(&self, from: usize, to: usize) -> SplitMix64 {
+        // Mix the seed with the link identity so every link gets an
+        // independent stream; SplitMix64's finalizer scrambles the
+        // low-entropy inputs.
+        let mut s = self.seed ^ 0x243f_6a88_85a3_08d3;
+        s = s.wrapping_mul(0x100_0000_01b3) ^ (from as u64).wrapping_add(1);
+        s = s.wrapping_mul(0x100_0000_01b3) ^ (to as u64).wrapping_add(1);
+        SplitMix64::new(s)
+    }
+}
+
+/// The SplitMix64 generator — tiny, seedable from any 64-bit value, and
+/// statistically solid for fault scheduling. Kept local so the net crate
+/// stays dependency-free and the streams are stable forever.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A stream seeded by `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, n)` (multiply-shift; bias is negligible for the
+    /// small `n` used here).
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_disabled() {
+        let p = FaultPlan::none();
+        assert!(!p.is_enabled());
+        assert!(!p.has_crash());
+        assert!(p.node(5).is_benign());
+        assert!(!p.link_faults().any());
+    }
+
+    #[test]
+    fn builders_target_specific_nodes() {
+        let p = FaultPlan::new(7).with_crash(2, 100).with_slowdown(0, 2.5);
+        assert!(p.is_enabled());
+        assert!(p.has_crash());
+        assert_eq!(p.node(2).crash_at_tuple, Some(100));
+        assert_eq!(p.node(0).slowdown_factor, 2.5);
+        assert!(p.node(1).is_benign());
+        assert_eq!(p.seed(), 7);
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_per_seed() {
+        for seed in 0..50 {
+            assert_eq!(FaultPlan::random(seed, 8), FaultPlan::random(seed, 8));
+        }
+        // And not all identical.
+        let distinct: std::collections::HashSet<String> = (0..50)
+            .map(|s| format!("{:?}", FaultPlan::random(s, 8)))
+            .collect();
+        assert!(distinct.len() > 40, "only {} distinct plans", distinct.len());
+    }
+
+    #[test]
+    fn random_plans_cover_fault_space() {
+        let plans: Vec<FaultPlan> = (0..200).map(|s| FaultPlan::random(s, 4)).collect();
+        assert!(plans.iter().any(|p| p.has_crash()), "no crash in 200 plans");
+        assert!(plans.iter().any(|p| !p.is_enabled()), "no benign plan");
+        assert!(plans.iter().any(|p| p.link_faults().any()), "no link noise");
+        assert!(
+            plans
+                .iter()
+                .any(|p| (0..4).any(|n| p.node(n).slowdown_factor > 1.0)),
+            "no slowdown"
+        );
+    }
+
+    #[test]
+    fn link_streams_are_independent_and_stable() {
+        let p = FaultPlan::new(42);
+        let a: Vec<u64> = {
+            let mut r = p.link_rng(0, 1);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let a2: Vec<u64> = {
+            let mut r = p.link_rng(0, 1);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = p.link_rng(1, 0);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, a2, "same link, same stream");
+        assert_ne!(a, b, "different links, different streams");
+    }
+
+    #[test]
+    fn splitmix_ranges() {
+        let mut r = SplitMix64::new(1);
+        for _ in 0..1000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            assert!(r.next_below(10) < 10);
+        }
+    }
+}

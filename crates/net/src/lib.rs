@@ -27,13 +27,17 @@
 //! `m_p + m_l + m_p` accounting.
 
 pub mod blocker;
+pub mod error;
 pub mod fabric;
+pub mod fault;
 pub mod message;
 pub mod network;
 pub mod stats;
 
 pub use blocker::Blocker;
+pub use error::NetError;
 pub use fabric::{Endpoint, Fabric};
+pub use fault::{FaultPlan, LinkFaults, NodeFaults, SplitMix64};
 pub use message::{Control, DataKind, Message, Payload};
 pub use network::Network;
 pub use stats::NetStats;

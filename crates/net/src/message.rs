@@ -30,6 +30,15 @@ pub enum Control {
         /// Groups found in the sample (diagnostics).
         groups_in_sample: u64,
     },
+    /// Graceful failure propagation: the sender hit an unrecoverable error
+    /// and is shutting down; receivers should stop too instead of waiting
+    /// for data that will never come.
+    Abort {
+        /// The node where the failure originated.
+        origin: usize,
+        /// Human-readable description of the originating error.
+        reason: String,
+    },
 }
 
 /// The payload of a message.
@@ -58,6 +67,11 @@ impl Payload {
 pub struct Message {
     /// Sending node.
     pub from: usize,
+    /// Per-link sequence number, monotone per `(from, to)` pair. Receivers
+    /// use it to drop duplicates and reassemble send order when fault
+    /// injection perturbs the wire (delivery is
+    /// at-least-once-with-dedup, so merges stay exact).
+    pub seq: u64,
     /// Sender's virtual time at send *completion* (transfer included).
     /// Receivers advance their clock to at least this value — the Lamport
     /// rule that makes "waiting for data" visible in virtual time.
@@ -93,6 +107,7 @@ mod tests {
     fn control_messages_cost_no_transfer() {
         let m = Message {
             from: 0,
+            seq: 0,
             sent_at_ms: 1.0,
             payload: Payload::Control(Control::EndOfStream),
         };
@@ -104,6 +119,7 @@ mod tests {
     fn data_messages_are_one_page() {
         let m = Message {
             from: 2,
+            seq: 0,
             sent_at_ms: 0.0,
             payload: Payload::Data {
                 kind: DataKind::Raw,

@@ -23,6 +23,16 @@ pub struct NetStats {
     pub control_sent: u64,
     /// Control messages received.
     pub control_received: u64,
+    /// Messages the fault plan dropped on this endpoint's outgoing links
+    /// (each was retransmitted with a virtual-latency penalty).
+    pub injected_drops: u64,
+    /// Messages the fault plan duplicated on this endpoint's outgoing links.
+    pub injected_dups: u64,
+    /// Messages the fault plan held back (reordered) on this endpoint's
+    /// outgoing links.
+    pub injected_reorders: u64,
+    /// Duplicate arrivals this endpoint discarded by sequence number.
+    pub dup_dropped: u64,
 }
 
 impl NetStats {
@@ -57,6 +67,10 @@ impl NetStats {
         self.tuples_received += other.tuples_received;
         self.control_sent += other.control_sent;
         self.control_received += other.control_received;
+        self.injected_drops += other.injected_drops;
+        self.injected_dups += other.injected_dups;
+        self.injected_reorders += other.injected_reorders;
+        self.dup_dropped += other.dup_dropped;
     }
 }
 

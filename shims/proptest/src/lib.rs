@@ -1,0 +1,515 @@
+//! Offline stand-in for `proptest` (see `shims/README.md`): the subset
+//! of the API this workspace's property tests use, with deterministic
+//! case generation (seeded per test name) instead of entropy + regression
+//! files. Shrinking is not implemented — a failing case prints its inputs
+//! via the assertion message instead.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// The RNG handed to strategies while generating a test case.
+pub type TestRng = StdRng;
+
+/// Per-test configuration (`cases` only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic seed for a property, derived from its name (FNV-1a).
+pub fn seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The RNG for a named property — callable from the `proptest!` macro in
+/// crates that do not themselves depend on `rand`.
+pub fn rng_for(name: &str) -> TestRng {
+    TestRng::seed_from_u64(seed_for(name))
+}
+
+/// A generator of values of `Self::Value`.
+///
+/// Object-safe core (`generate`) plus sized combinators, so
+/// `Box<dyn Strategy<Value = V>>` works for `prop_oneof!`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A boxed strategy (the element type of `prop_oneof!` unions).
+pub struct BoxedStrategy<V>(Box<dyn Strategy<Value = V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate(rng)
+    }
+}
+
+/// `prop_map` combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed alternatives (built by `prop_oneof!`).
+pub struct Union<V>(pub Vec<BoxedStrategy<V>>);
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+        let idx = rng.gen_range(0..self.0.len());
+        self.0[idx].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )+};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Mix extremes in: edge cases find bugs that uniform
+                // sampling over 2^64 essentially never hits.
+                match rng.gen_range(0..8u32) {
+                    0 => 0 as $t,
+                    1 => <$t>::MIN,
+                    2 => <$t>::MAX,
+                    3 => rng.gen_range(0..16u64) as $t,
+                    _ => rng.gen::<u64>() as $t,
+                }
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Finite, non-NaN floats (as proptest's default f64 strategy),
+    /// with zeros and mixed magnitudes represented.
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        match rng.gen_range(0..8u32) {
+            0 => 0.0,
+            1 => -0.0,
+            2 => 1.0,
+            3 => -1.0,
+            _ => {
+                let mantissa: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+                let exp = rng.gen_range(-60i32..60);
+                mantissa * exp as f64 * (2.0f64).powi(exp / 6)
+            }
+        }
+    }
+}
+
+/// The `any::<T>()` strategy.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// `Vec` strategy with length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.len.is_empty() {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+mod pattern {
+    //! A miniature regex-pattern generator covering the patterns used in
+    //! this workspace's tests: sequences of `.` / `[class]` / literal
+    //! atoms, each with an optional `{n}` or `{n,m}` repetition.
+
+    /// One atom: the characters it may produce, plus its repetition.
+    pub(crate) struct Atom {
+        pub chars: Vec<char>,
+        pub min: usize,
+        pub max: usize,
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    /// Generate a string matching the (tiny regex subset) pattern.
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_class_pattern(self);
+        let mut out = String::new();
+        for atom in atoms {
+            let n = if atom.max > atom.min {
+                rng.gen_range(atom.min..atom.max + 1)
+            } else {
+                atom.min
+            };
+            for _ in 0..n {
+                if !atom.chars.is_empty() {
+                    out.push(atom.chars[rng.gen_range(0..atom.chars.len())]);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Parse a pattern of `.`/`[class]`/literal atoms with `{n,m}` repeats.
+fn parse_class_pattern(pattern: &str) -> Vec<pattern::Atom> {
+    let mut atoms = Vec::new();
+    let mut it = pattern.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars: Vec<char> = match c {
+            '.' => (' '..='~').collect(),
+            '[' => {
+                let mut class = Vec::new();
+                let mut pending: Vec<char> = Vec::new();
+                while let Some(&d) = it.peek() {
+                    it.next();
+                    if d == ']' {
+                        break;
+                    }
+                    if d == '-' && !pending.is_empty() && it.peek().is_some_and(|&e| e != ']') {
+                        let start = pending.pop().expect("checked nonempty");
+                        let end = it.next().expect("peeked");
+                        class.extend(start..=end);
+                    } else {
+                        if let Some(p) = pending.pop() {
+                            class.push(p);
+                        }
+                        pending.push(d);
+                    }
+                }
+                class.extend(pending);
+                class
+            }
+            lit => vec![lit],
+        };
+        // Optional {n} / {n,m} repeat suffix.
+        let (min, max) = if it.peek() == Some(&'{') {
+            it.next();
+            let mut spec = String::new();
+            for ch in it.by_ref() {
+                if ch == '}' {
+                    break;
+                }
+                spec.push(ch);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().unwrap_or(0),
+                    hi.trim().parse().unwrap_or(0),
+                ),
+                None => {
+                    let n = spec.trim().parse().unwrap_or(1);
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(pattern::Atom { chars, min, max });
+    }
+    atoms
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Build a uniform union of strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Fail the current property case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fail the current property case unless the values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` != `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fail the current property case if the values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` == `{:?}`",
+            l,
+            r
+        );
+    }};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::rng_for(stringify!($name));
+                for case in 0..cfg.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(msg) = outcome {
+                        panic!(
+                            "property {} failed at case {}/{}: {}",
+                            stringify!($name), case + 1, cfg.cases, msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_tuples_and_vec_generate_in_bounds() {
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        let s = crate::collection::vec((0i64..64, -100i64..100), 0..400);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!(v.len() < 400);
+            for (a, b) in v {
+                assert!((0..64).contains(&a));
+                assert!((-100..100).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn string_pattern_generates_matching() {
+        let mut rng = crate::TestRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let s = "[a-z][a-z0-9_]{0,10}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 11, "bad len: {s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+        for _ in 0..100 {
+            let s = ".{0,80}".generate(&mut rng);
+            assert!(s.len() <= 80);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_cover_all_arms() {
+        let mut rng = crate::TestRng::seed_from_u64(3);
+        let s = prop_oneof![
+            Just(0usize),
+            (1usize..3).prop_map(|x| x),
+            Just(9usize),
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(s.generate(&mut rng));
+        }
+        assert!(seen.contains(&0) && seen.contains(&9) && (seen.contains(&1) || seen.contains(&2)));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: args bind, asserts work, return Ok works.
+        #[test]
+        fn macro_smoke(x in 0i64..10, v in crate::collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!(x >= 0);
+            prop_assert_eq!(v.len() < 4, true);
+            if x == 3 {
+                return Ok(());
+            }
+            prop_assert_ne!(x, 10);
+        }
+    }
+}
