@@ -49,6 +49,7 @@ pub fn run_node_with(
     let fanout = cfg.overflow_fanout;
     let mut events = Vec::new();
 
+    let resuming = resume.is_some();
     let (mut scan, mut ex) = match resume {
         Some(r) => (r.scan, r.exchange),
         None => (
@@ -62,9 +63,13 @@ pub fn run_node_with(
         ),
     };
 
-    operators::scan_project(ctx, "base", &plan.base.filter, &plan.projection, |ctx, values| {
-        scan.push(ctx, &mut ex, plan, &values, &mut events)
-    })?;
+    if !resuming && ctx.recovery.is_some() {
+        checkpointed_scan(ctx, plan, &mut scan, &mut ex, &mut events)?;
+    } else {
+        operators::scan_project(ctx, "base", &plan.base.filter, &plan.projection, |ctx, values| {
+            scan.push(ctx, &mut ex, plan, &values, &mut events)
+        })?;
+    }
 
     // If we never switched, the table holds all local partials: ship them
     // partitioned (plain Two Phase behaviour).
@@ -83,6 +88,90 @@ pub fn run_node_with(
         merge_phase_store(ctx, plan, max_entries, fanout, pre_received, pre_eos)?;
     agg.raw_in += scan.raw_seen;
     Ok(NodeOutcome { rows, agg, events })
+}
+
+/// The A2P scan under a recovery session: per assigned partition, restore
+/// durable partials (shipping them to their owners right away — they are
+/// phase-1 output an earlier attempt already produced), then scan the
+/// un-checkpointed page suffix chunk by chunk.
+///
+/// Durable progress only advances while the node has *not* switched: at a
+/// chunk boundary in Two Phase mode the table is drained into the
+/// checkpoint and shipped (the table restarts empty, so each checkpoint
+/// is self-contained). After the switch, output leaves the node as raw
+/// forwarded tuples living in peers' memory — nothing durable — so the
+/// checkpoint is frozen and only the replay high-water advances. The
+/// boundary drains also mean the table rarely fills across chunks: under
+/// recovery the switch heuristic effectively observes one chunk at a
+/// time, a deliberate granularity trade-off of checkpointing.
+fn checkpointed_scan(
+    ctx: &mut NodeCtx,
+    plan: &QueryPlan,
+    scan: &mut ScanState,
+    ex: &mut Exchange,
+    events: &mut Vec<AdaptEvent>,
+) -> Result<(), ExecError> {
+    let mut session = ctx.recovery.take().expect("checked by caller");
+    let result = (|| {
+        for seg in session.segments() {
+            let restored = session.restore_partials(seg.partition, &mut ctx.clock)?;
+            route_partials_now(ctx, ex, scan.switched, &restored)?;
+            let mut done = session.resume_point(seg.partition).min(seg.pages);
+            while done < seg.pages {
+                let chunk_end = (done + session.interval_pages()).min(seg.pages);
+                operators::scan_project_range(
+                    ctx,
+                    "base",
+                    &plan.base.filter,
+                    &plan.projection,
+                    seg.start_page + done,
+                    seg.start_page + chunk_end,
+                    |ctx, values| scan.push(ctx, ex, plan, &values, events),
+                )?;
+                if !scan.switched {
+                    let partials = scan.table.drain_partial_rows(&mut ctx.clock);
+                    session.checkpoint(
+                        seg.partition,
+                        chunk_end,
+                        &partials,
+                        chunk_end == seg.pages,
+                        &mut ctx.clock,
+                        &mut ctx.disk,
+                    )?;
+                    route_partials_now(ctx, ex, false, &partials)?;
+                } else {
+                    session.note_scanned(seg.partition, chunk_end);
+                }
+                done = chunk_end;
+            }
+        }
+        Ok(())
+    })();
+    ctx.recovery = Some(session);
+    result
+}
+
+/// Route already-finalized partial rows through the exchange, restoring
+/// the raw kind afterwards if the scan had switched.
+fn route_partials_now(
+    ctx: &mut NodeCtx,
+    ex: &mut Exchange,
+    switched: bool,
+    rows: &[Vec<adaptagg_model::Value>],
+) -> Result<(), ExecError> {
+    if rows.is_empty() {
+        return Ok(());
+    }
+    if switched {
+        ex.switch_kind(ctx, RowKind::Partial)?;
+    }
+    for row in rows {
+        ex.route(ctx, row, false)?;
+    }
+    if switched {
+        ex.switch_kind(ctx, RowKind::Raw)?;
+    }
+    Ok(())
 }
 
 /// The A2P scan-side state machine (shared with ARep's fallback).

@@ -38,12 +38,22 @@ impl QueryPlan {
 /// Phase 1 of the Two Phase family: scan + project the local partition,
 /// aggregate into a memory-bounded table (with overflow processing), and
 /// return the partial rows (§2.1's local aggregation).
+///
+/// When the node carries a recovery session, the scan is checkpointed:
+/// rows already durable for a partition are restored instead of
+/// recomputed, and the remaining pages are aggregated in checkpoint-sized
+/// chunks whose partials are persisted as they are produced. Duplicate
+/// group keys across restored and fresh chunks are fine — partial rows
+/// are mergeable, and every consumer of this function's output merges.
 pub fn local_partial_aggregation(
     ctx: &mut NodeCtx,
     plan: &QueryPlan,
     max_entries: usize,
     fanout: usize,
 ) -> Result<(Vec<Vec<Value>>, HashAggStats), ExecError> {
+    if ctx.recovery.is_some() {
+        return checkpointed_local_aggregation(ctx, plan, max_entries, fanout);
+    }
     let page_bytes = ctx.params().page_bytes;
     let mut agg = HashAggregator::new(plan.projected.clone(), max_entries, page_bytes, fanout);
     operators::scan_project(ctx, "base", &plan.base.filter, &plan.projection, |ctx, values| {
@@ -51,6 +61,62 @@ pub fn local_partial_aggregation(
     })?;
     let (partials, stats) = agg.finish(EmitMode::Partial, &mut ctx.clock)?;
     Ok((partials, stats))
+}
+
+/// [`local_partial_aggregation`] under a recovery session: restore each
+/// partition's durable partials, then aggregate the un-checkpointed page
+/// suffix chunk by chunk, checkpointing at every chunk boundary. A fresh
+/// aggregator per chunk keeps the checkpoint self-contained (no
+/// aggregator state to snapshot); the cost is duplicate group keys across
+/// chunk outputs, which merge downstream.
+fn checkpointed_local_aggregation(
+    ctx: &mut NodeCtx,
+    plan: &QueryPlan,
+    max_entries: usize,
+    fanout: usize,
+) -> Result<(Vec<Vec<Value>>, HashAggStats), ExecError> {
+    let page_bytes = ctx.params().page_bytes;
+    let mut session = ctx.recovery.take().expect("checked by caller");
+    let result = (|| {
+        let mut out = Vec::new();
+        let mut stats = HashAggStats::default();
+        for seg in session.segments() {
+            let restored = session.restore_partials(seg.partition, &mut ctx.clock)?;
+            out.extend(restored);
+            let mut done = session.resume_point(seg.partition).min(seg.pages);
+            while done < seg.pages {
+                let chunk_end = (done + session.interval_pages()).min(seg.pages);
+                let mut agg =
+                    HashAggregator::new(plan.projected.clone(), max_entries, page_bytes, fanout);
+                operators::scan_project_range(
+                    ctx,
+                    "base",
+                    &plan.base.filter,
+                    &plan.projection,
+                    seg.start_page + done,
+                    seg.start_page + chunk_end,
+                    |ctx, values| {
+                        agg.push_raw(&values, &mut ctx.clock).map_err(ExecError::from)
+                    },
+                )?;
+                let (partials, s) = agg.finish(EmitMode::Partial, &mut ctx.clock)?;
+                stats.add(&s);
+                session.checkpoint(
+                    seg.partition,
+                    chunk_end,
+                    &partials,
+                    chunk_end == seg.pages,
+                    &mut ctx.clock,
+                    &mut ctx.disk,
+                )?;
+                out.extend(partials);
+                done = chunk_end;
+            }
+        }
+        Ok((out, stats))
+    })();
+    ctx.recovery = Some(session);
+    result
 }
 
 /// A merge phase: consume data pages (raw tuples and/or partial rows)

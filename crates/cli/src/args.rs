@@ -57,6 +57,12 @@ pub struct RunArgs {
     /// Load partitions from `<prefix>.nodeN.ahf` files instead of
     /// generating (`--workload`/`--tuples`/`--groups` are then ignored).
     pub load_workload: Option<String>,
+    /// Seed a randomized fault schedule over the cluster.
+    pub fault_seed: Option<u64>,
+    /// Crash this node partway through its scan.
+    pub crash_node: Option<usize>,
+    /// Enable query-level fault recovery (checkpoint + retry).
+    pub recovery: bool,
 }
 
 impl Default for RunArgs {
@@ -73,6 +79,9 @@ impl Default for RunArgs {
             seed: 0x5eed,
             save_workload: None,
             load_workload: None,
+            fault_seed: None,
+            crash_node: None,
+            recovery: false,
         }
     }
 }
@@ -113,6 +122,9 @@ OPTIONS:
   --seed <N>          workload seed                   [default: 24301]
   --save-workload <P> save generated partitions to <P>.nodeN.ahf
   --load-workload <P> load partitions from <P>.nodeN.ahf (skips generation)
+  --fault-seed <N>    inject a seeded random fault schedule (run only)
+  --crash-node <N>    crash node N partway through its scan (run only)
+  --recovery          recover from node failures instead of failing fast
 ";
 
 /// Parse `argv[1..]`.
@@ -150,6 +162,13 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, ArgError> {
             "--workload" => out.workload = parse_workload(value(i)?)?,
             "--save-workload" => out.save_workload = Some(value(i)?.to_string()),
             "--load-workload" => out.load_workload = Some(value(i)?.to_string()),
+            "--fault-seed" => out.fault_seed = Some(parse_num(flag, value(i)?)? as u64),
+            "--crash-node" => out.crash_node = Some(parse_num(flag, value(i)?)?),
+            "--recovery" => {
+                out.recovery = true;
+                i += 1;
+                continue;
+            }
             "--network" => {
                 out.network = match value(i)? {
                     "fast" => NetworkKind::high_speed_default(),
@@ -309,6 +328,28 @@ mod tests {
         assert!(parse(&argv("run --workload zipf:x")).is_err());
         assert!(parse(&argv("run --workload zipf:-1")).is_err());
         assert!(parse(&argv("run --workload pareto")).is_err());
+    }
+
+    #[test]
+    fn fault_flags_parse() {
+        match parse(&argv("run --fault-seed 42 --crash-node 2 --recovery --nodes 4")).unwrap() {
+            Command::Run(a) => {
+                assert_eq!(a.fault_seed, Some(42));
+                assert_eq!(a.crash_node, Some(2));
+                assert!(a.recovery);
+                // --recovery is a boolean: the flag after it still parses.
+                assert_eq!(a.nodes, 4);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("run")).unwrap() {
+            Command::Run(a) => {
+                assert_eq!(a.fault_seed, None);
+                assert_eq!(a.crash_node, None);
+                assert!(!a.recovery);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -3,11 +3,19 @@
 
 use crate::error::ExecError;
 use crate::node::{NodeCtx, DEFAULT_WATCHDOG};
-use crate::runstats::{NodeReport, RunResult};
+use crate::recovery::{self, RecoveryPolicy, RecoverySession, Segment};
+use crate::runstats::{NodeReport, RecoveryStats, RunResult};
 use adaptagg_model::CostParams;
-use adaptagg_net::{Control, Fabric, FaultPlan};
+use adaptagg_net::{Control, Fabric, FaultPlan, LinkRetryPolicy, NodeFaults};
 use adaptagg_storage::{HeapFile, SimDisk};
 use std::time::Duration;
+
+/// Per-node real-time watchdog headroom when deriving the deadline from
+/// cluster size (thread startup, scheduling).
+const WATCHDOG_MS_PER_NODE: u64 = 250;
+/// Per-input-page watchdog headroom when deriving the deadline (real
+/// compute time scales with input volume even though time is virtual).
+const WATCHDOG_US_PER_PAGE: u64 = 200;
 
 /// Cluster shape and cost parameters for a run.
 #[derive(Debug, Clone)]
@@ -20,8 +28,16 @@ pub struct ClusterConfig {
     /// Seeded fault schedule ([`FaultPlan::none()`] by default — zero
     /// overhead anywhere when disabled).
     pub fault_plan: FaultPlan,
-    /// Real-time receive deadline per node (the hang backstop).
-    pub watchdog: Duration,
+    /// Explicit real-time receive deadline per node (the hang backstop).
+    /// `None` (the default) derives the deadline from cluster size and
+    /// input volume — see [`ClusterConfig::effective_watchdog`].
+    pub watchdog: Option<Duration>,
+    /// Floor for the derived watchdog deadline.
+    pub watchdog_floor: Duration,
+    /// Query-level fault recovery. `None` (the default) keeps fail-stop
+    /// semantics: the first node failure aborts the run, bit-identically
+    /// to the pre-recovery runtime.
+    pub recovery: Option<RecoveryPolicy>,
 }
 
 impl ClusterConfig {
@@ -32,7 +48,9 @@ impl ClusterConfig {
             nodes,
             params,
             fault_plan: FaultPlan::none(),
-            watchdog: DEFAULT_WATCHDOG,
+            watchdog: None,
+            watchdog_floor: DEFAULT_WATCHDOG,
+            recovery: None,
         }
     }
 
@@ -43,9 +61,42 @@ impl ClusterConfig {
     }
 
     /// Override the real-time receive deadline (tests use short ones).
+    /// Disables the size-derived deadline.
     pub fn with_watchdog(mut self, timeout: Duration) -> Self {
-        self.watchdog = timeout;
+        self.watchdog = Some(timeout);
         self
+    }
+
+    /// Override the floor of the size-derived receive deadline.
+    pub fn with_watchdog_floor(mut self, floor: Duration) -> Self {
+        self.watchdog_floor = floor;
+        self
+    }
+
+    /// Enable query-level fault recovery under the given policy.
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
+        self
+    }
+
+    /// The real-time receive deadline a run with `total_pages` of input
+    /// actually uses: the explicit override if set, otherwise the floor
+    /// plus headroom proportional to cluster size and input volume (a
+    /// fixed constant falsely declares large slow runs stalled). With
+    /// recovery enabled, the derived deadline is further scaled by the
+    /// policy's straggler factor — survivors inherit partitions and
+    /// legitimately run longer.
+    pub fn effective_watchdog(&self, total_pages: usize) -> Duration {
+        if let Some(explicit) = self.watchdog {
+            return explicit;
+        }
+        let mut ms = self.watchdog_floor.as_millis() as u64
+            + WATCHDOG_MS_PER_NODE * self.nodes as u64
+            + WATCHDOG_US_PER_PAGE * total_pages as u64 / 1000;
+        if let Some(policy) = &self.recovery {
+            ms = (ms as f64 * policy.straggler_factor.max(1.0)).round() as u64;
+        }
+        Duration::from_millis(ms)
     }
 
     /// The paper's implementation platform: 8 nodes on a shared 10 Mbit
@@ -103,23 +154,82 @@ where
         config.nodes,
         "one partition per node required"
     );
-    let endpoints =
-        Fabric::with_faults(config.nodes, config.params.network, &config.fault_plan)
-            .into_endpoints();
+    let total_pages: usize = partitions.iter().map(|p| p.page_count()).sum();
+    let watchdog = config.effective_watchdog(total_pages);
+    match &config.recovery {
+        None => {
+            // Fail-stop path, bit-identical to the pre-recovery runtime:
+            // no retry policy, no sessions, one attempt.
+            let seats = partitions
+                .into_iter()
+                .enumerate()
+                .map(|(node, base)| NodeSeat {
+                    base,
+                    faults: config.fault_plan.node(node),
+                    recovery: None,
+                })
+                .collect();
+            match run_seats(&config.params, &config.fault_plan, watchdog, None, seats, &body) {
+                Ok((outputs, per_node, bus_busy_ms)) => Ok(ClusterRun {
+                    outputs,
+                    run: RunResult {
+                        per_node,
+                        bus_busy_ms,
+                        recovery: RecoveryStats::default(),
+                    },
+                }),
+                Err((e, _at_ms)) => Err(e),
+            }
+        }
+        Some(policy) => run_recovering(config, policy, &partitions, watchdog, &body),
+    }
+}
+
+/// One node's assignment for a cluster attempt: its (possibly
+/// concatenated) base data, injected faults, and — with recovery on —
+/// its checkpoint session.
+struct NodeSeat {
+    base: HeapFile,
+    faults: NodeFaults,
+    recovery: Option<RecoverySession>,
+}
+
+/// One attempt's successful outcome: outputs, reports, bus-busy time.
+type AttemptOk<T> = (Vec<T>, Vec<NodeReport>, f64);
+/// One attempt's failure: the first cause and its virtual failure time.
+type AttemptErr = (ExecError, f64);
+
+/// Execute one cluster attempt over the given seats. Returns either all
+/// nodes' outputs or the attempt's first-cause failure with its virtual
+/// failure time.
+fn run_seats<T, F>(
+    params: &CostParams,
+    fault_plan: &FaultPlan,
+    watchdog: Duration,
+    link_retry: Option<LinkRetryPolicy>,
+    seats: Vec<NodeSeat>,
+    body: &F,
+) -> Result<AttemptOk<T>, AttemptErr>
+where
+    T: Send,
+    F: Fn(&mut NodeCtx) -> Result<T, ExecError> + Sync,
+{
+    let n = seats.len();
+    let endpoints = Fabric::with_faults(n, params.network, fault_plan).into_endpoints();
 
     type NodeOk<T> = (T, NodeReport, f64);
     let results: Vec<Result<NodeOk<T>, (ExecError, f64)>> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(config.nodes);
-        for (endpoint, partition) in endpoints.into_iter().zip(partitions) {
-            let params = config.params.clone();
-            let body = &body;
-            let config = &*config;
+        let mut handles = Vec::with_capacity(n);
+        for (endpoint, seat) in endpoints.into_iter().zip(seats) {
+            let params = params.clone();
             handles.push(scope.spawn(move || {
                 let node = endpoint.node();
-                let disk = SimDisk::with_base_partition(partition);
+                let disk = SimDisk::with_base_partition(seat.base);
                 let mut ctx = NodeCtx::new(endpoint, disk, params);
-                ctx.apply_faults(config.fault_plan.node(node));
-                ctx.set_watchdog(config.watchdog);
+                ctx.apply_faults(seat.faults);
+                ctx.set_watchdog(watchdog);
+                ctx.set_link_retry(link_retry);
+                ctx.recovery = seat.recovery;
                 let out = match body(&mut ctx) {
                     Ok(out) => out,
                     Err(e) => {
@@ -139,6 +249,11 @@ where
                     breakdown: *ctx.clock.breakdown(),
                     net: *ctx.net_stats(),
                     marks: ctx.clock.marks().to_vec(),
+                    recovery: ctx
+                        .recovery
+                        .as_ref()
+                        .map(|s| s.counters)
+                        .unwrap_or_default(),
                 };
                 let bus = ctx.bus_busy_ms();
                 Ok((out, report, bus))
@@ -163,8 +278,8 @@ where
             .collect()
     });
 
-    let mut outputs = Vec::with_capacity(config.nodes);
-    let mut per_node = Vec::with_capacity(config.nodes);
+    let mut outputs = Vec::with_capacity(n);
+    let mut per_node = Vec::with_capacity(n);
     let mut bus_busy_ms = 0.0f64;
     let mut failure: Option<(ExecError, f64)> = None;
     for r in results {
@@ -188,16 +303,160 @@ where
             }
         }
     }
-    if let Some((e, _)) = failure {
-        return Err(e);
+    if let Some(f) = failure {
+        return Err(f);
+    }
+    Ok((outputs, per_node, bus_busy_ms))
+}
+
+/// The recovery driver: run attempts until one completes, removing the
+/// failed attempt's victim node and reassigning its base partitions (plus
+/// their durable checkpoints) to survivors.
+///
+/// Each failed attempt removes exactly one node — the first cause's
+/// victim — so progress is guaranteed and the attempt count is bounded by
+/// `min(max_attempts, nodes)`. A watchdog failure names the *waiter*, not
+/// the staller (the waiter cannot know who stalled); removing the waiter
+/// is still bounded and the straggler-scaled deadline makes it rare.
+/// Checkpoints live in a store shared across attempts (modeling
+/// replicated stable storage), so a survivor inheriting a partition
+/// replays only the un-checkpointed suffix.
+fn run_recovering<T, F>(
+    config: &ClusterConfig,
+    policy: &RecoveryPolicy,
+    partitions: &[HeapFile],
+    watchdog: Duration,
+    body: &F,
+) -> Result<ClusterRun<T>, ExecError>
+where
+    T: Send,
+    F: Fn(&mut NodeCtx) -> Result<T, ExecError> + Sync,
+{
+    let page_bytes = partitions
+        .first()
+        .map(|p| p.page_bytes())
+        .unwrap_or(config.params.page_bytes);
+    let store = recovery::new_store();
+    // owner[p] = original node id currently responsible for partition p.
+    let mut owner: Vec<usize> = (0..config.nodes).collect();
+    let mut alive = vec![true; config.nodes];
+    let mut stats = RecoveryStats {
+        attempts: 0,
+        ..RecoveryStats::default()
+    };
+    let mut backoff = policy.backoff_ms;
+    let mut last_err = None;
+    let max_attempts = policy.max_attempts.max(1);
+
+    for attempt in 0..max_attempts {
+        stats.attempts += 1;
+        // live[i] = original id of the node seated at fabric index i.
+        let live: Vec<usize> = (0..config.nodes).filter(|&id| alive[id]).collect();
+        let seats: Vec<NodeSeat> = live
+            .iter()
+            .map(|&orig| {
+                // Concatenate this node's partitions ascending by
+                // partition id; record per-partition page offsets so
+                // checkpoint-aware scans can resume per partition.
+                let mut pages = Vec::new();
+                let mut segments = Vec::new();
+                for (p, part) in partitions.iter().enumerate() {
+                    if owner[p] != orig {
+                        continue;
+                    }
+                    segments.push(Segment {
+                        partition: p,
+                        start_page: pages.len(),
+                        pages: part.page_count(),
+                    });
+                    for pi in 0..part.page_count() {
+                        pages.push(part.page(pi).expect("partition page").clone());
+                    }
+                }
+                let base =
+                    HeapFile::from_pages(page_bytes, pages).expect("concatenated partition");
+                NodeSeat {
+                    base,
+                    faults: config.fault_plan.node(orig),
+                    recovery: Some(RecoverySession::new(
+                        segments,
+                        store.clone(),
+                        policy.checkpoint_interval_pages,
+                        config.params.page_bytes,
+                    )),
+                }
+            })
+            .collect();
+
+        match run_seats(
+            &config.params,
+            &config.fault_plan,
+            watchdog,
+            policy.link_retry,
+            seats,
+            body,
+        ) {
+            Ok((outputs, mut per_node, bus_busy_ms)) => {
+                // Reports carry fabric indices; restore original ids.
+                for (report, &orig) in per_node.iter_mut().zip(&live) {
+                    report.node = orig;
+                }
+                return Ok(ClusterRun {
+                    outputs,
+                    run: RunResult {
+                        per_node,
+                        bus_busy_ms,
+                        recovery: stats,
+                    },
+                });
+            }
+            Err((e, at_ms)) => {
+                if at_ms.is_finite() {
+                    stats.lost_ms += at_ms;
+                }
+                // Non-recoverable failures (storage, model, protocol
+                // bugs) bail immediately — retrying cannot help.
+                let Some(victim_seat) = recovery::victim_of(&e) else {
+                    return Err(e);
+                };
+                // The error names a fabric index; map to the original id.
+                let Some(&victim) = live.get(victim_seat) else {
+                    return Err(e);
+                };
+                last_err = Some(e);
+                alive[victim] = false;
+                stats.dead_nodes.push(victim);
+                let survivors: Vec<usize> =
+                    (0..config.nodes).filter(|&id| alive[id]).collect();
+                if survivors.is_empty() {
+                    break;
+                }
+                // Reassign the victim's partitions, fewest-loaded
+                // survivor first (ties to the lowest id) — deterministic.
+                for p in 0..owner.len() {
+                    if owner[p] != victim {
+                        continue;
+                    }
+                    let heir = *survivors
+                        .iter()
+                        .min_by_key(|&&s| {
+                            (owner.iter().filter(|&&o| o == s).count(), s)
+                        })
+                        .expect("survivors non-empty");
+                    owner[p] = heir;
+                    stats.reassigned_partitions += 1;
+                }
+                if attempt + 1 < max_attempts {
+                    stats.backoff_ms += backoff;
+                    backoff *= policy.backoff_multiplier;
+                }
+            }
+        }
     }
 
-    Ok(ClusterRun {
-        outputs,
-        run: RunResult {
-            per_node,
-            bus_busy_ms,
-        },
+    Err(ExecError::RecoveryExhausted {
+        attempts: stats.attempts,
+        last: Box::new(last_err.expect("at least one failed attempt")),
     })
 }
 
@@ -413,5 +672,149 @@ mod tests {
             Err(ExecError::Watchdog { node: 0, waited_ms }) => assert_eq!(waited_ms, 100),
             other => panic!("expected Watchdog, got {:?}", other.err()),
         }
+    }
+
+    #[test]
+    fn derived_watchdog_scales_with_cluster_size_and_input() {
+        // The old fixed 30 s constant falsely declared large slow runs
+        // stalled. The derived deadline must keep the floor and grow with
+        // both node count and input volume.
+        let small = ClusterConfig::new(2, CostParams::paper_default());
+        let big = ClusterConfig::new(64, CostParams::paper_default());
+        assert!(small.effective_watchdog(0) >= DEFAULT_WATCHDOG);
+        assert!(big.effective_watchdog(0) > small.effective_watchdog(0));
+        assert!(small.effective_watchdog(1_000_000) > small.effective_watchdog(0));
+    }
+
+    #[test]
+    fn explicit_watchdog_override_wins() {
+        let config = ClusterConfig::new(64, CostParams::paper_default())
+            .with_watchdog(Duration::from_millis(123));
+        assert_eq!(
+            config.effective_watchdog(1_000_000),
+            Duration::from_millis(123)
+        );
+        let floored = ClusterConfig::new(1, CostParams::paper_default())
+            .with_watchdog_floor(Duration::from_secs(90));
+        assert!(floored.effective_watchdog(0) >= Duration::from_secs(90));
+    }
+
+    #[test]
+    fn recovery_scales_the_derived_deadline_for_stragglers() {
+        let plain = ClusterConfig::new(4, CostParams::paper_default());
+        let recovering = ClusterConfig::new(4, CostParams::paper_default())
+            .with_recovery(RecoveryPolicy::default());
+        assert!(
+            recovering.effective_watchdog(100) > plain.effective_watchdog(100),
+            "survivors inherit partitions and legitimately run longer"
+        );
+    }
+
+    #[test]
+    fn recovery_completes_a_crashed_query_on_survivors() {
+        // Node 1 crashes at tuple 5. With recovery on, attempt 2 runs on
+        // nodes {0, 2} with node 1's partition reassigned; every tuple is
+        // still counted exactly once.
+        let plan = adaptagg_net::FaultPlan::new(7).with_crash(1, 5);
+        let config = ClusterConfig::new(3, CostParams::paper_default())
+            .with_fault_plan(plan)
+            .with_recovery(RecoveryPolicy::default())
+            .with_watchdog(Duration::from_secs(10));
+        let run = run_cluster(&config, partitions(3, 20), |ctx| {
+            let n = ctx.disk.get("base")?.tuple_count();
+            for _ in 0..n {
+                ctx.clock.record(CostEvent::TupleRead, 1);
+                ctx.fault_tick()?;
+            }
+            Ok(n)
+        })
+        .unwrap();
+        assert_eq!(run.outputs.iter().sum::<usize>(), 60, "no tuple lost");
+        assert_eq!(run.run.recovery.attempts, 2);
+        assert_eq!(run.run.recovery.dead_nodes, vec![1]);
+        assert_eq!(run.run.recovery.reassigned_partitions, 1);
+        assert!(run.run.recovery.lost_ms > 0.0);
+        assert!(run.run.recovery.backoff_ms > 0.0);
+        let ids: Vec<usize> = run.run.per_node.iter().map(|r| r.node).collect();
+        assert_eq!(ids, vec![0, 2], "reports keep original node ids");
+        assert!(run.run.elapsed_with_recovery_ms() > run.run.elapsed_ms());
+    }
+
+    #[test]
+    fn recovery_exhausts_when_every_node_crashes() {
+        let plan = adaptagg_net::FaultPlan::new(1)
+            .with_crash(0, 1)
+            .with_crash(1, 1);
+        let config = ClusterConfig::new(2, CostParams::paper_default())
+            .with_fault_plan(plan)
+            .with_recovery(RecoveryPolicy::default())
+            .with_watchdog(Duration::from_secs(10));
+        let r = run_cluster(&config, partitions(2, 10), |ctx| {
+            let n = ctx.disk.get("base")?.tuple_count();
+            for _ in 0..n {
+                ctx.fault_tick()?;
+            }
+            Ok(n)
+        });
+        match r {
+            Err(ExecError::RecoveryExhausted { attempts, last }) => {
+                assert_eq!(attempts, 2, "one victim per attempt, two nodes");
+                assert!(matches!(*last, ExecError::InjectedCrash { .. }));
+            }
+            other => panic!("expected RecoveryExhausted, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn recovery_respects_the_attempt_bound() {
+        let plan = adaptagg_net::FaultPlan::new(1)
+            .with_crash(0, 1)
+            .with_crash(1, 1)
+            .with_crash(2, 1)
+            .with_crash(3, 1);
+        let config = ClusterConfig::new(4, CostParams::paper_default())
+            .with_fault_plan(plan)
+            .with_recovery(RecoveryPolicy::default().with_max_attempts(2))
+            .with_watchdog(Duration::from_secs(10));
+        let r = run_cluster(&config, partitions(4, 10), |ctx| {
+            let n = ctx.disk.get("base")?.tuple_count();
+            for _ in 0..n {
+                ctx.fault_tick()?;
+            }
+            Ok(n)
+        });
+        match r {
+            Err(ExecError::RecoveryExhausted { attempts, .. }) => assert_eq!(attempts, 2),
+            other => panic!("expected RecoveryExhausted, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn non_recoverable_failures_bail_without_retry() {
+        // A protocol bug is not a node fault; retrying cannot help and
+        // must not burn attempts.
+        let config = ClusterConfig::new(2, CostParams::paper_default())
+            .with_recovery(RecoveryPolicy::default())
+            .with_watchdog(Duration::from_secs(10));
+        let r = run_cluster(&config, partitions(2, 0), |ctx| {
+            if ctx.id() == 1 {
+                return Err(ExecError::Protocol("logic bug"));
+            }
+            ctx.recv()?;
+            Ok(())
+        });
+        assert_eq!(r.err(), Some(ExecError::Protocol("logic bug")));
+    }
+
+    #[test]
+    fn clean_run_with_recovery_reports_one_attempt() {
+        let config = ClusterConfig::new(2, CostParams::paper_default())
+            .with_recovery(RecoveryPolicy::default());
+        let run = run_cluster(&config, partitions(2, 5), |ctx| {
+            Ok(ctx.disk.get("base")?.tuple_count())
+        })
+        .unwrap();
+        assert_eq!(run.run.recovery, RecoveryStats::default());
+        assert_eq!(run.outputs, vec![5, 5]);
     }
 }

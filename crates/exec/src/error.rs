@@ -56,6 +56,15 @@ pub enum ExecError {
         /// How long it waited, in real milliseconds.
         waited_ms: u64,
     },
+    /// The recovery layer ran out of attempts (or survivors): every
+    /// re-execution failed too. Wraps the last attempt's first-cause
+    /// error.
+    RecoveryExhausted {
+        /// How many attempts were made.
+        attempts: u32,
+        /// The final attempt's first-cause error.
+        last: Box<ExecError>,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -76,6 +85,9 @@ impl fmt::Display for ExecError {
             }
             ExecError::Watchdog { node, waited_ms } => {
                 write!(f, "node {node} watchdog fired after {waited_ms} ms without traffic")
+            }
+            ExecError::RecoveryExhausted { attempts, last } => {
+                write!(f, "recovery exhausted after {attempts} attempts; last error: {last}")
             }
         }
     }
@@ -124,6 +136,9 @@ impl ExecError {
             | ExecError::NodePanic { .. } => 0,
             ExecError::Watchdog { .. } => 1,
             ExecError::Aborted { .. } | ExecError::Net(_) => 2,
+            // Produced by the recovery driver, never by a node; classify
+            // like its wrapped cause for symmetry.
+            ExecError::RecoveryExhausted { last, .. } => last.attribution_class(),
         }
     }
 }

@@ -30,6 +30,7 @@ pub mod error;
 pub mod exchange;
 pub mod node;
 pub mod operators;
+pub mod recovery;
 pub mod runstats;
 
 pub use clock::{Clock, PhaseMark, TimeBreakdown};
@@ -37,7 +38,9 @@ pub use cluster::{run_cluster, ClusterConfig, ClusterRun};
 pub use error::ExecError;
 pub use exchange::Exchange;
 pub use node::{NodeCtx, DEFAULT_WATCHDOG};
-pub use runstats::{NodeReport, RunResult};
+pub use recovery::{new_store, CheckpointStore, RecoveryPolicy, RecoverySession, Segment};
+pub use runstats::{NodeRecoveryStats, NodeReport, RecoveryStats, RunResult};
 
-/// Re-export: fault plans are configured on [`ClusterConfig`].
-pub use adaptagg_net::{FaultPlan, LinkFaults, NodeFaults};
+/// Re-export: fault plans and link retry are configured on
+/// [`ClusterConfig`] / [`RecoveryPolicy`].
+pub use adaptagg_net::{FaultPlan, LinkFaults, LinkRetryPolicy, NodeFaults};

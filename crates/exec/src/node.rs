@@ -2,8 +2,11 @@
 
 use crate::clock::Clock;
 use crate::error::ExecError;
+use crate::recovery::RecoverySession;
 use adaptagg_model::{CostEvent, CostParams, CostTracker};
-use adaptagg_net::{Control, DataKind, Endpoint, Message, NetError, NetStats, NodeFaults, Payload};
+use adaptagg_net::{
+    Control, DataKind, Endpoint, LinkRetryPolicy, Message, NetError, NetStats, NodeFaults, Payload,
+};
 use adaptagg_storage::{Page, SimDisk};
 use std::time::Duration;
 
@@ -28,6 +31,11 @@ pub struct NodeCtx {
     pub clock: Clock,
     /// The node's private disk.
     pub disk: SimDisk,
+    /// The node's recovery context, when the run has a
+    /// [`crate::recovery::RecoveryPolicy`]: partition layout, shared
+    /// checkpoint store, and recovery counters. `None` (the default)
+    /// means fail-stop semantics — algorithms must not checkpoint.
+    pub recovery: Option<RecoverySession>,
     endpoint: Endpoint,
     faults: NodeFaults,
     tuples_scanned: u64,
@@ -42,11 +50,18 @@ impl NodeCtx {
             nodes: endpoint.nodes(),
             clock: Clock::new(params),
             disk,
+            recovery: None,
             endpoint,
             faults: NodeFaults::default(),
             tuples_scanned: 0,
             watchdog: DEFAULT_WATCHDOG,
         }
+    }
+
+    /// Enable bounded retry-with-backoff for failed sends (part of a
+    /// [`crate::recovery::RecoveryPolicy`]; `None` keeps fail-fast).
+    pub fn set_link_retry(&mut self, policy: Option<LinkRetryPolicy>) {
+        self.endpoint.set_retry_policy(policy);
     }
 
     /// Apply a fault plan's per-node faults: the slowdown inflates the
@@ -108,15 +123,18 @@ impl NodeCtx {
     /// [`ExecError::Net`] if the peer is already gone.
     pub fn send_page(&mut self, to: usize, kind: DataKind, page: Page) -> Result<(), ExecError> {
         self.clock.record(CostEvent::MsgProtocol, 1);
-        let done = self.endpoint.send_data(to, kind, page, self.clock.now_ms())?;
+        let result = self.endpoint.send_data(to, kind, page, self.clock.now_ms());
+        self.charge_retry_backoff();
+        let done = result?;
         self.clock.advance_net_to(done);
         Ok(())
     }
 
     /// Send a control message (free: piggy-backed per §3.3).
     pub fn send_control(&mut self, to: usize, control: Control) -> Result<(), ExecError> {
-        self.endpoint
-            .send_control(to, control, self.clock.now_ms())?;
+        let result = self.endpoint.send_control(to, control, self.clock.now_ms());
+        self.charge_retry_backoff();
+        result?;
         Ok(())
     }
 
@@ -124,8 +142,20 @@ impl NodeCtx {
     /// died are skipped — see `Endpoint::broadcast_control`).
     pub fn broadcast_control(&mut self, control: Control) -> Result<(), ExecError> {
         let now = self.clock.now_ms();
-        self.endpoint.broadcast_control(control, now)?;
+        let result = self.endpoint.broadcast_control(control, now);
+        self.charge_retry_backoff();
+        result?;
         Ok(())
+    }
+
+    /// Book the virtual backoff accrued by link retries (zero — and a
+    /// no-op — unless a retry policy is set and a send actually failed).
+    fn charge_retry_backoff(&mut self) {
+        let backoff = self.endpoint.take_retry_backoff_ms();
+        if backoff > 0.0 {
+            let now = self.clock.now_ms();
+            self.clock.observe(now + backoff);
+        }
     }
 
     /// Map an [`Control::Abort`] arrival to the error that propagates the

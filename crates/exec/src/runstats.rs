@@ -3,6 +3,74 @@
 use crate::clock::{PhaseMark, TimeBreakdown};
 use adaptagg_net::NetStats;
 
+/// Per-node recovery activity: checkpoint I/O, restored state, replay.
+/// All zero when recovery is disabled or the run was clean.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct NodeRecoveryStats {
+    /// Checkpoint pages written to the node's disk.
+    pub checkpoint_pages: u64,
+    /// Partial rows written into checkpoints.
+    pub checkpoint_partials: u64,
+    /// Partial rows restored from checkpoints instead of recomputed.
+    pub restored_partials: u64,
+    /// Input pages re-scanned that an earlier attempt had already
+    /// scanned past (the un-checkpointed suffix).
+    pub replayed_pages: u64,
+}
+
+impl NodeRecoveryStats {
+    /// Element-wise sum (cluster-wide totals).
+    pub fn add(&mut self, other: &NodeRecoveryStats) {
+        self.checkpoint_pages += other.checkpoint_pages;
+        self.checkpoint_partials += other.checkpoint_partials;
+        self.restored_partials += other.restored_partials;
+        self.replayed_pages += other.replayed_pages;
+    }
+
+    /// Whether any recovery work happened on this node.
+    pub fn any(&self) -> bool {
+        *self != NodeRecoveryStats::default()
+    }
+}
+
+/// Query-level recovery accounting for a whole run: how many attempts it
+/// took, which nodes were lost, and how much virtual time the failures
+/// cost. Default (attempts = 1, nothing lost) for clean runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryStats {
+    /// Cluster executions, including the successful one (1 = clean run).
+    pub attempts: u32,
+    /// Nodes declared dead across failed attempts, in failure order
+    /// (original node ids).
+    pub dead_nodes: Vec<usize>,
+    /// Base partitions reassigned to survivors.
+    pub reassigned_partitions: u64,
+    /// Virtual time wasted in failed attempts (each attempt's first-cause
+    /// failure time), summed.
+    pub lost_ms: f64,
+    /// Virtual backoff charged between attempts.
+    pub backoff_ms: f64,
+}
+
+impl Default for RecoveryStats {
+    fn default() -> Self {
+        RecoveryStats {
+            attempts: 1,
+            dead_nodes: Vec::new(),
+            reassigned_partitions: 0,
+            lost_ms: 0.0,
+            backoff_ms: 0.0,
+        }
+    }
+}
+
+impl RecoveryStats {
+    /// Whether the run needed any recovery.
+    pub fn recovered(&self) -> bool {
+        self.attempts > 1
+    }
+}
+
 /// One node's timing and traffic report after a run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NodeReport {
@@ -17,6 +85,8 @@ pub struct NodeReport {
     /// Phase boundaries the algorithm marked (e.g. end of its sending
     /// phase), in order.
     pub marks: Vec<PhaseMark>,
+    /// Recovery activity (checkpoints, restores, replay) on this node.
+    pub recovery: NodeRecoveryStats,
 }
 
 impl NodeReport {
@@ -34,16 +104,36 @@ pub struct RunResult {
     /// Total time the shared network medium was busy (0 under the
     /// high-speed model).
     pub bus_busy_ms: f64,
+    /// Query-level recovery accounting (attempts, lost time, backoff).
+    pub recovery: RecoveryStats,
 }
 
 impl RunResult {
     /// Elapsed virtual time: the slowest node's clock — the paper's
     /// response-time metric ("all nodes work completely in parallel").
+    /// This is the *successful attempt's* time; see
+    /// [`RunResult::elapsed_with_recovery_ms`] for the honest total.
     pub fn elapsed_ms(&self) -> f64 {
         self.per_node
             .iter()
             .map(|r| r.clock_ms)
             .fold(0.0, f64::max)
+    }
+
+    /// Elapsed virtual time including recovery cost: failed attempts'
+    /// lost time and inter-attempt backoff on top of the successful
+    /// attempt. Equals [`RunResult::elapsed_ms`] for clean runs.
+    pub fn elapsed_with_recovery_ms(&self) -> f64 {
+        self.elapsed_ms() + self.recovery.lost_ms + self.recovery.backoff_ms
+    }
+
+    /// Cluster-wide recovery activity (summed over nodes).
+    pub fn total_recovery(&self) -> NodeRecoveryStats {
+        let mut total = NodeRecoveryStats::default();
+        for r in &self.per_node {
+            total.add(&r.recovery);
+        }
+        total
     }
 
     /// The node that finished last.
@@ -120,6 +210,7 @@ mod tests {
             },
             net: NetStats::default(),
             marks: Vec::new(),
+            recovery: NodeRecoveryStats::default(),
         }
     }
 
@@ -128,6 +219,7 @@ mod tests {
         let run = RunResult {
             per_node: vec![report(0, 5.0), report(1, 9.0), report(2, 7.0)],
             bus_busy_ms: 0.0,
+            recovery: RecoveryStats::default(),
         };
         assert_eq!(run.elapsed_ms(), 9.0);
         assert_eq!(run.slowest_node(), Some(1));
@@ -138,6 +230,7 @@ mod tests {
         let run = RunResult {
             per_node: vec![report(0, 4.0), report(1, 4.0)],
             bus_busy_ms: 0.0,
+            recovery: RecoveryStats::default(),
         };
         assert!((run.imbalance() - 1.0).abs() < 1e-12);
     }
@@ -147,6 +240,7 @@ mod tests {
         let run = RunResult {
             per_node: vec![report(0, 10.0), report(1, 2.0)],
             bus_busy_ms: 0.0,
+            recovery: RecoveryStats::default(),
         };
         assert!(run.imbalance() > 1.5);
     }
@@ -156,6 +250,7 @@ mod tests {
         let run = RunResult {
             per_node: vec![report(0, 1.0), report(1, 2.0)],
             bus_busy_ms: 0.0,
+            recovery: RecoveryStats::default(),
         };
         assert!((run.total_breakdown().cpu_ms - 3.0).abs() < 1e-12);
     }

@@ -40,6 +40,35 @@ use std::time::{Duration, Instant};
 /// arrives late by.
 const RETRANSMIT_PENALTY_PAGES: f64 = 3.0;
 
+/// Bounded retry-with-backoff for sends that fail with a dead peer.
+///
+/// In the simulation a closed endpoint never comes back, so the retries
+/// model the *cost* of probing a transiently-unreachable peer before the
+/// failure escalates to the recovery layer (which reassigns the peer's
+/// work). Each retry charges exponentially-growing virtual backoff,
+/// accumulated on the endpoint ([`Endpoint::take_retry_backoff_ms`]) and
+/// counted in [`NetStats::send_retries`]. `None` (the default) keeps the
+/// pre-recovery fail-fast behaviour, bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkRetryPolicy {
+    /// Re-attempts after the first failure before giving up.
+    pub max_retries: u32,
+    /// Virtual backoff before the first retry, in ms.
+    pub backoff_ms: f64,
+    /// Multiplier applied to the backoff between retries.
+    pub backoff_multiplier: f64,
+}
+
+impl Default for LinkRetryPolicy {
+    fn default() -> Self {
+        LinkRetryPolicy {
+            max_retries: 2,
+            backoff_ms: 1.0,
+            backoff_multiplier: 2.0,
+        }
+    }
+}
+
 /// Builds endpoints for an `n`-node cluster.
 #[derive(Debug)]
 pub struct Fabric {
@@ -79,6 +108,8 @@ impl Fabric {
                     .collect(),
                 expected_seq: vec![0; n],
                 ooo: (0..n).map(|_| BTreeMap::new()).collect(),
+                retry_policy: None,
+                retry_backoff_ms: 0.0,
             })
             .collect();
         Fabric { endpoints }
@@ -132,6 +163,12 @@ pub struct Endpoint {
     expected_seq: Vec<u64>,
     /// Out-of-order messages buffered per sender until their gap fills.
     ooo: Vec<BTreeMap<u64, Message>>,
+    /// Bounded retry for failed sends (`None` = fail fast, the default).
+    retry_policy: Option<LinkRetryPolicy>,
+    /// Virtual backoff accrued by retries since the last
+    /// [`Endpoint::take_retry_backoff_ms`] — the execution layer drains
+    /// this into the node's clock as wait time.
+    retry_backoff_ms: f64,
 }
 
 impl Endpoint {
@@ -153,6 +190,18 @@ impl Endpoint {
     /// Statistics so far.
     pub fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    /// Enable (or disable) bounded retry for failed sends on this
+    /// endpoint's outgoing links.
+    pub fn set_retry_policy(&mut self, policy: Option<LinkRetryPolicy>) {
+        self.retry_policy = policy;
+    }
+
+    /// Drain the virtual backoff accrued by send retries since the last
+    /// call. The execution layer charges it to the node's clock as wait.
+    pub fn take_retry_backoff_ms(&mut self) -> f64 {
+        std::mem::replace(&mut self.retry_backoff_ms, 0.0)
     }
 
     /// Virtual-time latency added to a message the fault plan drops
@@ -294,9 +343,34 @@ impl Endpoint {
     }
 
     fn push_wire(&mut self, to: usize, msg: Message) -> Result<(), NetError> {
-        self.senders[to]
-            .send(msg)
-            .map_err(|_| NetError::PeerDown { peer: to })
+        match self.senders[to].send(msg) {
+            Ok(()) => Ok(()),
+            Err(failed) => self.retry_push(to, failed.0),
+        }
+    }
+
+    /// A send failed (the peer's endpoint is gone). Under a retry policy,
+    /// re-attempt up to `max_retries` times, charging exponential virtual
+    /// backoff per attempt; give up with [`NetError::PeerDown`] once the
+    /// budget is spent so the failure can escalate to recovery. Without a
+    /// policy this is the old fail-fast path (zero draws, zero cost).
+    fn retry_push(&mut self, to: usize, mut msg: Message) -> Result<(), NetError> {
+        let Some(policy) = self.retry_policy else {
+            return Err(NetError::PeerDown { peer: to });
+        };
+        let mut backoff = policy.backoff_ms;
+        for _ in 0..policy.max_retries {
+            self.stats.send_retries += 1;
+            self.retry_backoff_ms += backoff;
+            // The retransmit would arrive after the backoff.
+            msg.sent_at_ms += backoff;
+            match self.senders[to].send(msg) {
+                Ok(()) => return Ok(()),
+                Err(failed) => msg = failed.0,
+            }
+            backoff *= policy.backoff_multiplier;
+        }
+        Err(NetError::PeerDown { peer: to })
     }
 
     /// Blocking receive. Returns the message; the caller merges
@@ -718,6 +792,55 @@ mod tests {
         };
         assert_eq!(run(11), run(11), "same seed, same schedule");
         assert_ne!(run(11), run(12), "different seeds differ");
+    }
+
+    #[test]
+    fn retry_policy_probes_a_dead_peer_then_escalates() {
+        let mut eps = Fabric::new(2, NetworkKind::high_speed_default()).into_endpoints();
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.set_retry_policy(Some(LinkRetryPolicy {
+            max_retries: 3,
+            backoff_ms: 2.0,
+            backoff_multiplier: 2.0,
+        }));
+        drop(b);
+        assert_eq!(
+            a.send_data(1, DataKind::Raw, page_with(1), 0.0),
+            Err(NetError::PeerDown { peer: 1 }),
+            "a permanently dead peer still escalates"
+        );
+        assert_eq!(a.stats().send_retries, 3);
+        // Exponential backoff: 2 + 4 + 8.
+        assert_eq!(a.take_retry_backoff_ms(), 14.0);
+        assert_eq!(a.take_retry_backoff_ms(), 0.0, "drained");
+    }
+
+    #[test]
+    fn no_retry_policy_fails_fast_with_zero_cost() {
+        let mut eps = Fabric::new(2, NetworkKind::high_speed_default()).into_endpoints();
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        drop(b);
+        assert_eq!(
+            a.send_data(1, DataKind::Raw, page_with(1), 0.0),
+            Err(NetError::PeerDown { peer: 1 })
+        );
+        assert_eq!(a.stats().send_retries, 0);
+        assert_eq!(a.take_retry_backoff_ms(), 0.0);
+    }
+
+    #[test]
+    fn retry_policy_is_invisible_on_healthy_links() {
+        let mut eps = Fabric::new(2, NetworkKind::HighSpeed { latency_ms: 0.5 }).into_endpoints();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.set_retry_policy(Some(LinkRetryPolicy::default()));
+        let done = a.send_data(1, DataKind::Raw, page_with(1), 1.0).unwrap();
+        assert_eq!(done, 1.5, "timestamps identical to the no-policy path");
+        assert_eq!(b.recv().unwrap().sent_at_ms, 1.5);
+        assert_eq!(a.stats().send_retries, 0);
+        assert_eq!(a.take_retry_backoff_ms(), 0.0);
     }
 
     #[test]

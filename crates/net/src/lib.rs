@@ -36,7 +36,7 @@ pub mod stats;
 
 pub use blocker::Blocker;
 pub use error::NetError;
-pub use fabric::{Endpoint, Fabric};
+pub use fabric::{Endpoint, Fabric, LinkRetryPolicy};
 pub use fault::{FaultPlan, LinkFaults, NodeFaults, SplitMix64};
 pub use message::{Control, DataKind, Message, Payload};
 pub use network::Network;

@@ -33,6 +33,9 @@ pub struct NetStats {
     pub injected_reorders: u64,
     /// Duplicate arrivals this endpoint discarded by sequence number.
     pub dup_dropped: u64,
+    /// Failed sends this endpoint re-attempted under its link retry
+    /// policy (recovery's bounded retry-with-backoff; 0 when disabled).
+    pub send_retries: u64,
 }
 
 impl NetStats {
@@ -71,6 +74,7 @@ impl NetStats {
         self.injected_dups += other.injected_dups;
         self.injected_reorders += other.injected_reorders;
         self.dup_dropped += other.dup_dropped;
+        self.send_retries += other.send_retries;
     }
 }
 

@@ -1,6 +1,7 @@
 //! Tour of the fault-injection API through the public `adaptagg` crate:
 //! seeded fault plans, exactness under link noise, typed crash errors,
-//! and the watchdog. Run with `cargo run --release --example chaos_demo`.
+//! the watchdog, and query-level fault recovery. Run with
+//! `cargo run --release --example chaos_demo`.
 
 use adaptagg::exec::{run_cluster, ExecError, FaultPlan};
 use adaptagg::net::LinkFaults;
@@ -123,4 +124,34 @@ fn main() {
         }
         other => println!("[stall]    UNEXPECTED: {other:?}"),
     }
+
+    // 11 (recover). The same crash plan that fail-stopped in step 5, with
+    // recovery enabled: node 2's partition is reassigned to a survivor,
+    // checkpointed partials are restored, and the query *completes* with
+    // exactly the clean rows.
+    let recovering = base
+        .clone()
+        .with_fault_plan(FaultPlan::new(1).with_crash(2, 100))
+        .with_recovery(RecoveryPolicy::default());
+    let r = run_algorithm_with(AlgorithmKind::TwoPhase, &recovering, &parts, &query, &cfg)
+        .expect("recovery must complete the crashed query");
+    let rec = &r.run.recovery;
+    let work = r.run.total_recovery();
+    println!(
+        "[recover]  rows match={} attempts={} dead={:?} reassigned={} \
+         restored_rows={} replayed_pages={} lost={:.1}ms backoff={:.1}ms \
+         elapsed={:.1}ms (with recovery {:.1}ms)",
+        r.rows == clean.rows,
+        rec.attempts,
+        rec.dead_nodes,
+        rec.reassigned_partitions,
+        work.restored_partials,
+        work.replayed_pages,
+        rec.lost_ms,
+        rec.backoff_ms,
+        r.elapsed_ms(),
+        r.run.elapsed_with_recovery_ms()
+    );
+    assert!(r.rows == clean.rows, "recovered rows must match the clean run");
+    assert_eq!(rec.dead_nodes, vec![2], "the crash victim must be the removed node");
 }

@@ -47,7 +47,7 @@ pub mod prelude {
     pub use adaptagg_cost::{
         scaleup_curve, selectivity_sweep, CostAlgorithm, CostBreakdown, ModelConfig,
     };
-    pub use adaptagg_exec::{ClusterConfig, RunResult};
+    pub use adaptagg_exec::{ClusterConfig, RecoveryPolicy, RecoveryStats, RunResult};
     pub use adaptagg_model::{
         AggFunc, AggQuery, AggSpec, CostParams, GroupKey, NetworkKind, ResultRow, Schema, Tuple,
         Value,

@@ -229,10 +229,147 @@ fn disabled_fault_injection_is_zero_cost() {
     }
 }
 
+fn recovering_config(plan: FaultPlan) -> ClusterConfig {
+    chaos_config(plan).with_recovery(RecoveryPolicy::default())
+}
+
+/// The recovery tentpole, across the full schedule matrix: with recovery
+/// enabled, the same 150 seeded schedules that fail fast above must now
+/// *complete* and match the serial reference exactly — a crashed node's
+/// partition is reassigned and replayed past its checkpoint. The only
+/// admissible failure is `RecoveryExhausted` on a schedule whose crashes
+/// genuinely keep killing nodes (re-armed thresholds can fell survivors
+/// that inherit bigger scans), and such a schedule must actually contain
+/// crashes.
+#[test]
+fn recovery_completes_every_schedule_or_exhausts_honestly() {
+    let spec = RelationSpec::uniform(TUPLES, GROUPS);
+    let parts = generate_partitions(&spec, NODES);
+    let query = default_query();
+    let reference = reference_aggregate(&parts, &query).unwrap();
+
+    let mut recovered = 0;
+    for seed in 0..25u64 {
+        let plan = FaultPlan::random(seed, NODES);
+        for kind in SIX {
+            let config = recovering_config(plan.clone());
+            match run_algorithm(kind, &config, &parts, &query) {
+                Ok(out) => {
+                    assert_eq!(
+                        out.rows, reference,
+                        "{kind} seed {seed}: recovered run returned wrong rows"
+                    );
+                    if out.run.recovery.recovered() {
+                        assert!(
+                            plan.has_crash(),
+                            "{kind} seed {seed}: recovery fired without a crash"
+                        );
+                        assert!(
+                            !out.run.recovery.dead_nodes.is_empty(),
+                            "{kind} seed {seed}: attempts > 1 but no node removed"
+                        );
+                        recovered += 1;
+                    }
+                }
+                Err(ExecError::RecoveryExhausted { attempts, .. }) => {
+                    assert!(
+                        plan.has_crash(),
+                        "{kind} seed {seed}: exhausted without any scheduled crash"
+                    );
+                    assert!(attempts > 1, "{kind} seed {seed}: gave up after one attempt");
+                }
+                Err(other) => panic!(
+                    "{kind} seed {seed}: recovery must complete or exhaust, got {other:?}"
+                ),
+            }
+        }
+    }
+    assert!(
+        recovered > 0,
+        "no schedule ever needed recovery — harness too tame"
+    );
+}
+
+/// Single-node crashes — the acceptance scenario — must *all* recover:
+/// every algorithm, every crash site, exact rows, exactly one extra
+/// attempt, and the victim correctly named in the recovery report.
+#[test]
+fn single_node_crashes_recover_exactly_on_every_algorithm() {
+    let spec = RelationSpec::uniform(TUPLES, GROUPS);
+    let parts = generate_partitions(&spec, NODES);
+    let query = default_query();
+    let reference = reference_aggregate(&parts, &query).unwrap();
+
+    for kind in SIX {
+        for node in 0..NODES {
+            let plan = FaultPlan::new(node as u64).with_crash(node, 50);
+            let out = run_algorithm(kind, &recovering_config(plan), &parts, &query)
+                .unwrap_or_else(|e| {
+                    panic!("{kind}: crash on node {node} did not recover: {e}")
+                });
+            assert_eq!(out.rows, reference, "{kind}: wrong rows after losing {node}");
+            assert_eq!(
+                out.run.recovery.attempts, 2,
+                "{kind}: one crash must cost exactly one retry"
+            );
+            assert_eq!(
+                out.run.recovery.dead_nodes,
+                vec![node],
+                "{kind}: wrong victim for a crash on node {node}"
+            );
+            assert!(
+                out.run.recovery.reassigned_partitions >= 1,
+                "{kind}: the victim's partition was never reassigned"
+            );
+            assert!(
+                out.run.elapsed_with_recovery_ms() > out.run.elapsed_ms(),
+                "{kind}: recovery cost invisible in the virtual clock"
+            );
+        }
+    }
+}
+
+/// Recovery outcomes are as reproducible as fail-stop ones: same seed ⇒
+/// same rows and the same number of attempts (clock readings may differ —
+/// see the determinism caveat above).
+#[test]
+fn recovery_outcomes_are_deterministic_per_seed() {
+    let spec = RelationSpec::uniform(TUPLES, GROUPS);
+    let parts = generate_partitions(&spec, NODES);
+    let query = default_query();
+
+    for seed in [3u64, 7, 11, 19, 23] {
+        let plan = FaultPlan::random(seed, NODES);
+        for kind in SIX {
+            let once = run_algorithm(kind, &recovering_config(plan.clone()), &parts, &query);
+            let twice = run_algorithm(kind, &recovering_config(plan.clone()), &parts, &query);
+            match (once, twice) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.rows, b.rows, "{kind} seed {seed}: rows differ");
+                    assert_eq!(
+                        a.run.recovery.attempts, b.run.recovery.attempts,
+                        "{kind} seed {seed}: attempt count differs"
+                    );
+                }
+                (Err(a), Err(b)) => {
+                    assert_eq!(a, b, "{kind} seed {seed}: errors differ");
+                }
+                (a, b) => panic!(
+                    "{kind} seed {seed}: outcome flipped between runs: {:?} vs {:?}",
+                    a.map(|r| r.rows.len()),
+                    b.map(|r| r.rows.len())
+                ),
+            }
+        }
+    }
+}
+
 /// Every crash schedule, on every algorithm, surfaces within the
 /// watchdog deadline — the suite completing at all is most of the proof,
 /// but check the error shape too: a crash anywhere must never surface as
 /// a NodePanic (the pre-fault failure mode) or hang into a watchdog.
+/// (Recovery stays *off* here: these fail-stop semantics are the
+/// contract for `ClusterConfig`s that never opted into recovery.)
 #[test]
 fn targeted_crashes_fail_fast_on_every_algorithm() {
     let spec = RelationSpec::uniform(TUPLES, GROUPS);
