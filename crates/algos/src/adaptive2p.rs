@@ -67,7 +67,7 @@ pub fn run_node_with(
         checkpointed_scan(ctx, plan, &mut scan, &mut ex, &mut events)?;
     } else {
         operators::scan_project(ctx, "base", &plan.base.filter, &plan.projection, |ctx, values| {
-            scan.push(ctx, &mut ex, plan, &values, &mut events)
+            scan.push(ctx, &mut ex, plan, values, &mut events)
         })?;
     }
 
@@ -76,9 +76,7 @@ pub fn run_node_with(
     if !scan.switched {
         let partials = scan.table.drain_partial_rows(&mut ctx.clock);
         ex.switch_kind(ctx, RowKind::Partial)?;
-        for row in &partials {
-            ex.route(ctx, row, false)?;
-        }
+        ex.route_rows(ctx, &partials, false)?;
     }
     ex.finish(ctx)?;
     ctx.clock.mark("phase1");
@@ -126,7 +124,7 @@ fn checkpointed_scan(
                     &plan.projection,
                     seg.start_page + done,
                     seg.start_page + chunk_end,
-                    |ctx, values| scan.push(ctx, ex, plan, &values, events),
+                    |ctx, values| scan.push(ctx, ex, plan, values, events),
                 )?;
                 if !scan.switched {
                     let partials = scan.table.drain_partial_rows(&mut ctx.clock);
@@ -165,9 +163,7 @@ fn route_partials_now(
     if switched {
         ex.switch_kind(ctx, RowKind::Partial)?;
     }
-    for row in rows {
-        ex.route(ctx, row, false)?;
-    }
+    ex.route_rows(ctx, rows, false)?;
     if switched {
         ex.switch_kind(ctx, RowKind::Raw)?;
     }
@@ -218,9 +214,7 @@ impl ScanState {
                 // owners, freeing memory, then forward raws.
                 let partials = self.table.drain_partial_rows(&mut ctx.clock);
                 ex.switch_kind(ctx, RowKind::Partial)?;
-                for row in &partials {
-                    ex.route(ctx, row, false)?;
-                }
+                ex.route_rows(ctx, &partials, false)?;
                 ex.switch_kind(ctx, RowKind::Raw)?;
                 self.switched = true;
                 events.push(AdaptEvent::SwitchedToRepartitioning {

@@ -111,10 +111,10 @@ pub fn run_node(
         if fallen_back {
             // Adaptive Two Phase logic from here on.
             let state = a2p.get_or_insert_with(|| ScanState::new(plan, max_entries));
-            state.push(ctx, &mut ex, plan, &values, &mut events)
+            state.push(ctx, &mut ex, plan, values, &mut events)
         } else {
             // Repartitioning: hash + destination per tuple.
-            ex.route(ctx, &values, true)
+            ex.route(ctx, values, true)
         }
     })?;
 
@@ -124,9 +124,7 @@ pub fn run_node(
         if !state.switched {
             let partials = state.table.drain_partial_rows(&mut ctx.clock);
             ex.switch_kind(ctx, RowKind::Partial)?;
-            for row in &partials {
-                ex.route(ctx, row, false)?;
-            }
+            ex.route_rows(ctx, &partials, false)?;
         }
     }
     ex.finish(ctx)?;

@@ -37,8 +37,9 @@ pub fn run_node(
     let mut scanned: u64 = 0;
     operators::scan_project(ctx, "base", &plan.base.filter, &plan.projection, |ctx, values| {
         scanned += 1;
-        if let Some(page) = blocker.add(0, &values)? {
+        if let Some(page) = blocker.add_pooled(0, values, &mut ctx.page_pool)? {
             broadcast_page(ctx, &page)?;
+            ctx.page_pool.put(page);
         }
         Ok(())
     })?;
@@ -57,21 +58,23 @@ pub fn run_node(
         .with_charge_hash(false);
     let mut eos = 0usize;
     let mut discarded: u64 = 0;
+    let mut scratch: Vec<adaptagg_model::Value> = Vec::new();
     while eos < nodes {
         let msg = ctx.recv()?;
         match msg.payload {
             Payload::Data { page, .. } => {
-                for tuple in page.iter() {
-                    let values = tuple?;
+                let mut cursor = page.cursor();
+                while cursor.next_into(&mut scratch)? {
                     ctx.clock.record(CostEvent::TupleDest, 1);
-                    let owner = (hash_values(Seed::Partition, &values[..key_len.min(values.len())])
+                    let owner = (hash_values(Seed::Partition, &scratch[..key_len.min(scratch.len())])
                         % nodes as u64) as usize;
                     if owner == ctx.id() {
-                        push_one(&mut agg, &values, ctx)?;
+                        push_one(&mut agg, &scratch, ctx)?;
                     } else {
                         discarded += 1;
                     }
                 }
+                ctx.page_pool.put(page);
             }
             Payload::Control(Control::EndOfStream) => eos += 1,
             Payload::Control(_) => {

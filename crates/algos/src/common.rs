@@ -57,7 +57,7 @@ pub fn local_partial_aggregation(
     let page_bytes = ctx.params().page_bytes;
     let mut agg = HashAggregator::new(plan.projected.clone(), max_entries, page_bytes, fanout);
     operators::scan_project(ctx, "base", &plan.base.filter, &plan.projection, |ctx, values| {
-        agg.push_raw(&values, &mut ctx.clock).map_err(ExecError::from)
+        agg.push_raw(values, &mut ctx.clock).map_err(ExecError::from)
     })?;
     let (partials, stats) = agg.finish(EmitMode::Partial, &mut ctx.clock)?;
     Ok((partials, stats))
@@ -96,7 +96,7 @@ fn checkpointed_local_aggregation(
                     seg.start_page + done,
                     seg.start_page + chunk_end,
                     |ctx, values| {
-                        agg.push_raw(&values, &mut ctx.clock).map_err(ExecError::from)
+                        agg.push_raw(values, &mut ctx.clock).map_err(ExecError::from)
                     },
                 )?;
                 let (partials, s) = agg.finish(EmitMode::Partial, &mut ctx.clock)?;
@@ -141,7 +141,8 @@ pub fn merge_phase_store(
         .with_charge_hash(false);
 
     for (kind, page) in pre_received {
-        push_page(&mut agg, kind, &page, &mut ctx.clock)?;
+        agg.push_page(kind, &page, &mut ctx.clock)?;
+        ctx.page_pool.put(page);
     }
 
     let mut eos = pre_eos;
@@ -150,7 +151,8 @@ pub fn merge_phase_store(
         let msg = ctx.recv()?;
         match msg.payload {
             adaptagg_net::Payload::Data { kind, page } => {
-                push_page(&mut agg, kind, &page, &mut ctx.clock)?;
+                agg.push_page(kind, &page, &mut ctx.clock)?;
+                ctx.page_pool.put(page);
             }
             adaptagg_net::Payload::Control(Control::EndOfStream) => eos += 1,
             adaptagg_net::Payload::Control(Control::EndOfPhase { .. }) => {}
@@ -166,17 +168,15 @@ pub fn merge_phase_store(
     Ok((rows, stats))
 }
 
-/// Feed one received page into an aggregator.
+/// Feed one received page into an aggregator (page-batched; cost events
+/// identical to pushing each tuple — see [`HashAggregator::push_page`]).
 pub fn push_page(
     agg: &mut HashAggregator,
     kind: RowKind,
     page: &Page,
     clock: &mut adaptagg_exec::Clock,
 ) -> Result<(), ExecError> {
-    for tuple in page.iter() {
-        let values = tuple?;
-        agg.push(kind, &values, clock)?;
-    }
+    agg.push_page(kind, page, clock)?;
     Ok(())
 }
 
@@ -194,9 +194,7 @@ pub fn ship_partials_partitioned(
         plan.key_len(),
         RowKind::Partial,
     );
-    for row in &partials {
-        ex.route(ctx, row, false)?;
-    }
+    ex.route_rows(ctx, &partials, false)?;
     ex.finish(ctx)?;
     ctx.clock.mark("phase1");
     Ok(())

@@ -44,13 +44,13 @@ pub fn run_node(
     let mut forwarded: u64 = 0;
 
     operators::scan_project(ctx, "base", &plan.base.filter, &plan.projection, |ctx, values| {
-        match table.insert_raw(&values, &mut ctx.clock)? {
+        match table.insert_raw(values, &mut ctx.clock)? {
             Inserted::Updated | Inserted::New => Ok(()),
             Inserted::Full => {
                 // Forward immediately; the table stays resident (the
                 // memory-hoarding A2P avoids).
                 forwarded += 1;
-                ex.route(ctx, &values, false)?;
+                ex.route(ctx, values, false)?;
                 Ok(())
             }
         }
@@ -59,9 +59,7 @@ pub fn run_node(
     // Drain the local table as partials only now (end of input).
     let partials = table.drain_partial_rows(&mut ctx.clock);
     ex.switch_kind(ctx, RowKind::Partial)?;
-    for row in &partials {
-        ex.route(ctx, row, false)?;
-    }
+    ex.route_rows(ctx, &partials, false)?;
     ex.finish(ctx)?;
     ctx.clock.mark("phase1");
 

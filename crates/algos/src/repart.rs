@@ -44,7 +44,7 @@ pub fn run_node_with(
         RowKind::Raw,
     );
     operators::scan_project(ctx, "base", &plan.base.filter, &plan.projection, |ctx, values| {
-        ex.route(ctx, &values, true)
+        ex.route(ctx, values, true)
     })?;
     ex.finish(ctx)?;
     ctx.clock.mark("phase1");

@@ -111,6 +111,7 @@ fn estimate_and_decide(
                         ctx.clock.record(CostEvent::TupleRead, 1);
                         all_keys.push(t?);
                     }
+                    ctx.page_pool.put(page);
                 }
                 Payload::Control(Control::EndOfStream) => eos += 1,
                 _ => return Err(ExecError::Protocol("unexpected control during sampling")),

@@ -29,7 +29,7 @@ pub fn run_node(
     // Phase 1: sorted-run local aggregation.
     let mut agg = SortAggregator::new(plan.projected.clone(), max_entries, page_bytes);
     operators::scan_project(ctx, "base", &plan.base.filter, &plan.projection, |ctx, values| {
-        agg.push_raw(&values, &mut ctx.clock).map_err(ExecError::from)
+        agg.push_raw(values, &mut ctx.clock).map_err(ExecError::from)
     })?;
     let (partials, sort_stats) = agg.finish_partials(&mut ctx.clock)?;
     ship_partials_partitioned(ctx, plan, partials)?;

@@ -1,0 +1,64 @@
+//! Wall-clock throughput per algorithm → `BENCH_throughput.json`.
+//!
+//! Measures real (not virtual) end-to-end tuples/sec for every algorithm
+//! on the fixed seeded grid (low/high cardinality × 1/8 nodes). See
+//! DESIGN.md §10 for the schema and the cost-model-invariance rule.
+//!
+//! Typical flows:
+//!   throughput --label baseline --out /tmp/before.json   # old binary
+//!   throughput --before /tmp/before.json                 # new binary
+//!   throughput --quick --out smoke.json                  # CI smoke
+
+use adaptagg_bench::throughput::{
+    extract_object, measure, report_json, ThroughputCfg,
+};
+
+const USAGE: &str = "usage: throughput [--quick] [--label NAME] [--before PATH] [--out PATH]
+  --quick        small relation, one repeat (CI smoke)
+  --label NAME   label for this measurement set (default: current)
+  --before PATH  embed a previous run's `after` object as `before`
+  --out PATH     output file (default: BENCH_throughput.json)";
+
+fn main() {
+    let mut quick = false;
+    let mut label = String::from("current");
+    let mut before_path: Option<String> = None;
+    let mut out_path = String::from("BENCH_throughput.json");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--label" => label = args.next().unwrap_or_else(|| die("--label needs a value")),
+            "--before" => {
+                before_path = Some(args.next().unwrap_or_else(|| die("--before needs a path")))
+            }
+            "--out" => out_path = args.next().unwrap_or_else(|| die("--out needs a path")),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+    }
+
+    let before = before_path.map(|p| {
+        let doc = std::fs::read_to_string(&p)
+            .unwrap_or_else(|e| die(&format!("cannot read {p}: {e}")));
+        extract_object(&doc, "after")
+            .unwrap_or_else(|| die(&format!("{p} has no `after` object")))
+    });
+
+    let cfg = if quick { ThroughputCfg::quick() } else { ThroughputCfg::full() };
+    let mode = if quick { "quick" } else { "full" };
+    let measures = measure(cfg, true);
+    let doc = report_json(mode, cfg, before.as_deref(), &label, &measures);
+    std::fs::write(&out_path, &doc)
+        .unwrap_or_else(|e| die(&format!("cannot write {out_path}: {e}")));
+    eprintln!("wrote {out_path}");
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}\n{USAGE}");
+    std::process::exit(2);
+}

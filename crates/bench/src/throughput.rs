@@ -1,0 +1,248 @@
+//! Wall-clock throughput harness (the perf trajectory).
+//!
+//! Every figure binary reports **virtual** milliseconds; this module is
+//! the one place that measures *real* time: end-to-end wall-clock
+//! tuples/sec per algorithm on fixed seeded workloads (low/high
+//! cardinality × 1/8 nodes). The `throughput` binary writes the
+//! machine-readable `BENCH_throughput.json` at the repo root so future
+//! optimisation PRs extend a committed baseline instead of a vibe.
+//!
+//! The cost model is the correctness contract: wall-clock optimisations
+//! must leave every `CostEvent` count and virtual-time figure
+//! bit-identical, so each measurement also records the run's virtual
+//! milliseconds — a cheap drift tripwire alongside the pinned
+//! regression tests.
+
+use adaptagg_algos::{run_algorithm_with, AlgoConfig, AlgorithmKind};
+use adaptagg_exec::ClusterConfig;
+use adaptagg_model::CostParams;
+use adaptagg_workload::{default_query, generate_partitions, RelationSpec};
+use std::time::Instant;
+
+/// One algorithm's measurement on one workload.
+#[derive(Debug, Clone)]
+pub struct AlgoMeasure {
+    /// Paper label (`2P`, `Rep`, …).
+    pub label: &'static str,
+    /// Best-of-`repeats` wall-clock time for the end-to-end run.
+    pub wall_ms: f64,
+    /// `tuples / wall_seconds` for the best run.
+    pub tuples_per_sec: f64,
+    /// Virtual elapsed milliseconds (must not move under perf work).
+    pub virtual_ms: f64,
+    /// Result rows produced (sanity: equals the group count).
+    pub rows: usize,
+}
+
+/// All algorithms measured on one seeded workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadMeasure {
+    /// Stable workload name (`high_card_8n`, …).
+    pub name: &'static str,
+    /// Cluster size.
+    pub nodes: usize,
+    /// Relation size `|R|`.
+    pub tuples: usize,
+    /// Distinct groups `|G|`.
+    pub groups: usize,
+    /// Per-algorithm measurements, in [`AlgorithmKind::ALL`] order.
+    pub algorithms: Vec<AlgoMeasure>,
+}
+
+/// Scale knobs for one harness invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputCfg {
+    /// Relation size per workload.
+    pub tuples: usize,
+    /// Runs per (workload, algorithm); the best wall time is kept.
+    pub repeats: usize,
+}
+
+impl ThroughputCfg {
+    /// CI smoke scale: finishes in seconds.
+    pub fn quick() -> Self {
+        ThroughputCfg { tuples: 12_000, repeats: 1 }
+    }
+
+    /// Baseline scale: large enough that per-tuple costs dominate.
+    pub fn full() -> Self {
+        ThroughputCfg { tuples: 120_000, repeats: 3 }
+    }
+}
+
+/// The fixed workload grid: low/high cardinality × 1/8 nodes. High
+/// cardinality is `|R|/4` groups — past the 10 K-entry table budget, so
+/// the overflow and shipping paths are exercised, as in Figure 8's
+/// right-hand side.
+pub fn workload_grid(tuples: usize) -> Vec<(&'static str, usize, usize)> {
+    vec![
+        ("low_card_1n", 1, 64),
+        ("high_card_1n", 1, tuples / 4),
+        ("low_card_8n", 8, 64),
+        ("high_card_8n", 8, tuples / 4),
+    ]
+}
+
+/// Run the full grid and return measurements for every algorithm.
+pub fn measure(cfg: ThroughputCfg, verbose: bool) -> Vec<WorkloadMeasure> {
+    let query = default_query();
+    let mut out = Vec::new();
+    for (name, nodes, groups) in workload_grid(cfg.tuples) {
+        let spec = RelationSpec::uniform(cfg.tuples, groups);
+        let parts = generate_partitions(&spec, nodes);
+        let cluster = ClusterConfig::new(nodes, CostParams::paper_default());
+        let algo_cfg = AlgoConfig::default_for(nodes);
+        let mut algos = Vec::new();
+        for kind in AlgorithmKind::ALL {
+            let mut best_ms = f64::INFINITY;
+            let mut virtual_ms = 0.0;
+            let mut rows = 0;
+            for _ in 0..cfg.repeats {
+                let t0 = Instant::now();
+                let run = run_algorithm_with(kind, &cluster, &parts, &query, &algo_cfg)
+                    .expect("throughput run succeeds");
+                let wall = t0.elapsed().as_secs_f64() * 1e3;
+                best_ms = best_ms.min(wall);
+                virtual_ms = run.elapsed_ms();
+                rows = run.rows.len();
+            }
+            let tuples_per_sec = cfg.tuples as f64 / (best_ms / 1e3);
+            if verbose {
+                eprintln!(
+                    "{name:14} {label:8} {best_ms:9.1} ms wall  {tps:12.0} tuples/s  {virtual_ms:11.1} ms virtual",
+                    label = kind.label(),
+                    tps = tuples_per_sec,
+                );
+            }
+            algos.push(AlgoMeasure {
+                label: kind.label(),
+                wall_ms: best_ms,
+                tuples_per_sec,
+                virtual_ms,
+                rows,
+            });
+        }
+        out.push(WorkloadMeasure { name, nodes, tuples: cfg.tuples, groups, algorithms: algos });
+    }
+    out
+}
+
+/// Render one measurement set (the value of the `before`/`after` keys)
+/// as a JSON object. Hand-written: the workspace carries no JSON
+/// dependency, and every value here is a number or a known-safe label.
+pub fn measures_to_json(label: &str, measures: &[WorkloadMeasure]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("{{\n    \"label\": \"{label}\",\n    \"workloads\": [\n"));
+    for (wi, w) in measures.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{\"name\": \"{}\", \"nodes\": {}, \"tuples\": {}, \"groups\": {}, \"algorithms\": [\n",
+            w.name, w.nodes, w.tuples, w.groups
+        ));
+        for (ai, a) in w.algorithms.iter().enumerate() {
+            s.push_str(&format!(
+                "        {{\"algo\": \"{}\", \"wall_ms\": {:.3}, \"tuples_per_sec\": {:.1}, \"virtual_ms\": {:.6}, \"rows\": {}}}{}\n",
+                a.label,
+                a.wall_ms,
+                a.tuples_per_sec,
+                a.virtual_ms,
+                a.rows,
+                if ai + 1 < w.algorithms.len() { "," } else { "" }
+            ));
+        }
+        s.push_str(&format!(
+            "      ]}}{}\n",
+            if wi + 1 < measures.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("    ]\n  }");
+    s
+}
+
+/// Assemble the full `BENCH_throughput.json` document. `before` is a
+/// previously rendered measurement object (see [`extract_object`]), or
+/// `None` on a fresh baseline run.
+pub fn report_json(
+    mode: &str,
+    cfg: ThroughputCfg,
+    before: Option<&str>,
+    after_label: &str,
+    after: &[WorkloadMeasure],
+) -> String {
+    format!(
+        "{{\n  \"schema\": \"adaptagg-throughput/v1\",\n  \"mode\": \"{mode}\",\n  \"tuples\": {tuples},\n  \"repeats\": {repeats},\n  \"before\": {before},\n  \"after\": {after}\n}}\n",
+        tuples = cfg.tuples,
+        repeats = cfg.repeats,
+        before = before.unwrap_or("null"),
+        after = measures_to_json(after_label, after),
+    )
+}
+
+/// Extract the JSON object value of a top-level `key` from a previous
+/// harness output by balanced-brace scanning. Good enough for the
+/// machine-written files this harness itself produces (no strings
+/// containing braces); returns `None` when the key is absent or null.
+pub fn extract_object(doc: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let at = doc.find(&pat)? + pat.len();
+    let rest = doc[at..].trim_start();
+    if !rest.starts_with('{') {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(rest[..=i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_extracts_after_object() {
+        let measures = vec![WorkloadMeasure {
+            name: "low_card_1n",
+            nodes: 1,
+            tuples: 100,
+            groups: 4,
+            algorithms: vec![AlgoMeasure {
+                label: "2P",
+                wall_ms: 1.5,
+                tuples_per_sec: 66_666.7,
+                virtual_ms: 12.25,
+                rows: 4,
+            }],
+        }];
+        let doc = report_json("quick", ThroughputCfg::quick(), None, "baseline", &measures);
+        let after = extract_object(&doc, "after").expect("after object present");
+        assert!(after.starts_with('{') && after.ends_with('}'));
+        assert!(after.contains("\"label\": \"baseline\""));
+        assert!(after.contains("\"algo\": \"2P\""));
+        assert!(extract_object(&doc, "before").is_none(), "null before yields None");
+
+        // Embedding the extracted object as `before` round-trips.
+        let doc2 = report_json("quick", ThroughputCfg::quick(), Some(&after), "current", &measures);
+        let before2 = extract_object(&doc2, "before").expect("embedded before");
+        assert_eq!(before2, after);
+    }
+
+    #[test]
+    fn grid_covers_both_cardinalities_and_cluster_sizes() {
+        let grid = workload_grid(12_000);
+        assert_eq!(grid.len(), 4);
+        assert!(grid.iter().any(|&(_, n, _)| n == 1));
+        assert!(grid.iter().any(|&(_, n, _)| n == 8));
+        let gs: Vec<usize> = grid.iter().map(|&(_, _, g)| g).collect();
+        assert!(gs.contains(&64) && gs.contains(&3000));
+    }
+}

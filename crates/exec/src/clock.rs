@@ -145,6 +145,45 @@ impl CostTracker for Clock {
             _ => self.breakdown.cpu_ms += dt,
         }
     }
+
+    fn record_tuples(&mut self, template: &[CostEvent], count: u64) {
+        // Per-unit deltas, each exactly what `record(e, 1)` would add
+        // (`unit_ms * 1 as f64 * slowdown`). Replaying them per tuple keeps
+        // the f64 accumulation order — and therefore every rounding step —
+        // identical to the per-tuple loop this call batches. Fixed-size
+        // buffers: no allocation on the hot path.
+        if template.len() > 8 {
+            // Oversized template (never happens in-tree): take the naive
+            // per-tuple path rather than truncate.
+            for _ in 0..count {
+                for &e in template {
+                    self.record(e, 1);
+                }
+            }
+            return;
+        }
+        let mut dts = [0.0f64; 8];
+        let mut io = [false; 8];
+        let n = template.len();
+        for (i, e) in template.iter().enumerate() {
+            dts[i] = e.unit_ms(&self.params) * self.slowdown;
+            io[i] = matches!(
+                e,
+                CostEvent::PageReadSeq | CostEvent::PageWriteSeq | CostEvent::PageReadRand
+            );
+        }
+        for _ in 0..count {
+            for i in 0..n {
+                let dt = dts[i];
+                self.now_ms += dt;
+                if io[i] {
+                    self.breakdown.io_ms += dt;
+                } else {
+                    self.breakdown.cpu_ms += dt;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +247,42 @@ mod tests {
         c.observe(6.0);
         assert!((c.now_ms() - 6.0).abs() < 1e-9);
         assert_eq!(c.slowdown(), 2.0);
+    }
+
+    #[test]
+    fn record_tuples_is_bit_identical_to_per_tuple_loop() {
+        // The batched path must reproduce the per-tuple loop's f64
+        // accumulation exactly — rounding included — or virtual-time pins
+        // would drift. Exercise cpu-only and mixed cpu/io templates, with
+        // and without slowdown, from a non-zero starting time.
+        let templates: [&[CostEvent]; 3] = [
+            &[CostEvent::TupleRead, CostEvent::TupleHash, CostEvent::TupleAgg],
+            &[CostEvent::TupleRead, CostEvent::TupleAgg],
+            &[CostEvent::TupleRead, CostEvent::PageWriteSeq, CostEvent::TupleDest],
+        ];
+        for slowdown in [1.0, 1.75] {
+            for template in templates {
+                let mut batched = clock();
+                batched.set_slowdown(slowdown);
+                batched.record(CostEvent::TupleHash, 7); // non-zero start
+                let mut looped = batched.clone();
+                batched.record_tuples(template, 1013);
+                for _ in 0..1013 {
+                    for &e in template {
+                        looped.record(e, 1);
+                    }
+                }
+                assert_eq!(batched.now_ms().to_bits(), looped.now_ms().to_bits());
+                assert_eq!(
+                    batched.breakdown().cpu_ms.to_bits(),
+                    looped.breakdown().cpu_ms.to_bits()
+                );
+                assert_eq!(
+                    batched.breakdown().io_ms.to_bits(),
+                    looped.breakdown().io_ms.to_bits()
+                );
+            }
+        }
     }
 
     #[test]

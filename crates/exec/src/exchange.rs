@@ -20,6 +20,20 @@ use crate::node::NodeCtx;
 use adaptagg_model::hash::{hash_values, Seed};
 use adaptagg_model::{CostEvent, CostTracker, Value};
 use adaptagg_net::{Blocker, Control, DataKind};
+use adaptagg_storage::Page;
+
+/// Per-row cost template for a hash route (`t_h + t_d`).
+const ROUTE_WITH_HASH: [CostEvent; 2] = [CostEvent::TupleHash, CostEvent::TupleDest];
+/// Per-row cost template for a route of pre-hashed rows (`t_d` only).
+const ROUTE_NO_HASH: [CostEvent; 1] = [CostEvent::TupleDest];
+
+fn route_template(charge_hash: bool) -> &'static [CostEvent] {
+    if charge_hash {
+        &ROUTE_WITH_HASH
+    } else {
+        &ROUTE_NO_HASH
+    }
+}
 
 /// A partitioned, blocked sender.
 #[derive(Debug)]
@@ -28,6 +42,7 @@ pub struct Exchange {
     key_len: usize,
     kind: DataKind,
     routed: u64,
+    row_scratch: Vec<Value>,
 }
 
 impl Exchange {
@@ -41,6 +56,7 @@ impl Exchange {
             key_len,
             kind,
             routed: 0,
+            row_scratch: Vec::new(),
         }
     }
 
@@ -85,7 +101,85 @@ impl Exchange {
     }
 
     fn push_to(&mut self, ctx: &mut NodeCtx, dest: usize, values: &[Value]) -> Result<(), ExecError> {
-        if let Some(page) = self.blocker.add(dest, values)? {
+        if let Some(page) = self.blocker.add_pooled(dest, values, &mut ctx.page_pool)? {
+            ctx.send_page(dest, self.kind, page)?;
+        }
+        self.routed += 1;
+        Ok(())
+    }
+
+    /// Route a batch of rows — the page-batched counterpart of calling
+    /// [`Exchange::route`] per row. Cost events and virtual time are
+    /// bit-identical to the per-row loop: per-row `t_h`/`t_d` charges are
+    /// accumulated and flushed (in per-row order, via
+    /// [`CostTracker::record_tuples`]) before every page send, so send
+    /// timestamps — and therefore receiver Lamport observations — cannot
+    /// move.
+    pub fn route_rows<R: AsRef<[Value]>>(
+        &mut self,
+        ctx: &mut NodeCtx,
+        rows: &[R],
+        charge_hash: bool,
+    ) -> Result<(), ExecError> {
+        let template = route_template(charge_hash);
+        let mut pending = 0u64;
+        for values in rows {
+            self.route_batched(ctx, values.as_ref(), template, &mut pending)?;
+        }
+        ctx.clock.record_tuples(template, pending);
+        Ok(())
+    }
+
+    /// Route every tuple on a page — [`Exchange::route_rows`] for rows
+    /// still in wire format (e.g. forwarding a received block). Decodes
+    /// into a reused scratch row; same bit-exact cost contract.
+    pub fn route_page(
+        &mut self,
+        ctx: &mut NodeCtx,
+        page: &Page,
+        charge_hash: bool,
+    ) -> Result<(), ExecError> {
+        let template = route_template(charge_hash);
+        let mut pending = 0u64;
+        let mut scratch = std::mem::take(&mut self.row_scratch);
+        let mut cursor = page.cursor();
+        let result = loop {
+            match cursor.next_into(&mut scratch) {
+                Ok(true) => {
+                    if let Err(e) = self.route_batched(ctx, &scratch, template, &mut pending) {
+                        break Err(e);
+                    }
+                }
+                Ok(false) => break Ok(()),
+                Err(e) => break Err(e.into()),
+            }
+        };
+        self.row_scratch = scratch;
+        ctx.clock.record_tuples(template, pending);
+        result
+    }
+
+    /// One row of a batched route: defer the per-row charge, but flush
+    /// all deferred charges before any send so timestamps match the
+    /// per-row path exactly.
+    fn route_batched(
+        &mut self,
+        ctx: &mut NodeCtx,
+        values: &[Value],
+        template: &[CostEvent],
+        pending: &mut u64,
+    ) -> Result<(), ExecError> {
+        *pending += 1;
+        let dest = self.destination_of(values);
+        let sealed = match self.blocker.add_pooled(dest, values, &mut ctx.page_pool) {
+            Ok(sealed) => sealed,
+            Err(e) => {
+                ctx.clock.record_tuples(template, std::mem::take(pending));
+                return Err(e.into());
+            }
+        };
+        if let Some(page) = sealed {
+            ctx.clock.record_tuples(template, std::mem::take(pending));
             ctx.send_page(dest, self.kind, page)?;
         }
         self.routed += 1;
@@ -245,6 +339,61 @@ mod tests {
             }
         }
         assert_eq!(kinds, vec![DataKind::Partial, DataKind::Raw]);
+    }
+
+    #[test]
+    fn batched_routes_are_bit_identical_to_per_tuple_routes() {
+        // route_rows and route_page must be indistinguishable from the
+        // per-tuple loop: same sealed pages, same send timestamps, same
+        // clock bits on the sender.
+        let rows: Vec<Vec<Value>> = (0..700).map(row).collect();
+        for charge_hash in [false, true] {
+            let mut outcomes = Vec::new();
+            for mode in 0..3 {
+                let mut ctxs = cluster_of(2);
+                let mut rx = ctxs.pop().unwrap();
+                let mut tx = ctxs.pop().unwrap();
+                let mut ex = Exchange::new(2, 2048, 1, DataKind::Raw);
+                match mode {
+                    0 => {
+                        for r in &rows {
+                            ex.route(&mut tx, r, charge_hash).unwrap();
+                        }
+                    }
+                    1 => ex.route_rows(&mut tx, &rows, charge_hash).unwrap(),
+                    _ => {
+                        // Same rows, paged up in wire format first.
+                        let mut pages = vec![Page::new(1 << 16)];
+                        for r in &rows {
+                            assert!(pages.last_mut().unwrap().try_push(r).unwrap());
+                        }
+                        for p in &pages {
+                            ex.route_page(&mut tx, p, charge_hash).unwrap();
+                        }
+                    }
+                }
+                assert_eq!(ex.routed(), rows.len() as u64);
+                ex.finish(&mut tx).unwrap();
+
+                // Drain node 1's inbox: page contents + send timestamps.
+                rx.send_control(1, Control::EndOfStream).unwrap();
+                let mut received = Vec::new();
+                let mut eos = 0;
+                while eos < 2 {
+                    let msg = rx.recv().unwrap();
+                    match msg.payload {
+                        Payload::Data { page, .. } => {
+                            received.push((msg.sent_at_ms.to_bits(), page.decode_all().unwrap()))
+                        }
+                        Payload::Control(Control::EndOfStream) => eos += 1,
+                        _ => panic!("unexpected control"),
+                    }
+                }
+                outcomes.push((tx.clock.now_ms().to_bits(), received));
+            }
+            assert_eq!(outcomes[0], outcomes[1], "route_rows drifted");
+            assert_eq!(outcomes[0], outcomes[2], "route_page drifted");
+        }
     }
 
     #[test]

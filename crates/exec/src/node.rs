@@ -7,7 +7,7 @@ use adaptagg_model::{CostEvent, CostParams, CostTracker};
 use adaptagg_net::{
     Control, DataKind, Endpoint, LinkRetryPolicy, Message, NetError, NetStats, NodeFaults, Payload,
 };
-use adaptagg_storage::{Page, SimDisk};
+use adaptagg_storage::{Page, PagePool, SimDisk};
 use std::time::Duration;
 
 /// Default real-time receive deadline — generous: virtual time is cheap,
@@ -31,6 +31,11 @@ pub struct NodeCtx {
     pub clock: Clock,
     /// The node's private disk.
     pub disk: SimDisk,
+    /// Recycled message/page buffers for the node's hot paths. Sealed
+    /// message pages draw replacements from here and consumed receive
+    /// pages are returned, so steady-state exchange avoids the allocator.
+    /// Wall-clock only — never affects cost events or virtual time.
+    pub page_pool: PagePool,
     /// The node's recovery context, when the run has a
     /// [`crate::recovery::RecoveryPolicy`]: partition layout, shared
     /// checkpoint store, and recovery counters. `None` (the default)
@@ -50,6 +55,7 @@ impl NodeCtx {
             nodes: endpoint.nodes(),
             clock: Clock::new(params),
             disk,
+            page_pool: PagePool::new(),
             recovery: None,
             endpoint,
             faults: NodeFaults::default(),

@@ -23,7 +23,9 @@ use adaptagg_storage::HeapFile;
 /// page) but not the `t_w` copy-out.
 ///
 /// `consume` receives the node context back, so it can route tuples into
-/// exchanges or hash tables (which charge their own costs).
+/// exchanges or hash tables (which charge their own costs). The tuple
+/// slice is only valid for the duration of the call — the scan reuses its
+/// scratch buffers across tuples; copy (`to_vec`) to retain.
 pub fn scan_project<F>(
     ctx: &mut NodeCtx,
     name: &str,
@@ -32,7 +34,7 @@ pub fn scan_project<F>(
     mut consume: F,
 ) -> Result<usize, ExecError>
 where
-    F: FnMut(&mut NodeCtx, Vec<Value>) -> Result<(), ExecError>,
+    F: FnMut(&mut NodeCtx, &[Value]) -> Result<(), ExecError>,
 {
     // Take the file out of the disk for the duration of the scan so the
     // consumer can freely use `ctx` (including `ctx.disk`).
@@ -57,7 +59,7 @@ pub fn scan_project_range<F>(
     mut consume: F,
 ) -> Result<usize, ExecError>
 where
-    F: FnMut(&mut NodeCtx, Vec<Value>) -> Result<(), ExecError>,
+    F: FnMut(&mut NodeCtx, &[Value]) -> Result<(), ExecError>,
 {
     let file = ctx.disk.take(name)?;
     let end = end_page.min(file.page_count());
@@ -76,40 +78,62 @@ fn scan_project_file<F>(
     consume: &mut F,
 ) -> Result<usize, ExecError>
 where
-    F: FnMut(&mut NodeCtx, Vec<Value>) -> Result<(), ExecError>,
+    F: FnMut(&mut NodeCtx, &[Value]) -> Result<(), ExecError>,
 {
+    // Columns the scan must materialize: whatever the filter or the
+    // projection reads. An empty projection passes the whole tuple
+    // through, so everything is needed. Wide padding columns outside the
+    // mask are skipped positionally by the decoder (no payload copy).
+    let select: Option<Vec<bool>> = if columns.is_empty() {
+        None
+    } else {
+        let top = columns
+            .iter()
+            .chain(filter.iter().map(|p| &p.column))
+            .copied()
+            .max()
+            .unwrap_or(0);
+        let mut mask = vec![false; top + 1];
+        for &c in columns {
+            mask[c] = true;
+        }
+        for p in filter {
+            mask[p.column] = true;
+        }
+        Some(mask)
+    };
+    let mut raw: Vec<Value> = Vec::new();
+    let mut projected: Vec<Value> = Vec::new();
     let mut n = 0usize;
     for pi in start_page..end_page {
         ctx.clock.record(CostEvent::PageReadSeq, 1);
-        let page = file.page(pi)?.clone();
-        for tuple in page.iter() {
-            let values = tuple?;
+        let page = file.page(pi)?;
+        let mut cursor = page.cursor();
+        while cursor.next_select_into(select.as_deref(), &mut raw)? {
             // Scanned tuples are the fault plan's crash currency — a node
             // scheduled to crash at tuple K dies right here.
             ctx.fault_tick()?;
             ctx.clock.record(CostEvent::TupleRead, 1);
-            if !adaptagg_model::matches_all(filter, &values)? {
+            if !adaptagg_model::matches_all(filter, &raw)? {
                 continue;
             }
             ctx.clock.record(CostEvent::TupleWrite, 1);
-            let projected: Vec<Value> = if columns.is_empty() {
-                values
+            if columns.is_empty() {
+                consume(ctx, &raw)?;
             } else {
-                let mut out = Vec::with_capacity(columns.len());
+                projected.clear();
                 for &c in columns {
-                    out.push(
-                        values
-                            .get(c)
+                    projected.push(
+                        raw.get(c)
                             .ok_or(adaptagg_model::ModelError::ColumnOutOfRange {
                                 column: c,
-                                arity: values.len(),
+                                arity: raw.len(),
                             })?
                             .clone(),
                     );
                 }
-                out
-            };
-            consume(ctx, projected)?;
+                consume(ctx, &projected)?;
+            }
             n += 1;
         }
     }
@@ -121,9 +145,11 @@ where
 pub fn store_results(ctx: &mut NodeCtx, rows: &[ResultRow]) -> Result<(), ExecError> {
     let page_bytes = ctx.params().page_bytes;
     let file = ctx.disk.get_or_create("result", page_bytes);
+    let mut values: Vec<Value> = Vec::new();
     for row in rows {
-        let mut values = row.key.values().to_vec();
-        values.extend(row.aggs.iter().cloned());
+        values.clear();
+        values.extend_from_slice(row.key.values());
+        values.extend_from_slice(&row.aggs);
         file.append(&values)?;
     }
     let pages = ctx.disk.get("result")?.page_count() as u64;
@@ -157,7 +183,7 @@ mod tests {
         let mut ctx = ctx_with_file(&tuples, 128);
         let mut seen = Vec::new();
         let n = scan_project(&mut ctx, "base", &[], &[1, 0], |_ctx, vals| {
-            seen.push(vals);
+            seen.push(vals.to_vec());
             Ok(())
         })
         .unwrap();
@@ -182,7 +208,7 @@ mod tests {
         let mut full_ctx = ctx_with_file(&tuples, 128);
         let mut full = Vec::new();
         scan_project(&mut full_ctx, "base", &[], &[], |_ctx, vals| {
-            full.push(vals);
+            full.push(vals.to_vec());
             Ok(())
         })
         .unwrap();
@@ -193,7 +219,7 @@ mod tests {
         let mut seen = Vec::new();
         for (a, b) in [(0, pages / 2), (pages / 2, pages)] {
             scan_project_range(&mut ctx, "base", &[], &[], a, b, |_ctx, vals| {
-                seen.push(vals);
+                seen.push(vals.to_vec());
                 Ok(())
             })
             .unwrap();
@@ -213,6 +239,29 @@ mod tests {
         })
         .unwrap();
         assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn filter_columns_are_decoded_even_when_not_projected() {
+        // The select mask must cover filter columns, or predicates would
+        // see Null placeholders and silently drop every row.
+        let tuples: Vec<Vec<Value>> = (0..10)
+            .map(|i| vec![Value::Int(i), Value::Int(i * 2), Value::Str("pad".into())])
+            .collect();
+        let mut ctx = ctx_with_file(&tuples, 128);
+        let filter = [adaptagg_model::Predicate::new(
+            1,
+            adaptagg_model::Compare::Ge,
+            Value::Int(10),
+        )];
+        let mut seen = Vec::new();
+        scan_project(&mut ctx, "base", &filter, &[0], |_ctx, vals| {
+            seen.push(vals.to_vec());
+            Ok(())
+        })
+        .unwrap();
+        let expect: Vec<Vec<Value>> = (5..10).map(|i| vec![Value::Int(i)]).collect();
+        assert_eq!(seen, expect);
     }
 
     #[test]
@@ -269,7 +318,7 @@ mod tests {
         scan_project(&mut ctx, "base", &[], &[], |ctx, vals| {
             ctx.disk
                 .get_or_create("copy", 128)
-                .append(&vals)
+                .append(vals)
                 .map_err(ExecError::from)
         })
         .unwrap();

@@ -11,7 +11,7 @@ use crate::overflow::OverflowSet;
 use crate::stats::HashAggStats;
 use crate::table::{AggTable, Inserted};
 use adaptagg_model::{AggQuery, CostTracker, ResultRow, RowKind, Value};
-use adaptagg_storage::{SpillFile, StorageError};
+use adaptagg_storage::{Page, SpillFile, StorageError};
 
 /// What [`HashAggregator::finish`] emits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,6 +124,37 @@ impl HashAggregator {
         }
     }
 
+    /// Push every tuple of a received page — the page-batched form of
+    /// [`HashAggregator::push`], equivalent row by row (same mutations,
+    /// same cost events in the same order; runs of accepted tuples are
+    /// recorded through [`CostTracker::record_tuples`], which is
+    /// bit-identical to the per-tuple loop by contract). Decodes into a
+    /// reused scratch, so resident-group updates allocate nothing.
+    pub fn push_page<T: CostTracker>(
+        &mut self,
+        kind: RowKind,
+        page: &Page,
+        tracker: &mut T,
+    ) -> Result<(), StorageError> {
+        let n = page.tuple_count() as u64;
+        match kind {
+            RowKind::Raw => self.stats.raw_in += n,
+            RowKind::Partial => self.stats.partial_in += n,
+        }
+        let overflow = &mut self.overflow;
+        let fanout = self.fanout;
+        let page_bytes = self.page_bytes;
+        let group_by_len = self.query.group_by.len();
+        let spilled = self.table.insert_page(kind, page, tracker, |tracker, kind, values| {
+            let set = overflow.get_or_insert_with(|| {
+                OverflowSet::new(fanout, page_bytes, 0, group_by_len)
+            });
+            set.spool(kind, values, tracker)
+        })?;
+        self.stats.spilled_tuples += spilled;
+        Ok(())
+    }
+
     /// Push a raw tuple.
     pub fn push_raw<T: CostTracker>(
         &mut self,
@@ -146,12 +177,48 @@ impl HashAggregator {
     /// one by one (recursively), emitting per `mode`. Returns flattened
     /// rows; use [`HashAggregator::finish_rows`] for typed result rows.
     pub fn finish<T: CostTracker>(
-        mut self,
+        self,
         mode: EmitMode,
         tracker: &mut T,
     ) -> Result<(Vec<Vec<Value>>, HashAggStats), StorageError> {
         let mut out = Vec::new();
-        Self::drain_table(&mut self.table, mode, tracker, &mut out);
+        let mut stats = self.finish_impl(tracker, |table, tracker| {
+            Self::drain_table(table, mode, tracker, &mut out)
+        })?;
+        stats.groups_out += out.len() as u64;
+        Ok((out, stats))
+    }
+
+    /// Finish in [`EmitMode::Finalized`], draining typed [`ResultRow`]s
+    /// straight out of each table — no flatten-and-reparse round trip, so
+    /// the merge-phase epilogue allocates one vector per group instead of
+    /// three. Cost events are identical to [`HashAggregator::finish`].
+    pub fn finish_rows<T: CostTracker>(
+        self,
+        tracker: &mut T,
+    ) -> Result<(Vec<ResultRow>, HashAggStats), StorageError> {
+        let mut rows = Vec::new();
+        let mut stats = self.finish_impl(tracker, |table, tracker| {
+            rows.extend(table.drain_result_rows(tracker))
+        })?;
+        stats.groups_out += rows.len() as u64;
+        Ok((rows, stats))
+    }
+
+    /// The shared finish loop: drain the first-pass table via `drain`,
+    /// then process overflow buckets recursively, draining each bucket's
+    /// table the same way. `groups_out` is left for the caller to add
+    /// (only it knows how many rows the drains emitted).
+    fn finish_impl<T, D>(
+        mut self,
+        tracker: &mut T,
+        mut drain: D,
+    ) -> Result<HashAggStats, StorageError>
+    where
+        T: CostTracker,
+        D: FnMut(&mut AggTable, &mut T),
+    {
+        drain(&mut self.table, tracker);
 
         // Stack of (bucket, level) still to process.
         let mut pending: Vec<(SpillFile, u32)> = Vec::new();
@@ -179,42 +246,27 @@ impl HashAggregator {
             let group_by_len = self.query.group_by.len();
             let mut spilled_here = 0u64;
             OverflowSet::drain_bucket(bucket, tracker, |tracker, kind, values| {
-                match table.insert(kind, &values, tracker)? {
+                match table.insert(kind, values, tracker)? {
                     Inserted::Updated | Inserted::New => Ok(()),
                     Inserted::Full => {
                         let set = deeper.get_or_insert_with(|| {
                             OverflowSet::new(fanout, page_bytes, level + 1, group_by_len)
                         });
-                        set.spool(kind, &values, tracker)?;
+                        set.spool(kind, values, tracker)?;
                         spilled_here += 1;
                         Ok(())
                     }
                 }
             })?;
             self.stats.spilled_tuples += spilled_here;
-            Self::drain_table(&mut table, mode, tracker, &mut out);
+            drain(&mut table, tracker);
             if let Some(set) = deeper {
                 let l = set.level();
                 pending.extend(set.into_buckets(tracker).into_iter().map(|b| (b, l)));
             }
         }
 
-        self.stats.groups_out += out.len() as u64;
-        Ok((out, self.stats))
-    }
-
-    /// Finish in [`EmitMode::Finalized`] and parse rows into [`ResultRow`]s.
-    pub fn finish_rows<T: CostTracker>(
-        self,
-        tracker: &mut T,
-    ) -> Result<(Vec<ResultRow>, HashAggStats), StorageError> {
-        let query = self.query.clone();
-        let (flat, stats) = self.finish(EmitMode::Finalized, tracker)?;
-        let rows = flat
-            .into_iter()
-            .map(|vals| ResultRow::from_values(&query, vals).map_err(StorageError::from))
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok((rows, stats))
+        Ok(self.stats)
     }
 
     fn drain_table<T: CostTracker>(
@@ -275,6 +327,41 @@ mod tests {
             .collect();
         got.sort_unstable();
         (got, stats)
+    }
+
+    #[test]
+    fn push_page_matches_per_tuple_push() {
+        // Same rows via per-tuple push vs one page-batched push, across a
+        // capacity boundary (8 groups into a 4-entry budget → spills):
+        // identical results, stats and cost-event counts.
+        let rows: Vec<Vec<Value>> = (0..120).map(|i| raw(i % 8, i)).collect();
+        let mut page = Page::new(1 << 16);
+        for r in &rows {
+            assert!(page.try_push(r).unwrap());
+        }
+
+        let mut a = HashAggregator::new(query(), 4, 256, 4);
+        let mut ta = CountingTracker::new();
+        for r in &rows {
+            a.push(RowKind::Raw, r, &mut ta).unwrap();
+        }
+
+        let mut b = HashAggregator::new(query(), 4, 256, 4);
+        let mut tb = CountingTracker::new();
+        b.push_page(RowKind::Raw, &page, &mut tb).unwrap();
+
+        assert_eq!(a.stats().raw_in, b.stats().raw_in);
+        assert_eq!(a.stats().spilled_tuples, b.stats().spilled_tuples);
+        assert_eq!(ta, tb, "cost events diverge between paths");
+
+        let (ra, _) = a.finish_rows(&mut ta).unwrap();
+        let (rb, _) = b.finish_rows(&mut tb).unwrap();
+        let mut ra = ra;
+        let mut rb = rb;
+        adaptagg_model::query::sort_rows(&mut ra);
+        adaptagg_model::query::sort_rows(&mut rb);
+        assert_eq!(ra, rb);
+        assert_eq!(ta, tb, "finish cost events diverge between paths");
     }
 
     #[test]

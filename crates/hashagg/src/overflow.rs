@@ -19,29 +19,25 @@ use adaptagg_storage::{SpillFile, StorageError};
 const TAG_RAW: i64 = 0;
 const TAG_PARTIAL: i64 = 1;
 
-/// Encode the kind tag onto a row (first column).
-fn tag_row(kind: RowKind, values: &[Value]) -> Vec<Value> {
-    let mut out = Vec::with_capacity(values.len() + 1);
-    out.push(Value::Int(match kind {
+/// The kind tag stored as a row's first column.
+fn kind_tag(kind: RowKind) -> Value {
+    Value::Int(match kind {
         RowKind::Raw => TAG_RAW,
         RowKind::Partial => TAG_PARTIAL,
-    }));
-    out.extend_from_slice(values);
-    out
+    })
 }
 
-/// Split a tagged row back into kind + values.
-fn untag_row(mut tagged: Vec<Value>) -> Result<(RowKind, Vec<Value>), ModelError> {
-    if tagged.is_empty() {
+/// Split a tagged row back into kind + values (borrowed).
+fn untag_row(tagged: &[Value]) -> Result<(RowKind, &[Value]), ModelError> {
+    let Some((tag, values)) = tagged.split_first() else {
         return Err(ModelError::Corrupt("empty spilled row"));
-    }
-    let kind = match tagged[0].as_i64() {
+    };
+    let kind = match tag.as_i64() {
         Some(TAG_RAW) => RowKind::Raw,
         Some(TAG_PARTIAL) => RowKind::Partial,
         _ => return Err(ModelError::Corrupt("bad spill kind tag")),
     };
-    tagged.remove(0);
-    Ok((kind, tagged))
+    Ok((kind, values))
 }
 
 /// A set of spill buckets at one recursion level.
@@ -51,6 +47,8 @@ pub struct OverflowSet {
     level: u32,
     group_by_len: usize,
     spooled: u64,
+    /// Reused tag-prepend buffer so spooling allocates nothing per tuple.
+    tag_scratch: Vec<Value>,
 }
 
 impl OverflowSet {
@@ -64,6 +62,7 @@ impl OverflowSet {
             level,
             group_by_len,
             spooled: 0,
+            tag_scratch: Vec::new(),
         }
     }
 
@@ -92,7 +91,10 @@ impl OverflowSet {
         let b = (adaptagg_model::hash::hash_values(Seed::OverflowBucket(self.level), key)
             % self.buckets.len() as u64) as usize;
         tracker.record(CostEvent::TupleWrite, 1);
-        self.buckets[b].spool(&tag_row(kind, values), tracker)?;
+        self.tag_scratch.clear();
+        self.tag_scratch.push(kind_tag(kind));
+        self.tag_scratch.extend_from_slice(values);
+        self.buckets[b].spool(&self.tag_scratch, tracker)?;
         self.spooled += 1;
         Ok(())
     }
@@ -112,9 +114,10 @@ impl OverflowSet {
             .collect()
     }
 
-    /// Drain one bucket, handing `(kind, values)` rows to `consume`.
-    /// Charges `t_r` per tuple read back plus page reads (via the spill
-    /// file).
+    /// Drain one bucket, handing `(kind, values)` rows to `consume` as
+    /// borrowed slices (the spill file's decode scratch is reused across
+    /// tuples). Charges `t_r` per tuple read back plus page reads (via
+    /// the spill file).
     pub fn drain_bucket<T, F>(
         bucket: SpillFile,
         tracker: &mut T,
@@ -122,7 +125,7 @@ impl OverflowSet {
     ) -> Result<usize, StorageError>
     where
         T: CostTracker,
-        F: FnMut(&mut T, RowKind, Vec<Value>) -> Result<(), StorageError>,
+        F: FnMut(&mut T, RowKind, &[Value]) -> Result<(), StorageError>,
     {
         bucket.drain(tracker, |tracker, tagged| {
             tracker.record(CostEvent::TupleRead, 1);
@@ -154,8 +157,9 @@ mod tests {
     #[test]
     fn tag_untag_round_trips() {
         for kind in [RowKind::Raw, RowKind::Partial] {
-            let tagged = tag_row(kind, &row(3, 4));
-            let (k, vals) = untag_row(tagged).unwrap();
+            let mut tagged = vec![kind_tag(kind)];
+            tagged.extend_from_slice(&row(3, 4));
+            let (k, vals) = untag_row(&tagged).unwrap();
             assert_eq!(k, kind);
             assert_eq!(vals, row(3, 4));
         }
@@ -163,9 +167,9 @@ mod tests {
 
     #[test]
     fn untag_rejects_garbage() {
-        assert!(untag_row(vec![]).is_err());
-        assert!(untag_row(vec![Value::Int(9), Value::Int(1)]).is_err());
-        assert!(untag_row(vec![Value::Str("x".into())]).is_err());
+        assert!(untag_row(&[]).is_err());
+        assert!(untag_row(&[Value::Int(9), Value::Int(1)]).is_err());
+        assert!(untag_row(&[Value::Str("x".into())]).is_err());
     }
 
     #[test]

@@ -10,12 +10,28 @@
 //! tuple lands in the table. A rejected insert (`Inserted::Full`) charges
 //! only `t_r + t_h` — the caller then spools the tuple (which charges its
 //! own `t_w`) or forwards it (A2P).
+//!
+//! # Layout
+//!
+//! The table is open-addressed: a power-of-two `slots` array of entry
+//! indices (linear probing) over parallel `hashes`/`keys`/`states`
+//! columns. The probe hashes the key *columns in place* (`&[Value]`, one
+//! [`Seed::Table`] hash) and compares stored hashes before keys, so the
+//! dominant resident-group update allocates nothing: a heap [`GroupKey`]
+//! is built only when a genuinely new group is admitted. The slot array
+//! is pre-sized from a capped `max_entries` hint, so the paper-default
+//! budget never rehashes; growth (uncapped deep-overflow tables only)
+//! rebuilds slots from the stored hashes without touching the keys.
+//!
+//! Entries drain in insertion order — deterministic and independent of
+//! any hash-map iteration order.
 
+use adaptagg_model::hash::hash_values;
 use adaptagg_model::{
-    AggQuery, AggStates, CostEvent, CostTracker, FxBuildHasher, GroupKey, ModelError, ResultRow,
-    RowKind, Value,
+    AggQuery, AggStates, CostEvent, CostTracker, GroupKey, ModelError, ResultRow, RowKind, Seed,
+    Value,
 };
-use std::collections::HashMap;
+use adaptagg_storage::{Page, StorageError};
 
 /// Outcome of an insert attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,16 +44,46 @@ pub enum Inserted {
     Full,
 }
 
+/// Empty-slot sentinel in the probe array.
+const EMPTY: u32 = u32::MAX;
+
+/// Pre-sizing cap: slot arrays are sized for `min(max_entries, this)`
+/// entries up front. Covers the paper's `M` budgets (10 K–12.5 K) with
+/// zero growth while keeping uncapped deep-overflow tables from
+/// allocating absurd slot arrays.
+const PRESIZE_CAP: usize = 1 << 14;
+
+/// Batched cost template for an accepted insert with hash charging.
+const ACCEPT_WITH_HASH: [CostEvent; 3] =
+    [CostEvent::TupleRead, CostEvent::TupleHash, CostEvent::TupleAgg];
+/// Batched cost template for an accepted insert without hash charging.
+const ACCEPT_NO_HASH: [CostEvent; 2] = [CostEvent::TupleRead, CostEvent::TupleAgg];
+
 /// A bounded hash table from group keys to aggregate states.
 #[derive(Debug)]
 pub struct AggTable {
     query: AggQuery,
-    map: HashMap<GroupKey, AggStates, FxBuildHasher>,
+    /// Whether `group_by` is exactly `0..k` (always true for queries in
+    /// projected form): the key is then probed as `&values[..k]` with no
+    /// column gather.
+    key_is_prefix: bool,
+    key_len: usize,
+    /// Power-of-two probe array of entry indices (`EMPTY` = vacant).
+    slots: Vec<u32>,
+    mask: usize,
+    /// Parallel entry columns, in insertion order.
+    hashes: Vec<u64>,
+    keys: Vec<GroupKey>,
+    states: Vec<AggStates>,
     max_entries: usize,
     charge_hash: bool,
     /// Lifetime distinct-group high-water mark (excludes rejected keys).
     inserts: u64,
     updates: u64,
+    /// Column gather scratch for non-prefix `group_by` (cold path).
+    key_scratch: Vec<Value>,
+    /// Tuple decode scratch for [`AggTable::insert_page`].
+    row_scratch: Vec<Value>,
 }
 
 impl AggTable {
@@ -45,13 +91,26 @@ impl AggTable {
     /// columns first — see [`AggQuery::remapped_to_projection`]) holding at
     /// most `max_entries` groups.
     pub fn new(query: AggQuery, max_entries: usize) -> Self {
+        let hint = max_entries.min(PRESIZE_CAP);
+        // 7/8 max load factor, never fewer than 16 slots.
+        let slots = (hint * 8 / 7 + 1).next_power_of_two().max(16);
+        let key_len = query.group_by.len();
+        let key_is_prefix = query.group_by.iter().enumerate().all(|(i, &c)| c == i);
         AggTable {
             query,
-            map: HashMap::default(),
+            key_is_prefix,
+            key_len,
+            slots: vec![EMPTY; slots],
+            mask: slots - 1,
+            hashes: Vec::with_capacity(hint),
+            keys: Vec::with_capacity(hint),
+            states: Vec::with_capacity(hint),
             max_entries,
             charge_hash: true,
             inserts: 0,
             updates: 0,
+            key_scratch: Vec::new(),
+            row_scratch: Vec::new(),
         }
     }
 
@@ -71,17 +130,17 @@ impl AggTable {
 
     /// Number of groups currently held.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.keys.len()
     }
 
     /// Whether the table holds no groups.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.keys.is_empty()
     }
 
     /// Whether the table is at its entry budget.
     pub fn is_full(&self) -> bool {
-        self.map.len() >= self.max_entries
+        self.keys.len() >= self.max_entries
     }
 
     /// The entry budget.
@@ -92,6 +151,24 @@ impl AggTable {
     /// Raw-tuple updates + new entries accepted so far.
     pub fn accepted(&self) -> u64 {
         self.inserts + self.updates
+    }
+
+    /// The batched cost template of one accepted insert (what
+    /// [`AggTable::insert_page`] replays per admitted tuple).
+    fn accept_template(&self) -> &'static [CostEvent] {
+        if self.charge_hash {
+            &ACCEPT_WITH_HASH
+        } else {
+            &ACCEPT_NO_HASH
+        }
+    }
+
+    /// Charge the fixed per-attempt costs (`t_r` + optional `t_h`).
+    fn charge_attempt<T: CostTracker>(&self, tracker: &mut T) {
+        tracker.record(CostEvent::TupleRead, 1);
+        if self.charge_hash {
+            tracker.record(CostEvent::TupleHash, 1);
+        }
     }
 
     /// Insert a row of either kind.
@@ -114,26 +191,31 @@ impl AggTable {
         values: &[Value],
         tracker: &mut T,
     ) -> Result<Inserted, ModelError> {
-        tracker.record(CostEvent::TupleRead, 1);
-        if self.charge_hash {
-            tracker.record(CostEvent::TupleHash, 1);
-        }
-        let key = self.query.key_of_values(values)?;
-        if let Some(states) = self.map.get_mut(&key) {
-            states.update_from_tuple(&self.query.aggs, values)?;
+        self.charge_attempt(tracker);
+        let outcome = self.insert_quiet(RowKind::Raw, values, None)?;
+        if outcome != Inserted::Full {
             tracker.record(CostEvent::TupleAgg, 1);
-            self.updates += 1;
-            return Ok(Inserted::Updated);
         }
-        if self.map.len() >= self.max_entries {
-            return Ok(Inserted::Full);
+        Ok(outcome)
+    }
+
+    /// [`AggTable::insert_raw`] with the key's [`Seed::Table`] hash
+    /// already computed by the caller (who hashed the same columns for
+    /// its own purposes — e.g. A-Rep's distinct tracking). Charges
+    /// exactly what `insert_raw` charges: sharing the hash is a
+    /// wall-clock optimization, not a cost-model change.
+    pub fn insert_raw_prehashed<T: CostTracker>(
+        &mut self,
+        values: &[Value],
+        hash: u64,
+        tracker: &mut T,
+    ) -> Result<Inserted, ModelError> {
+        self.charge_attempt(tracker);
+        let outcome = self.insert_quiet(RowKind::Raw, values, Some(hash))?;
+        if outcome != Inserted::Full {
+            tracker.record(CostEvent::TupleAgg, 1);
         }
-        let mut states = AggStates::new(&self.query.aggs);
-        states.update_from_tuple(&self.query.aggs, values)?;
-        tracker.record(CostEvent::TupleAgg, 1);
-        self.map.insert(key, states);
-        self.inserts += 1;
-        Ok(Inserted::New)
+        Ok(outcome)
     }
 
     /// Insert a partial row: group-key columns first, then the encoded
@@ -143,62 +225,239 @@ impl AggTable {
         values: &[Value],
         tracker: &mut T,
     ) -> Result<Inserted, ModelError> {
-        tracker.record(CostEvent::TupleRead, 1);
-        if self.charge_hash {
-            tracker.record(CostEvent::TupleHash, 1);
+        self.charge_attempt(tracker);
+        let outcome = self.insert_quiet(RowKind::Partial, values, None)?;
+        if outcome != Inserted::Full {
+            tracker.record(CostEvent::TupleAgg, 1);
         }
-        let k = self.query.group_by.len();
-        if values.len() != self.query.partial_row_arity() {
+        Ok(outcome)
+    }
+
+    /// Insert every tuple of a page, batching the cost recording: runs of
+    /// accepted tuples are charged through
+    /// [`CostTracker::record_tuples`] (bit-identical to the per-tuple
+    /// loop by that method's contract), while rejected tuples flush the
+    /// run, charge `t_r`(+`t_h`) inline and are handed to `on_full`
+    /// (which spools or forwards, charging its own costs, exactly as the
+    /// per-tuple caller would). Returns the number of rejected tuples.
+    pub fn insert_page<T, F>(
+        &mut self,
+        kind: RowKind,
+        page: &Page,
+        tracker: &mut T,
+        mut on_full: F,
+    ) -> Result<u64, StorageError>
+    where
+        T: CostTracker,
+        F: FnMut(&mut T, RowKind, &[Value]) -> Result<(), StorageError>,
+    {
+        let template = self.accept_template();
+        let mut scratch = std::mem::take(&mut self.row_scratch);
+        let mut pending = 0u64;
+        let mut rejected = 0u64;
+        let mut cursor = page.cursor();
+        let result = loop {
+            match cursor.next_into(&mut scratch) {
+                Ok(false) => break Ok(()),
+                Err(e) => break Err(e),
+                Ok(true) => {}
+            }
+            match self.insert_quiet(kind, &scratch, None) {
+                Ok(Inserted::Updated) | Ok(Inserted::New) => pending += 1,
+                Ok(Inserted::Full) => {
+                    tracker.record_tuples(template, pending);
+                    pending = 0;
+                    self.charge_attempt(tracker);
+                    rejected += 1;
+                    if let Err(e) = on_full(tracker, kind, &scratch) {
+                        break Err(e);
+                    }
+                }
+                Err(e) => {
+                    tracker.record_tuples(template, pending);
+                    pending = 0;
+                    self.charge_attempt(tracker);
+                    break Err(StorageError::from(e));
+                }
+            }
+        };
+        tracker.record_tuples(template, pending);
+        self.row_scratch = scratch;
+        result.map(|()| rejected)
+    }
+
+    /// The probe-and-mutate core, with no cost recording: callers charge
+    /// per the charging contract (see module docs). `prehashed` must be
+    /// `hash_values(Seed::Table, key_columns)` when provided.
+    fn insert_quiet(
+        &mut self,
+        kind: RowKind,
+        values: &[Value],
+        prehashed: Option<u64>,
+    ) -> Result<Inserted, ModelError> {
+        let k = self.key_len;
+        if kind == RowKind::Partial && values.len() != self.query.partial_row_arity() {
             return Err(ModelError::PartialArityMismatch {
                 expected: self.query.partial_row_arity(),
                 found: values.len(),
             });
         }
-        let key = GroupKey::new(values[..k].to_vec());
-        if let Some(states) = self.map.get_mut(&key) {
-            states.merge_partial_values(&values[k..])?;
-            tracker.record(CostEvent::TupleAgg, 1);
+        // Locate the key columns without allocating. Partial rows always
+        // lead with the key; raw rows do too in projected form
+        // (`key_is_prefix`), with a gather-into-scratch fallback.
+        let use_prefix = kind == RowKind::Partial || self.key_is_prefix;
+        if use_prefix {
+            if values.len() < k {
+                return Err(ModelError::ColumnOutOfRange {
+                    column: values.len(),
+                    arity: values.len(),
+                });
+            }
+        } else {
+            self.key_scratch.clear();
+            for &c in &self.query.group_by {
+                self.key_scratch.push(
+                    values
+                        .get(c)
+                        .ok_or(ModelError::ColumnOutOfRange {
+                            column: c,
+                            arity: values.len(),
+                        })?
+                        .clone(),
+                );
+            }
+        }
+        let key: &[Value] = if use_prefix {
+            &values[..k]
+        } else {
+            &self.key_scratch
+        };
+        let hash = prehashed.unwrap_or_else(|| hash_values(Seed::Table, key));
+        debug_assert_eq!(hash, hash_values(Seed::Table, key), "stale precomputed hash");
+
+        let (slot, found) = self.find(hash, key);
+        if let Some(entry) = found {
+            match kind {
+                RowKind::Raw => {
+                    self.states[entry].update_from_tuple(&self.query.aggs, values)?
+                }
+                RowKind::Partial => self.states[entry].merge_partial_values(&values[k..])?,
+            }
             self.updates += 1;
             return Ok(Inserted::Updated);
         }
-        if self.map.len() >= self.max_entries {
+        if self.keys.len() >= self.max_entries {
             return Ok(Inserted::Full);
         }
         let mut states = AggStates::new(&self.query.aggs);
-        states.merge_partial_values(&values[k..])?;
-        tracker.record(CostEvent::TupleAgg, 1);
-        self.map.insert(key, states);
+        match kind {
+            RowKind::Raw => states.update_from_tuple(&self.query.aggs, values)?,
+            RowKind::Partial => states.merge_partial_values(&values[k..])?,
+        }
+        let key_vec = if use_prefix {
+            values[..k].to_vec()
+        } else {
+            self.key_scratch.clone()
+        };
+        let entry = u32::try_from(self.keys.len()).expect("table exceeds u32 entries");
+        self.keys.push(GroupKey::new(key_vec));
+        self.hashes.push(hash);
+        self.states.push(states);
+        self.slots[slot] = entry;
         self.inserts += 1;
+        if (self.keys.len() + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
+        }
         Ok(Inserted::New)
+    }
+
+    /// Linear-probe for `key`: the matching entry index, or the vacant
+    /// slot where it would go.
+    #[inline]
+    fn find(&self, hash: u64, key: &[Value]) -> (usize, Option<usize>) {
+        let mut i = (hash as usize) & self.mask;
+        loop {
+            let s = self.slots[i];
+            if s == EMPTY {
+                return (i, None);
+            }
+            let e = s as usize;
+            if self.hashes[e] == hash && self.keys[e].values() == key {
+                return (i, Some(e));
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Double the slot array and re-seat every entry from its stored
+    /// hash (keys are not re-hashed and never move).
+    fn grow(&mut self) {
+        let new_len = self.slots.len() * 2;
+        self.slots.clear();
+        self.slots.resize(new_len, EMPTY);
+        self.mask = new_len - 1;
+        for (entry, &hash) in self.hashes.iter().enumerate() {
+            let mut i = (hash as usize) & self.mask;
+            while self.slots[i] != EMPTY {
+                i = (i + 1) & self.mask;
+            }
+            self.slots[i] = entry as u32;
+        }
     }
 
     /// Whether a raw tuple's group is already resident (A2P forwarding
     /// checks, Graefe's optimized 2P).
     pub fn contains_key_of(&self, values: &[Value]) -> Result<bool, ModelError> {
-        Ok(self.map.contains_key(&self.query.key_of_values(values)?))
+        let k = self.key_len;
+        if self.key_is_prefix {
+            if values.len() < k {
+                return Err(ModelError::ColumnOutOfRange {
+                    column: values.len(),
+                    arity: values.len(),
+                });
+            }
+            let key = &values[..k];
+            let hash = hash_values(Seed::Table, key);
+            Ok(self.find(hash, key).1.is_some())
+        } else {
+            let key = self.query.key_of_values(values)?;
+            let hash = hash_values(Seed::Table, key.values());
+            Ok(self.find(hash, key.values()).1.is_some())
+        }
+    }
+
+    /// Reset the probe array and entry columns (post-drain).
+    fn reset(&mut self) {
+        self.slots.iter_mut().for_each(|s| *s = EMPTY);
+        self.hashes.clear();
+        self.keys.clear();
+        self.states.clear();
     }
 
     /// Drain the table as **partial rows** (key columns ++ partial-state
-    /// columns), charging `t_w` per row. Used by local phases to ship
-    /// their results and by A2P's overflow flush.
+    /// columns) in insertion order, charging `t_w` per row. Used by local
+    /// phases to ship their results and by A2P's overflow flush.
     pub fn drain_partial_rows<T: CostTracker>(&mut self, tracker: &mut T) -> Vec<Vec<Value>> {
-        let mut out = Vec::with_capacity(self.map.len());
-        for (key, states) in self.map.drain() {
+        let mut out = Vec::with_capacity(self.keys.len());
+        for (key, states) in self.keys.drain(..).zip(self.states.drain(..)) {
             let mut row = key.into_values();
             row.extend(states.to_partial_values());
             out.push(row);
         }
+        self.reset();
         tracker.record(CostEvent::TupleWrite, out.len() as u64);
         out
     }
 
-    /// Drain the table as **finalized result rows**, charging `t_w` per
-    /// row. Used by merge phases and single-phase aggregation.
+    /// Drain the table as **finalized result rows** in insertion order,
+    /// charging `t_w` per row. Used by merge phases and single-phase
+    /// aggregation.
     pub fn drain_result_rows<T: CostTracker>(&mut self, tracker: &mut T) -> Vec<ResultRow> {
-        let mut out = Vec::with_capacity(self.map.len());
-        for (key, states) in self.map.drain() {
+        let mut out = Vec::with_capacity(self.keys.len());
+        for (key, states) in self.keys.drain(..).zip(self.states.drain(..)) {
             out.push(ResultRow::new(key, states.finalize()));
         }
+        self.reset();
         tracker.record(CostEvent::TupleWrite, out.len() as u64);
         out
     }
@@ -367,5 +626,92 @@ mod tests {
         t.insert_raw(&raw(1, 2), &mut tr).unwrap();
         t.insert_raw(&raw(2, 3), &mut tr).unwrap(); // Full → not accepted
         assert_eq!(t.accepted(), 2);
+    }
+
+    #[test]
+    fn prehashed_insert_matches_plain_insert() {
+        let mut a = AggTable::new(query(), 10);
+        let mut b = AggTable::new(query(), 10);
+        let mut ta = CountingTracker::new();
+        let mut tb = CountingTracker::new();
+        for i in 0..40i64 {
+            let row = raw(i % 7, i);
+            let ra = a.insert_raw(&row, &mut ta).unwrap();
+            let hash = hash_values(Seed::Table, &row[..1]);
+            let rb = b.insert_raw_prehashed(&row, hash, &mut tb).unwrap();
+            assert_eq!(ra, rb);
+        }
+        assert_eq!(ta, tb, "prehashed path charges identical costs");
+        let mut ra = a.drain_result_rows(&mut ta);
+        let mut rb = b.drain_result_rows(&mut tb);
+        adaptagg_model::query::sort_rows(&mut ra);
+        adaptagg_model::query::sort_rows(&mut rb);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn grows_past_presize_without_losing_entries() {
+        // Budget far past the pre-size cap forces slot-array growth.
+        let mut t = AggTable::new(query(), usize::MAX);
+        let mut tr = NullTracker;
+        let n = (super::PRESIZE_CAP * 2) as i64;
+        for g in 0..n {
+            assert_eq!(t.insert_raw(&raw(g, 1), &mut tr).unwrap(), Inserted::New);
+        }
+        assert_eq!(t.len(), n as usize);
+        for g in 0..n {
+            assert!(t.contains_key_of(&raw(g, 0)).unwrap(), "group {g} lost in growth");
+        }
+    }
+
+    #[test]
+    fn non_prefix_group_by_still_works() {
+        // group_by = [1]: key is not a leading prefix → gather path.
+        let q = AggQuery::new(vec![1], vec![AggSpec::over(AggFunc::Sum, 0)]);
+        let mut t = AggTable::new(q, 10);
+        let mut tr = NullTracker;
+        t.insert_raw(&[Value::Int(100), Value::Int(7)], &mut tr).unwrap();
+        t.insert_raw(&[Value::Int(11), Value::Int(7)], &mut tr).unwrap();
+        t.insert_raw(&[Value::Int(1), Value::Int(8)], &mut tr).unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(t.contains_key_of(&[Value::Int(0), Value::Int(7)]).unwrap());
+        let mut rows = t.drain_result_rows(&mut tr);
+        adaptagg_model::query::sort_rows(&mut rows);
+        assert_eq!(rows[0].key.values(), &[Value::Int(7)]);
+        assert_eq!(rows[0].aggs, vec![Value::Int(111)]);
+    }
+
+    #[test]
+    fn drain_is_insertion_ordered() {
+        let mut t = AggTable::new(query(), 10);
+        let mut tr = NullTracker;
+        for g in [5i64, 3, 9, 1] {
+            t.insert_raw(&raw(g, 1), &mut tr).unwrap();
+        }
+        t.insert_raw(&raw(3, 1), &mut tr).unwrap(); // update: order unchanged
+        let rows = t.drain_partial_rows(&mut tr);
+        let keys: Vec<i64> = rows
+            .iter()
+            .map(|r| match r[0] {
+                Value::Int(g) => g,
+                _ => panic!("int key"),
+            })
+            .collect();
+        assert_eq!(keys, vec![5, 3, 9, 1]);
+    }
+
+    #[test]
+    fn table_is_reusable_after_drain() {
+        let mut t = AggTable::new(query(), 4);
+        let mut tr = NullTracker;
+        for g in 0..4i64 {
+            t.insert_raw(&raw(g, 1), &mut tr).unwrap();
+        }
+        assert!(t.is_full());
+        t.drain_partial_rows(&mut tr);
+        assert!(t.is_empty() && !t.is_full());
+        assert_eq!(t.insert_raw(&raw(9, 2), &mut tr).unwrap(), Inserted::New);
+        assert!(t.contains_key_of(&raw(9, 0)).unwrap());
+        assert!(!t.contains_key_of(&raw(0, 0)).unwrap(), "drained groups are gone");
     }
 }

@@ -90,6 +90,23 @@ impl CostEvent {
 pub trait CostTracker {
     /// Record `count` occurrences of `event`.
     fn record(&mut self, event: CostEvent, count: u64);
+
+    /// Record `count` tuples, each emitting the events of `template` in
+    /// order — the batched form of the per-tuple hot path.
+    ///
+    /// The contract is strict: the observable effect must be identical
+    /// to `count` repetitions of `record(e, 1)` for each template event,
+    /// *including floating-point rounding* in time-accumulating
+    /// trackers. Implementations may only batch where that holds (an
+    /// integer counter can multiply; a clock must replay the per-unit
+    /// additions). The default does exactly the naive loop.
+    fn record_tuples(&mut self, template: &[CostEvent], count: u64) {
+        for _ in 0..count {
+            for &event in template {
+                self.record(event, 1);
+            }
+        }
+    }
 }
 
 /// Discards all events (pure-function uses of the substrates).
@@ -98,6 +115,8 @@ pub struct NullTracker;
 
 impl CostTracker for NullTracker {
     fn record(&mut self, _event: CostEvent, _count: u64) {}
+
+    fn record_tuples(&mut self, _template: &[CostEvent], _count: u64) {}
 }
 
 /// Counts events per kind; the workhorse of unit tests and of the
@@ -143,11 +162,22 @@ impl CostTracker for CountingTracker {
     fn record(&mut self, event: CostEvent, count: u64) {
         self.counts[event.index()] += count;
     }
+
+    // Counts are integers: multiplying is exactly the repeated loop.
+    fn record_tuples(&mut self, template: &[CostEvent], count: u64) {
+        for &event in template {
+            self.counts[event.index()] += count;
+        }
+    }
 }
 
 impl CostTracker for &mut dyn CostTracker {
     fn record(&mut self, event: CostEvent, count: u64) {
         (**self).record(event, count);
+    }
+
+    fn record_tuples(&mut self, template: &[CostEvent], count: u64) {
+        (**self).record_tuples(template, count);
     }
 }
 
@@ -207,6 +237,28 @@ mod tests {
             d.record(CostEvent::TupleWrite, 2);
         }
         assert_eq!(c.count(CostEvent::TupleWrite), 2);
+    }
+
+    #[test]
+    fn record_tuples_matches_per_tuple_loop() {
+        let template = [CostEvent::TupleRead, CostEvent::TupleHash, CostEvent::TupleAgg];
+        let mut batched = CountingTracker::new();
+        batched.record_tuples(&template, 37);
+        let mut looped = CountingTracker::new();
+        for _ in 0..37 {
+            for &e in &template {
+                looped.record(e, 1);
+            }
+        }
+        assert_eq!(batched, looped);
+
+        // Through a trait object the override still applies.
+        let mut c = CountingTracker::new();
+        {
+            let d: &mut dyn CostTracker = &mut c;
+            d.record_tuples(&template, 5);
+        }
+        assert_eq!(c.count(CostEvent::TupleHash), 5);
     }
 
     #[test]

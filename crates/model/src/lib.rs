@@ -37,7 +37,9 @@ pub mod tuple;
 pub mod value;
 
 pub use agg::{AggFunc, AggSpec, AggState, AggStates, RowKind};
-pub use encode::{decode_tuple, encode_tuple, encoded_len};
+pub use encode::{
+    decode_tuple, decode_tuple_into, decode_tuple_select_into, encode_tuple, encoded_len,
+};
 pub use error::ModelError;
 pub use event::{CostEvent, CostTracker, CountingTracker, NullTracker};
 pub use hash::{FxBuildHasher, FxHasher, Seed, ValueHasher};

@@ -225,8 +225,22 @@ impl fmt::Display for ResultRow {
 }
 
 /// Sort rows by key (canonical order for comparing algorithm outputs).
+///
+/// Group keys are unique within one result set, so the single-`Int`-key
+/// fast path may sort unstably: with no equal keys the permutation is
+/// identical to the stable general path.
 pub fn sort_rows(rows: &mut [ResultRow]) {
-    rows.sort_by(|a, b| a.key.cmp(&b.key));
+    if rows
+        .iter()
+        .all(|r| matches!(r.key.values(), [Value::Int(_)]))
+    {
+        rows.sort_unstable_by_key(|r| match r.key.values() {
+            [Value::Int(i)] => *i,
+            _ => unreachable!("checked single-Int keys above"),
+        });
+    } else {
+        rows.sort_by(|a, b| a.key.cmp(&b.key));
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! end-of-stream. The caller (the exchange operator) sends each sealed
 //! page through its [`crate::Endpoint`].
 
-use adaptagg_storage::{Page, StorageError};
+use adaptagg_storage::{Page, PagePool, StorageError};
 use adaptagg_model::Value;
 
 /// Accumulates tuples into per-destination message pages.
@@ -39,6 +39,26 @@ impl Blocker {
             return Ok(None);
         }
         let sealed = std::mem::replace(page, Page::new(self.message_bytes));
+        if !self.open[dest].try_push(values)? {
+            unreachable!("fresh message page refused a fitting tuple");
+        }
+        Ok(Some(sealed))
+    }
+
+    /// [`Blocker::add`], drawing the replacement page from `pool` instead
+    /// of allocating (the sealed page's buffer comes back via
+    /// [`PagePool::put`] once the receiver consumes it).
+    pub fn add_pooled(
+        &mut self,
+        dest: usize,
+        values: &[Value],
+        pool: &mut PagePool,
+    ) -> Result<Option<Page>, StorageError> {
+        let page = &mut self.open[dest];
+        if page.try_push(values)? {
+            return Ok(None);
+        }
+        let sealed = std::mem::replace(page, pool.get(self.message_bytes));
         if !self.open[dest].try_push(values)? {
             unreachable!("fresh message page refused a fitting tuple");
         }

@@ -146,7 +146,7 @@ mod tests {
     fn drain_run(run: SpillFile) -> Vec<Vec<Value>> {
         let mut out = Vec::new();
         run.drain(&mut NullTracker, |_t, row| {
-            out.push(row);
+            out.push(row.to_vec());
             Ok(())
         })
         .unwrap();

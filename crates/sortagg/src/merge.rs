@@ -42,7 +42,7 @@ pub fn merge_runs<T: CostTracker>(
         let mut rows = Vec::with_capacity(run.tuple_count());
         run.drain(tracker, |t, row| {
             t.record(CostEvent::TupleRead, 1);
-            rows.push(row);
+            rows.push(row.to_vec());
             Ok(())
         })?;
         cursors.push(RunCursor {

@@ -11,14 +11,19 @@
 use crate::error::StorageError;
 use crate::page::Page;
 use adaptagg_model::{CostEvent, CostTracker, Value};
+use std::sync::Arc;
 
 /// Default disk page capacity (Table 1's `P`).
 pub const DEFAULT_PAGE_BYTES: usize = 4096;
 
 /// An append-only sequence of tuple pages.
+///
+/// Pages are reference-counted so cloning a file (the driver hands each
+/// run its own copy of the base partitions) shares the page bytes;
+/// appending copies only the open page when it is actually shared.
 #[derive(Debug, Clone, Default)]
 pub struct HeapFile {
-    pages: Vec<Page>,
+    pages: Vec<Arc<Page>>,
     page_bytes: usize,
     tuple_count: usize,
 }
@@ -56,7 +61,7 @@ impl HeapFile {
     pub fn from_pages(page_bytes: usize, pages: Vec<Page>) -> Result<Self, StorageError> {
         let tuple_count = pages.iter().map(|p| p.tuple_count()).sum();
         Ok(HeapFile {
-            pages,
+            pages: pages.into_iter().map(Arc::new).collect(),
             page_bytes,
             tuple_count,
         })
@@ -84,17 +89,20 @@ impl HeapFile {
 
     /// The page at `idx`.
     pub fn page(&self, idx: usize) -> Result<&Page, StorageError> {
-        self.pages.get(idx).ok_or(StorageError::PageOutOfRange {
-            page: idx,
-            pages: self.pages.len(),
-        })
+        self.pages
+            .get(idx)
+            .map(|p| p.as_ref())
+            .ok_or(StorageError::PageOutOfRange {
+                page: idx,
+                pages: self.pages.len(),
+            })
     }
 
     /// Append a tuple, opening a new page when the current one fills.
     /// No I/O cost is charged (see module docs).
     pub fn append(&mut self, values: &[Value]) -> Result<(), StorageError> {
         if let Some(last) = self.pages.last_mut() {
-            if last.try_push(values)? {
+            if Arc::make_mut(last).try_push(values)? {
                 self.tuple_count += 1;
                 return Ok(());
             }
@@ -105,7 +113,7 @@ impl HeapFile {
             // it reports as Err; reaching here would be a logic error.
             unreachable!("fresh page refused a fitting tuple");
         }
-        self.pages.push(page);
+        self.pages.push(Arc::new(page));
         self.tuple_count += 1;
         Ok(())
     }

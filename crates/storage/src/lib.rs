@@ -24,10 +24,12 @@ pub mod error;
 pub mod heapfile;
 pub mod page;
 pub mod persist;
+pub mod pool;
 pub mod spill;
 
 pub use disk::{IoCounters, SimDisk};
 pub use error::StorageError;
 pub use heapfile::HeapFile;
-pub use page::Page;
+pub use page::{Page, PageCursor, PageIter};
+pub use pool::PagePool;
 pub use spill::SpillFile;

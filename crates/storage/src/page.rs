@@ -6,7 +6,7 @@
 //! capacity differs.
 
 use crate::error::StorageError;
-use adaptagg_model::{decode_tuple, encode_tuple, encoded_len, Value};
+use adaptagg_model::{decode_tuple, decode_tuple_select_into, encode_tuple, Value};
 
 /// A page of encoded tuples with a byte-capacity bound.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,17 +55,21 @@ impl Page {
     /// the page is full (caller seals it and starts a new one), or an error
     /// if the tuple can never fit *any* page of this capacity.
     pub fn try_push(&mut self, values: &[Value]) -> Result<bool, StorageError> {
-        let n = encoded_len(values);
-        if n > self.capacity {
-            return Err(StorageError::TupleTooLarge {
-                tuple_bytes: n,
-                page_bytes: self.capacity,
-            });
-        }
-        if !self.fits(n) {
+        // Encode optimistically (one pass over the values) and roll back if
+        // the tuple overflows the capacity — sealing is the rare case, so
+        // the common path never walks the values twice.
+        let start = self.data.len();
+        let n = encode_tuple(values, &mut self.data);
+        if start + n > self.capacity {
+            self.data.truncate(start);
+            if n > self.capacity {
+                return Err(StorageError::TupleTooLarge {
+                    tuple_bytes: n,
+                    page_bytes: self.capacity,
+                });
+            }
             return Ok(false);
         }
-        encode_tuple(values, &mut self.data);
         self.tuples += 1;
         Ok(true)
     }
@@ -73,6 +77,16 @@ impl Page {
     /// Iterate over the page's tuples, decoding lazily.
     pub fn iter(&self) -> PageIter<'_> {
         PageIter {
+            data: &self.data,
+            pos: 0,
+            remaining: self.tuples,
+        }
+    }
+
+    /// A cursor decoding tuples into a caller-owned scratch vector — the
+    /// allocation-free counterpart of [`Page::iter`] for hot paths.
+    pub fn cursor(&self) -> PageCursor<'_> {
+        PageCursor {
             data: &self.data,
             pos: 0,
             remaining: self.tuples,
@@ -159,6 +173,50 @@ impl Iterator for PageIter<'_> {
     }
 }
 
+/// Scratch-reuse cursor over a page's tuples (see [`Page::cursor`]).
+#[derive(Debug)]
+pub struct PageCursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+    remaining: u32,
+}
+
+impl PageCursor<'_> {
+    /// Decode the next tuple into `out` (cleared first, allocation
+    /// reused). Returns `Ok(false)` when the page is exhausted.
+    pub fn next_into(&mut self, out: &mut Vec<Value>) -> Result<bool, StorageError> {
+        self.next_select_into(None, out)
+    }
+
+    /// [`PageCursor::next_into`], materializing only the columns flagged
+    /// in `select` (see [`adaptagg_model::decode_tuple_select_into`]).
+    pub fn next_select_into(
+        &mut self,
+        select: Option<&[bool]>,
+        out: &mut Vec<Value>,
+    ) -> Result<bool, StorageError> {
+        if self.remaining == 0 {
+            return Ok(false);
+        }
+        self.remaining -= 1;
+        match decode_tuple_select_into(&self.data[self.pos..], select, out) {
+            Ok(used) => {
+                self.pos += used;
+                Ok(true)
+            }
+            Err(e) => {
+                self.remaining = 0;
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Tuples not yet decoded.
+    pub fn remaining(&self) -> usize {
+        self.remaining as usize
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +262,34 @@ mod tests {
             assert_eq!(t[0], Value::Int(i as i64));
         }
         assert_eq!(p.iter().size_hint(), (50, Some(50)));
+    }
+
+    #[test]
+    fn cursor_matches_iter_and_reuses_scratch() {
+        let mut p = Page::new(4096);
+        for i in 0..40 {
+            p.try_push(&ints(i)).unwrap();
+        }
+        let via_iter = p.decode_all().unwrap();
+        let mut via_cursor = Vec::new();
+        let mut scratch = Vec::new();
+        let mut cursor = p.cursor();
+        while cursor.next_into(&mut scratch).unwrap() {
+            via_cursor.push(scratch.clone());
+        }
+        assert_eq!(via_cursor, via_iter);
+        assert_eq!(cursor.remaining(), 0);
+        assert!(!cursor.next_into(&mut scratch).unwrap(), "stays exhausted");
+    }
+
+    #[test]
+    fn cursor_select_skips_columns() {
+        let mut p = Page::new(4096);
+        p.try_push(&[Value::Int(1), Value::Str("pad".into())]).unwrap();
+        let mut scratch = Vec::new();
+        let mut cursor = p.cursor();
+        assert!(cursor.next_select_into(Some(&[true, false]), &mut scratch).unwrap());
+        assert_eq!(scratch, vec![Value::Int(1), Value::Null]);
     }
 
     #[test]

@@ -79,19 +79,22 @@ impl SpillFile {
     }
 
     /// Drain the bucket: read every page back (charging sequential reads)
-    /// and hand each tuple to `consume`, along with the tracker so the
-    /// consumer can charge its own per-tuple costs. Consumes the bucket.
+    /// and hand each tuple to `consume` as a borrowed slice (decoded into
+    /// one reused scratch vector), along with the tracker so the consumer
+    /// can charge its own per-tuple costs. Consumes the bucket.
     pub fn drain<T, F>(mut self, tracker: &mut T, mut consume: F) -> Result<usize, StorageError>
     where
         T: CostTracker,
-        F: FnMut(&mut T, Vec<Value>) -> Result<(), StorageError>,
+        F: FnMut(&mut T, &[Value]) -> Result<(), StorageError>,
     {
         self.finish(tracker);
         let mut n = 0usize;
+        let mut scratch: Vec<Value> = Vec::new();
         for page in &self.sealed {
             tracker.record(CostEvent::PageReadSeq, 1);
-            for t in page.iter() {
-                consume(tracker, t?)?;
+            let mut cursor = page.cursor();
+            while cursor.next_into(&mut scratch)? {
+                consume(tracker, &scratch)?;
                 n += 1;
             }
         }

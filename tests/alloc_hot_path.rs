@@ -1,0 +1,80 @@
+//! Allocation-count gate for the resident-group update hot path.
+//!
+//! The wall-clock optimization contract (ISSUE 3, DESIGN.md §10) says the
+//! dominant aggregation step — updating an already-resident group via
+//! `AggTable::insert_raw` — performs **zero heap allocations**. This test
+//! enforces that with a counting global allocator: after warming the table
+//! so every group is resident, a large batch of updates must not change
+//! the allocation counter at all.
+//!
+//! This must stay the ONLY test in this file: `cargo test` runs tests in
+//! one process on multiple threads, and a shared global counter would pick
+//! up allocations from unrelated tests.
+
+use adaptagg_hashagg::AggTable;
+use adaptagg_model::{AggFunc, AggQuery, AggSpec, CountingTracker, Value};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapped with a counter of alloc + realloc calls.
+/// Deallocations are not counted: the claim is "no new heap memory", and
+/// frees on the hot path would imply a matching earlier allocation anyway.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn resident_group_updates_do_not_allocate() {
+    const GROUPS: i64 = 8;
+    let query = AggQuery::new(vec![0], vec![AggSpec::over(AggFunc::Sum, 1)]);
+    let mut table = AggTable::new(query, 10_000);
+    let mut tracker = CountingTracker::new();
+
+    // Warm-up: admit every group (this allocates — keys, agg states).
+    for g in 0..GROUPS {
+        table
+            .insert_raw(&[Value::Int(g), Value::Int(1)], &mut tracker)
+            .unwrap();
+    }
+    assert_eq!(table.len(), GROUPS as usize);
+
+    // Hot path: 1000 update rounds over the resident groups. The row
+    // buffer lives on the stack; the probe hashes the key columns in
+    // place and combines into the existing state — zero allocations.
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for round in 0..1000i64 {
+        for g in 0..GROUPS {
+            let row = [Value::Int(g), Value::Int(round)];
+            table.insert_raw(&row, &mut tracker).unwrap();
+        }
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "resident-group insert_raw allocated {} times over {} updates",
+        after - before,
+        1000 * GROUPS
+    );
+    assert_eq!(table.len(), GROUPS as usize, "no groups were added");
+}

@@ -1,0 +1,182 @@
+//! Cost-model invariance pins.
+//!
+//! The wall-clock optimisation work (allocation-free hot path,
+//! page-batched operators) treats the cost model as its correctness
+//! contract: every `CostEvent` count and virtual-time figure must be
+//! bit-identical to the pre-optimisation implementation. The constants
+//! below were captured from the unoptimised code (commit 893d349) by
+//! the `print_pins` test; they must never move under perf work.
+//!
+//! What makes these stable by construction:
+//! - the component harness feeds the aggregator an explicit row
+//!   sequence, so the resident/spilled split is order-controlled;
+//! - the cluster figures are 1- and 2-node runs, where message arrival
+//!   order is deterministic (each receiver has at most one peer).
+//!
+//! To recapture after an *intentional* cost-model change (never a perf
+//! change):  cargo test --test cost_invariance print_pins -- --ignored --nocapture
+
+use adaptagg_algos::{run_algorithm, AlgorithmKind};
+use adaptagg_exec::{Clock, ClusterConfig};
+use adaptagg_hashagg::{EmitMode, HashAggregator};
+use adaptagg_model::{
+    AggFunc, AggQuery, AggSpec, CostEvent, CostParams, CostTracker, CountingTracker, RowKind,
+    Value,
+};
+use adaptagg_workload::{default_query, generate_partitions, RelationSpec};
+
+/// Projected-form query used by the component harness:
+/// `SELECT g, SUM(v), COUNT(*) GROUP BY g` over (g, v) rows.
+fn harness_query() -> AggQuery {
+    AggQuery::new(
+        vec![0],
+        vec![AggSpec::over(AggFunc::Sum, 1), AggSpec::count_star()],
+    )
+}
+
+/// Drive a memory-bounded aggregator through raw inserts (with overflow
+/// spill — 97 groups against a 32-entry budget), partial merges, and a
+/// finalizing drain, recording every cost event into `tracker`. The row
+/// sequence is explicit and fixed: nothing about it depends on hash-map
+/// iteration order, so its event totals pin the per-tuple charging
+/// contract exactly.
+fn run_component_harness<T: CostTracker>(tracker: &mut T) {
+    let mut agg = HashAggregator::new(harness_query(), 32, 4096, 4);
+    for i in 0..500i64 {
+        let row = vec![Value::Int((i * 7) % 97), Value::Int(i)];
+        agg.push(RowKind::Raw, &row, tracker).unwrap();
+    }
+    for i in 0..100i64 {
+        let row = vec![Value::Int((i * 5) % 61), Value::Int(i), Value::Int(1)];
+        agg.push(RowKind::Partial, &row, tracker).unwrap();
+    }
+    let (rows, stats) = agg.finish(EmitMode::Finalized, tracker).unwrap();
+    assert_eq!(rows.len(), 97, "both key sets cover residues of 97 and 61");
+    assert!(stats.spilled(), "harness must exercise the overflow path");
+}
+
+/// Pinned event totals for the component harness (captured pre-change).
+const PIN_COUNTS: &[(CostEvent, u64)] = &[
+    (CostEvent::TupleRead, 1378),
+    (CostEvent::TupleWrite, 486),
+    (CostEvent::TupleHash, 989),
+    (CostEvent::TupleAgg, 600),
+    (CostEvent::TupleDest, 0),
+    (CostEvent::PageReadSeq, 4),
+    (CostEvent::PageWriteSeq, 4),
+    (CostEvent::PageReadRand, 0),
+    (CostEvent::MsgProtocol, 0),
+];
+
+/// Pinned virtual time for the component harness under paper-default
+/// parameters (f64 bits; captured pre-change).
+const PIN_COMPONENT_MS_BITS: u64 = 0x404191eb851eb8ab; // 35.14000000000063 ms
+
+#[test]
+fn component_event_counts_are_pinned() {
+    let mut counts = CountingTracker::default();
+    run_component_harness(&mut counts);
+    for &(event, expected) in PIN_COUNTS {
+        assert_eq!(
+            counts.count(event),
+            expected,
+            "{event:?} count drifted from the pre-optimisation pin"
+        );
+    }
+}
+
+#[test]
+fn component_virtual_time_is_pinned() {
+    let mut clock = Clock::new(CostParams::paper_default());
+    run_component_harness(&mut clock);
+    assert_eq!(
+        clock.now_ms().to_bits(),
+        PIN_COMPONENT_MS_BITS,
+        "virtual time drifted: got {} ms ({:#018x})",
+        clock.now_ms(),
+        clock.now_ms().to_bits()
+    );
+}
+
+/// Pinned end-to-end virtual times (f64 bits, captured pre-change) for
+/// deterministic cluster shapes. (kind, nodes, tuples, groups,
+/// max_hash_entries, elapsed_ms bits.)
+const PIN_RUNS: &[(AlgorithmKind, usize, usize, usize, usize, u64)] = &[
+    (AlgorithmKind::TwoPhase, 1, 3000, 120, 10_000, 0x40686428f5c2882d), // 195.13 ms
+    (AlgorithmKind::Repartitioning, 1, 3000, 120, 10_000, 0x4068be6666665d81), // 197.95 ms
+    (AlgorithmKind::AdaptiveTwoPhase, 1, 3000, 120, 10_000, 0x40686428f5c2882d), // 195.13 ms
+    (AlgorithmKind::CentralizedTwoPhase, 1, 3000, 120, 10_000, 0x4068633333332c1d), // 195.10 ms
+    (AlgorithmKind::SortTwoPhase, 1, 3000, 120, 10_000, 0x4068a75c28f5bb13), // 197.23 ms
+    // Overflow engaged: 1500 groups against a 300-entry budget.
+    (AlgorithmKind::TwoPhase, 1, 3000, 1500, 300, 0x4079bf9999998e5d), // 411.97 ms
+    (AlgorithmKind::Repartitioning, 1, 3000, 1500, 300, 0x407317fffffff8ec), // 305.50 ms
+    // Two nodes: arrival order is still deterministic (single peer).
+    (AlgorithmKind::TwoPhase, 2, 2000, 50, 10_000, 0x40508dc28f5c288f), // 66.215 ms
+    (AlgorithmKind::Repartitioning, 2, 2000, 50, 10_000, 0x405105eb851eb7d2), // 68.0925 ms
+];
+
+fn pinned_run_elapsed(
+    kind: AlgorithmKind,
+    nodes: usize,
+    tuples: usize,
+    groups: usize,
+    max_hash_entries: usize,
+) -> f64 {
+    let spec = RelationSpec::uniform(tuples, groups);
+    let parts = generate_partitions(&spec, nodes);
+    let params = CostParams {
+        max_hash_entries,
+        ..CostParams::paper_default()
+    };
+    let config = ClusterConfig::new(nodes, params);
+    let out = run_algorithm(kind, &config, &parts, &default_query()).unwrap();
+    assert_eq!(out.rows.len(), groups);
+    out.elapsed_ms()
+}
+
+#[test]
+fn cluster_virtual_times_are_pinned() {
+    for &(kind, nodes, tuples, groups, m, bits) in PIN_RUNS {
+        let elapsed = pinned_run_elapsed(kind, nodes, tuples, groups, m);
+        assert_eq!(
+            elapsed.to_bits(),
+            bits,
+            "{kind} n={nodes} |R|={tuples} |G|={groups} M={m}: \
+             virtual time drifted to {elapsed} ms ({:#018x})",
+            elapsed.to_bits()
+        );
+    }
+}
+
+/// Capture tool: prints the pin constants for the current build.
+/// Run on a commit whose cost behaviour is the intended contract.
+#[test]
+#[ignore]
+fn print_pins() {
+    let mut counts = CountingTracker::default();
+    run_component_harness(&mut counts);
+    println!("const PIN_COUNTS: &[(CostEvent, u64)] = &[");
+    for event in CostEvent::ALL {
+        println!("    (CostEvent::{event:?}, {}),", counts.count(event));
+    }
+    println!("];");
+
+    let mut clock = Clock::new(CostParams::paper_default());
+    run_component_harness(&mut clock);
+    println!(
+        "const PIN_COMPONENT_MS_BITS: u64 = {:#018x}; // {} ms",
+        clock.now_ms().to_bits(),
+        clock.now_ms()
+    );
+
+    println!("const PIN_RUNS: ... = &[");
+    for &(kind, nodes, tuples, groups, m, _) in PIN_RUNS {
+        let elapsed = pinned_run_elapsed(kind, nodes, tuples, groups, m);
+        println!(
+            "    (AlgorithmKind::{kind:?}, {nodes}, {tuples}, {groups}, {m}, {:#018x}), // {} ms",
+            elapsed.to_bits(),
+            elapsed
+        );
+    }
+    println!("];");
+}
