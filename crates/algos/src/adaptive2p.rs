@@ -21,7 +21,7 @@
 use crate::common::{merge_phase_store, QueryPlan};
 use crate::config::AlgoConfig;
 use crate::outcome::{AdaptEvent, NodeOutcome};
-use adaptagg_exec::{operators, Exchange, ExecError, NodeCtx};
+use adaptagg_exec::{operators, Exchange, ExecError, NodeCtx, PhaseKind, SwitchCause};
 use adaptagg_hashagg::{AggTable, Inserted};
 use adaptagg_model::RowKind;
 
@@ -63,22 +63,31 @@ pub fn run_node_with(
         ),
     };
 
-    if !resuming && ctx.recovery.is_some() {
-        checkpointed_scan(ctx, plan, &mut scan, &mut ex, &mut events)?;
+    ctx.span_start(PhaseKind::Scan);
+    let scanned = if !resuming && ctx.recovery.is_some() {
+        checkpointed_scan(ctx, plan, &mut scan, &mut ex, &mut events)
     } else {
         operators::scan_project(ctx, "base", &plan.base.filter, &plan.projection, |ctx, values| {
             scan.push(ctx, &mut ex, plan, values, &mut events)
-        })?;
-    }
+        })
+        .map(|_| ())
+    };
+    ctx.span_end();
+    scanned?;
 
     // If we never switched, the table holds all local partials: ship them
     // partitioned (plain Two Phase behaviour).
-    if !scan.switched {
-        let partials = scan.table.drain_partial_rows(&mut ctx.clock);
-        ex.switch_kind(ctx, RowKind::Partial)?;
-        ex.route_rows(ctx, &partials, false)?;
-    }
-    ex.finish(ctx)?;
+    ctx.span_start(PhaseKind::Partition);
+    let shipped = (|| {
+        if !scan.switched {
+            let partials = scan.table.drain_partial_rows(&mut ctx.clock);
+            ex.switch_kind(ctx, RowKind::Partial)?;
+            ex.route_rows(ctx, &partials, false)?;
+        }
+        ex.finish(ctx)
+    })();
+    ctx.span_end();
+    shipped?;
     ctx.clock.mark("phase1");
 
     // Merge phase: raw + partial interleaved, one bounded table.
@@ -220,6 +229,7 @@ impl ScanState {
                 events.push(AdaptEvent::SwitchedToRepartitioning {
                     at_tuple: self.raw_seen,
                 });
+                ctx.trace_switch(SwitchCause::TableFull, self.raw_seen);
                 // The tuple that triggered the switch is forwarded raw
                 // (its hash was already charged by the failed insert).
                 ex.route(ctx, values, false)?;

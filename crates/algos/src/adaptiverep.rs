@@ -19,7 +19,7 @@ use crate::adaptive2p::ScanState;
 use crate::common::{merge_phase_store, QueryPlan};
 use crate::config::AlgoConfig;
 use crate::outcome::{AdaptEvent, NodeOutcome};
-use adaptagg_exec::{operators, Exchange, ExecError, NodeCtx};
+use adaptagg_exec::{operators, Exchange, ExecError, NodeCtx, PhaseKind, SwitchCause};
 use adaptagg_model::hash::{hash_values, Seed};
 use adaptagg_model::RowKind;
 use adaptagg_net::{Control, Page, Payload};
@@ -56,7 +56,8 @@ pub fn run_node(
     let min_groups = cfg.arep_min_groups;
     let poll = cfg.arep_poll_interval.max(1) as u64;
 
-    operators::scan_project(ctx, "base", &plan.base.filter, &plan.projection, |ctx, values| {
+    ctx.span_start(PhaseKind::Scan);
+    let scan_result = operators::scan_project(ctx, "base", &plan.base.filter, &plan.projection, |ctx, values| {
         scanned += 1;
 
         // Track distinct groups over the initial segment only (bounded
@@ -78,6 +79,7 @@ pub fn run_node(
                             at_tuple: scanned,
                             local_decision: false,
                         });
+                        ctx.trace_switch(SwitchCause::LowCardinalityPeer, scanned);
                     }
                     Payload::Data { kind, page } => pre_received.push((kind, page)),
                     Payload::Control(Control::EndOfStream) => pre_eos += 1,
@@ -103,6 +105,7 @@ pub fn run_node(
                 at_tuple: scanned,
                 local_decision: true,
             });
+            ctx.trace_switch(SwitchCause::LowCardinalityLocal, scanned);
             ctx.broadcast_control(Control::EndOfPhase {
                 groups_seen: seen_keys.len() as u64,
             })?;
@@ -116,18 +119,25 @@ pub fn run_node(
             // Repartitioning: hash + destination per tuple.
             ex.route(ctx, values, true)
         }
-    })?;
+    });
+    ctx.span_end();
+    scan_result?;
 
     // If the A2P table holds partials (fell back and never re-switched),
     // ship them now.
-    if let Some(mut state) = a2p {
-        if !state.switched {
-            let partials = state.table.drain_partial_rows(&mut ctx.clock);
-            ex.switch_kind(ctx, RowKind::Partial)?;
-            ex.route_rows(ctx, &partials, false)?;
+    ctx.span_start(PhaseKind::Partition);
+    let shipped = (|| {
+        if let Some(mut state) = a2p {
+            if !state.switched {
+                let partials = state.table.drain_partial_rows(&mut ctx.clock);
+                ex.switch_kind(ctx, RowKind::Partial)?;
+                ex.route_rows(ctx, &partials, false)?;
+            }
         }
-    }
-    ex.finish(ctx)?;
+        ex.finish(ctx)
+    })();
+    ctx.span_end();
+    shipped?;
     ctx.clock.mark("phase1");
 
     // Merge phase "uses the hash table left by the repartitioning phase":

@@ -1,6 +1,6 @@
 //! Building blocks shared by all algorithms.
 
-use adaptagg_exec::{operators, Exchange, ExecError, NodeCtx};
+use adaptagg_exec::{operators, Exchange, ExecError, NodeCtx, PhaseKind};
 use adaptagg_hashagg::{EmitMode, HashAggStats, HashAggregator};
 use adaptagg_model::{AggQuery, ResultRow, RowKind, Value};
 use adaptagg_net::{Control, Page};
@@ -56,11 +56,45 @@ pub fn local_partial_aggregation(
     }
     let page_bytes = ctx.params().page_bytes;
     let mut agg = HashAggregator::new(plan.projected.clone(), max_entries, page_bytes, fanout);
-    operators::scan_project(ctx, "base", &plan.base.filter, &plan.projection, |ctx, values| {
-        agg.push_raw(values, &mut ctx.clock).map_err(ExecError::from)
-    })?;
-    let (partials, stats) = agg.finish(EmitMode::Partial, &mut ctx.clock)?;
+    ctx.span_start(PhaseKind::Scan);
+    let scan = operators::scan_project(
+        ctx,
+        "base",
+        &plan.base.filter,
+        &plan.projection,
+        |ctx, values| agg.push_raw(values, &mut ctx.clock).map_err(ExecError::from),
+    );
+    ctx.span_end();
+    scan?;
+    ctx.span_start(PhaseKind::LocalAgg);
+    let spilled = agg.has_spilled();
+    if spilled {
+        ctx.span_start(PhaseKind::Spill);
+    }
+    let finished = agg.finish(EmitMode::Partial, &mut ctx.clock);
+    if spilled {
+        ctx.span_end();
+    }
+    ctx.span_end();
+    let (partials, stats) = finished?;
+    trace_hashagg(ctx, &stats);
     Ok((partials, stats))
+}
+
+/// Feed one aggregation's [`HashAggStats`] into the node's trace metrics
+/// (no-op when tracing is disabled). Counters sum across the phases a
+/// node runs; the peak-resident gauge keeps the maximum.
+pub fn trace_hashagg(ctx: &mut NodeCtx, stats: &HashAggStats) {
+    if ctx.trace.enabled() {
+        ctx.trace.counter_add("hashagg.rows_in", stats.rows_in());
+        ctx.trace.counter_add("hashagg.probe_slots", stats.probe_slots);
+        ctx.trace
+            .counter_add("hashagg.spilled_tuples", stats.spilled_tuples);
+        ctx.trace
+            .counter_add("hashagg.overflow_flushes", stats.overflow_buckets);
+        ctx.trace
+            .gauge_max("hashagg.peak_resident", stats.peak_resident as f64);
+    }
 }
 
 /// [`local_partial_aggregation`] under a recovery session: restore each
@@ -77,6 +111,7 @@ fn checkpointed_local_aggregation(
 ) -> Result<(Vec<Vec<Value>>, HashAggStats), ExecError> {
     let page_bytes = ctx.params().page_bytes;
     let mut session = ctx.recovery.take().expect("checked by caller");
+    ctx.span_start(PhaseKind::Scan);
     let result = (|| {
         let mut out = Vec::new();
         let mut stats = HashAggStats::default();
@@ -115,7 +150,11 @@ fn checkpointed_local_aggregation(
         }
         Ok((out, stats))
     })();
+    ctx.span_end();
     ctx.recovery = Some(session);
+    if let Ok((_, stats)) = &result {
+        trace_hashagg(ctx, stats);
+    }
     result
 }
 
@@ -140,6 +179,36 @@ pub fn merge_phase_store(
     let mut agg = HashAggregator::new(plan.projected.clone(), max_entries, page_bytes, fanout)
         .with_charge_hash(false);
 
+    ctx.span_start(PhaseKind::Merge);
+    let merged = merge_phase_inner(ctx, &mut agg, pre_received, pre_eos);
+    if let Err(e) = merged {
+        ctx.span_end();
+        return Err(e);
+    }
+
+    let spilled = agg.has_spilled();
+    if spilled {
+        ctx.span_start(PhaseKind::Spill);
+    }
+    let finished = agg.finish_rows(&mut ctx.clock);
+    if spilled {
+        ctx.span_end();
+    }
+    ctx.span_end();
+    let (rows, stats) = finished?;
+    trace_hashagg(ctx, &stats);
+    operators::store_results(ctx, &rows)?;
+    Ok((rows, stats))
+}
+
+/// The receive loop of [`merge_phase_store`], factored out so its span
+/// closes on every exit path.
+fn merge_phase_inner(
+    ctx: &mut NodeCtx,
+    agg: &mut HashAggregator,
+    pre_received: Vec<(RowKind, Page)>,
+    pre_eos: usize,
+) -> Result<(), ExecError> {
     for (kind, page) in pre_received {
         agg.push_page(kind, &page, &mut ctx.clock)?;
         ctx.page_pool.put(page);
@@ -162,10 +231,7 @@ pub fn merge_phase_store(
             }
         }
     }
-
-    let (rows, stats) = agg.finish_rows(&mut ctx.clock)?;
-    operators::store_results(ctx, &rows)?;
-    Ok((rows, stats))
+    Ok(())
 }
 
 /// Feed one received page into an aggregator (page-batched; cost events
@@ -194,8 +260,10 @@ pub fn ship_partials_partitioned(
         plan.key_len(),
         RowKind::Partial,
     );
-    ex.route_rows(ctx, &partials, false)?;
-    ex.finish(ctx)?;
+    ctx.span_start(PhaseKind::Partition);
+    let shipped = ex.route_rows(ctx, &partials, false).and_then(|_| ex.finish(ctx));
+    ctx.span_end();
+    shipped?;
     ctx.clock.mark("phase1");
     Ok(())
 }
@@ -214,11 +282,16 @@ pub fn ship_partials_to(
         plan.key_len(),
         RowKind::Partial,
     );
-    for row in &partials {
-        ex.send_to(ctx, coordinator, row)?;
-    }
-    ex.flush(ctx)?;
-    ctx.send_control(coordinator, Control::EndOfStream)?;
+    ctx.span_start(PhaseKind::Partition);
+    let shipped = (|| {
+        for row in &partials {
+            ex.send_to(ctx, coordinator, row)?;
+        }
+        ex.flush(ctx)?;
+        ctx.send_control(coordinator, Control::EndOfStream)
+    })();
+    ctx.span_end();
+    shipped?;
     ctx.clock.mark("phase1");
     Ok(())
 }

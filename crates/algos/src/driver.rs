@@ -148,6 +148,7 @@ pub fn run_algorithm_with(
         rows,
         run: cluster_run.run,
         nodes,
+        trace: cluster_run.trace,
     })
 }
 

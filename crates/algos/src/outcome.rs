@@ -1,6 +1,6 @@
 //! Per-node and per-run outcome types.
 
-use adaptagg_exec::RunResult;
+use adaptagg_exec::{RunResult, RunTrace};
 use adaptagg_hashagg::HashAggStats;
 use adaptagg_model::ResultRow;
 use adaptagg_sample::AlgorithmChoice;
@@ -63,6 +63,9 @@ pub struct RunOutcome {
     pub run: RunResult,
     /// Per-node outcomes (rows omitted — they are merged into `rows`).
     pub nodes: Vec<NodeOutcomeSummary>,
+    /// The run trace (spans, events, metrics, per-link traffic) when the
+    /// cluster ran with tracing enabled; `None` otherwise.
+    pub trace: Option<RunTrace>,
 }
 
 /// [`NodeOutcome`] minus the rows (which move into [`RunOutcome::rows`]).
@@ -137,6 +140,7 @@ mod tests {
                 },
                 NodeOutcomeSummary::default(),
             ],
+            trace: None,
         };
         assert_eq!(outcome.total_spilled(), 5);
         assert_eq!(outcome.adapted_nodes(), vec![0]);

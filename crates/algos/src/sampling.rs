@@ -19,7 +19,7 @@
 use crate::common::QueryPlan;
 use crate::config::AlgoConfig;
 use crate::outcome::{AdaptEvent, NodeOutcome};
-use adaptagg_exec::{Exchange, ExecError, NodeCtx};
+use adaptagg_exec::{Exchange, ExecError, NodeCtx, PhaseKind};
 use adaptagg_model::{CostEvent, CostTracker, GroupKey, RowKind};
 use adaptagg_net::{Control, Payload};
 use adaptagg_sample::{distinct_groups, sample_tuples, AlgorithmChoice};
@@ -34,7 +34,10 @@ pub fn run_node(
     plan: &QueryPlan,
     cfg: &AlgoConfig,
 ) -> Result<NodeOutcome, ExecError> {
-    let (choice, pre_received, pre_eos) = estimate_and_decide(ctx, plan, cfg)?;
+    ctx.span_start(PhaseKind::Sample);
+    let estimated = estimate_and_decide(ctx, plan, cfg);
+    ctx.span_end();
+    let (choice, pre_received, pre_eos) = estimated?;
     let mut outcome = match choice {
         AlgorithmChoice::TwoPhase => {
             crate::twophase::run_node_with(ctx, plan, cfg, pre_received, pre_eos)?
@@ -123,6 +126,7 @@ fn estimate_and_decide(
             use_repartitioning: choice == AlgorithmChoice::Repartitioning,
             groups_in_sample: groups,
         })?;
+        ctx.trace_sampling_decision(choice == AlgorithmChoice::Repartitioning, groups);
         // The coordinator cannot receive phase-1 traffic yet: peers start
         // phase 1 only after this broadcast.
         Ok((choice, Vec::new(), 0))
@@ -135,8 +139,10 @@ fn estimate_and_decide(
             let msg = ctx.recv()?;
             match msg.payload {
                 Payload::Control(Control::SamplingDecision {
-                    use_repartitioning, ..
+                    use_repartitioning,
+                    groups_in_sample,
                 }) => {
+                    ctx.trace_sampling_decision(use_repartitioning, groups_in_sample);
                     let choice = if use_repartitioning {
                         AlgorithmChoice::Repartitioning
                     } else {

@@ -13,7 +13,7 @@
 use crate::common::{merge_phase_store, ship_partials_partitioned, QueryPlan};
 use crate::config::AlgoConfig;
 use crate::outcome::NodeOutcome;
-use adaptagg_exec::{operators, ExecError, NodeCtx};
+use adaptagg_exec::{operators, ExecError, NodeCtx, PhaseKind};
 use adaptagg_sortagg::SortAggregator;
 
 /// Run sort-based Two Phase on one node.
@@ -28,10 +28,17 @@ pub fn run_node(
 
     // Phase 1: sorted-run local aggregation.
     let mut agg = SortAggregator::new(plan.projected.clone(), max_entries, page_bytes);
-    operators::scan_project(ctx, "base", &plan.base.filter, &plan.projection, |ctx, values| {
-        agg.push_raw(values, &mut ctx.clock).map_err(ExecError::from)
-    })?;
-    let (partials, sort_stats) = agg.finish_partials(&mut ctx.clock)?;
+    ctx.span_start(PhaseKind::Scan);
+    let scanned =
+        operators::scan_project(ctx, "base", &plan.base.filter, &plan.projection, |ctx, values| {
+            agg.push_raw(values, &mut ctx.clock).map_err(ExecError::from)
+        });
+    ctx.span_end();
+    scanned?;
+    ctx.span_start(PhaseKind::Sort);
+    let finished = agg.finish_partials(&mut ctx.clock);
+    ctx.span_end();
+    let (partials, sort_stats) = finished?;
     ship_partials_partitioned(ctx, plan, partials)?;
 
     // Phase 2: hash merge, as in plain Two Phase.

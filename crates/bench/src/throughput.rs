@@ -32,6 +32,10 @@ pub struct AlgoMeasure {
     pub virtual_ms: f64,
     /// Result rows produced (sanity: equals the group count).
     pub rows: usize,
+    /// Cluster-wide phase totals `(phase name, spans, virt_ms, wall_us)`
+    /// from one *extra* traced run — never from a timed repeat, so the
+    /// wall figures above stay untouched by the observer.
+    pub phases: Vec<(&'static str, u64, f64, u64)>,
 }
 
 /// All algorithms measured on one seeded workload.
@@ -107,6 +111,25 @@ pub fn measure(cfg: ThroughputCfg, verbose: bool) -> Vec<WorkloadMeasure> {
                 rows = run.rows.len();
             }
             let tuples_per_sec = cfg.tuples as f64 / (best_ms / 1e3);
+            // One traced run, after (and outside) the timed repeats.
+            let traced = run_algorithm_with(
+                kind,
+                &cluster.clone().with_tracing(),
+                &parts,
+                &query,
+                &algo_cfg,
+            )
+            .expect("traced throughput run succeeds");
+            let phases = traced
+                .trace
+                .as_ref()
+                .map(|t| {
+                    t.phase_totals()
+                        .into_iter()
+                        .map(|(p, tot)| (p.name(), tot.spans, tot.virt_ms, tot.wall_us))
+                        .collect()
+                })
+                .unwrap_or_default();
             if verbose {
                 eprintln!(
                     "{name:14} {label:8} {best_ms:9.1} ms wall  {tps:12.0} tuples/s  {virtual_ms:11.1} ms virtual",
@@ -120,6 +143,7 @@ pub fn measure(cfg: ThroughputCfg, verbose: bool) -> Vec<WorkloadMeasure> {
                 tuples_per_sec,
                 virtual_ms,
                 rows,
+                phases,
             });
         }
         out.push(WorkloadMeasure { name, nodes, tuples: cfg.tuples, groups, algorithms: algos });
@@ -139,13 +163,23 @@ pub fn measures_to_json(label: &str, measures: &[WorkloadMeasure]) -> String {
             w.name, w.nodes, w.tuples, w.groups
         ));
         for (ai, a) in w.algorithms.iter().enumerate() {
+            let mut phases = String::new();
+            for (pi, &(name, spans, virt_ms, wall_us)) in a.phases.iter().enumerate() {
+                if pi > 0 {
+                    phases.push_str(", ");
+                }
+                phases.push_str(&format!(
+                    "{{\"phase\": \"{name}\", \"spans\": {spans}, \"virt_ms\": {virt_ms:.6}, \"wall_us\": {wall_us}}}"
+                ));
+            }
             s.push_str(&format!(
-                "        {{\"algo\": \"{}\", \"wall_ms\": {:.3}, \"tuples_per_sec\": {:.1}, \"virtual_ms\": {:.6}, \"rows\": {}}}{}\n",
+                "        {{\"algo\": \"{}\", \"wall_ms\": {:.3}, \"tuples_per_sec\": {:.1}, \"virtual_ms\": {:.6}, \"rows\": {}, \"phases\": [{}]}}{}\n",
                 a.label,
                 a.wall_ms,
                 a.tuples_per_sec,
                 a.virtual_ms,
                 a.rows,
+                phases,
                 if ai + 1 < w.algorithms.len() { "," } else { "" }
             ));
         }
@@ -221,6 +255,7 @@ mod tests {
                 tuples_per_sec: 66_666.7,
                 virtual_ms: 12.25,
                 rows: 4,
+                phases: vec![("scan", 1, 10.5, 420)],
             }],
         }];
         let doc = report_json("quick", ThroughputCfg::quick(), None, "baseline", &measures);
@@ -228,6 +263,7 @@ mod tests {
         assert!(after.starts_with('{') && after.ends_with('}'));
         assert!(after.contains("\"label\": \"baseline\""));
         assert!(after.contains("\"algo\": \"2P\""));
+        assert!(after.contains("\"phase\": \"scan\""));
         assert!(extract_object(&doc, "before").is_none(), "null before yields None");
 
         // Embedding the extracted object as `before` round-trips.

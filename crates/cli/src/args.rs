@@ -31,6 +31,15 @@ pub enum Workload {
     Tpcd,
 }
 
+/// How to print the run trace (`--trace`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// The `adaptagg-trace/v1` JSON document.
+    Json,
+    /// A per-node, per-phase text breakdown.
+    Text,
+}
+
 /// The shared knob set.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunArgs {
@@ -63,6 +72,8 @@ pub struct RunArgs {
     pub crash_node: Option<usize>,
     /// Enable query-level fault recovery (checkpoint + retry).
     pub recovery: bool,
+    /// Run with tracing enabled and print the trace (`run` only).
+    pub trace: Option<TraceFormat>,
 }
 
 impl Default for RunArgs {
@@ -82,6 +93,7 @@ impl Default for RunArgs {
             fault_seed: None,
             crash_node: None,
             recovery: false,
+            trace: None,
         }
     }
 }
@@ -125,6 +137,9 @@ OPTIONS:
   --fault-seed <N>    inject a seeded random fault schedule (run only)
   --crash-node <N>    crash node N partway through its scan (run only)
   --recovery          recover from node failures instead of failing fast
+  --trace <FMT>       json | text — run with tracing on and print the
+                      phase spans, switch events, metrics and per-link
+                      traffic (run only)
 ";
 
 /// Parse `argv[1..]`.
@@ -164,6 +179,17 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, ArgError> {
             "--load-workload" => out.load_workload = Some(value(i)?.to_string()),
             "--fault-seed" => out.fault_seed = Some(parse_num(flag, value(i)?)? as u64),
             "--crash-node" => out.crash_node = Some(parse_num(flag, value(i)?)?),
+            "--trace" => {
+                out.trace = Some(match value(i)? {
+                    "json" => TraceFormat::Json,
+                    "text" => TraceFormat::Text,
+                    other => {
+                        return Err(ArgError(format!(
+                            "--trace must be 'json' or 'text', not '{other}'"
+                        )))
+                    }
+                })
+            }
             "--recovery" => {
                 out.recovery = true;
                 i += 1;
@@ -350,6 +376,27 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn trace_flag_parses() {
+        match parse(&argv("run --trace json")).unwrap() {
+            Command::Run(a) => assert_eq!(a.trace, Some(TraceFormat::Json)),
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("run --trace text --nodes 2")).unwrap() {
+            Command::Run(a) => {
+                assert_eq!(a.trace, Some(TraceFormat::Text));
+                assert_eq!(a.nodes, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("run")).unwrap() {
+            Command::Run(a) => assert_eq!(a.trace, None),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("run --trace xml")).unwrap_err().0.contains("xml"));
+        assert!(parse(&argv("run --trace")).unwrap_err().0.contains("--trace"));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Command implementations.
 
-use crate::args::{RunArgs, Workload};
+use crate::args::{RunArgs, TraceFormat, Workload};
 use adaptagg_algos::{run_algorithm, AlgorithmKind};
 use adaptagg_cost::{recommend, CostAlgorithm, ModelConfig};
 use adaptagg_exec::{ClusterConfig, FaultPlan, RecoveryPolicy};
@@ -155,6 +155,9 @@ pub fn cmd_run(args: &RunArgs) -> Result<(), String> {
     if args.recovery {
         cluster = cluster.with_recovery(RecoveryPolicy::default());
     }
+    if args.trace.is_some() {
+        cluster = cluster.with_tracing();
+    }
     let parts = partitions(args)?;
 
     let (kind, rationale) = pick_algorithm(args);
@@ -228,6 +231,12 @@ pub fn cmd_run(args: &RunArgs) -> Result<(), String> {
         let retries = out.run.total_net().send_retries;
         if retries > 0 {
             println!("            link sends retried: {retries}");
+        }
+    }
+    if let (Some(fmt), Some(trace)) = (args.trace, &out.trace) {
+        match fmt {
+            TraceFormat::Json => println!("\n{}", trace.to_json()),
+            TraceFormat::Text => println!("\ntrace\n{}", trace.to_text()),
         }
     }
     Ok(())
@@ -336,6 +345,17 @@ mod tests {
         // Random schedules may legitimately exhaust recovery; anything
         // else (hang, panic, wrong attribution) fails the test harness.
         let _ = cmd_run(&a);
+    }
+
+    #[test]
+    fn traced_run_executes_in_both_formats() {
+        let mut a = small_args();
+        a.memory = 16; // force an A2P switch so events render
+        a.algo = Some(AlgorithmKind::AdaptiveTwoPhase);
+        a.trace = Some(TraceFormat::Text);
+        cmd_run(&a).expect("traced text run succeeds");
+        a.trace = Some(TraceFormat::Json);
+        cmd_run(&a).expect("traced json run succeeds");
     }
 
     #[test]

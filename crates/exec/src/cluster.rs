@@ -7,6 +7,7 @@ use crate::recovery::{self, RecoveryPolicy, RecoverySession, Segment};
 use crate::runstats::{NodeReport, RecoveryStats, RunResult};
 use adaptagg_model::CostParams;
 use adaptagg_net::{Control, Fabric, FaultPlan, LinkRetryPolicy, NodeFaults};
+use adaptagg_obs::{NodeTraceReport, RecoveryAttemptTrace, RunTrace};
 use adaptagg_storage::{HeapFile, SimDisk};
 use std::time::Duration;
 
@@ -38,6 +39,12 @@ pub struct ClusterConfig {
     /// semantics: the first node failure aborts the run, bit-identically
     /// to the pre-recovery runtime.
     pub recovery: Option<RecoveryPolicy>,
+    /// Record a [`RunTrace`] (spans, events, metrics, per-link traffic)
+    /// for this run. Defaults from the `ADAPTAGG_TRACE` environment
+    /// variable (unset / empty / `"0"` → off). Tracing never records
+    /// cost events and never advances any clock, so every virtual-time
+    /// figure is bit-identical with it on or off.
+    pub trace: bool,
 }
 
 impl ClusterConfig {
@@ -51,7 +58,16 @@ impl ClusterConfig {
             watchdog: None,
             watchdog_floor: DEFAULT_WATCHDOG,
             recovery: None,
+            trace: std::env::var("ADAPTAGG_TRACE")
+                .map(|v| !v.is_empty() && v != "0")
+                .unwrap_or(false),
         }
+    }
+
+    /// Record a [`RunTrace`] for this run (see [`ClusterConfig::trace`]).
+    pub fn with_tracing(mut self) -> Self {
+        self.trace = true;
+        self
     }
 
     /// Run under a seeded fault schedule.
@@ -118,6 +134,9 @@ pub struct ClusterRun<T> {
     pub outputs: Vec<T>,
     /// Timing and traffic.
     pub run: RunResult,
+    /// The run trace, when [`ClusterConfig::trace`] was set (node ids are
+    /// original ids, even after recovery reassignment).
+    pub trace: Option<RunTrace>,
 }
 
 /// Run `body` on every node of a cluster in parallel.
@@ -169,14 +188,27 @@ where
                     recovery: None,
                 })
                 .collect();
-            match run_seats(&config.params, &config.fault_plan, watchdog, None, seats, &body) {
-                Ok((outputs, per_node, bus_busy_ms)) => Ok(ClusterRun {
+            let attempt = run_seats(
+                &config.params,
+                &config.fault_plan,
+                watchdog,
+                None,
+                config.trace,
+                seats,
+                &body,
+            );
+            match attempt {
+                Ok((outputs, per_node, bus_busy_ms, traces)) => Ok(ClusterRun {
                     outputs,
                     run: RunResult {
                         per_node,
                         bus_busy_ms,
                         recovery: RecoveryStats::default(),
                     },
+                    trace: config.trace.then(|| RunTrace {
+                        nodes: traces,
+                        recovery: Vec::new(),
+                    }),
                 }),
                 Err((e, _at_ms)) => Err(e),
             }
@@ -194,8 +226,9 @@ struct NodeSeat {
     recovery: Option<RecoverySession>,
 }
 
-/// One attempt's successful outcome: outputs, reports, bus-busy time.
-type AttemptOk<T> = (Vec<T>, Vec<NodeReport>, f64);
+/// One attempt's successful outcome: outputs, reports, bus-busy time,
+/// and per-node traces (empty when tracing is off).
+type AttemptOk<T> = (Vec<T>, Vec<NodeReport>, f64, Vec<NodeTraceReport>);
 /// One attempt's failure: the first cause and its virtual failure time.
 type AttemptErr = (ExecError, f64);
 
@@ -207,6 +240,7 @@ fn run_seats<T, F>(
     fault_plan: &FaultPlan,
     watchdog: Duration,
     link_retry: Option<LinkRetryPolicy>,
+    trace: bool,
     seats: Vec<NodeSeat>,
     body: &F,
 ) -> Result<AttemptOk<T>, AttemptErr>
@@ -217,7 +251,7 @@ where
     let n = seats.len();
     let endpoints = Fabric::with_faults(n, params.network, fault_plan).into_endpoints();
 
-    type NodeOk<T> = (T, NodeReport, f64);
+    type NodeOk<T> = (T, NodeReport, f64, Option<NodeTraceReport>);
     let results: Vec<Result<NodeOk<T>, (ExecError, f64)>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n);
         for (endpoint, seat) in endpoints.into_iter().zip(seats) {
@@ -230,6 +264,9 @@ where
                 ctx.set_watchdog(watchdog);
                 ctx.set_link_retry(link_retry);
                 ctx.recovery = seat.recovery;
+                if trace {
+                    ctx.enable_trace();
+                }
                 let out = match body(&mut ctx) {
                     Ok(out) => out,
                     Err(e) => {
@@ -256,7 +293,8 @@ where
                         .unwrap_or_default(),
                 };
                 let bus = ctx.bus_busy_ms();
-                Ok((out, report, bus))
+                let node_trace = ctx.finish_trace();
+                Ok((out, report, bus, node_trace))
             }));
         }
         handles
@@ -280,13 +318,15 @@ where
 
     let mut outputs = Vec::with_capacity(n);
     let mut per_node = Vec::with_capacity(n);
+    let mut traces = Vec::new();
     let mut bus_busy_ms = 0.0f64;
     let mut failure: Option<(ExecError, f64)> = None;
     for r in results {
         match r {
-            Ok((out, report, bus)) => {
+            Ok((out, report, bus, node_trace)) => {
                 outputs.push(out);
                 per_node.push(report);
+                traces.extend(node_trace);
                 bus_busy_ms = bus_busy_ms.max(bus);
             }
             Err((e, at_ms)) => {
@@ -306,7 +346,7 @@ where
     if let Some(f) = failure {
         return Err(f);
     }
-    Ok((outputs, per_node, bus_busy_ms))
+    Ok((outputs, per_node, bus_busy_ms, traces))
 }
 
 /// The recovery driver: run attempts until one completes, removing the
@@ -346,6 +386,7 @@ where
     };
     let mut backoff = policy.backoff_ms;
     let mut last_err = None;
+    let mut recovery_trace: Vec<RecoveryAttemptTrace> = Vec::new();
     let max_attempts = policy.max_attempts.max(1);
 
     for attempt in 0..max_attempts {
@@ -393,13 +434,18 @@ where
             &config.fault_plan,
             watchdog,
             policy.link_retry,
+            config.trace,
             seats,
             body,
         ) {
-            Ok((outputs, mut per_node, bus_busy_ms)) => {
+            Ok((outputs, mut per_node, bus_busy_ms, mut traces)) => {
                 // Reports carry fabric indices; restore original ids.
                 for (report, &orig) in per_node.iter_mut().zip(&live) {
                     report.node = orig;
+                }
+                // Traces too: their node field is the fabric index.
+                for trace in traces.iter_mut() {
+                    trace.node = live[trace.node];
                 }
                 return Ok(ClusterRun {
                     outputs,
@@ -408,6 +454,10 @@ where
                         bus_busy_ms,
                         recovery: stats,
                     },
+                    trace: config.trace.then(|| RunTrace {
+                        nodes: traces,
+                        recovery: std::mem::take(&mut recovery_trace),
+                    }),
                 });
             }
             Err((e, at_ms)) => {
@@ -446,9 +496,19 @@ where
                     owner[p] = heir;
                     stats.reassigned_partitions += 1;
                 }
+                let mut charged_backoff = 0.0;
                 if attempt + 1 < max_attempts {
                     stats.backoff_ms += backoff;
+                    charged_backoff = backoff;
                     backoff *= policy.backoff_multiplier;
+                }
+                if config.trace {
+                    recovery_trace.push(RecoveryAttemptTrace {
+                        attempt: stats.attempts,
+                        victim: Some(victim),
+                        lost_ms: if at_ms.is_finite() { at_ms } else { 0.0 },
+                        backoff_ms: charged_backoff,
+                    });
                 }
             }
         }

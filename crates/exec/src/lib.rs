@@ -44,3 +44,12 @@ pub use runstats::{NodeRecoveryStats, NodeReport, RecoveryStats, RunResult};
 /// Re-export: fault plans and link retry are configured on
 /// [`ClusterConfig`] / [`RecoveryPolicy`].
 pub use adaptagg_net::{FaultPlan, LinkFaults, LinkRetryPolicy, NodeFaults};
+
+/// Re-export: the observability layer's types, so algorithms and tools
+/// consume the trace API through the execution substrate (`NodeCtx`
+/// carries the per-node trace handle; [`ClusterRun`] carries the run
+/// trace).
+pub use adaptagg_obs::{
+    Histogram, LinkTrace, MetricSet, NodeTrace, NodeTraceReport, PhaseKind, PhaseTotal,
+    RecoveryAttemptTrace, RunTrace, SpanRecord, SwitchCause, TraceEvent,
+};

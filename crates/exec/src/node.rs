@@ -7,6 +7,7 @@ use adaptagg_model::{CostEvent, CostParams, CostTracker};
 use adaptagg_net::{
     Control, DataKind, Endpoint, LinkRetryPolicy, Message, NetError, NetStats, NodeFaults, Payload,
 };
+use adaptagg_obs::{LinkTrace, NodeTrace, NodeTraceReport, PhaseKind, SwitchCause, TraceEvent};
 use adaptagg_storage::{Page, PagePool, SimDisk};
 use std::time::Duration;
 
@@ -41,6 +42,11 @@ pub struct NodeCtx {
     /// checkpoint store, and recovery counters. `None` (the default)
     /// means fail-stop semantics — algorithms must not checkpoint.
     pub recovery: Option<RecoverySession>,
+    /// The node's trace handle. Disabled (the default) it is a bare
+    /// `None`: every tracing call is an early-return branch — no heap,
+    /// no clock reads, no cost events — so observability cannot move a
+    /// single virtual-time figure (see `adaptagg-obs`).
+    pub trace: NodeTrace,
     endpoint: Endpoint,
     faults: NodeFaults,
     tuples_scanned: u64,
@@ -57,6 +63,7 @@ impl NodeCtx {
             disk,
             page_pool: PagePool::new(),
             recovery: None,
+            trace: NodeTrace::off(),
             endpoint,
             faults: NodeFaults::default(),
             tuples_scanned: 0,
@@ -117,6 +124,90 @@ impl NodeCtx {
         self.endpoint.stats()
     }
 
+    /// Enable span/event tracing on this node (used by the cluster
+    /// runtime when the run is traced).
+    pub fn enable_trace(&mut self) {
+        self.trace = NodeTrace::on(self.id);
+    }
+
+    /// `[cpu, io, net, wait]` snapshot for span bookkeeping.
+    fn breakdown_snapshot(&self) -> [f64; 4] {
+        let b = self.clock.breakdown();
+        [b.cpu_ms, b.io_ms, b.net_ms, b.wait_ms]
+    }
+
+    /// Open a phase span (no-op when tracing is disabled).
+    pub fn span_start(&mut self, phase: PhaseKind) {
+        if self.trace.enabled() {
+            let now = self.clock.now_ms();
+            let bd = self.breakdown_snapshot();
+            self.trace.span_start(phase, now, bd);
+        }
+    }
+
+    /// Close the innermost open phase span (no-op when disabled).
+    pub fn span_end(&mut self) {
+        if self.trace.enabled() {
+            let now = self.clock.now_ms();
+            let bd = self.breakdown_snapshot();
+            self.trace.span_end(now, bd);
+        }
+    }
+
+    /// Record an adaptive strategy switch as a first-class trace event,
+    /// stamped with the node's current virtual time (no-op when
+    /// disabled).
+    pub fn trace_switch(&mut self, cause: SwitchCause, at_tuple: u64) {
+        if self.trace.enabled() {
+            let at_ms = self.clock.now_ms();
+            self.trace.event(TraceEvent::StrategySwitch {
+                at_ms,
+                cause,
+                at_tuple,
+            });
+        }
+    }
+
+    /// Record the sampling algorithm's decision as a trace event (no-op
+    /// when disabled).
+    pub fn trace_sampling_decision(&mut self, use_repartitioning: bool, groups_in_sample: u64) {
+        if self.trace.enabled() {
+            let at_ms = self.clock.now_ms();
+            self.trace.event(TraceEvent::SamplingDecision {
+                at_ms,
+                use_repartitioning,
+                groups_in_sample,
+            });
+        }
+    }
+
+    /// Consume the node's trace into a report, harvesting per-link
+    /// traffic totals from the fabric. Returns `None` when disabled.
+    pub fn finish_trace(&mut self) -> Option<NodeTraceReport> {
+        if self.trace.enabled() {
+            let links: Vec<LinkTrace> = (0..self.nodes)
+                .filter(|&to| to != self.id)
+                .map(|to| {
+                    let s = self.endpoint.link_stats(to);
+                    LinkTrace {
+                        to,
+                        msgs: s.msgs,
+                        pages: s.pages,
+                        bytes: s.bytes,
+                        tuples: s.tuples,
+                        retries: s.retries,
+                        drops: s.drops,
+                    }
+                })
+                .filter(|l| l.msgs > 0)
+                .collect();
+            self.trace.set_links(links);
+        }
+        let now = self.clock.now_ms();
+        let bd = self.breakdown_snapshot();
+        self.trace.finish(now, bd)
+    }
+
     /// Total busy time of the shared network medium so far (0 under the
     /// high-speed model).
     pub fn bus_busy_ms(&self) -> f64 {
@@ -128,11 +219,20 @@ impl NodeCtx {
     /// completes (`m_l` / shared-bus wait). Fails with
     /// [`ExecError::Net`] if the peer is already gone.
     pub fn send_page(&mut self, to: usize, kind: DataKind, page: Page) -> Result<(), ExecError> {
+        let traced_tuples = if self.trace.enabled() {
+            Some(page.tuple_count() as u64)
+        } else {
+            None
+        };
         self.clock.record(CostEvent::MsgProtocol, 1);
         let result = self.endpoint.send_data(to, kind, page, self.clock.now_ms());
         self.charge_retry_backoff();
         let done = result?;
         self.clock.advance_net_to(done);
+        if let Some(n) = traced_tuples {
+            self.trace.counter_add("exchange.pages_sent", 1);
+            self.trace.histogram_record("exchange.page_tuples", n);
+        }
         Ok(())
     }
 

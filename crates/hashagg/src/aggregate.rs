@@ -218,6 +218,8 @@ impl HashAggregator {
         T: CostTracker,
         D: FnMut(&mut AggTable, &mut T),
     {
+        self.stats.probe_slots += self.table.probe_slots();
+        self.stats.peak_resident = self.stats.peak_resident.max(self.table.len() as u64);
         drain(&mut self.table, tracker);
 
         // Stack of (bucket, level) still to process.
@@ -259,6 +261,8 @@ impl HashAggregator {
                 }
             })?;
             self.stats.spilled_tuples += spilled_here;
+            self.stats.probe_slots += table.probe_slots();
+            self.stats.peak_resident = self.stats.peak_resident.max(table.len() as u64);
             drain(&mut table, tracker);
             if let Some(set) = deeper {
                 let l = set.level();

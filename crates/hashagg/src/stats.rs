@@ -17,6 +17,12 @@ pub struct HashAggStats {
     pub overflow_buckets: u64,
     /// Deepest overflow recursion level reached (0 = no overflow).
     pub max_level: u32,
+    /// Slots examined by insert-path probes across all tables (first
+    /// pass + overflow buckets); the excess over `rows_in` measures
+    /// collision chains.
+    pub probe_slots: u64,
+    /// Largest number of groups resident in any one table at drain time.
+    pub peak_resident: u64,
 }
 
 impl HashAggStats {
@@ -38,6 +44,8 @@ impl HashAggStats {
         self.spilled_tuples += other.spilled_tuples;
         self.overflow_buckets += other.overflow_buckets;
         self.max_level = self.max_level.max(other.max_level);
+        self.probe_slots += other.probe_slots;
+        self.peak_resident = self.peak_resident.max(other.peak_resident);
     }
 }
 

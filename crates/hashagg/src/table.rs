@@ -80,6 +80,9 @@ pub struct AggTable {
     /// Lifetime distinct-group high-water mark (excludes rejected keys).
     inserts: u64,
     updates: u64,
+    /// Slots examined by insert-path probes (observability; a plain
+    /// counter — never recorded as a cost event, never allocating).
+    probe_slots: u64,
     /// Column gather scratch for non-prefix `group_by` (cold path).
     key_scratch: Vec<Value>,
     /// Tuple decode scratch for [`AggTable::insert_page`].
@@ -109,6 +112,7 @@ impl AggTable {
             charge_hash: true,
             inserts: 0,
             updates: 0,
+            probe_slots: 0,
             key_scratch: Vec::new(),
             row_scratch: Vec::new(),
         }
@@ -151,6 +155,17 @@ impl AggTable {
     /// Raw-tuple updates + new entries accepted so far.
     pub fn accepted(&self) -> u64 {
         self.inserts + self.updates
+    }
+
+    /// Total slots examined by insert-path probes (≥ one per attempt;
+    /// the excess over attempts measures collision chains).
+    pub fn probe_slots(&self) -> u64 {
+        self.probe_slots
+    }
+
+    /// Fraction of the slot array currently occupied.
+    pub fn occupancy(&self) -> f64 {
+        self.keys.len() as f64 / self.slots.len() as f64
     }
 
     /// The batched cost template of one accepted insert (what
@@ -335,7 +350,8 @@ impl AggTable {
         let hash = prehashed.unwrap_or_else(|| hash_values(Seed::Table, key));
         debug_assert_eq!(hash, hash_values(Seed::Table, key), "stale precomputed hash");
 
-        let (slot, found) = self.find(hash, key);
+        let (slot, found, examined) = self.find(hash, key);
+        self.probe_slots += examined;
         if let Some(entry) = found {
             match kind {
                 RowKind::Raw => {
@@ -371,21 +387,23 @@ impl AggTable {
         Ok(Inserted::New)
     }
 
-    /// Linear-probe for `key`: the matching entry index, or the vacant
-    /// slot where it would go.
+    /// Linear-probe for `key`: the matching entry index (or the vacant
+    /// slot where it would go) plus the number of slots examined.
     #[inline]
-    fn find(&self, hash: u64, key: &[Value]) -> (usize, Option<usize>) {
+    fn find(&self, hash: u64, key: &[Value]) -> (usize, Option<usize>, u64) {
         let mut i = (hash as usize) & self.mask;
+        let mut examined = 1u64;
         loop {
             let s = self.slots[i];
             if s == EMPTY {
-                return (i, None);
+                return (i, None, examined);
             }
             let e = s as usize;
             if self.hashes[e] == hash && self.keys[e].values() == key {
-                return (i, Some(e));
+                return (i, Some(e), examined);
             }
             i = (i + 1) & self.mask;
+            examined += 1;
         }
     }
 
@@ -424,6 +442,8 @@ impl AggTable {
             let hash = hash_values(Seed::Table, key.values());
             Ok(self.find(hash, key.values()).1.is_some())
         }
+        // Read-only lookups intentionally leave `probe_slots` untouched:
+        // it measures insert-path collision chains only.
     }
 
     /// Reset the probe array and entry columns (post-drain).

@@ -29,7 +29,7 @@ use crate::error::NetError;
 use crate::fault::{FaultPlan, LinkFaults, SplitMix64};
 use crate::message::{Control, DataKind, Message, Payload};
 use crate::network::Network;
-use crate::stats::NetStats;
+use crate::stats::{LinkStats, NetStats};
 use adaptagg_model::NetworkKind;
 use adaptagg_storage::Page;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -104,6 +104,7 @@ impl Fabric {
                         rng: plan.link_rng(id, to),
                         held: None,
                         next_seq: 0,
+                        stats: LinkStats::default(),
                     })
                     .collect(),
                 expected_seq: vec![0; n],
@@ -140,6 +141,8 @@ struct LinkState {
     held: Option<Message>,
     /// Sequence number for the next message on this link.
     next_seq: u64,
+    /// Per-destination traffic counters (observability).
+    stats: LinkStats,
 }
 
 /// One node's attachment to the fabric.
@@ -192,6 +195,11 @@ impl Endpoint {
         &self.stats
     }
 
+    /// Per-destination traffic counters, indexed by destination node.
+    pub fn link_stats(&self, to: usize) -> &LinkStats {
+        &self.links[to].stats
+    }
+
     /// Enable (or disable) bounded retry for failed sends on this
     /// endpoint's outgoing links.
     pub fn set_retry_policy(&mut self, policy: Option<LinkRetryPolicy>) {
@@ -229,6 +237,11 @@ impl Endpoint {
         let mut done = self.network.transfer(now_ms, 1);
         self.stats
             .on_send_data(kind, page.bytes_used(), page.tuple_count());
+        let link = &mut self.links[to].stats;
+        link.msgs += 1;
+        link.pages += 1;
+        link.bytes += page.bytes_used() as u64;
+        link.tuples += page.tuple_count() as u64;
         let fate = self.roll_link_faults(to);
         if fate.drop {
             // Lost on the wire, retransmitted: same message, same sequence
@@ -236,6 +249,7 @@ impl Endpoint {
             // retransmit completes.
             done += self.retransmit_penalty_ms();
             self.stats.injected_drops += 1;
+            self.links[to].stats.drops += 1;
         }
         let msg = Message {
             from: self.node,
@@ -257,11 +271,13 @@ impl Endpoint {
     ) -> Result<(), NetError> {
         debug_assert!(to < self.nodes, "destination {to} out of range");
         self.stats.control_sent += 1;
+        self.links[to].stats.msgs += 1;
         let mut fate = self.roll_link_faults(to);
         let mut sent_at_ms = now_ms;
         if fate.drop {
             sent_at_ms += self.retransmit_penalty_ms();
             self.stats.injected_drops += 1;
+            self.links[to].stats.drops += 1;
         }
         // Only data pages are ever held back: holding a control message
         // could stall a protocol (e.g. a decision broadcast) until the
@@ -361,6 +377,7 @@ impl Endpoint {
         let mut backoff = policy.backoff_ms;
         for _ in 0..policy.max_retries {
             self.stats.send_retries += 1;
+            self.links[to].stats.retries += 1;
             self.retry_backoff_ms += backoff;
             // The retransmit would arrive after the backoff.
             msg.sent_at_ms += backoff;
@@ -841,6 +858,44 @@ mod tests {
         assert_eq!(b.recv().unwrap().sent_at_ms, 1.5);
         assert_eq!(a.stats().send_retries, 0);
         assert_eq!(a.take_retry_backoff_ms(), 0.0);
+    }
+
+    #[test]
+    fn link_stats_attribute_traffic_per_destination() {
+        let mut eps = Fabric::new(3, NetworkKind::high_speed_default()).into_endpoints();
+        let _c = eps.pop().unwrap();
+        let _b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.send_data(1, DataKind::Raw, page_with(3), 0.0).unwrap();
+        a.send_data(1, DataKind::Raw, page_with(2), 0.0).unwrap();
+        a.send_data(2, DataKind::Partial, page_with(1), 0.0).unwrap();
+        a.send_control(2, Control::EndOfStream, 0.0).unwrap();
+        let to1 = *a.link_stats(1);
+        let to2 = *a.link_stats(2);
+        assert_eq!((to1.msgs, to1.pages, to1.tuples), (2, 2, 5));
+        assert_eq!((to2.msgs, to2.pages, to2.tuples), (2, 1, 1));
+        assert!(to1.bytes > to2.bytes);
+        assert_eq!(a.link_stats(0).msgs, 0, "no self traffic sent");
+        // Aggregate stats stay consistent with the per-link split.
+        assert_eq!(a.stats().pages_sent(), to1.pages + to2.pages);
+    }
+
+    #[test]
+    fn link_stats_count_drops_and_retries() {
+        let plan = FaultPlan::new(3).with_link_faults(LinkFaults {
+            drop_prob: 1.0,
+            ..LinkFaults::default()
+        });
+        let mut eps = Fabric::with_faults(2, NetworkKind::high_speed_default(), &plan)
+            .into_endpoints();
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.send_data(1, DataKind::Raw, page_with(1), 0.0).unwrap();
+        assert_eq!(a.link_stats(1).drops, 1);
+        a.set_retry_policy(Some(LinkRetryPolicy::default()));
+        drop(b);
+        let _ = a.send_data(1, DataKind::Raw, page_with(1), 0.0);
+        assert_eq!(a.link_stats(1).retries, 2);
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub use fabric::{Endpoint, Fabric, LinkRetryPolicy};
 pub use fault::{FaultPlan, LinkFaults, NodeFaults, SplitMix64};
 pub use message::{Control, DataKind, Message, Payload};
 pub use network::Network;
-pub use stats::NetStats;
+pub use stats::{LinkStats, NetStats};
 
 pub use adaptagg_model::NetworkKind;
 /// Re-export: message pages are storage pages with a 2 KB capacity.

@@ -78,6 +78,26 @@ impl NetStats {
     }
 }
 
+/// Per-destination traffic counters for one outgoing link, kept by the
+/// sending endpoint (the observability layer harvests these into the run
+/// trace). Plain integer increments on the send path: always on, never
+/// allocating after endpoint construction, never touching the cost model.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Messages handed to this link (data + control).
+    pub msgs: u64,
+    /// Data pages among them.
+    pub pages: u64,
+    /// Payload bytes of those pages.
+    pub bytes: u64,
+    /// Tuples carried by those pages.
+    pub tuples: u64,
+    /// Failed sends re-attempted under the link retry policy.
+    pub retries: u64,
+    /// Messages the fault plan dropped (then retransmitted) on this link.
+    pub drops: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

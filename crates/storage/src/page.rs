@@ -241,6 +241,30 @@ mod tests {
     }
 
     #[test]
+    fn failed_push_rolls_back_without_a_torn_row() {
+        // Capacity leaves exactly 19 free bytes after three 20-byte
+        // tuples: the next push misses by one byte. The optimistic encode
+        // must truncate completely — no partial bytes, no count bump.
+        let mut p = Page::new(79);
+        for i in 0..3 {
+            assert!(p.try_push(&ints(i)).unwrap());
+        }
+        assert_eq!(p.bytes_used(), 60);
+        assert!(!p.try_push(&ints(99)).unwrap(), "one byte short must refuse");
+        assert_eq!(p.tuple_count(), 3);
+        assert_eq!(p.bytes_used(), 60, "rolled back to the pre-push length");
+        let decoded = p.decode_all().unwrap();
+        assert_eq!(decoded.len(), 3);
+        for (i, t) in decoded.iter().enumerate() {
+            assert_eq!(t, &ints(i as i64), "no torn row after rollback");
+        }
+        // A smaller tuple still fits in the remaining 19 bytes.
+        assert!(p.try_push(&[Value::Int(7)]).unwrap());
+        assert_eq!(p.tuple_count(), 4);
+        assert_eq!(p.decode_all().unwrap()[3], vec![Value::Int(7)]);
+    }
+
+    #[test]
     fn oversized_tuple_is_an_error_not_a_full_page() {
         let mut p = Page::new(16);
         let big = vec![Value::Str("x".repeat(100).into())];

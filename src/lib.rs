@@ -32,6 +32,7 @@ pub use adaptagg_exec as exec;
 pub use adaptagg_hashagg as hashagg;
 pub use adaptagg_model as model;
 pub use adaptagg_net as net;
+pub use adaptagg_obs as obs;
 pub use adaptagg_sample as sample;
 pub use adaptagg_sortagg as sortagg;
 pub use adaptagg_sql as sql;
@@ -47,7 +48,10 @@ pub mod prelude {
     pub use adaptagg_cost::{
         scaleup_curve, selectivity_sweep, CostAlgorithm, CostBreakdown, ModelConfig,
     };
-    pub use adaptagg_exec::{ClusterConfig, RecoveryPolicy, RecoveryStats, RunResult};
+    pub use adaptagg_exec::{
+        ClusterConfig, PhaseKind, RecoveryPolicy, RecoveryStats, RunResult, RunTrace,
+        SwitchCause, TraceEvent,
+    };
     pub use adaptagg_model::{
         AggFunc, AggQuery, AggSpec, CostParams, GroupKey, NetworkKind, ResultRow, Schema, Tuple,
         Value,

@@ -1,0 +1,322 @@
+//! Acceptance suite for the observability layer.
+//!
+//! Three contracts:
+//!
+//! 1. **Completeness** — across the 150-run chaos matrix (25 seeds × the
+//!    paper's six strategies, with a table budget small enough that A2P
+//!    always overflows), every adaptive event a node reports has a
+//!    matching first-class trace event carrying the trigger cause and the
+//!    tuple offset.
+//! 2. **Observer invariance** — enabling tracing changes no result row
+//!    and no virtual-time figure (tracing never records a `CostEvent`).
+//! 3. **Recovery visibility** — failed attempts appear in the run trace
+//!    with victim, lost virtual time, and backoff.
+
+use adaptagg::exec::{ExecError, FaultPlan};
+use adaptagg::prelude::*;
+use std::time::Duration;
+
+const NODES: usize = 4;
+const TUPLES: usize = 4_000;
+const GROUPS: usize = 120;
+
+/// The paper's six strategies (§2–§3).
+const SIX: [AlgorithmKind; 6] = [
+    AlgorithmKind::CentralizedTwoPhase,
+    AlgorithmKind::TwoPhase,
+    AlgorithmKind::Repartitioning,
+    AlgorithmKind::Sampling,
+    AlgorithmKind::AdaptiveTwoPhase,
+    AlgorithmKind::AdaptiveRepartitioning,
+];
+
+/// A small table budget (≪ the 120-group workload) so every A2P scan
+/// genuinely overflows — the paper default `M = 10 K` would never switch
+/// here and the completeness check would be vacuous.
+fn traced_chaos_config(plan: FaultPlan) -> ClusterConfig {
+    ClusterConfig::new(
+        NODES,
+        CostParams {
+            max_hash_entries: 64,
+            ..CostParams::paper_default()
+        },
+    )
+    .with_fault_plan(plan)
+    .with_watchdog(Duration::from_secs(10))
+    .with_tracing()
+}
+
+/// Assert every [`AdaptEvent`] on every node has its matching
+/// [`TraceEvent`]; returns how many strategy switches were matched.
+fn assert_events_traced(kind: AlgorithmKind, label: &str, out: &RunOutcome) -> usize {
+    let trace = out.trace.as_ref().expect("traced run must carry a trace");
+    let mut switches = 0;
+    for (node_id, summary) in out.nodes.iter().enumerate() {
+        let report = trace.node(node_id).unwrap_or_else(|| {
+            panic!("{kind} {label}: node {node_id} missing from the trace")
+        });
+        for event in &summary.events {
+            match *event {
+                AdaptEvent::SwitchedToRepartitioning { at_tuple } => {
+                    assert!(
+                        report
+                            .switches()
+                            .any(|(c, t)| c == SwitchCause::TableFull && t == at_tuple),
+                        "{kind} {label}: node {node_id} switched at tuple {at_tuple} \
+                         but no table-full trace event matches: {:?}",
+                        report.events
+                    );
+                    switches += 1;
+                }
+                AdaptEvent::FellBackToTwoPhase { at_tuple, local_decision } => {
+                    let want = if local_decision {
+                        SwitchCause::LowCardinalityLocal
+                    } else {
+                        SwitchCause::LowCardinalityPeer
+                    };
+                    assert!(
+                        report.switches().any(|(c, t)| c == want && t == at_tuple),
+                        "{kind} {label}: node {node_id} fell back at tuple {at_tuple} \
+                         (local {local_decision}) but no matching trace event: {:?}",
+                        report.events
+                    );
+                    switches += 1;
+                }
+                AdaptEvent::SamplingChose(choice) => {
+                    let want = choice == AlgorithmChoice::Repartitioning;
+                    assert!(
+                        report.events.iter().any(|t| matches!(
+                            t,
+                            TraceEvent::SamplingDecision { use_repartitioning, .. }
+                                if *use_repartitioning == want
+                        )),
+                        "{kind} {label}: node {node_id} chose {choice:?} but no \
+                         matching sampling-decision trace event: {:?}",
+                        report.events
+                    );
+                }
+            }
+        }
+    }
+    switches
+}
+
+/// The acceptance matrix: 25 seeds × six strategies = 150 traced chaos
+/// runs. Every completed run's adaptive events must all appear as trace
+/// events with cause + tuple offset, and the matrix as a whole must
+/// actually contain switches (the small budget guarantees A2P overflows).
+#[test]
+fn every_switch_in_the_chaos_matrix_is_traced() {
+    let spec = RelationSpec::uniform(TUPLES, GROUPS);
+    let parts = generate_partitions(&spec, NODES);
+    let query = default_query();
+
+    let mut runs = 0;
+    let mut completed = 0;
+    let mut completed_a2p = 0;
+    let mut switches = 0;
+    for seed in 0..25u64 {
+        let plan = FaultPlan::random(seed, NODES);
+        for kind in SIX {
+            runs += 1;
+            match run_algorithm(kind, &traced_chaos_config(plan.clone()), &parts, &query) {
+                Ok(out) => {
+                    completed += 1;
+                    if kind == AlgorithmKind::AdaptiveTwoPhase {
+                        completed_a2p += 1;
+                    }
+                    switches += assert_events_traced(kind, &format!("seed {seed}"), &out);
+                }
+                Err(ExecError::InjectedCrash { .. }) => {
+                    assert!(plan.has_crash(), "crash error without a scheduled crash");
+                }
+                Err(other) => panic!("{kind} seed {seed}: unexpected failure {other:?}"),
+            }
+        }
+    }
+    assert_eq!(runs, 150, "the acceptance matrix is 25 seeds × 6 strategies");
+    assert!(completed > 0, "every schedule crashed — no trace coverage");
+    // At M = 64 ≪ 120 groups, every node in every completed A2P run must
+    // overflow and switch — each one verified above to carry a matching
+    // trace event. (Sampling/ARep legitimately never switch here: the
+    // 120-group workload sits above their low-cardinality thresholds.)
+    assert!(completed_a2p > 0, "no A2P run ever completed");
+    assert!(
+        switches >= completed_a2p * NODES,
+        "only {switches} traced switches across {completed_a2p} completed A2P runs \
+         — the budget is not forcing overflows on every node"
+    );
+}
+
+/// ARep's peer-contagion path: few groups on a multi-node cluster makes
+/// one node decide locally and the rest follow a peer's end-of-phase
+/// broadcast — both causes must appear in the trace with their offsets.
+#[test]
+fn arep_contagion_is_traced_with_both_causes() {
+    let spec = RelationSpec::uniform(TUPLES, 10);
+    let parts = generate_partitions(&spec, NODES);
+    let query = default_query();
+    let config = ClusterConfig::new(NODES, CostParams::paper_default()).with_tracing();
+    let out = run_algorithm(AlgorithmKind::AdaptiveRepartitioning, &config, &parts, &query)
+        .unwrap();
+    assert_eq!(out.adapted_nodes().len(), NODES, "all nodes must fall back");
+    assert_events_traced(AlgorithmKind::AdaptiveRepartitioning, "contagion", &out);
+    let trace = out.trace.as_ref().unwrap();
+    let causes: Vec<SwitchCause> = trace
+        .nodes
+        .iter()
+        .flat_map(|n| n.switches().map(|(c, _)| c))
+        .collect();
+    assert!(causes.contains(&SwitchCause::LowCardinalityLocal));
+    assert!(causes.contains(&SwitchCause::LowCardinalityPeer));
+}
+
+/// Observer invariance, exact: on a single node there is no cross-thread
+/// arrival jitter, so a traced run must reproduce the untraced virtual
+/// clock **bit for bit** for every strategy — tracing records no
+/// `CostEvent` and never touches the clock.
+#[test]
+fn tracing_is_bit_invariant_on_one_node() {
+    let spec = RelationSpec::uniform(1_000, 50);
+    let parts = generate_partitions(&spec, 1);
+    let query = default_query();
+    for kind in AlgorithmKind::ALL {
+        // Pin tracing *off* explicitly: the constructor honours
+        // ADAPTAGG_TRACE, and this comparison must stay off-vs-on even
+        // when CI exports it.
+        let mut plain = ClusterConfig::new(1, CostParams::paper_default());
+        plain.trace = false;
+        let traced = plain.clone().with_tracing();
+        let a = run_algorithm(kind, &plain, &parts, &query).unwrap();
+        let b = run_algorithm(kind, &traced, &parts, &query).unwrap();
+        assert_eq!(a.rows, b.rows, "{kind}: rows changed under tracing");
+        assert_eq!(
+            a.elapsed_ms().to_bits(),
+            b.elapsed_ms().to_bits(),
+            "{kind}: virtual time moved under tracing ({} vs {})",
+            a.elapsed_ms(),
+            b.elapsed_ms()
+        );
+        assert!(a.trace.is_none(), "untraced run carried a trace");
+        assert!(b.trace.is_some(), "traced run lost its trace");
+    }
+}
+
+/// Observer invariance at cluster scale: rows exact for all six; virtual
+/// time within float-summation jitter for the algorithms whose timing is
+/// arrival-order-stable (the same set `chaos.rs` pins — Sampling and
+/// ARep legitimately jitter between *any* two runs).
+#[test]
+fn tracing_does_not_move_cluster_timings() {
+    let spec = RelationSpec::uniform(TUPLES, GROUPS);
+    let parts = generate_partitions(&spec, NODES);
+    let query = default_query();
+    let timing_stable = [
+        AlgorithmKind::CentralizedTwoPhase,
+        AlgorithmKind::TwoPhase,
+        AlgorithmKind::Repartitioning,
+        AlgorithmKind::AdaptiveTwoPhase,
+    ];
+    for kind in SIX {
+        let mut plain = ClusterConfig::new(NODES, CostParams::paper_default());
+        plain.trace = false; // off-vs-on even under ADAPTAGG_TRACE=1
+        let traced = plain.clone().with_tracing();
+        let a = run_algorithm(kind, &plain, &parts, &query).unwrap();
+        let b = run_algorithm(kind, &traced, &parts, &query).unwrap();
+        assert_eq!(a.rows, b.rows, "{kind}: rows changed under tracing");
+        for (na, nb) in a.run.per_node.iter().zip(&b.run.per_node) {
+            assert_eq!(na.net, nb.net, "{kind}: traffic counters changed under tracing");
+        }
+        if timing_stable.contains(&kind) {
+            assert!(
+                (a.elapsed_ms() - b.elapsed_ms()).abs() < 1e-6,
+                "{kind}: timing moved under tracing ({} vs {})",
+                a.elapsed_ms(),
+                b.elapsed_ms()
+            );
+        }
+    }
+}
+
+/// The traced phase profile is structurally sound: a switching A2P run
+/// shows scan/partition/merge spans on every node, per-phase totals and
+/// histograms line up, and the hash-aggregation metrics are present.
+#[test]
+fn phase_profile_covers_the_run() {
+    let spec = RelationSpec::uniform(TUPLES, GROUPS);
+    let parts = generate_partitions(&spec, NODES);
+    let query = default_query();
+    let out = run_algorithm(
+        AlgorithmKind::AdaptiveTwoPhase,
+        &traced_chaos_config(FaultPlan::none()),
+        &parts,
+        &query,
+    )
+    .unwrap();
+    let trace = out.trace.as_ref().unwrap();
+    assert_eq!(trace.nodes.len(), NODES);
+    for node in &trace.nodes {
+        for phase in [PhaseKind::Scan, PhaseKind::Partition, PhaseKind::Merge] {
+            assert!(
+                node.phase_ms(phase) > 0.0,
+                "node {}: no virtual time in {phase:?}",
+                node.node
+            );
+        }
+        assert!(
+            node.metrics.counter("hashagg.rows_in") > 0,
+            "node {}: hash-aggregation metrics missing",
+            node.node
+        );
+        assert!(
+            node.links.iter().any(|l| l.msgs > 0 && l.bytes > 0),
+            "node {}: no per-link traffic recorded",
+            node.node
+        );
+    }
+    let totals = trace.phase_totals();
+    let scan = totals
+        .iter()
+        .find(|(p, _)| *p == PhaseKind::Scan)
+        .expect("scan phase present in totals");
+    assert_eq!(scan.1.spans, NODES as u64, "one scan span per node");
+    let hist = trace.phase_histogram(PhaseKind::Scan).expect("scan histogram");
+    assert_eq!(hist.count(), NODES as u64);
+    // The rendered artifacts carry the same structure.
+    let json = trace.to_json();
+    assert!(json.contains("\"schema\": \"adaptagg-trace/v1\""));
+    assert!(json.contains("\"cause\": \"table-full\""));
+    let text = trace.to_text();
+    assert!(text.contains("switched to repartitioning at tuple"));
+}
+
+/// Recovery attempts are first-class trace records: a single-node crash
+/// under recovery yields one failed-attempt entry naming the victim, and
+/// the surviving nodes' reports keep their original ids.
+#[test]
+fn recovery_attempts_appear_in_the_trace() {
+    let spec = RelationSpec::uniform(TUPLES, GROUPS);
+    let parts = generate_partitions(&spec, NODES);
+    let query = default_query();
+    let reference = reference_aggregate(&parts, &query).unwrap();
+    let victim = 2;
+    let config = ClusterConfig::new(NODES, CostParams::paper_default())
+        .with_fault_plan(FaultPlan::new(victim as u64).with_crash(victim, 50))
+        .with_watchdog(Duration::from_secs(10))
+        .with_recovery(RecoveryPolicy::default())
+        .with_tracing();
+    let out = run_algorithm(AlgorithmKind::TwoPhase, &config, &parts, &query).unwrap();
+    assert_eq!(out.rows, reference);
+    let trace = out.trace.as_ref().expect("recovered run carries a trace");
+    assert_eq!(trace.recovery.len(), 1, "one failed attempt before success");
+    let attempt = &trace.recovery[0];
+    assert_eq!(attempt.attempt, 1);
+    assert_eq!(attempt.victim, Some(victim));
+    assert!(attempt.lost_ms >= 0.0);
+    // Survivor reports keep original node ids; the victim has none.
+    for node in &trace.nodes {
+        assert_ne!(node.node, victim, "the dead node cannot have a final report");
+        assert!(node.node < NODES);
+    }
+    assert_eq!(trace.nodes.len(), NODES - 1);
+}
