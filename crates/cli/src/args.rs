@@ -140,6 +140,11 @@ OPTIONS:
   --trace <FMT>       json | text — run with tracing on and print the
                       phase spans, switch events, metrics and per-link
                       traffic (run only)
+
+EXIT CODES:
+  0  success
+  2  the query ran but fault recovery was exhausted (--recovery)
+  1  any other failure (arguments, I/O, execution)
 ";
 
 /// Parse `argv[1..]`.

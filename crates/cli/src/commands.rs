@@ -3,11 +3,56 @@
 use crate::args::{RunArgs, TraceFormat, Workload};
 use adaptagg_algos::{run_algorithm, AlgorithmKind};
 use adaptagg_cost::{recommend, CostAlgorithm, ModelConfig};
-use adaptagg_exec::{ClusterConfig, FaultPlan, RecoveryPolicy};
+use adaptagg_exec::{ClusterConfig, ExecError, FaultPlan, RecoveryPolicy};
 use adaptagg_model::{CostParams, DataType, Field, Schema};
 use adaptagg_sql::compile;
 use adaptagg_storage::HeapFile;
 use adaptagg_workload::{generate_partitions, RelationSpec, TpcdWorkload, ZipfSpec};
+
+/// A command failure plus the process exit code it maps to. The exit
+/// codes are a contract shared with the cluster binaries
+/// (`adaptagg-coordinator` / `adaptagg-worker`): `0` success, `2` a
+/// query that ran but exhausted fault recovery
+/// ([`ExecError::RecoveryExhausted`]) — the cluster did its job and the
+/// failure budget was genuinely spent — and `1` every other failure
+/// (bad arguments, I/O, protocol bugs). Scripts and CI can therefore
+/// tell "infrastructure broke" from "recovery was honestly exhausted".
+#[derive(Debug)]
+pub struct CmdError {
+    /// Human-readable description, printed to stderr.
+    pub message: String,
+    /// Process exit code (1 or 2; 0 is never an error).
+    pub exit_code: i32,
+}
+
+impl From<String> for CmdError {
+    fn from(message: String) -> Self {
+        CmdError {
+            message,
+            exit_code: 1,
+        }
+    }
+}
+
+impl std::fmt::Display for CmdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Map an execution failure to its exit code: recovery exhaustion is
+/// the distinguished outcome (2), everything else is 1.
+pub fn exec_error(e: ExecError) -> CmdError {
+    let exit_code = if matches!(e, ExecError::RecoveryExhausted { .. }) {
+        2
+    } else {
+        1
+    };
+    CmdError {
+        message: e.to_string(),
+        exit_code,
+    }
+}
 
 /// The schema the selected workload generates.
 pub fn schema(workload: Workload) -> Schema {
@@ -145,7 +190,7 @@ fn fault_plan(args: &RunArgs) -> Option<FaultPlan> {
 }
 
 /// `adaptagg run`.
-pub fn cmd_run(args: &RunArgs) -> Result<(), String> {
+pub fn cmd_run(args: &RunArgs) -> Result<(), CmdError> {
     let bound = compile(&args.sql, &schema(args.workload)).map_err(|e| e.to_string())?;
     let mut cluster = ClusterConfig::new(args.nodes, cost_params(args));
     let plan = fault_plan(args);
@@ -181,7 +226,7 @@ pub fn cmd_run(args: &RunArgs) -> Result<(), String> {
         None => println!(),
     }
 
-    let out = run_algorithm(kind, &cluster, &parts, &bound.query).map_err(|e| e.to_string())?;
+    let out = run_algorithm(kind, &cluster, &parts, &bound.query).map_err(exec_error)?;
 
     println!("\n{}", bound.output_names.join(" | "));
     for row in out.rows.iter().take(10) {
@@ -243,7 +288,7 @@ pub fn cmd_run(args: &RunArgs) -> Result<(), String> {
 }
 
 /// `adaptagg sweep`.
-pub fn cmd_sweep(args: &RunArgs) -> Result<(), String> {
+pub fn cmd_sweep(args: &RunArgs) -> Result<(), CmdError> {
     let bound = compile(&args.sql, &schema(args.workload)).map_err(|e| e.to_string())?;
     let cluster = ClusterConfig::new(args.nodes, cost_params(args));
     let kinds = AlgorithmKind::FIGURE8;
@@ -265,7 +310,7 @@ pub fn cmd_sweep(args: &RunArgs) -> Result<(), String> {
         let mut times = Vec::new();
         for kind in kinds {
             let out =
-                run_algorithm(kind, &cluster, &parts, &bound.query).map_err(|e| e.to_string())?;
+                run_algorithm(kind, &cluster, &parts, &bound.query).map_err(exec_error)?;
             times.push(out.elapsed_ms());
         }
         let (wi, _) = times
@@ -284,7 +329,7 @@ pub fn cmd_sweep(args: &RunArgs) -> Result<(), String> {
 }
 
 /// `adaptagg explain`.
-pub fn cmd_explain(args: &RunArgs) -> Result<(), String> {
+pub fn cmd_explain(args: &RunArgs) -> Result<(), CmdError> {
     let bound = compile(&args.sql, &schema(args.workload)).map_err(|e| e.to_string())?;
     let model = ModelConfig {
         params: cost_params(args),
@@ -332,7 +377,8 @@ mod tests {
         let mut a = small_args();
         a.crash_node = Some(1);
         let e = cmd_run(&a).unwrap_err();
-        assert!(e.contains("crash"), "unexpected error: {e}");
+        assert!(e.message.contains("crash"), "unexpected error: {e}");
+        assert_eq!(e.exit_code, 1, "fail-stop crash is an ordinary failure");
         a.recovery = true;
         cmd_run(&a).expect("recovery must complete the crashed query");
     }
@@ -401,7 +447,7 @@ mod tests {
         let mut a = small_args();
         a.load_workload = Some("/nonexistent/prefix".into());
         let e = cmd_run(&a).unwrap_err();
-        assert!(e.contains("loading"));
+        assert!(e.message.contains("loading"));
     }
 
     #[test]
@@ -427,7 +473,7 @@ mod tests {
         let mut a = small_args();
         a.sql = "SELECT nope FROM r GROUP BY nope".into();
         let e = cmd_run(&a).unwrap_err();
-        assert!(e.contains("nope"));
+        assert!(e.message.contains("nope"));
     }
 
     #[test]
@@ -435,6 +481,16 @@ mod tests {
         let (kind, rationale) = pick_algorithm(&small_args());
         assert_eq!(kind, AlgorithmKind::AdaptiveTwoPhase);
         assert!(rationale.is_some());
+    }
+
+    #[test]
+    fn recovery_exhaustion_maps_to_exit_code_2() {
+        let exhausted = ExecError::RecoveryExhausted {
+            attempts: 3,
+            last: Box::new(ExecError::Protocol("boom")),
+        };
+        assert_eq!(exec_error(exhausted).exit_code, 2);
+        assert_eq!(exec_error(ExecError::Protocol("boom")).exit_code, 1);
     }
 
     #[test]

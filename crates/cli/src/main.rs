@@ -16,10 +16,12 @@ fn main() {
         Ok(Command::Run(a)) => commands::cmd_run(&a),
         Ok(Command::Sweep(a)) => commands::cmd_sweep(&a),
         Ok(Command::Explain(a)) => commands::cmd_explain(&a),
-        Err(e) => Err(e.to_string()),
+        Err(e) => Err(commands::CmdError::from(e.to_string())),
     };
-    if let Err(message) = result {
-        eprintln!("error: {message}");
-        std::process::exit(1);
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        // Exit-code contract (shared with the cluster binaries):
+        // 0 success, 2 recovery honestly exhausted, 1 anything else.
+        std::process::exit(e.exit_code);
     }
 }

@@ -1,0 +1,270 @@
+//! The coordinator's attempt loop: dispatch ownership, merge partials,
+//! and recover from dead or stalled workers by reassigning their
+//! partitions — the process-level twin of the in-process recovery
+//! runtime.
+
+use crate::proto::JobMsg;
+use crate::spec::{reassign_partitions, ClusterSpec};
+use crate::{ClusterError, Progress};
+use adaptagg_exec::{Clock, ExecError};
+use adaptagg_hashagg::HashAggregator;
+use adaptagg_model::{CostParams, ResultRow};
+use adaptagg_net::{Control, Endpoint, NetError, Payload};
+use std::time::{Duration, Instant};
+
+/// Coordinator knobs.
+#[derive(Debug, Clone)]
+pub struct CoordinatorOpts {
+    /// Attempt budget. Each worker death or stall costs one attempt;
+    /// past this the run ends honestly with
+    /// [`ClusterError::RecoveryExhausted`] (exit 2).
+    pub max_attempts: usize,
+    /// Wall-clock deadline per attempt. When it lapses with EOS still
+    /// missing, the lowest-id straggler is declared the victim (the
+    /// waiter cannot know who stalled; removing *someone* keeps the
+    /// attempt count bounded).
+    pub attempt_timeout: Duration,
+    /// Aggregator memory bound (entries resident before overflow).
+    pub max_entries: usize,
+    /// Overflow-bucket fanout.
+    pub fanout: usize,
+}
+
+impl Default for CoordinatorOpts {
+    fn default() -> Self {
+        CoordinatorOpts {
+            max_attempts: 0, // 0 = one per worker, resolved in run
+            attempt_timeout: Duration::from_secs(30),
+            max_entries: CostParams::paper_default().max_hash_entries,
+            fanout: 4,
+        }
+    }
+}
+
+/// What a completed coordinated run reports.
+#[derive(Debug)]
+pub struct CoordinatorReport {
+    /// The merged result, sorted by group key.
+    pub rows: Vec<ResultRow>,
+    /// Attempts spent, counting the successful one.
+    pub attempts: usize,
+    /// Workers declared dead, in death order.
+    pub dead_workers: Vec<usize>,
+    /// Partitions that changed owner across all recoveries.
+    pub reassigned_partitions: usize,
+}
+
+/// How an attempt's collect loop ended.
+enum AttemptEnd {
+    /// Every live worker delivered EOS; the aggregate is complete.
+    Done(Box<HashAggregator>),
+    /// This worker must be declared dead before the next attempt.
+    Victim(usize),
+}
+
+/// Run the coordinator (node 0) over an established endpoint. Returns
+/// the merged rows or an honest failure; the endpoint is consumed (the
+/// mesh is torn down on drop, sending Bye to surviving workers).
+pub fn run_coordinator(
+    mut endpoint: Endpoint,
+    spec: &ClusterSpec,
+    opts: &CoordinatorOpts,
+    progress: Progress<'_>,
+) -> Result<CoordinatorReport, ClusterError> {
+    assert_eq!(endpoint.node(), 0, "the coordinator must be node 0");
+    let plan = spec.plan();
+    let params = CostParams::paper_default();
+    let mut clock = Clock::new(params.clone());
+    let mut owners = spec.initial_owners();
+    let mut alive = vec![true; spec.nodes];
+    let mut dead_workers: Vec<usize> = Vec::new();
+    let mut reassigned = 0usize;
+    let max_attempts = if opts.max_attempts == 0 {
+        spec.workers().max(1)
+    } else {
+        opts.max_attempts
+    };
+
+    for attempt in 1..=max_attempts {
+        let live: Vec<usize> = (1..spec.nodes).filter(|&w| alive[w]).collect();
+        if live.is_empty() {
+            return Err(ClusterError::RecoveryExhausted {
+                attempts: attempt - 1,
+                dead_workers,
+            });
+        }
+        progress(&format!(
+            "attempt {attempt}/{max_attempts}: {} partition(s) across {} worker(s)",
+            owners.len(),
+            live.len()
+        ));
+
+        let end = run_attempt(
+            &mut endpoint,
+            spec,
+            opts,
+            &plan,
+            &params,
+            &mut clock,
+            attempt as u32,
+            &owners,
+            &live,
+        )?;
+
+        match end {
+            AttemptEnd::Done(agg) => {
+                let (mut rows, _) = agg
+                    .finish_rows(&mut clock)
+                    .map_err(ExecError::from)?;
+                adaptagg_model::query::sort_rows(&mut rows);
+                let finish = Control::Job(
+                    JobMsg::Finish {
+                        rows: rows.len() as u64,
+                    }
+                    .encode(),
+                );
+                for &w in &live {
+                    // Best effort: a worker dying after the result is
+                    // complete cannot un-complete it.
+                    let _ = endpoint.send_control(w, finish.clone(), clock.now_ms());
+                }
+                progress(&format!(
+                    "complete: {} row(s) in {attempt} attempt(s)",
+                    rows.len()
+                ));
+                return Ok(CoordinatorReport {
+                    rows,
+                    attempts: attempt,
+                    dead_workers,
+                    reassigned_partitions: reassigned,
+                });
+            }
+            AttemptEnd::Victim(victim) => {
+                alive[victim] = false;
+                dead_workers.push(victim);
+                let heirs: Vec<u32> = live
+                    .iter()
+                    .copied()
+                    .filter(|&w| w != victim)
+                    .map(|w| w as u32)
+                    .collect();
+                if heirs.is_empty() {
+                    return Err(ClusterError::RecoveryExhausted {
+                        attempts: attempt,
+                        dead_workers,
+                    });
+                }
+                let moved = reassign_partitions(&mut owners, victim as u32, &heirs);
+                reassigned += moved;
+                progress(&format!(
+                    "worker {victim} declared dead; reassigned {moved} partition(s)"
+                ));
+            }
+        }
+    }
+
+    Err(ClusterError::RecoveryExhausted {
+        attempts: max_attempts,
+        dead_workers,
+    })
+}
+
+/// Dispatch one attempt and collect until every live worker delivered
+/// EOS, a worker died, or the deadline lapsed.
+#[allow(clippy::too_many_arguments)]
+fn run_attempt(
+    endpoint: &mut Endpoint,
+    spec: &ClusterSpec,
+    opts: &CoordinatorOpts,
+    plan: &adaptagg_algos::common::QueryPlan,
+    params: &CostParams,
+    clock: &mut Clock,
+    attempt: u32,
+    owners: &[u32],
+    live: &[usize],
+) -> Result<AttemptEnd, ClusterError> {
+    let start = Control::Job(
+        JobMsg::Start {
+            attempt,
+            owners: owners.to_vec(),
+        }
+        .encode(),
+    );
+    for &w in live {
+        match endpoint.send_control(w, start.clone(), clock.now_ms()) {
+            Ok(()) => {}
+            Err(NetError::PeerDown { peer }) => return Ok(AttemptEnd::Victim(peer)),
+            Err(e) => return Err(e.into()),
+        }
+    }
+
+    // Hash cost is not re-charged for merged partials (they were hashed
+    // at the worker) — same accounting as the in-process merge phase.
+    let mut agg = HashAggregator::new(
+        plan.projected.clone(),
+        opts.max_entries,
+        params.page_bytes,
+        opts.fanout,
+    )
+    .with_charge_hash(false);
+    let mut acked = vec![false; spec.nodes];
+    let mut eos = vec![false; spec.nodes];
+    let deadline = Instant::now() + opts.attempt_timeout;
+
+    loop {
+        if live.iter().all(|&w| eos[w]) {
+            return Ok(AttemptEnd::Done(Box::new(agg)));
+        }
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        let straggler = || {
+            live.iter()
+                .copied()
+                .find(|&w| !eos[w])
+                .expect("loop guard: some EOS is missing")
+        };
+        if remaining.is_zero() {
+            return Ok(AttemptEnd::Victim(straggler()));
+        }
+        let msg = match endpoint.recv_timeout(remaining) {
+            Ok(msg) => msg,
+            Err(NetError::PeerDown { peer }) => {
+                if peer != 0 && live.contains(&peer) {
+                    return Ok(AttemptEnd::Victim(peer));
+                }
+                continue; // an already-recovered-from death
+            }
+            Err(NetError::Deadline { .. }) => return Ok(AttemptEnd::Victim(straggler())),
+            Err(e) => return Err(e.into()),
+        };
+        let from = msg.from;
+        if from == 0 || from >= spec.nodes || !live.contains(&from) {
+            continue;
+        }
+        if !acked[from] {
+            // The ack barrier: everything a worker sent before its ack
+            // for *this* attempt is stale-attempt traffic. Per-link
+            // FIFO (the sequencing layer) makes this airtight.
+            if let Payload::Control(Control::Job(bytes)) = &msg.payload {
+                if let Ok(JobMsg::Ack { attempt: a }) = JobMsg::decode(bytes) {
+                    if a == attempt {
+                        acked[from] = true;
+                    }
+                }
+            }
+            continue;
+        }
+        match msg.payload {
+            Payload::Data { kind, page } => {
+                agg.push_page(kind, &page, clock).map_err(ExecError::from)?;
+            }
+            Payload::Control(Control::EndOfStream) => eos[from] = true,
+            Payload::Control(Control::Abort { origin, .. }) => {
+                // A worker hit an unrecoverable local error and told us
+                // before exiting: same recovery path as a silent death.
+                let victim = if origin < spec.nodes { origin } else { from };
+                return Ok(AttemptEnd::Victim(victim));
+            }
+            Payload::Control(_) => {} // stray (late EndOfPhase etc.)
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! The job protocol the coordinator and workers speak, carried as
+//! opaque bytes inside [`adaptagg_net::Control::Job`] so the transport
+//! and reliability layers need not know about it.
+//!
+//! Three messages make an attempt:
+//!
+//! - `Start { attempt, owners }` — coordinator → workers. `owners[p]`
+//!   is the node id currently responsible for partition `p`.
+//! - `Ack { attempt }` — worker → coordinator, sent *before* any data
+//!   of that attempt. Per-link FIFO makes this a barrier: everything
+//!   from that worker before the ack is stale-attempt traffic.
+//! - `Finish { rows }` — coordinator → workers: result is in, exit 0.
+//!
+//! The codec reuses the frame crate's bounds-checked reader, so a
+//! corrupt job payload surfaces as a typed [`FrameError`], never a
+//! panic.
+
+use adaptagg_net::frame::FrameReader;
+use adaptagg_net::FrameError;
+
+const TAG_START: u8 = 1;
+const TAG_ACK: u8 = 2;
+const TAG_FINISH: u8 = 3;
+
+/// Cap on the ownership map length, re-validated on decode so a corrupt
+/// length prefix cannot drive a huge allocation.
+const MAX_OWNERS: u32 = 1 << 16;
+
+/// One message of the coordinator↔worker job protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobMsg {
+    /// Run attempt `attempt` with this partition→node ownership map.
+    Start { attempt: u32, owners: Vec<u32> },
+    /// Worker's attempt barrier: data after this belongs to `attempt`.
+    Ack { attempt: u32 },
+    /// The query completed with this many result rows; workers exit 0.
+    Finish { rows: u64 },
+}
+
+impl JobMsg {
+    /// Encode into the byte payload of a `Control::Job`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            JobMsg::Start { attempt, owners } => {
+                out.push(TAG_START);
+                out.extend_from_slice(&attempt.to_le_bytes());
+                out.extend_from_slice(&(owners.len() as u32).to_le_bytes());
+                for &o in owners {
+                    out.extend_from_slice(&o.to_le_bytes());
+                }
+            }
+            JobMsg::Ack { attempt } => {
+                out.push(TAG_ACK);
+                out.extend_from_slice(&attempt.to_le_bytes());
+            }
+            JobMsg::Finish { rows } => {
+                out.push(TAG_FINISH);
+                out.extend_from_slice(&rows.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decode a `Control::Job` payload. Truncated, oversized, or
+    /// trailing-garbage input yields a typed error.
+    pub fn decode(buf: &[u8]) -> Result<JobMsg, FrameError> {
+        let mut r = FrameReader::new(buf);
+        let msg = match r.u8()? {
+            TAG_START => {
+                let attempt = r.u32()?;
+                let count = r.u32()?;
+                if count > MAX_OWNERS {
+                    return Err(FrameError::Corrupt("owners length"));
+                }
+                // Cap pre-allocation by what the buffer can actually
+                // hold; a lying length fails on the first short read.
+                let mut owners = Vec::with_capacity((count as usize).min(r.remaining() / 4 + 1));
+                for _ in 0..count {
+                    owners.push(r.u32()?);
+                }
+                JobMsg::Start { attempt, owners }
+            }
+            TAG_ACK => JobMsg::Ack { attempt: r.u32()? },
+            TAG_FINISH => JobMsg::Finish { rows: r.u64()? },
+            _ => return Err(FrameError::Corrupt("job tag")),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_every_variant() {
+        let msgs = [
+            JobMsg::Start {
+                attempt: 3,
+                owners: vec![1, 2, 1, 4],
+            },
+            JobMsg::Start {
+                attempt: 1,
+                owners: Vec::new(),
+            },
+            JobMsg::Ack { attempt: 7 },
+            JobMsg::Finish { rows: u64::MAX },
+        ];
+        for m in msgs {
+            assert_eq!(JobMsg::decode(&m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_byte_is_a_typed_error() {
+        let full = JobMsg::Start {
+            attempt: 9,
+            owners: vec![1, 2, 3],
+        }
+        .encode();
+        for cut in 0..full.len() {
+            let err = JobMsg::decode(&full[..cut]).unwrap_err();
+            assert_eq!(err, FrameError::Truncated, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_tag_and_trailing_bytes_are_corrupt() {
+        assert!(matches!(
+            JobMsg::decode(&[99]),
+            Err(FrameError::Corrupt("job tag"))
+        ));
+        let mut full = JobMsg::Ack { attempt: 1 }.encode();
+        full.push(0);
+        assert!(matches!(
+            JobMsg::decode(&full),
+            Err(FrameError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn lying_owner_count_cannot_drive_allocation() {
+        // Declares 2^16 owners but carries none: must fail Truncated
+        // without allocating gigabytes first.
+        let mut buf = vec![TAG_START];
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&MAX_OWNERS.to_le_bytes());
+        assert_eq!(JobMsg::decode(&buf).unwrap_err(), FrameError::Truncated);
+        // And past the cap it is rejected outright.
+        let mut buf = vec![TAG_START];
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&(MAX_OWNERS + 1).to_le_bytes());
+        assert_eq!(
+            JobMsg::decode(&buf).unwrap_err(),
+            FrameError::Corrupt("owners length")
+        );
+    }
+}

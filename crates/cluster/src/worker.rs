@@ -1,0 +1,153 @@
+//! The worker loop: wait for an attempt dispatch, ack it, aggregate
+//! the owned partitions locally, and ship the partials to the
+//! coordinator — as many times as recovery demands, until `Finish`.
+
+use crate::proto::JobMsg;
+use crate::spec::ClusterSpec;
+use crate::{ClusterError, Progress};
+use adaptagg_algos::common::{local_partial_aggregation, ship_partials_to};
+use adaptagg_exec::{ExecError, NodeCtx};
+use adaptagg_model::CostParams;
+use adaptagg_net::{Control, Endpoint, NetError, Payload};
+use adaptagg_storage::SimDisk;
+use std::time::Duration;
+
+/// The coordinator's node id.
+pub const COORDINATOR: usize = 0;
+
+/// Worker knobs.
+#[derive(Debug, Clone)]
+pub struct WorkerOpts {
+    /// How long to sit idle (no dispatch, no heartbeat-detected death)
+    /// before concluding the coordinator is wedged and exiting.
+    pub idle_timeout: Duration,
+    /// Test hook: sleep this long after acking an attempt, before
+    /// scanning — widens the window in which a kill lands mid-query.
+    pub slow_scan: Duration,
+    /// Aggregator memory bound.
+    pub max_entries: usize,
+    /// Overflow-bucket fanout.
+    pub fanout: usize,
+}
+
+impl Default for WorkerOpts {
+    fn default() -> Self {
+        WorkerOpts {
+            idle_timeout: Duration::from_secs(120),
+            slow_scan: Duration::ZERO,
+            max_entries: CostParams::paper_default().max_hash_entries,
+            fanout: 4,
+        }
+    }
+}
+
+/// What a finished worker reports.
+#[derive(Debug)]
+pub struct WorkerReport {
+    /// Attempts this worker ran to completion (acked and shipped).
+    pub attempts_run: usize,
+    /// Result-row count the coordinator announced in `Finish`.
+    pub rows_reported: u64,
+}
+
+/// Run a worker node over an established endpoint until the
+/// coordinator announces completion (`Ok`), dies (`Err`), or this
+/// worker hits an unrecoverable local error (`Err`, after telling the
+/// coordinator via `Abort` so it can reassign without waiting for a
+/// heartbeat timeout).
+pub fn run_worker(
+    mut endpoint: Endpoint,
+    spec: &ClusterSpec,
+    opts: &WorkerOpts,
+    progress: Progress<'_>,
+) -> Result<WorkerReport, ClusterError> {
+    let me = endpoint.node();
+    assert!(me != COORDINATOR, "workers are nodes 1..n");
+    let partitions = spec.partitions();
+    let plan = spec.plan();
+    let params = CostParams::paper_default();
+    let mut attempts_run = 0usize;
+
+    loop {
+        let msg = match endpoint.recv_timeout(opts.idle_timeout) {
+            Ok(msg) => msg,
+            // A fellow worker died; the coordinator owns recovery — a
+            // worker just keeps serving dispatches.
+            Err(NetError::PeerDown { peer }) if peer != COORDINATOR => continue,
+            Err(e) => return Err(e.into()),
+        };
+        match msg.payload {
+            Payload::Control(Control::Job(bytes)) => match JobMsg::decode(&bytes) {
+                Ok(JobMsg::Start { attempt, owners }) => {
+                    endpoint.send_control(
+                        COORDINATOR,
+                        Control::Job(JobMsg::Ack { attempt }.encode()),
+                        0.0,
+                    )?;
+                    progress(&format!("attempt {attempt}: scanning"));
+                    if !opts.slow_scan.is_zero() {
+                        std::thread::sleep(opts.slow_scan);
+                    }
+                    let base = spec.base_for(&partitions, &owners, me as u32);
+                    let disk = SimDisk::with_base_partition(base);
+                    let mut ctx = NodeCtx::new(endpoint, disk, params.clone());
+                    let result = local_partial_aggregation(
+                        &mut ctx,
+                        &plan,
+                        opts.max_entries,
+                        opts.fanout,
+                    )
+                    .and_then(|(partials, _)| {
+                        ship_partials_to(&mut ctx, COORDINATOR, &plan, partials)
+                    });
+                    endpoint = ctx.into_endpoint();
+                    match result {
+                        Ok(()) => {
+                            attempts_run += 1;
+                            progress(&format!("attempt {attempt}: partials shipped"));
+                        }
+                        Err(ExecError::Net(NetError::PeerDown {
+                            peer: COORDINATOR,
+                        })) => {
+                            return Err(ClusterError::Net(NetError::PeerDown {
+                                peer: COORDINATOR,
+                            }))
+                        }
+                        Err(e) => {
+                            // Tell the coordinator before bailing so it
+                            // recovers immediately instead of waiting
+                            // out a heartbeat timeout.
+                            let _ = endpoint.send_control(
+                                COORDINATOR,
+                                Control::Abort {
+                                    origin: me,
+                                    reason: e.to_string(),
+                                },
+                                0.0,
+                            );
+                            return Err(e.into());
+                        }
+                    }
+                }
+                Ok(JobMsg::Finish { rows }) => {
+                    progress(&format!("finish: {rows} row(s) cluster-wide"));
+                    return Ok(WorkerReport {
+                        attempts_run,
+                        rows_reported: rows,
+                    });
+                }
+                Ok(JobMsg::Ack { .. }) => {
+                    return Err(ClusterError::Protocol("worker received an Ack"))
+                }
+                Err(e) => return Err(ClusterError::Net(NetError::Frame(e))),
+            },
+            Payload::Control(Control::Abort { origin, reason }) => {
+                return Err(ClusterError::Aborted { origin, reason })
+            }
+            // Stray traffic (a late EndOfPhase, a data page misrouted
+            // by a dying peer): ignore — the job protocol is resilient
+            // to leftovers by construction.
+            Payload::Control(_) | Payload::Data { .. } => {}
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! In-process integration tests for the coordinator/worker job
+//! protocol: the same `run_coordinator`/`run_worker` code the binaries
+//! ship, exercised over both transport backends — the deterministic
+//! channel fabric and real TCP loopback sockets — behind the one
+//! `Endpoint` reliability layer.
+
+use adaptagg_cluster::{
+    run_coordinator, run_worker, ClusterError, ClusterSpec, CoordinatorOpts, WorkerOpts,
+};
+use adaptagg_net::{
+    loopback_endpoints, Control, Endpoint, Fabric, FaultPlan, NetworkKind, Payload, TcpConfig,
+};
+use adaptagg_workload::default_query;
+use std::thread;
+use std::time::Duration;
+
+fn spec(nodes: usize) -> ClusterSpec {
+    ClusterSpec {
+        nodes,
+        tuples: 3000,
+        groups: 20,
+        seed: 7,
+    }
+}
+
+fn reference(s: &ClusterSpec) -> Vec<adaptagg_model::ResultRow> {
+    adaptagg_algos::reference_aggregate(&s.partitions(), &default_query()).unwrap()
+}
+
+fn quiet() -> impl FnMut(&str) {
+    |_line: &str| {}
+}
+
+/// Drive a full cluster: the coordinator on this thread, `run_worker`
+/// on one thread per remaining endpoint. Panics in worker threads fail
+/// the join below.
+fn drive(
+    endpoints: Vec<Endpoint>,
+    s: &ClusterSpec,
+    copts: CoordinatorOpts,
+    lazy_worker: Option<usize>,
+) -> (
+    Result<adaptagg_cluster::CoordinatorReport, ClusterError>,
+    Vec<Result<adaptagg_cluster::WorkerReport, ClusterError>>,
+) {
+    let mut endpoints = endpoints.into_iter();
+    let coord_ep = endpoints.next().unwrap();
+    let mut handles = Vec::new();
+    for (i, ep) in endpoints.enumerate() {
+        let node = i + 1;
+        let s = s.clone();
+        if Some(node) == lazy_worker {
+            // A worker that takes the dispatch and silently walks away:
+            // the in-process stand-in for a wedged process (channel
+            // peers have no heartbeat, so death surfaces only through
+            // the coordinator's attempt deadline).
+            handles.push(thread::spawn(move || {
+                let mut ep = ep;
+                let msg = ep.recv_timeout(Duration::from_secs(10)).unwrap();
+                assert!(matches!(
+                    msg.payload,
+                    Payload::Control(Control::Job(_))
+                ));
+                Err(ClusterError::Protocol("lazy worker walked away"))
+            }));
+            continue;
+        }
+        let wopts = WorkerOpts {
+            idle_timeout: Duration::from_secs(20),
+            ..WorkerOpts::default()
+        };
+        handles.push(thread::spawn(move || {
+            run_worker(ep, &s, &wopts, &mut quiet())
+        }));
+    }
+    let report = run_coordinator(coord_ep, s, &copts, &mut quiet());
+    let worker_results = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    (report, worker_results)
+}
+
+#[test]
+fn fabric_cluster_completes_and_matches_reference() {
+    let s = spec(4);
+    let endpoints = Fabric::new(4, NetworkKind::high_speed_default()).into_endpoints();
+    let (report, workers) = drive(endpoints, &s, CoordinatorOpts::default(), None);
+    let report = report.unwrap();
+    assert_eq!(report.rows, reference(&s));
+    assert_eq!(report.attempts, 1);
+    assert!(report.dead_workers.is_empty());
+    for w in workers {
+        let w = w.unwrap();
+        assert_eq!(w.attempts_run, 1);
+        assert_eq!(w.rows_reported, report.rows.len() as u64);
+    }
+}
+
+#[test]
+fn fabric_cluster_recovers_from_a_wedged_worker() {
+    let s = spec(4);
+    let endpoints = Fabric::new(4, NetworkKind::high_speed_default()).into_endpoints();
+    let copts = CoordinatorOpts {
+        attempt_timeout: Duration::from_secs(2),
+        ..CoordinatorOpts::default()
+    };
+    let (report, workers) = drive(endpoints, &s, copts, Some(3));
+    let report = report.unwrap();
+    assert_eq!(report.rows, reference(&s), "recovered result must be exact");
+    assert_eq!(report.attempts, 2);
+    assert_eq!(report.dead_workers, vec![3]);
+    assert_eq!(report.reassigned_partitions, 1);
+    // The survivors ran both attempts; the lazy one errored out.
+    let ok: Vec<_> = workers.iter().filter(|w| w.is_ok()).collect();
+    assert_eq!(ok.len(), 2);
+    for w in ok {
+        assert_eq!(w.as_ref().unwrap().attempts_run, 2);
+    }
+}
+
+#[test]
+fn fabric_cluster_exhausts_honestly_when_every_worker_wedges() {
+    // Two workers, both lazy — drive() only supports one lazy seat, so
+    // hand-roll: workers take the dispatch and walk away; with
+    // max_attempts = 2 the coordinator must spend its budget and
+    // report exhaustion, not hang or fabricate rows.
+    let s = spec(3);
+    let mut endpoints = Fabric::new(3, NetworkKind::high_speed_default())
+        .into_endpoints()
+        .into_iter();
+    let coord_ep = endpoints.next().unwrap();
+    let handles: Vec<_> = endpoints
+        .map(|mut ep| {
+            thread::spawn(move || {
+                while let Ok(msg) = ep.recv_timeout(Duration::from_secs(10)) {
+                    if matches!(msg.payload, Payload::Control(Control::Job(_))) {
+                        return;
+                    }
+                }
+            })
+        })
+        .collect();
+    let copts = CoordinatorOpts {
+        max_attempts: 2,
+        attempt_timeout: Duration::from_millis(600),
+        ..CoordinatorOpts::default()
+    };
+    let err = run_coordinator(coord_ep, &s, &copts, &mut quiet()).unwrap_err();
+    match &err {
+        ClusterError::RecoveryExhausted {
+            attempts,
+            dead_workers,
+        } => {
+            assert_eq!(*attempts, 2);
+            assert_eq!(dead_workers.len(), 2);
+        }
+        other => panic!("expected RecoveryExhausted, got {other:?}"),
+    }
+    assert_eq!(err.exit_code(), 2, "exhaustion maps to exit 2");
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn tcp_cluster_completes_and_matches_reference() {
+    let s = spec(4);
+    let endpoints = loopback_endpoints(
+        4,
+        NetworkKind::high_speed_default(),
+        &FaultPlan::none(),
+        TcpConfig::snappy(),
+    )
+    .unwrap();
+    let (report, workers) = drive(endpoints, &s, CoordinatorOpts::default(), None);
+    let report = report.unwrap();
+    assert_eq!(
+        report.rows,
+        reference(&s),
+        "TCP transport must produce the same rows as the reference"
+    );
+    assert_eq!(report.attempts, 1);
+    for w in workers {
+        assert_eq!(w.unwrap().rows_reported, report.rows.len() as u64);
+    }
+}
+
+#[test]
+fn tcp_cluster_recovers_when_a_worker_disappears() {
+    // The lazy worker drops its TCP endpoint after taking the
+    // dispatch; its Bye makes the disappearance graceful, so recovery
+    // rides the coordinator's attempt deadline (the SIGKILL/heartbeat
+    // path is covered by the process-level suite).
+    let s = spec(4);
+    let endpoints = loopback_endpoints(
+        4,
+        NetworkKind::high_speed_default(),
+        &FaultPlan::none(),
+        TcpConfig::snappy(),
+    )
+    .unwrap();
+    let copts = CoordinatorOpts {
+        attempt_timeout: Duration::from_secs(2),
+        ..CoordinatorOpts::default()
+    };
+    let (report, _workers) = drive(endpoints, &s, copts, Some(3));
+    let report = report.unwrap();
+    assert_eq!(report.rows, reference(&s));
+    assert_eq!(report.attempts, 2);
+    assert_eq!(report.dead_workers, vec![3]);
+}

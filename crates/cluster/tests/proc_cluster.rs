@@ -1,0 +1,211 @@
+//! Process-level cluster tests: the real `adaptagg-coordinator` /
+//! `adaptagg-worker` binaries on localhost TCP, including the headline
+//! robustness scenario — a worker SIGKILLed mid-scan, detected by
+//! heartbeat, and recovered from by partition reassignment.
+
+use std::io::{BufRead, BufReader};
+use std::net::TcpListener;
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+const COORDINATOR: &str = env!("CARGO_BIN_EXE_adaptagg-coordinator");
+const WORKER: &str = env!("CARGO_BIN_EXE_adaptagg-worker");
+
+/// Reserve `n` distinct loopback addresses (bind, record, release —
+/// the race with other port users is acceptable in a test).
+fn free_addrs(n: usize) -> Vec<String> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().unwrap().to_string())
+        .collect()
+}
+
+/// A spawned binary with its output captured line by line.
+struct Proc {
+    child: Child,
+    stdout: Arc<Mutex<Vec<String>>>,
+    stderr: Arc<Mutex<Vec<String>>>,
+}
+
+impl Proc {
+    fn spawn(exe: &str, args: &[String]) -> Proc {
+        let mut child = Command::new(exe)
+            .args(args)
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn cluster binary");
+        let stdout = Arc::new(Mutex::new(Vec::new()));
+        let stderr = Arc::new(Mutex::new(Vec::new()));
+        let out = child.stdout.take().unwrap();
+        let err = child.stderr.take().unwrap();
+        for (pipe, sink) in [
+            (Box::new(out) as Box<dyn std::io::Read + Send>, &stdout),
+            (Box::new(err) as Box<dyn std::io::Read + Send>, &stderr),
+        ] {
+            let sink = Arc::clone(sink);
+            thread::spawn(move || {
+                for line in BufReader::new(pipe).lines().map_while(Result::ok) {
+                    sink.lock().unwrap().push(line);
+                }
+            });
+        }
+        Proc {
+            child,
+            stdout,
+            stderr,
+        }
+    }
+
+    /// Block until some captured stderr line contains `needle`.
+    fn wait_for_stderr(&self, needle: &str, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self
+                .stderr
+                .lock()
+                .unwrap()
+                .iter()
+                .any(|l| l.contains(needle))
+            {
+                return;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "timed out waiting for stderr {needle:?}; so far: {:?}",
+                self.stderr.lock().unwrap()
+            );
+            thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Block until exit, with a deadline; returns the exit code.
+    fn wait_exit(&mut self, timeout: Duration) -> i32 {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(status) = self.child.try_wait().unwrap() {
+                return status.code().unwrap_or(-1);
+            }
+            assert!(
+                Instant::now() < deadline,
+                "process did not exit; stderr: {:?}",
+                self.stderr.lock().unwrap()
+            );
+            thread::sleep(Duration::from_millis(30));
+        }
+    }
+
+    fn stdout_lines(&self) -> Vec<String> {
+        self.stdout.lock().unwrap().clone()
+    }
+}
+
+impl Drop for Proc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn sv(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn four_process_cluster_completes_cleanly() {
+    let addrs = free_addrs(4).join(",");
+    let common = ["--tuples", "4000", "--groups", "32", "--seed", "5"];
+    let mut coordinator = Proc::spawn(COORDINATOR, &{
+        let mut a = sv(&["--cluster", &addrs]);
+        a.extend(sv(&common));
+        a
+    });
+    let mut workers: Vec<Proc> = (1..4)
+        .map(|i| {
+            Proc::spawn(WORKER, &{
+                let mut a = sv(&["--node", &i.to_string(), "--cluster", &addrs]);
+                a.extend(sv(&common));
+                a
+            })
+        })
+        .collect();
+
+    assert_eq!(coordinator.wait_exit(Duration::from_secs(90)), 0);
+    let out = coordinator.stdout_lines();
+    assert!(
+        out.iter().any(|l| l == "rows: 32"),
+        "unexpected stdout: {out:?}"
+    );
+    assert!(out.iter().any(|l| l == "attempts: 1"));
+    for w in &mut workers {
+        assert_eq!(w.wait_exit(Duration::from_secs(30)), 0);
+    }
+}
+
+#[test]
+fn sigkilled_worker_mid_scan_is_recovered_from() {
+    let addrs = free_addrs(4).join(",");
+    let common = [
+        "--tuples",
+        "4000",
+        "--groups",
+        "32",
+        "--seed",
+        "9",
+        "--heartbeat-ms",
+        "40",
+        "--heartbeat-timeout-ms",
+        "1000",
+    ];
+    let mut coordinator = Proc::spawn(COORDINATOR, &{
+        let mut a = sv(&["--cluster", &addrs, "--attempt-timeout-ms", "60000"]);
+        a.extend(sv(&common));
+        a
+    });
+    let mut workers: Vec<Proc> = (1..4)
+        .map(|i| {
+            let mut a = sv(&["--node", &i.to_string(), "--cluster", &addrs]);
+            a.extend(sv(&common));
+            if i == 2 {
+                // The victim dawdles mid-scan so the kill lands while
+                // the query is genuinely in flight.
+                a.extend(sv(&["--slow-scan-ms", "20000"]));
+            }
+            Proc::spawn(WORKER, &a)
+        })
+        .collect();
+
+    // Wait until the victim acked attempt 1 and entered its scan, then
+    // SIGKILL it — no Bye, no FIN-before-silence: the coordinator must
+    // notice via heartbeat timeout.
+    workers[1].wait_for_stderr("attempt 1: scanning", Duration::from_secs(60));
+    workers[1].child.kill().unwrap();
+    workers[1].child.wait().unwrap();
+
+    assert_eq!(
+        coordinator.wait_exit(Duration::from_secs(90)),
+        0,
+        "coordinator stderr: {:?}",
+        coordinator.stderr.lock().unwrap()
+    );
+    let out = coordinator.stdout_lines();
+    assert!(
+        out.iter().any(|l| l == "rows: 32"),
+        "recovered run must still produce every group; stdout: {out:?}"
+    );
+    assert!(out.iter().any(|l| l == "attempts: 2"), "stdout: {out:?}");
+    assert!(out.iter().any(|l| l == "dead_workers: [2]"), "stdout: {out:?}");
+    assert!(
+        out.iter().any(|l| l == "reassigned_partitions: 1"),
+        "stdout: {out:?}"
+    );
+    // The survivors get the Finish broadcast and exit clean.
+    assert_eq!(workers[0].wait_exit(Duration::from_secs(30)), 0);
+    assert_eq!(workers[2].wait_exit(Duration::from_secs(30)), 0);
+}

@@ -6,7 +6,10 @@ use crate::node::{NodeCtx, DEFAULT_WATCHDOG};
 use crate::recovery::{self, RecoveryPolicy, RecoverySession, Segment};
 use crate::runstats::{NodeReport, RecoveryStats, RunResult};
 use adaptagg_model::CostParams;
-use adaptagg_net::{Control, Fabric, FaultPlan, LinkRetryPolicy, NodeFaults};
+use adaptagg_net::{
+    loopback_endpoints, Control, Fabric, FaultPlan, LinkRetryPolicy, NodeFaults, TcpConfig,
+    TransportKind,
+};
 use adaptagg_obs::{NodeTraceReport, RecoveryAttemptTrace, RunTrace};
 use adaptagg_storage::{HeapFile, SimDisk};
 use std::time::Duration;
@@ -45,6 +48,13 @@ pub struct ClusterConfig {
     /// cost events and never advances any clock, so every virtual-time
     /// figure is bit-identical with it on or off.
     pub trace: bool,
+    /// Which wire carries the fabric: the deterministic in-process
+    /// channel mesh (the default) or real TCP sockets on loopback. The
+    /// reliability layer — sequence numbers, dedup, fault injection,
+    /// virtual-time accounting — is identical over both (see
+    /// [`adaptagg_net::Transport`]), so algorithms, chaos schedules, and
+    /// traces run unchanged against either backend.
+    pub transport: TransportKind,
 }
 
 impl ClusterConfig {
@@ -61,7 +71,14 @@ impl ClusterConfig {
             trace: std::env::var("ADAPTAGG_TRACE")
                 .map(|v| !v.is_empty() && v != "0")
                 .unwrap_or(false),
+            transport: TransportKind::default(),
         }
+    }
+
+    /// Run the fabric over the given transport backend.
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
     }
 
     /// Record a [`RunTrace`] for this run (see [`ClusterConfig::trace`]).
@@ -191,6 +208,7 @@ where
             let attempt = run_seats(
                 &config.params,
                 &config.fault_plan,
+                config.transport,
                 watchdog,
                 None,
                 config.trace,
@@ -208,6 +226,7 @@ where
                     trace: config.trace.then(|| RunTrace {
                         nodes: traces,
                         recovery: Vec::new(),
+                        transport: config.transport.to_string(),
                     }),
                 }),
                 Err((e, _at_ms)) => Err(e),
@@ -235,9 +254,11 @@ type AttemptErr = (ExecError, f64);
 /// Execute one cluster attempt over the given seats. Returns either all
 /// nodes' outputs or the attempt's first-cause failure with its virtual
 /// failure time.
+#[allow(clippy::too_many_arguments)]
 fn run_seats<T, F>(
     params: &CostParams,
     fault_plan: &FaultPlan,
+    transport: TransportKind,
     watchdog: Duration,
     link_retry: Option<LinkRetryPolicy>,
     trace: bool,
@@ -249,7 +270,20 @@ where
     F: Fn(&mut NodeCtx) -> Result<T, ExecError> + Sync,
 {
     let n = seats.len();
-    let endpoints = Fabric::with_faults(n, params.network, fault_plan).into_endpoints();
+    let endpoints = match transport {
+        TransportKind::InProcess => {
+            Fabric::with_faults(n, params.network, fault_plan).into_endpoints()
+        }
+        TransportKind::TcpLoopback => {
+            let cfg = TcpConfig::default().with_seed(fault_plan.seed());
+            match loopback_endpoints(n, params.network, fault_plan, cfg) {
+                Ok(endpoints) => endpoints,
+                // Establishment failure happens before any virtual time
+                // elapses; it is an environment fault, not a node fault.
+                Err(e) => return Err((ExecError::Net(e), 0.0)),
+            }
+        }
+    };
 
     type NodeOk<T> = (T, NodeReport, f64, Option<NodeTraceReport>);
     let results: Vec<Result<NodeOk<T>, (ExecError, f64)>> = std::thread::scope(|scope| {
@@ -432,6 +466,7 @@ where
         match run_seats(
             &config.params,
             &config.fault_plan,
+            config.transport,
             watchdog,
             policy.link_retry,
             config.trace,
@@ -457,6 +492,7 @@ where
                     trace: config.trace.then(|| RunTrace {
                         nodes: traces,
                         recovery: std::mem::take(&mut recovery_trace),
+                        transport: config.transport.to_string(),
                     }),
                 });
             }

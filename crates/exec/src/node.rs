@@ -104,6 +104,14 @@ impl NodeCtx {
         }
     }
 
+    /// Dismantle the context, handing back its endpoint. The cluster
+    /// binaries run one recovery attempt per context but hold a single
+    /// established connection mesh for the life of the process; this is
+    /// how the mesh survives the context.
+    pub fn into_endpoint(self) -> Endpoint {
+        self.endpoint
+    }
+
     /// This node's id (`0..nodes`).
     pub fn id(&self) -> usize {
         self.id
@@ -305,7 +313,7 @@ impl NodeCtx {
     /// wait on simulated time.
     pub fn try_recv(&mut self) -> Result<Option<Message>, ExecError> {
         let now = self.clock.now_ms();
-        let Some(msg) = self.endpoint.try_recv_arrived(now) else {
+        let Some(msg) = self.endpoint.try_recv_arrived(now)? else {
             return Ok(None);
         };
         let msg = self.intercept(msg)?;

@@ -22,6 +22,63 @@ pub enum NetError {
         /// How long the receiver waited, in real milliseconds.
         waited_ms: u64,
     },
+    /// A wire frame failed to decode (TCP transport). Always a typed
+    /// value, never a panic — a corrupt or malicious peer must not be
+    /// able to take a node down.
+    Frame(FrameError),
+    /// An OS-level I/O failure on the TCP transport, tagged with the
+    /// operation that failed. The error kind is kept (not the message) so
+    /// `NetError` stays `Copy` and comparable.
+    Io {
+        /// What the transport was doing (`"bind"`, `"connect"`, …).
+        op: &'static str,
+        /// The OS error class.
+        kind: std::io::ErrorKind,
+    },
+    /// Cluster establishment did not complete: a peer never finished the
+    /// `Hello` handshake within the connect budget.
+    Handshake {
+        /// How many peers were still missing when the budget ran out.
+        missing: usize,
+    },
+}
+
+/// Why a length-prefixed frame failed to decode. Every variant is a
+/// graceful rejection of untrusted input: truncation, corruption, and
+/// oversized declarations are detected *before* any allocation larger
+/// than [`crate::frame::MAX_FRAME_BYTES`] can happen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The input ended before the declared frame did.
+    Truncated,
+    /// The declared length exceeds the frame cap — rejected before
+    /// allocating, so a hostile 4 GB declaration cannot OOM the node.
+    Oversized {
+        /// The length the header declared.
+        declared: u32,
+        /// The enforced cap.
+        max: u32,
+    },
+    /// A field failed validation; names the first offending field.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame truncated"),
+            FrameError::Oversized { declared, max } => {
+                write!(f, "frame declares {declared} bytes (cap {max})")
+            }
+            FrameError::Corrupt(field) => write!(f, "frame corrupt at {field}"),
+        }
+    }
+}
+
+impl From<FrameError> for NetError {
+    fn from(e: FrameError) -> Self {
+        NetError::Frame(e)
+    }
 }
 
 impl fmt::Display for NetError {
@@ -31,6 +88,11 @@ impl fmt::Display for NetError {
             NetError::Disconnected => write!(f, "all peers disconnected"),
             NetError::Deadline { waited_ms } => {
                 write!(f, "receive deadline elapsed after {waited_ms} ms")
+            }
+            NetError::Frame(e) => write!(f, "wire frame error: {e}"),
+            NetError::Io { op, kind } => write!(f, "transport i/o error during {op}: {kind}"),
+            NetError::Handshake { missing } => {
+                write!(f, "cluster handshake incomplete: {missing} peer(s) missing")
             }
         }
     }

@@ -1,7 +1,9 @@
 //! The N×N message fabric.
 //!
-//! [`Fabric::new`] builds one unbounded crossbeam channel per node; each
-//! node thread takes its [`Endpoint`], which can send to any node
+//! [`Fabric::new`] builds one in-process [`ChannelTransport`] per node;
+//! each node thread takes its [`Endpoint`] — the transport-independent
+//! reliability layer over any [`Transport`] wire — which can send to any
+//! node
 //! (including itself — the paper's cost model charges self-partitioned
 //! tuples like remote ones, and we follow it) and receive from all.
 //!
@@ -30,9 +32,9 @@ use crate::fault::{FaultPlan, LinkFaults, SplitMix64};
 use crate::message::{Control, DataKind, Message, Payload};
 use crate::network::Network;
 use crate::stats::{LinkStats, NetStats};
+use crate::transport::{ChannelTransport, SendFailure, Transport};
 use adaptagg_model::NetworkKind;
 use adaptagg_storage::Page;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
@@ -57,6 +59,13 @@ pub struct LinkRetryPolicy {
     pub backoff_ms: f64,
     /// Multiplier applied to the backoff between retries.
     pub backoff_multiplier: f64,
+    /// Random jitter applied to each backoff step: the charged wait is
+    /// uniform in `[backoff · (1 − j), backoff · (1 + j)]`. Without it,
+    /// concurrent senders probing the same dead peer retry in lockstep
+    /// (synchronized bursts); with it, retries de-correlate. Draws come
+    /// from a per-endpoint stream seeded by the fault plan, so runs stay
+    /// deterministic per seed. `0.0` disables jitter exactly.
+    pub jitter_frac: f64,
 }
 
 impl Default for LinkRetryPolicy {
@@ -65,7 +74,16 @@ impl Default for LinkRetryPolicy {
             max_retries: 2,
             backoff_ms: 1.0,
             backoff_multiplier: 2.0,
+            jitter_frac: 0.25,
         }
+    }
+}
+
+impl LinkRetryPolicy {
+    /// The same policy with jitter disabled (exact-backoff tests).
+    pub fn without_jitter(mut self) -> Self {
+        self.jitter_frac = 0.0;
+        self
     }
 }
 
@@ -84,34 +102,9 @@ impl Fabric {
     /// A fabric whose links suffer the given plan's message faults.
     pub fn with_faults(n: usize, kind: NetworkKind, plan: &FaultPlan) -> Self {
         let network = Network::new(kind);
-        let (senders, receivers): (Vec<Sender<Message>>, Vec<Receiver<Message>>) =
-            (0..n).map(|_| unbounded()).unzip();
-        let link_faults = plan.link_faults();
-        let endpoints = receivers
+        let endpoints = ChannelTransport::mesh(n)
             .into_iter()
-            .enumerate()
-            .map(|(id, rx)| Endpoint {
-                node: id,
-                nodes: n,
-                senders: senders.clone(),
-                rx,
-                pending: std::collections::VecDeque::new(),
-                network: network.clone(),
-                stats: NetStats::default(),
-                link_faults,
-                links: (0..n)
-                    .map(|to| LinkState {
-                        rng: plan.link_rng(id, to),
-                        held: None,
-                        next_seq: 0,
-                        stats: LinkStats::default(),
-                    })
-                    .collect(),
-                expected_seq: vec![0; n],
-                ooo: (0..n).map(|_| BTreeMap::new()).collect(),
-                retry_policy: None,
-                retry_backoff_ms: 0.0,
-            })
+            .map(|wire| Endpoint::over(Box::new(wire), network.clone(), plan))
             .collect();
         Fabric { endpoints }
     }
@@ -150,10 +143,11 @@ struct LinkState {
 pub struct Endpoint {
     node: usize,
     nodes: usize,
-    senders: Vec<Sender<Message>>,
-    rx: Receiver<Message>,
+    /// The raw wire: in-process channels or real TCP — everything else
+    /// in this struct is transport-independent (see [`Transport`]).
+    wire: Box<dyn Transport>,
     /// In-sequence messages awaiting delivery — either reassembled from
-    /// the channel or stashed because their virtual arrival time is still
+    /// the wire or stashed because their virtual arrival time is still
     /// in this node's future (see [`Endpoint::try_recv_arrived`]).
     pending: std::collections::VecDeque<Message>,
     network: Network,
@@ -172,9 +166,45 @@ pub struct Endpoint {
     /// [`Endpoint::take_retry_backoff_ms`] — the execution layer drains
     /// this into the node's clock as wait time.
     retry_backoff_ms: f64,
+    /// Deterministic stream for retry-backoff jitter, seeded from the
+    /// fault plan and this node's id (independent of the link fault
+    /// streams, so enabling jitter perturbs no fault schedule).
+    retry_rng: SplitMix64,
 }
 
 impl Endpoint {
+    /// Attach the fabric's reliability layer to a raw wire: sequence
+    /// stamping, fault injection, dedup/reassembly, and virtual-time
+    /// transfer accounting all live here, identically for every
+    /// [`Transport`] backend.
+    pub fn over(wire: Box<dyn Transport>, network: Network, plan: &FaultPlan) -> Endpoint {
+        let node = wire.node();
+        let n = wire.nodes();
+        let mut s = plan.seed() ^ 0x517c_c1b7_2722_0a95;
+        s = s.wrapping_mul(0x100_0000_01b3) ^ (node as u64).wrapping_add(1);
+        Endpoint {
+            node,
+            nodes: n,
+            wire,
+            pending: std::collections::VecDeque::new(),
+            network,
+            stats: NetStats::default(),
+            link_faults: plan.link_faults(),
+            links: (0..n)
+                .map(|to| LinkState {
+                    rng: plan.link_rng(node, to),
+                    held: None,
+                    next_seq: 0,
+                    stats: LinkStats::default(),
+                })
+                .collect(),
+            expected_seq: vec![0; n],
+            ooo: (0..n).map(|_| BTreeMap::new()).collect(),
+            retry_policy: None,
+            retry_backoff_ms: 0.0,
+            retry_rng: SplitMix64::new(s),
+        }
+    }
     /// This endpoint's node id.
     pub fn node(&self) -> usize {
         self.node
@@ -359,35 +389,45 @@ impl Endpoint {
     }
 
     fn push_wire(&mut self, to: usize, msg: Message) -> Result<(), NetError> {
-        match self.senders[to].send(msg) {
+        match self.wire.send(to, msg) {
             Ok(()) => Ok(()),
-            Err(failed) => self.retry_push(to, failed.0),
+            Err(failed) => self.retry_push(to, failed),
         }
     }
 
-    /// A send failed (the peer's endpoint is gone). Under a retry policy,
+    /// A send failed (the peer is unreachable). Under a retry policy,
     /// re-attempt up to `max_retries` times, charging exponential virtual
-    /// backoff per attempt; give up with [`NetError::PeerDown`] once the
-    /// budget is spent so the failure can escalate to recovery. Without a
+    /// backoff (jittered per [`LinkRetryPolicy::jitter_frac`]) per
+    /// attempt; give up with the transport's typed error once the budget
+    /// is spent so the failure can escalate to recovery. Without a
     /// policy this is the old fail-fast path (zero draws, zero cost).
-    fn retry_push(&mut self, to: usize, mut msg: Message) -> Result<(), NetError> {
+    fn retry_push(&mut self, to: usize, failed: SendFailure) -> Result<(), NetError> {
+        let SendFailure { mut msg, mut err } = failed;
         let Some(policy) = self.retry_policy else {
-            return Err(NetError::PeerDown { peer: to });
+            return Err(err);
         };
         let mut backoff = policy.backoff_ms;
         for _ in 0..policy.max_retries {
             self.stats.send_retries += 1;
             self.links[to].stats.retries += 1;
-            self.retry_backoff_ms += backoff;
+            let wait = if policy.jitter_frac > 0.0 {
+                backoff * (1.0 + policy.jitter_frac * (2.0 * self.retry_rng.next_f64() - 1.0))
+            } else {
+                backoff
+            };
+            self.retry_backoff_ms += wait;
             // The retransmit would arrive after the backoff.
-            msg.sent_at_ms += backoff;
-            match self.senders[to].send(msg) {
+            msg.sent_at_ms += wait;
+            match self.wire.send(to, msg) {
                 Ok(()) => return Ok(()),
-                Err(failed) => msg = failed.0,
+                Err(f) => {
+                    msg = f.msg;
+                    err = f.err;
+                }
             }
             backoff *= policy.backoff_multiplier;
         }
-        Err(NetError::PeerDown { peer: to })
+        Err(err)
     }
 
     /// Blocking receive. Returns the message; the caller merges
@@ -401,7 +441,7 @@ impl Endpoint {
             if let Some(msg) = self.pop_pending(f64::INFINITY) {
                 return Ok(msg);
             }
-            let msg = self.rx.recv().map_err(|_| NetError::Disconnected)?;
+            let msg = self.wire.recv()?;
             self.ingest(msg);
         }
     }
@@ -413,15 +453,19 @@ impl Endpoint {
     /// yet, so it is stashed and the poll keeps looking. Without this
     /// rule, polls would Lamport-drag every clock forward in a feedback
     /// loop and inflate elapsed times cluster-wide.
-    pub fn try_recv_arrived(&mut self, now_ms: f64) -> Option<Message> {
-        while let Ok(msg) = self.rx.try_recv() {
+    ///
+    /// A transport that has declared a peer dead surfaces that here as
+    /// `Err(NetError::PeerDown)` — failure detection must reach pollers,
+    /// not only blocked receivers.
+    pub fn try_recv_arrived(&mut self, now_ms: f64) -> Result<Option<Message>, NetError> {
+        while let Some(msg) = self.wire.try_recv()? {
             self.ingest(msg);
         }
-        self.pop_pending(now_ms)
+        Ok(self.pop_pending(now_ms))
     }
 
     /// Non-blocking receive regardless of virtual arrival time (tests).
-    pub fn try_recv(&mut self) -> Option<Message> {
+    pub fn try_recv(&mut self) -> Result<Option<Message>, NetError> {
         self.try_recv_arrived(f64::INFINITY)
     }
 
@@ -439,14 +483,14 @@ impl Endpoint {
                 .ok_or(NetError::Deadline {
                     waited_ms: timeout.as_millis() as u64,
                 })?;
-            match self.rx.recv_timeout(remaining) {
+            match self.wire.recv_deadline(remaining) {
                 Ok(msg) => self.ingest(msg),
-                Err(RecvTimeoutError::Timeout) => {
+                Err(NetError::Deadline { .. }) => {
                     return Err(NetError::Deadline {
                         waited_ms: timeout.as_millis() as u64,
                     })
                 }
-                Err(RecvTimeoutError::Disconnected) => return Err(NetError::Disconnected),
+                Err(other) => return Err(other),
             }
         }
     }
@@ -490,7 +534,17 @@ impl Endpoint {
                 m.sent_at_ms <= deadline_ms
                     || matches!(&m.payload, Payload::Control(Control::Abort { .. }))
             })
-            .min_by(|(_, a), (_, b)| a.sent_at_ms.total_cmp(&b.sent_at_ms))
+            .min_by(|(_, a), (_, b)| {
+                // Tie-break equal timestamps by (sender, seq), not queue
+                // position: queue order reflects real arrival
+                // interleaving across senders, and delivering on it
+                // makes virtual time scheduling-dependent (ULP-level
+                // drift in float accumulation order under load).
+                a.sent_at_ms
+                    .total_cmp(&b.sent_at_ms)
+                    .then_with(|| a.from.cmp(&b.from))
+                    .then_with(|| a.seq.cmp(&b.seq))
+            })
             .map(|(i, _)| i)?;
         let msg = self.pending.remove(idx).expect("index valid");
         self.note_received(&msg);
@@ -577,7 +631,7 @@ mod tests {
                 Payload::Control(Control::EndOfPhase { groups_seen: 7 })
             );
         }
-        assert!(a.try_recv().is_none(), "broadcast must not loop back");
+        assert!(a.try_recv().unwrap().is_none(), "broadcast must not loop back");
         assert_eq!(a.stats().control_sent, 2);
     }
 
@@ -585,7 +639,7 @@ mod tests {
     fn try_recv_returns_none_when_empty() {
         let mut eps = Fabric::new(1, NetworkKind::high_speed_default()).into_endpoints();
         let mut a = eps.pop().unwrap();
-        assert!(a.try_recv().is_none());
+        assert!(a.try_recv().unwrap().is_none());
     }
 
     #[test]
@@ -686,8 +740,8 @@ mod tests {
         };
         a.push_wire(1, msg.clone()).unwrap();
         a.push_wire(1, msg).unwrap();
-        assert!(b.try_recv().is_some());
-        assert!(b.try_recv().is_none(), "duplicate must be dropped");
+        assert!(b.try_recv().unwrap().is_some());
+        assert!(b.try_recv().unwrap().is_none(), "duplicate must be dropped");
         assert_eq!(b.stats().dup_dropped, 1);
         assert_eq!(b.stats().pages_received, 1, "dup not counted as received");
     }
@@ -728,7 +782,7 @@ mod tests {
         assert_eq!(done, 0.5 + 3.0 * 0.5, "retransmit penalty charged");
         let msg = b.recv().unwrap();
         assert_eq!(msg.sent_at_ms, done, "late, but delivered exactly once");
-        assert!(b.try_recv().is_none());
+        assert!(b.try_recv().unwrap().is_none());
         assert_eq!(a.stats().injected_drops, 1);
     }
 
@@ -820,6 +874,7 @@ mod tests {
             max_retries: 3,
             backoff_ms: 2.0,
             backoff_multiplier: 2.0,
+            jitter_frac: 0.0,
         }));
         drop(b);
         assert_eq!(
@@ -831,6 +886,86 @@ mod tests {
         // Exponential backoff: 2 + 4 + 8.
         assert_eq!(a.take_retry_backoff_ms(), 14.0);
         assert_eq!(a.take_retry_backoff_ms(), 0.0, "drained");
+    }
+
+    #[test]
+    fn retry_jitter_is_bounded_and_deterministic_per_seed() {
+        // With jitter j, each backoff step is scaled into [1-j, 1+j] by a
+        // draw from the endpoint's seeded stream: bounded (never a wild
+        // wait), de-correlated across nodes (no lockstep bursts), and
+        // fully reproducible per fault-plan seed.
+        let probe = |plan_seed: u64| -> f64 {
+            let plan = FaultPlan::new(plan_seed);
+            let mut eps =
+                Fabric::with_faults(2, NetworkKind::high_speed_default(), &plan).into_endpoints();
+            let b = eps.pop().unwrap();
+            let mut a = eps.pop().unwrap();
+            a.set_retry_policy(Some(LinkRetryPolicy {
+                max_retries: 3,
+                backoff_ms: 2.0,
+                backoff_multiplier: 2.0,
+                jitter_frac: 0.5,
+            }));
+            drop(b);
+            assert_eq!(
+                a.send_data(1, DataKind::Raw, page_with(1), 0.0),
+                Err(NetError::PeerDown { peer: 1 })
+            );
+            a.take_retry_backoff_ms()
+        };
+        let total = probe(9);
+        // Nominal total is 2 + 4 + 8 = 14; jitter keeps it within ±50 %.
+        assert!((7.0..=21.0).contains(&total), "got {total}");
+        assert_eq!(probe(9), total, "same seed, same jitter");
+        assert_ne!(probe(10), total, "different seeds de-correlate");
+        // Disabling jitter restores the exact exponential series.
+        let exact = {
+            let mut eps = Fabric::new(2, NetworkKind::high_speed_default()).into_endpoints();
+            let b = eps.pop().unwrap();
+            let mut a = eps.pop().unwrap();
+            a.set_retry_policy(Some(
+                LinkRetryPolicy {
+                    max_retries: 3,
+                    backoff_ms: 2.0,
+                    backoff_multiplier: 2.0,
+                    jitter_frac: 0.9,
+                }
+                .without_jitter(),
+            ));
+            drop(b);
+            let _ = a.send_data(1, DataKind::Raw, page_with(1), 0.0);
+            a.take_retry_backoff_ms()
+        };
+        assert_eq!(exact, 14.0);
+    }
+
+    #[test]
+    fn retry_jitter_differs_across_nodes_under_one_plan() {
+        // Two endpoints of the same fabric probing dead peers must draw
+        // different jitter (per-node streams) — that is the point of
+        // de-correlating retries.
+        let plan = FaultPlan::new(77);
+        let mut eps =
+            Fabric::with_faults(3, NetworkKind::high_speed_default(), &plan).into_endpoints();
+        let c = eps.pop().unwrap();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        let policy = LinkRetryPolicy {
+            max_retries: 4,
+            backoff_ms: 2.0,
+            backoff_multiplier: 2.0,
+            jitter_frac: 0.5,
+        };
+        a.set_retry_policy(Some(policy));
+        b.set_retry_policy(Some(policy));
+        drop(c);
+        let _ = a.send_data(2, DataKind::Raw, page_with(1), 0.0);
+        let _ = b.send_data(2, DataKind::Raw, page_with(1), 0.0);
+        assert_ne!(
+            a.take_retry_backoff_ms(),
+            b.take_retry_backoff_ms(),
+            "nodes must not retry in lockstep"
+        );
     }
 
     #[test]

@@ -30,17 +30,23 @@ pub mod blocker;
 pub mod error;
 pub mod fabric;
 pub mod fault;
+pub mod frame;
 pub mod message;
 pub mod network;
 pub mod stats;
+pub mod tcp;
+pub mod transport;
 
 pub use blocker::Blocker;
-pub use error::NetError;
+pub use error::{FrameError, NetError};
 pub use fabric::{Endpoint, Fabric, LinkRetryPolicy};
 pub use fault::{FaultPlan, LinkFaults, NodeFaults, SplitMix64};
+pub use frame::{WireFrame, MAX_FRAME_BYTES};
 pub use message::{Control, DataKind, Message, Payload};
 pub use network::Network;
 pub use stats::{LinkStats, NetStats};
+pub use tcp::{loopback_endpoints, TcpConfig, TcpTransport};
+pub use transport::{ChannelTransport, SendFailure, Transport, TransportKind};
 
 pub use adaptagg_model::NetworkKind;
 /// Re-export: message pages are storage pages with a 2 KB capacity.

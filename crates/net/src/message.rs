@@ -39,6 +39,11 @@ pub enum Control {
         /// Human-readable description of the originating error.
         reason: String,
     },
+    /// An opaque application-level control payload — the coordinator /
+    /// worker job protocol (attempt assignments, acks, shutdown) rides
+    /// here, so it flows through the same sequence/dedup machinery as
+    /// every other message and works over every [`crate::Transport`].
+    Job(Vec<u8>),
 }
 
 /// The payload of a message.

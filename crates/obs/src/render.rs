@@ -217,6 +217,7 @@ mod tests {
                 lost_ms: 12.5,
                 backoff_ms: 5.0,
             }],
+            transport: "in-process".into(),
         }
     }
 

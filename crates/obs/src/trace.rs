@@ -420,6 +420,11 @@ pub struct RunTrace {
     /// Failed recovery attempts, in order (empty for fail-stop runs and
     /// runs that needed no recovery).
     pub recovery: Vec<RecoveryAttemptTrace>,
+    /// The transport backend the run executed over (`"in-process"`,
+    /// `"tcp-loopback"`, …) — a label, not a type, so this crate stays
+    /// independent of the net layer. Empty when the producer predates
+    /// transport selection.
+    pub transport: String,
 }
 
 impl RunTrace {
@@ -549,6 +554,7 @@ mod tests {
                 b.finish(3.0, [0.0; 4]).unwrap(),
             ],
             recovery: Vec::new(),
+            transport: String::new(),
         };
         let totals = run.phase_totals();
         assert_eq!(totals.len(), 1);

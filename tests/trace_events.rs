@@ -320,3 +320,39 @@ fn recovery_attempts_appear_in_the_trace() {
     }
     assert_eq!(trace.nodes.len(), NODES - 1);
 }
+
+/// The completeness contract holds unchanged over the TCP loopback
+/// backend: tracing lives above the transport, so swapping the wire
+/// must not lose an event or mislabel the run.
+#[test]
+fn chaos_switches_are_traced_over_tcp_loopback() {
+    let spec = RelationSpec::uniform(TUPLES, GROUPS);
+    let parts = generate_partitions(&spec, NODES);
+    let query = default_query();
+
+    let mut completed = 0;
+    for seed in [0u64, 3, 11] {
+        let plan = FaultPlan::random(seed, NODES);
+        for kind in SIX {
+            let cfg = traced_chaos_config(plan.clone())
+                .with_transport(adaptagg::net::TransportKind::TcpLoopback);
+            match run_algorithm(kind, &cfg, &parts, &query) {
+                Ok(out) => {
+                    completed += 1;
+                    let label = format!("seed {seed} over tcp");
+                    assert_events_traced(kind, &label, &out);
+                    assert_eq!(
+                        out.trace.as_ref().unwrap().transport,
+                        "tcp-loopback",
+                        "{kind} {label}: trace mislabels its transport"
+                    );
+                }
+                Err(ExecError::InjectedCrash { .. }) => {
+                    assert!(plan.has_crash(), "crash error without a scheduled crash");
+                }
+                Err(other) => panic!("{kind} seed {seed} tcp: unexpected failure {other:?}"),
+            }
+        }
+    }
+    assert!(completed > 0, "every TCP schedule crashed — no coverage");
+}
