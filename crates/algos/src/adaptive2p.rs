@@ -53,7 +53,7 @@ pub fn run_node_with(
     let (mut scan, mut ex) = match resume {
         Some(r) => (r.scan, r.exchange),
         None => (
-            ScanState::new(plan, max_entries),
+            ScanState::new(plan, max_entries).with_grant(ctx.grant().clone()),
             Exchange::new(
                 ctx.nodes(),
                 ctx.params().message_bytes,
@@ -198,6 +198,14 @@ impl ScanState {
             switched: false,
             raw_seen: 0,
         }
+    }
+
+    /// Attach the node's live memory grant to the local table: a broker
+    /// revocation mid-scan then triggers the adaptive switch exactly as a
+    /// naturally-full table would.
+    pub fn with_grant(mut self, grant: adaptagg_model::MemoryGrant) -> Self {
+        self.table.set_grant(grant);
+        self
     }
 
     /// Process one projected tuple: aggregate locally until the table

@@ -113,7 +113,9 @@ pub fn run_node(
 
         if fallen_back {
             // Adaptive Two Phase logic from here on.
-            let state = a2p.get_or_insert_with(|| ScanState::new(plan, max_entries));
+            let grant = ctx.grant().clone();
+            let state =
+                a2p.get_or_insert_with(|| ScanState::new(plan, max_entries).with_grant(grant));
             state.push(ctx, &mut ex, plan, values, &mut events)
         } else {
             // Repartitioning: hash + destination per tuple.

@@ -55,7 +55,8 @@ pub fn run_node(
     // check (`t_d`) is paid for every received tuple, owned or not.
     let page_bytes = ctx.params().page_bytes;
     let mut agg = HashAggregator::new(plan.projected.clone(), max_entries, page_bytes, fanout)
-        .with_charge_hash(false);
+        .with_charge_hash(false)
+        .with_grant(ctx.grant().clone());
     let mut eos = 0usize;
     let mut discarded: u64 = 0;
     let mut scratch: Vec<adaptagg_model::Value> = Vec::new();

@@ -55,7 +55,8 @@ pub fn local_partial_aggregation(
         return checkpointed_local_aggregation(ctx, plan, max_entries, fanout);
     }
     let page_bytes = ctx.params().page_bytes;
-    let mut agg = HashAggregator::new(plan.projected.clone(), max_entries, page_bytes, fanout);
+    let mut agg = HashAggregator::new(plan.projected.clone(), max_entries, page_bytes, fanout)
+        .with_grant(ctx.grant().clone());
     ctx.span_start(PhaseKind::Scan);
     let scan = operators::scan_project(
         ctx,
@@ -122,7 +123,8 @@ fn checkpointed_local_aggregation(
             while done < seg.pages {
                 let chunk_end = (done + session.interval_pages()).min(seg.pages);
                 let mut agg =
-                    HashAggregator::new(plan.projected.clone(), max_entries, page_bytes, fanout);
+                    HashAggregator::new(plan.projected.clone(), max_entries, page_bytes, fanout)
+                        .with_grant(ctx.grant().clone());
                 operators::scan_project_range(
                     ctx,
                     "base",
@@ -177,7 +179,8 @@ pub fn merge_phase_store(
 ) -> Result<(Vec<ResultRow>, HashAggStats), ExecError> {
     let page_bytes = ctx.params().page_bytes;
     let mut agg = HashAggregator::new(plan.projected.clone(), max_entries, page_bytes, fanout)
-        .with_charge_hash(false);
+        .with_charge_hash(false)
+        .with_grant(ctx.grant().clone());
 
     ctx.span_start(PhaseKind::Merge);
     let merged = merge_phase_inner(ctx, &mut agg, pre_received, pre_eos);

@@ -34,7 +34,8 @@ pub fn run_node(
     let max_entries = ctx.params().max_hash_entries;
     let fanout = cfg.overflow_fanout;
 
-    let mut table = AggTable::new(plan.projected.clone(), max_entries);
+    let mut table =
+        AggTable::new(plan.projected.clone(), max_entries).with_grant(ctx.grant().clone());
     let mut ex = Exchange::new(
         ctx.nodes(),
         ctx.params().message_bytes,

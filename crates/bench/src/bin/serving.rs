@@ -1,0 +1,117 @@
+//! Open-loop serving load generator → `BENCH_serving.json`.
+//!
+//! Default: build an in-process scheduler, fire the seeded open-loop
+//! schedule at three pressure levels, and write the committed baseline.
+//! With `--server ADDR` it instead drives a running `adaptagg serve`
+//! over TCP (the CI serve-smoke job's client), optionally mixing `proc`
+//! mesh queries into the burst.
+//!
+//! Typical flows:
+//!   serving                         # full baseline → BENCH_serving.json
+//!   serving --quick --out /dev/null # CI smoke
+//!   serving --quick --server 127.0.0.1:7878 --proc-every 4
+
+use adaptagg_bench::serving::{
+    report_json, run_inprocess, run_remote, ServingCfg, SERVE_SQL,
+};
+
+const USAGE: &str = "usage: serving [--quick] [--server ADDR] [--proc-every N] [--out PATH]
+  --quick         small schedule (CI smoke)
+  --server ADDR   drive a running `adaptagg serve` over TCP instead of
+                  an in-process scheduler
+  --proc-every N  (with --server) make every Nth request a `proc` mesh
+                  query instead of SQL
+  --out PATH      output file (default: BENCH_serving.json)";
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(1)
+}
+
+fn main() {
+    let mut quick = false;
+    let mut server: Option<String> = None;
+    let mut proc_every: usize = 0;
+    let mut out_path = String::from("BENCH_serving.json");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--server" => {
+                server = Some(args.next().unwrap_or_else(|| die("--server needs an address")))
+            }
+            "--proc-every" => {
+                proc_every = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--proc-every needs a number"))
+            }
+            "--out" => out_path = args.next().unwrap_or_else(|| die("--out needs a path")),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+    }
+
+    let mode = if quick { "quick" } else { "full" };
+    let base = if quick { ServingCfg::quick() } else { ServingCfg::full() };
+
+    if let Some(addr) = server {
+        // Remote mode: one scenario against the live server. The mix
+        // closure injects proc queries for the smoke job.
+        eprintln!("driving {addr} ({mode}): {} queries", base.queries);
+        let m = run_remote(&base, &addr, |i| {
+            if proc_every > 0 && i % proc_every == proc_every - 1 {
+                "proc".to_string()
+            } else {
+                SERVE_SQL.to_string()
+            }
+        })
+        .unwrap_or_else(|e| die(&format!("load run failed: {e}")));
+        let doc = report_json(mode, &[("remote_open_loop", m.clone())]);
+        print!("{doc}");
+        let accounted = m.completed
+            + m.failed
+            + m.rejected_queue_full
+            + m.rejected_deadline
+            + m.rejected_memory;
+        if accounted != m.cfg.queries {
+            die(&format!(
+                "{} of {} queries unaccounted for (transport errors?)",
+                m.cfg.queries - accounted,
+                m.cfg.queries
+            ));
+        }
+        return;
+    }
+
+    // In-process baseline: three pressure levels on the same dataset —
+    // uncontended, broker-degraded, and queue-shedding.
+    let light = ServingCfg {
+        offered_qps: base.offered_qps / 8.0,
+        concurrency: 2,
+        ..base.clone()
+    };
+    let heavy = ServingCfg {
+        offered_qps: base.offered_qps * 2.0,
+        queue: 2,
+        ..base.clone()
+    };
+    eprintln!("serving baseline ({mode}):");
+    let scenarios = [
+        ("light_load", run_inprocess(&light, true)),
+        ("broker_pressure", run_inprocess(&base, true)),
+        ("overload_shed", run_inprocess(&heavy, true)),
+    ];
+    let named: Vec<(&str, _)> = scenarios.iter().map(|(n, m)| (*n, m.clone())).collect();
+    let doc = report_json(mode, &named);
+    if out_path != "/dev/null" {
+        std::fs::write(&out_path, &doc)
+            .unwrap_or_else(|e| die(&format!("writing {out_path}: {e}")));
+        eprintln!("wrote {out_path}");
+    }
+    print!("{doc}");
+}

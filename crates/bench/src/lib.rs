@@ -18,6 +18,7 @@ pub mod ablations;
 pub mod figures;
 pub mod measured;
 pub mod report;
+pub mod serving;
 pub mod throughput;
 
 pub use report::{Series, Table};

@@ -1,0 +1,426 @@
+//! Open-loop serving load generator → `BENCH_serving.json`.
+//!
+//! Fires a seeded arrival schedule of GROUP-BY queries at the
+//! multi-query scheduler and reports what a serving system is judged
+//! on: achieved qps, completion-latency percentiles (p50/p99), and the
+//! honest-shedding counters (`queue_full` / `deadline_unmeetable` /
+//! `memory_exhausted`). Open-loop means arrivals do not wait for
+//! completions — overload shows up as shed queries, not as a silently
+//! slowed generator.
+//!
+//! Two backends share the schedule and the report:
+//!
+//! - **in-process** (default): a [`Scheduler`] built here, used by the
+//!   `serving` binary to commit the baseline;
+//! - **remote** (`--server ADDR`): one TCP connection per in-flight
+//!   query against a running `adaptagg serve`, used by the CI
+//!   serve-smoke job (optionally mixing in `proc` mesh queries).
+
+use adaptagg_serve::scheduler::{Dataset, QueryOutcome, QueryRequest, Scheduler, ServeConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// The study's standard serving query.
+pub const SERVE_SQL: &str = "SELECT g, SUM(v), COUNT(*) FROM r GROUP BY g";
+
+/// One load-generation scenario.
+#[derive(Debug, Clone)]
+pub struct ServingCfg {
+    /// Total queries to fire.
+    pub queries: usize,
+    /// Offered arrival rate, queries/sec (open loop).
+    pub offered_qps: f64,
+    /// Virtual cluster size per query.
+    pub nodes: usize,
+    /// Relation size.
+    pub tuples: usize,
+    /// Distinct groups.
+    pub groups: usize,
+    /// Workload seed (also seeds the arrival jitter).
+    pub seed: u64,
+    /// Per-node hash budget `M` the broker divides.
+    pub memory: usize,
+    /// Executor pool size.
+    pub concurrency: usize,
+    /// Admission queue capacity.
+    pub queue: usize,
+    /// Per-query deadline, if any.
+    pub deadline_ms: Option<u64>,
+}
+
+impl ServingCfg {
+    /// CI smoke scale: finishes in a few seconds.
+    pub fn quick() -> Self {
+        ServingCfg {
+            queries: 48,
+            offered_qps: 120.0,
+            nodes: 4,
+            tuples: 12_000,
+            groups: 600,
+            seed: 7,
+            memory: 800,
+            concurrency: 3,
+            queue: 4,
+            deadline_ms: None,
+        }
+    }
+
+    /// Baseline scale: long enough for stable percentiles, hot enough
+    /// that the broker visibly degrades and the queue visibly sheds.
+    pub fn full() -> Self {
+        ServingCfg {
+            queries: 240,
+            offered_qps: 160.0,
+            nodes: 4,
+            tuples: 48_000,
+            groups: 2_400,
+            seed: 7,
+            memory: 3_200,
+            concurrency: 3,
+            queue: 6,
+            deadline_ms: None,
+        }
+    }
+}
+
+/// What one fired query came back as.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Wall latency from submission to the report, milliseconds.
+    pub latency_ms: f64,
+    /// `ok` / `rejected:<reason>` / `failed`.
+    pub status: String,
+    /// The query ran below the full per-node budget.
+    pub degraded: bool,
+}
+
+/// Aggregated scenario results.
+#[derive(Debug, Clone)]
+pub struct ServingMeasure {
+    pub cfg: ServingCfg,
+    /// Wall-clock seconds from first submission to last report.
+    pub wall_s: f64,
+    /// Completed queries per wall second.
+    pub achieved_qps: f64,
+    pub completed: usize,
+    pub failed: usize,
+    pub rejected_queue_full: usize,
+    pub rejected_deadline: usize,
+    pub rejected_memory: usize,
+    /// Completions that ran below the full budget.
+    pub degraded: usize,
+    /// Completion-latency percentiles over completed queries, ms.
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    pub max_ms: f64,
+}
+
+fn percentile(sorted: &[f64], pct: usize) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = (sorted.len() * pct / 100).min(sorted.len() - 1);
+    sorted[idx]
+}
+
+fn summarize(cfg: &ServingCfg, samples: &[Sample], wall_s: f64) -> ServingMeasure {
+    let mut lat: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.status == "ok")
+        .map(|s| s.latency_ms)
+        .collect();
+    lat.sort_by(|a, b| a.total_cmp(b));
+    let count = |status: &str| samples.iter().filter(|s| s.status == status).count();
+    ServingMeasure {
+        cfg: cfg.clone(),
+        wall_s,
+        achieved_qps: lat.len() as f64 / wall_s.max(1e-9),
+        completed: lat.len(),
+        failed: count("failed"),
+        rejected_queue_full: count("rejected:queue_full"),
+        rejected_deadline: count("rejected:deadline_unmeetable"),
+        rejected_memory: count("rejected:memory_exhausted"),
+        degraded: samples.iter().filter(|s| s.degraded).count(),
+        p50_ms: percentile(&lat, 50),
+        p99_ms: percentile(&lat, 99),
+        max_ms: lat.last().copied().unwrap_or(0.0),
+    }
+}
+
+/// Seeded arrival jitter: ±40% of the mean gap, from a splitmix64
+/// stream — the same schedule on every run of the same seed.
+fn arrival_gaps(cfg: &ServingCfg) -> Vec<Duration> {
+    let mean = 1.0 / cfg.offered_qps.max(1e-9);
+    let mut state = cfg.seed ^ 0x9e37_79b9_7f4a_7c15;
+    (0..cfg.queries)
+        .map(|_| {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            let unit = ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64;
+            Duration::from_secs_f64(mean * (0.6 + 0.8 * unit))
+        })
+        .collect()
+}
+
+/// Fire the schedule at an in-process scheduler and summarize.
+pub fn run_inprocess(cfg: &ServingCfg, verbose: bool) -> ServingMeasure {
+    let data = Arc::new(Dataset::uniform(cfg.nodes, cfg.tuples, cfg.groups, cfg.seed));
+    let mut scfg = ServeConfig::new(cfg.memory);
+    scfg.queue_capacity = cfg.queue;
+    scfg.concurrency = cfg.concurrency;
+    scfg.default_deadline = cfg.deadline_ms.map(Duration::from_millis);
+    scfg.trace = false; // latency runs don't pay the observer
+    let sched = Scheduler::new(scfg, data);
+
+    let start = Instant::now();
+    let mut tickets = Vec::new();
+    let mut samples = Vec::new();
+    for gap in arrival_gaps(cfg) {
+        std::thread::sleep(gap);
+        match sched.submit(QueryRequest::new(SERVE_SQL)) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(report) => samples.push(Sample {
+                latency_ms: report.total_ms,
+                status: match &report.outcome {
+                    QueryOutcome::Rejected(r) => format!("rejected:{}", r.reason.label()),
+                    _ => "failed".to_string(),
+                },
+                degraded: false,
+            }),
+        }
+    }
+    for ticket in tickets {
+        let report = ticket.wait();
+        samples.push(match &report.outcome {
+            QueryOutcome::Complete(q) => Sample {
+                latency_ms: report.total_ms,
+                status: "ok".to_string(),
+                degraded: q.degraded,
+            },
+            QueryOutcome::Rejected(r) => Sample {
+                latency_ms: report.total_ms,
+                status: format!("rejected:{}", r.reason.label()),
+                degraded: false,
+            },
+            QueryOutcome::Failed { .. } => Sample {
+                latency_ms: report.total_ms,
+                status: "failed".to_string(),
+                degraded: false,
+            },
+        });
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    sched.shutdown();
+    let m = summarize(cfg, &samples, wall_s);
+    if verbose {
+        eprintln!(
+            "  {} queries @ {:.0} qps offered → {:.1} qps achieved, \
+             p50 {:.1} ms, p99 {:.1} ms, shed {}/{}/{}, degraded {}",
+            cfg.queries,
+            cfg.offered_qps,
+            m.achieved_qps,
+            m.p50_ms,
+            m.p99_ms,
+            m.rejected_queue_full,
+            m.rejected_deadline,
+            m.rejected_memory,
+            m.degraded
+        );
+    }
+    m
+}
+
+/// Classify one server response line by its `status` (and `reason`).
+pub fn classify_response(line: &str) -> Sample {
+    let status = if line.contains("\"status\": \"ok\"") {
+        "ok".to_string()
+    } else if line.contains("\"status\": \"rejected\"") {
+        for reason in ["queue_full", "deadline_unmeetable", "memory_exhausted"] {
+            if line.contains(&format!("\"reason\": \"{reason}\"")) {
+                return Sample {
+                    latency_ms: 0.0,
+                    status: format!("rejected:{reason}"),
+                    degraded: false,
+                };
+            }
+        }
+        "rejected:unknown".to_string()
+    } else {
+        "failed".to_string()
+    };
+    Sample {
+        latency_ms: 0.0,
+        status,
+        degraded: line.contains("\"degraded\": true"),
+    }
+}
+
+/// Fire the schedule at a running `adaptagg serve` over TCP: one
+/// connection per in-flight query (the scheduler, not the socket count,
+/// bounds concurrency). `request_for(i)` builds each request line —
+/// the serve-smoke job uses it to mix `proc` mesh queries and crash
+/// injections into the burst.
+pub fn run_remote(
+    cfg: &ServingCfg,
+    addr: &str,
+    request_for: impl Fn(usize) -> String,
+) -> std::io::Result<ServingMeasure> {
+    let (tx, rx) = mpsc::channel::<Sample>();
+    let start = Instant::now();
+    let mut fired = 0usize;
+    for (i, gap) in arrival_gaps(cfg).into_iter().enumerate() {
+        std::thread::sleep(gap);
+        let addr = addr.to_string();
+        let line = request_for(i);
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            let t0 = Instant::now();
+            let sample = match query_once(&addr, &line) {
+                Ok(response) => {
+                    let mut s = classify_response(&response);
+                    s.latency_ms = t0.elapsed().as_secs_f64() * 1e3;
+                    s
+                }
+                Err(e) => Sample {
+                    latency_ms: t0.elapsed().as_secs_f64() * 1e3,
+                    status: format!("transport:{e}"),
+                    degraded: false,
+                },
+            };
+            let _ = tx.send(sample);
+        });
+        fired += 1;
+    }
+    drop(tx);
+    let mut samples = Vec::with_capacity(fired);
+    for _ in 0..fired {
+        match rx.recv() {
+            Ok(s) => samples.push(s),
+            Err(_) => break,
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    Ok(summarize(cfg, &samples, wall_s))
+}
+
+/// One request/response round trip on a fresh connection.
+pub fn query_once(addr: &str, line: &str) -> std::io::Result<String> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    let mut writer = stream.try_clone()?;
+    writeln!(writer, "{line}")?;
+    writer.flush()?;
+    let mut response = String::new();
+    BufReader::new(stream).read_line(&mut response)?;
+    Ok(response)
+}
+
+/// Render measurements as the committed `adaptagg-serving/v1` document.
+pub fn report_json(mode: &str, measures: &[(&str, ServingMeasure)]) -> String {
+    let mut s = format!(
+        "{{\n  \"schema\": \"adaptagg-serving/v1\",\n  \"mode\": \"{mode}\",\n  \"scenarios\": [\n"
+    );
+    for (i, (name, m)) in measures.iter().enumerate() {
+        if i > 0 {
+            s.push_str(",\n");
+        }
+        s.push_str(&format!(
+            "    {{\n      \"name\": \"{name}\",\n      \"queries\": {},\n      \
+             \"offered_qps\": {:.1},\n      \"nodes\": {},\n      \"tuples\": {},\n      \
+             \"groups\": {},\n      \"memory\": {},\n      \"concurrency\": {},\n      \
+             \"queue\": {},\n      \"achieved_qps\": {:.2},\n      \"completed\": {},\n      \
+             \"failed\": {},\n      \"rejected_queue_full\": {},\n      \
+             \"rejected_deadline\": {},\n      \"rejected_memory\": {},\n      \
+             \"degraded\": {},\n      \"p50_ms\": {:.2},\n      \"p99_ms\": {:.2},\n      \
+             \"max_ms\": {:.2},\n      \"wall_s\": {:.2}\n    }}",
+            m.cfg.queries,
+            m.cfg.offered_qps,
+            m.cfg.nodes,
+            m.cfg.tuples,
+            m.cfg.groups,
+            m.cfg.memory,
+            m.cfg.concurrency,
+            m.cfg.queue,
+            m.achieved_qps,
+            m.completed,
+            m.failed,
+            m.rejected_queue_full,
+            m.rejected_deadline,
+            m.rejected_memory,
+            m.degraded,
+            m.p50_ms,
+            m.p99_ms,
+            m.max_ms,
+            m.wall_s,
+        ));
+    }
+    s.push_str("\n  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_schedule_is_deterministic_and_jittered() {
+        let cfg = ServingCfg::quick();
+        let a = arrival_gaps(&cfg);
+        let b = arrival_gaps(&cfg);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_eq!(a.len(), cfg.queries);
+        let mean = Duration::from_secs_f64(1.0 / cfg.offered_qps);
+        assert!(a.iter().any(|g| *g != mean), "jitter must vary the gaps");
+        for g in &a {
+            assert!(*g >= mean.mul_f64(0.59) && *g <= mean.mul_f64(1.41));
+        }
+    }
+
+    #[test]
+    fn classify_reads_the_wire_statuses() {
+        assert_eq!(
+            classify_response("{\"status\": \"ok\", \"degraded\": true}").status,
+            "ok"
+        );
+        assert!(classify_response("{\"status\": \"ok\", \"degraded\": true}").degraded);
+        assert_eq!(
+            classify_response(
+                "{\"status\": \"rejected\", \"reason\": \"queue_full\", \"detail\": \"x\"}"
+            )
+            .status,
+            "rejected:queue_full"
+        );
+        assert_eq!(
+            classify_response("{\"status\": \"failed\", \"error\": \"boom\"}").status,
+            "failed"
+        );
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let lat: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&lat, 50), 51.0);
+        assert_eq!(percentile(&lat, 99), 100.0);
+        assert_eq!(percentile(&[], 99), 0.0);
+    }
+
+    #[test]
+    fn quick_scenario_completes_and_sheds_honestly() {
+        let m = run_inprocess(&ServingCfg::quick(), false);
+        let total = m.completed
+            + m.failed
+            + m.rejected_queue_full
+            + m.rejected_deadline
+            + m.rejected_memory;
+        assert_eq!(total, m.cfg.queries, "every query is accounted for");
+        assert_eq!(m.failed, 0, "no dishonest failures under pure overload");
+        assert!(m.completed > 0, "some queries must complete");
+        let json = report_json("quick", &[("open_loop", m)]);
+        assert!(json.contains("\"schema\": \"adaptagg-serving/v1\""));
+        assert!(json.contains("\"rejected_queue_full\""));
+    }
+}

@@ -14,8 +14,64 @@ pub enum Command {
     Sweep(RunArgs),
     /// `explain` — evaluate the cost model and print the recommendation.
     Explain(RunArgs),
+    /// `serve` — run the long-lived multi-query server.
+    Serve(ServeArgs),
     /// `help` — print usage.
     Help,
+}
+
+/// Knobs for `adaptagg serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// TCP listen address for the line protocol.
+    pub listen: String,
+    /// Virtual cluster size each query runs over.
+    pub nodes: usize,
+    /// Relation size in tuples.
+    pub tuples: usize,
+    /// Group count (uniform workload).
+    pub groups: usize,
+    /// Workload generator seed.
+    pub seed: u64,
+    /// The data generator.
+    pub workload: Workload,
+    /// Per-node hash budget M the broker divides among active queries.
+    pub memory: usize,
+    /// Network model.
+    pub network: NetworkKind,
+    /// Admission queue capacity; beyond it queries are shed
+    /// (`queue_full`).
+    pub queue: usize,
+    /// Executor threads (queries running concurrently).
+    pub concurrency: usize,
+    /// Admission floor: reject (`memory_exhausted`) rather than grant
+    /// less than this. 0 means memory/8.
+    pub min_grant: usize,
+    /// Default per-query deadline, applied when the request sets none.
+    pub deadline_ms: Option<u64>,
+    /// Comma-separated mesh addresses: attach a real-process worker
+    /// cluster and answer `proc` commands over it.
+    pub proc_cluster: Option<String>,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            listen: "127.0.0.1:7878".to_string(),
+            nodes: 8,
+            tuples: 100_000,
+            groups: 1_000,
+            seed: 0x5eed,
+            workload: Workload::Uniform,
+            memory: 10_000,
+            network: NetworkKind::ethernet_default(),
+            queue: 32,
+            concurrency: 4,
+            min_grant: 0,
+            deadline_ms: None,
+            proc_cluster: None,
+        }
+    }
 }
 
 /// Which generator feeds the cluster.
@@ -116,6 +172,7 @@ USAGE:
   adaptagg run     [OPTIONS]   execute one query, print results + timing
   adaptagg sweep   [OPTIONS]   sweep group counts, compare all strategies
   adaptagg explain [OPTIONS]   cost-model prediction + recommendation
+  adaptagg serve   [OPTIONS]   long-lived multi-query server (see below)
   adaptagg help                this text
 
 OPTIONS:
@@ -141,6 +198,26 @@ OPTIONS:
                       phase spans, switch events, metrics and per-link
                       traffic (run only)
 
+SERVE OPTIONS (adaptagg serve):
+  --listen <ADDR>     TCP listen address               [default: 127.0.0.1:7878]
+  --nodes, --tuples, --groups, --workload, --memory, --network, --seed
+                      as above: the shared dataset and per-node budget M
+  --queue <N>         admission queue capacity         [default: 32]
+  --concurrency <N>   queries running at once          [default: 4]
+  --min-grant <N>     admission floor in entries       [default: memory/8]
+  --deadline-ms <N>   default per-query deadline       [default: none]
+  --proc-cluster <A0,A1,...>
+                      attach a real-process worker mesh (workers started
+                      with adaptagg-worker --serve) and answer 'proc'
+                      commands over it
+
+  Protocol: one request per line — optional 'key=value;' options
+  (deadline_ms, stall_ms, algo, trace, fault_seed, crash_node,
+  recovery) then SQL; or the bare commands ping / metrics / proc /
+  shutdown. One JSON response line per request with \"status\":
+  \"ok\" | \"rejected\" | \"failed\"; rejected responses carry a typed
+  reason: queue_full | deadline_unmeetable | memory_exhausted.
+
 EXIT CODES:
   0  success
   2  the query ran but fault recovery was exhausted (--recovery)
@@ -157,6 +234,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
         "run" => Ok(Command::Run(parse_run_args(&args[1..])?)),
         "sweep" => Ok(Command::Sweep(parse_run_args(&args[1..])?)),
         "explain" => Ok(Command::Explain(parse_run_args(&args[1..])?)),
+        "serve" => Ok(Command::Serve(parse_serve_args(&args[1..])?)),
         other => Err(ArgError(format!("unknown command '{other}'; try 'adaptagg help'"))),
     }
 }
@@ -217,6 +295,56 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, ArgError> {
     }
     if out.nodes == 0 {
         return Err(ArgError("--nodes must be at least 1".into()));
+    }
+    Ok(out)
+}
+
+fn parse_serve_args(args: &[String]) -> Result<ServeArgs, ArgError> {
+    let mut out = ServeArgs::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |i: usize| -> Result<&str, ArgError> {
+            args.get(i + 1)
+                .map(|s| s.as_str())
+                .ok_or_else(|| ArgError(format!("{flag} needs a value")))
+        };
+        match flag {
+            "--listen" => out.listen = value(i)?.to_string(),
+            "--nodes" => out.nodes = parse_num(flag, value(i)?)?,
+            "--tuples" => out.tuples = parse_num(flag, value(i)?)?,
+            "--groups" => out.groups = parse_num(flag, value(i)?)?,
+            "--memory" => out.memory = parse_num(flag, value(i)?)?,
+            "--seed" => out.seed = parse_num(flag, value(i)?)? as u64,
+            "--workload" => out.workload = parse_workload(value(i)?)?,
+            "--queue" => out.queue = parse_num(flag, value(i)?)?,
+            "--concurrency" => out.concurrency = parse_num(flag, value(i)?)?,
+            "--min-grant" => out.min_grant = parse_num(flag, value(i)?)?,
+            "--deadline-ms" => out.deadline_ms = Some(parse_num(flag, value(i)?)? as u64),
+            "--proc-cluster" => out.proc_cluster = Some(value(i)?.to_string()),
+            "--network" => {
+                out.network = match value(i)? {
+                    "fast" => NetworkKind::high_speed_default(),
+                    "ethernet" => NetworkKind::ethernet_default(),
+                    other => {
+                        return Err(ArgError(format!(
+                            "--network must be 'fast' or 'ethernet', not '{other}'"
+                        )))
+                    }
+                }
+            }
+            other => return Err(ArgError(format!("unknown option '{other}'"))),
+        }
+        i += 2;
+    }
+    if out.nodes == 0 {
+        return Err(ArgError("--nodes must be at least 1".into()));
+    }
+    if out.memory == 0 {
+        return Err(ArgError("--memory must be at least 1".into()));
+    }
+    if out.concurrency == 0 {
+        return Err(ArgError("--concurrency must be at least 1".into()));
     }
     Ok(out)
 }
@@ -402,6 +530,46 @@ mod tests {
         }
         assert!(parse(&argv("run --trace xml")).unwrap_err().0.contains("xml"));
         assert!(parse(&argv("run --trace")).unwrap_err().0.contains("--trace"));
+    }
+
+    #[test]
+    fn serve_args_parse() {
+        match parse(&argv("serve")).unwrap() {
+            Command::Serve(a) => {
+                assert_eq!(a.listen, "127.0.0.1:7878");
+                assert_eq!(a.queue, 32);
+                assert_eq!(a.concurrency, 4);
+                assert_eq!(a.min_grant, 0);
+                assert_eq!(a.deadline_ms, None);
+                assert!(a.proc_cluster.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv(
+            "serve --listen 127.0.0.1:0 --nodes 4 --memory 800 --queue 2 \
+             --concurrency 2 --min-grant 100 --deadline-ms 5000 \
+             --proc-cluster 127.0.0.1:9000,127.0.0.1:9001",
+        ))
+        .unwrap()
+        {
+            Command::Serve(a) => {
+                assert_eq!(a.listen, "127.0.0.1:0");
+                assert_eq!(a.nodes, 4);
+                assert_eq!(a.memory, 800);
+                assert_eq!(a.queue, 2);
+                assert_eq!(a.concurrency, 2);
+                assert_eq!(a.min_grant, 100);
+                assert_eq!(a.deadline_ms, Some(5000));
+                assert_eq!(
+                    a.proc_cluster.as_deref(),
+                    Some("127.0.0.1:9000,127.0.0.1:9001")
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("serve --memory 0")).is_err());
+        assert!(parse(&argv("serve --concurrency 0")).is_err());
+        assert!(parse(&argv("serve --sql x")).is_err());
     }
 
     #[test]

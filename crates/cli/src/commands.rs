@@ -1,6 +1,6 @@
 //! Command implementations.
 
-use crate::args::{RunArgs, TraceFormat, Workload};
+use crate::args::{RunArgs, ServeArgs, TraceFormat, Workload};
 use adaptagg_algos::{run_algorithm, AlgorithmKind};
 use adaptagg_cost::{recommend, CostAlgorithm, ModelConfig};
 use adaptagg_exec::{ClusterConfig, ExecError, FaultPlan, RecoveryPolicy};
@@ -284,6 +284,106 @@ pub fn cmd_run(args: &RunArgs) -> Result<(), CmdError> {
             TraceFormat::Text => println!("\ntrace\n{}", trace.to_text()),
         }
     }
+    Ok(())
+}
+
+/// `adaptagg serve` — bind the listen address and run the multi-query
+/// server until a client sends `shutdown`.
+pub fn cmd_serve(args: &ServeArgs) -> Result<(), CmdError> {
+    use adaptagg_serve::{serve, Dataset, Scheduler, ServeConfig};
+    use std::sync::Arc;
+
+    // The shared dataset every query runs over: immutable partitions,
+    // generated once.
+    let run_equiv = RunArgs {
+        workload: args.workload,
+        nodes: args.nodes,
+        tuples: args.tuples,
+        groups: args.groups,
+        seed: args.seed,
+        network: args.network,
+        memory: args.memory,
+        ..RunArgs::default()
+    };
+    let data = Arc::new(Dataset {
+        schema: schema(args.workload),
+        partitions: generate(&run_equiv),
+    });
+
+    let mut cfg = ServeConfig::new(args.memory);
+    cfg.queue_capacity = args.queue;
+    cfg.concurrency = args.concurrency;
+    if args.min_grant > 0 {
+        cfg.min_grant = args.min_grant.min(args.memory);
+    }
+    cfg.default_deadline = args.deadline_ms.map(std::time::Duration::from_millis);
+    cfg.params = cost_params(&run_equiv);
+
+    let proc = match &args.proc_cluster {
+        Some(list) => {
+            let cluster: Vec<std::net::SocketAddr> = list
+                .split(',')
+                .map(|a| {
+                    a.parse()
+                        .map_err(|e| format!("--proc-cluster: bad address {a:?}: {e}"))
+                })
+                .collect::<Result<_, String>>()?;
+            let backend = adaptagg_serve::ProcBackend::connect(
+                &cluster,
+                args.tuples,
+                args.groups,
+                args.seed,
+                adaptagg_cluster::CoordinatorOpts::default(),
+            )
+            .map_err(|e| format!("joining process mesh: {e}"))?;
+            eprintln!(
+                "[serve] process mesh established: {} workers",
+                backend.spec().workers()
+            );
+            Some(Arc::new(backend))
+        }
+        None => None,
+    };
+
+    let listener = std::net::TcpListener::bind(&args.listen)
+        .map_err(|e| format!("binding {}: {e}", args.listen))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    // The loadgen (and CI) parse this line to learn the bound port.
+    println!("adaptagg serve listening on {local}");
+    println!(
+        "dataset   : {} (seed {}), {} nodes, M = {} entries/node",
+        describe_workload(&run_equiv),
+        args.seed,
+        args.nodes,
+        args.memory
+    );
+    println!(
+        "admission : queue {}, concurrency {}, min-grant {}, deadline {}",
+        args.queue,
+        args.concurrency,
+        cfg.min_grant,
+        match args.deadline_ms {
+            Some(ms) => format!("{ms} ms"),
+            None => "none".to_string(),
+        }
+    );
+
+    let sched = Arc::new(Scheduler::new(cfg, data));
+    let summary = serve(listener, sched, proc, |line| eprintln!("[serve] {line}"))
+        .map_err(|e| e.to_string())?;
+    let m = &summary.metrics;
+    println!(
+        "served    : {} submitted, {} completed, {} failed over {} connection(s)",
+        m.submitted, m.completed, m.failed, summary.connections
+    );
+    println!(
+        "shed      : {} queue_full, {} deadline_unmeetable, {} memory_exhausted",
+        m.rejected_queue_full, m.rejected_deadline, m.rejected_memory
+    );
+    println!(
+        "degraded  : {} admissions below full budget, {} recovered, {} deadline misses",
+        m.degraded_admissions, m.recovered_queries, m.deadlines_missed
+    );
     Ok(())
 }
 

@@ -16,6 +16,7 @@ fn main() {
         Ok(Command::Run(a)) => commands::cmd_run(&a),
         Ok(Command::Sweep(a)) => commands::cmd_sweep(&a),
         Ok(Command::Explain(a)) => commands::cmd_explain(&a),
+        Ok(Command::Serve(a)) => commands::cmd_serve(&a),
         Err(e) => Err(commands::CmdError::from(e.to_string())),
     };
     if let Err(e) = result {

@@ -29,6 +29,7 @@ fn run(argv: &[String]) -> Result<(), ClusterError> {
     let opts = WorkerOpts {
         idle_timeout: args.idle_timeout,
         slow_scan: args.slow_scan,
+        serve: args.serve,
         ..WorkerOpts::default()
     };
     let report = run_worker(endpoint, &spec, &opts, &mut |line| {
@@ -36,5 +37,6 @@ fn run(argv: &[String]) -> Result<(), ClusterError> {
     })?;
     println!("attempts_run: {}", report.attempts_run);
     println!("rows: {}", report.rows_reported);
+    println!("queries_finished: {}", report.queries_finished);
     Ok(())
 }

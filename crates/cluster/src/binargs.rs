@@ -50,9 +50,11 @@ OPTIONS:
   --slow-scan-ms N          test hook: delay each scan  [default: 0]
   --heartbeat-ms N          heartbeat interval          [default: 50]
   --heartbeat-timeout-ms N  silence = death threshold   [default: 2000]
+  --serve                   serving mode: keep taking queries after
+                            Finish; exit 0 when the coordinator leaves
 
 EXIT CODES:
-  0  coordinator announced completion
+  0  coordinator announced completion (serving: coordinator left)
   1  any failure (arguments, connectivity, coordinator death)
 ";
 
@@ -73,6 +75,8 @@ pub struct BinArgs {
     pub slow_scan: Duration,
     pub heartbeat_interval: Duration,
     pub heartbeat_timeout: Duration,
+    /// Worker serving mode (`--serve`).
+    pub serve: bool,
     /// `--help` was requested.
     pub help: bool,
 }
@@ -114,6 +118,7 @@ pub fn parse(argv: &[String], coordinator: bool) -> Result<BinArgs, String> {
         slow_scan: Duration::ZERO,
         heartbeat_interval: Duration::from_millis(50),
         heartbeat_timeout: Duration::from_millis(2_000),
+        serve: false,
         help: false,
     };
     let mut it = argv.iter();
@@ -156,6 +161,7 @@ pub fn parse(argv: &[String], coordinator: bool) -> Result<BinArgs, String> {
                 args.slow_scan =
                     Duration::from_millis(parse_num(value("--slow-scan-ms")?, "--slow-scan-ms")?);
             }
+            "--serve" if !coordinator => args.serve = true,
             "--heartbeat-ms" => {
                 args.heartbeat_interval =
                     Duration::from_millis(parse_num(value("--heartbeat-ms")?, "--heartbeat-ms")?);

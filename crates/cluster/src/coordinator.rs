@@ -62,22 +62,80 @@ enum AttemptEnd {
     Victim(usize),
 }
 
-/// Run the coordinator (node 0) over an established endpoint. Returns
-/// the merged rows or an honest failure; the endpoint is consumed (the
-/// mesh is torn down on drop, sending Bye to surviving workers).
+/// What survives between queries on a serving mesh: the liveness map,
+/// the partition ownership map, and a globally monotonic attempt
+/// counter. A worker SIGKILLed during one query stays dead for the
+/// next, its partitions stay reassigned, and — because attempt numbers
+/// never repeat — a stale ack from a dead or lagging worker can never
+/// open a later query's ack barrier.
+#[derive(Debug, Clone)]
+pub struct CoordinatorState {
+    alive: Vec<bool>,
+    dead_workers: Vec<usize>,
+    owners: Vec<u32>,
+    /// Next attempt number to dispatch (monotonic across queries).
+    next_attempt: u32,
+    /// Queries completed on this mesh.
+    queries_done: usize,
+}
+
+impl CoordinatorState {
+    /// Fresh state: everyone alive, attempt-1 ownership.
+    pub fn new(spec: &ClusterSpec) -> Self {
+        CoordinatorState {
+            alive: vec![true; spec.nodes],
+            dead_workers: Vec::new(),
+            owners: spec.initial_owners(),
+            next_attempt: 1,
+            queries_done: 0,
+        }
+    }
+
+    /// Workers declared dead so far, in death order.
+    pub fn dead_workers(&self) -> &[usize] {
+        &self.dead_workers
+    }
+
+    /// Queries completed on this mesh.
+    pub fn queries_done(&self) -> usize {
+        self.queries_done
+    }
+
+    /// Worker ids still believed alive.
+    fn live(&self) -> Vec<usize> {
+        (1..self.alive.len()).filter(|&w| self.alive[w]).collect()
+    }
+}
+
+/// Run the coordinator (node 0) over an established endpoint for one
+/// query. Returns the merged rows or an honest failure; the endpoint
+/// is consumed (the mesh is torn down on drop, sending Bye to
+/// surviving workers).
 pub fn run_coordinator(
     mut endpoint: Endpoint,
     spec: &ClusterSpec,
     opts: &CoordinatorOpts,
     progress: Progress<'_>,
 ) -> Result<CoordinatorReport, ClusterError> {
+    let mut state = CoordinatorState::new(spec);
+    run_coordinated_query(&mut endpoint, spec, opts, &mut state, progress)
+}
+
+/// Run one query over a live mesh, mutating the persistent `state` —
+/// the serving building block ([`run_coordinator`] is the one-shot
+/// wrapper). The attempt budget applies per query; deaths accumulate
+/// in `state` across calls.
+pub fn run_coordinated_query(
+    endpoint: &mut Endpoint,
+    spec: &ClusterSpec,
+    opts: &CoordinatorOpts,
+    state: &mut CoordinatorState,
+    progress: Progress<'_>,
+) -> Result<CoordinatorReport, ClusterError> {
     assert_eq!(endpoint.node(), 0, "the coordinator must be node 0");
     let plan = spec.plan();
     let params = CostParams::paper_default();
     let mut clock = Clock::new(params.clone());
-    let mut owners = spec.initial_owners();
-    let mut alive = vec![true; spec.nodes];
-    let mut dead_workers: Vec<usize> = Vec::new();
     let mut reassigned = 0usize;
     let max_attempts = if opts.max_attempts == 0 {
         spec.workers().max(1)
@@ -85,29 +143,31 @@ pub fn run_coordinator(
         opts.max_attempts
     };
 
-    for attempt in 1..=max_attempts {
-        let live: Vec<usize> = (1..spec.nodes).filter(|&w| alive[w]).collect();
+    for spent in 1..=max_attempts {
+        let live = state.live();
         if live.is_empty() {
             return Err(ClusterError::RecoveryExhausted {
-                attempts: attempt - 1,
-                dead_workers,
+                attempts: spent - 1,
+                dead_workers: state.dead_workers.clone(),
             });
         }
+        let attempt = state.next_attempt;
+        state.next_attempt += 1;
         progress(&format!(
-            "attempt {attempt}/{max_attempts}: {} partition(s) across {} worker(s)",
-            owners.len(),
+            "attempt {spent}/{max_attempts} (global #{attempt}): {} partition(s) across {} worker(s)",
+            state.owners.len(),
             live.len()
         ));
 
         let end = run_attempt(
-            &mut endpoint,
+            endpoint,
             spec,
             opts,
             &plan,
             &params,
             &mut clock,
-            attempt as u32,
-            &owners,
+            attempt,
+            &state.owners,
             &live,
         )?;
 
@@ -129,19 +189,20 @@ pub fn run_coordinator(
                     let _ = endpoint.send_control(w, finish.clone(), clock.now_ms());
                 }
                 progress(&format!(
-                    "complete: {} row(s) in {attempt} attempt(s)",
+                    "complete: {} row(s) in {spent} attempt(s)",
                     rows.len()
                 ));
+                state.queries_done += 1;
                 return Ok(CoordinatorReport {
                     rows,
-                    attempts: attempt,
-                    dead_workers,
+                    attempts: spent,
+                    dead_workers: state.dead_workers.clone(),
                     reassigned_partitions: reassigned,
                 });
             }
             AttemptEnd::Victim(victim) => {
-                alive[victim] = false;
-                dead_workers.push(victim);
+                state.alive[victim] = false;
+                state.dead_workers.push(victim);
                 let heirs: Vec<u32> = live
                     .iter()
                     .copied()
@@ -150,11 +211,11 @@ pub fn run_coordinator(
                     .collect();
                 if heirs.is_empty() {
                     return Err(ClusterError::RecoveryExhausted {
-                        attempts: attempt,
-                        dead_workers,
+                        attempts: spent,
+                        dead_workers: state.dead_workers.clone(),
                     });
                 }
-                let moved = reassign_partitions(&mut owners, victim as u32, &heirs);
+                let moved = reassign_partitions(&mut state.owners, victim as u32, &heirs);
                 reassigned += moved;
                 progress(&format!(
                     "worker {victim} declared dead; reassigned {moved} partition(s)"
@@ -165,7 +226,7 @@ pub fn run_coordinator(
 
     Err(ClusterError::RecoveryExhausted {
         attempts: max_attempts,
-        dead_workers,
+        dead_workers: state.dead_workers.clone(),
     })
 }
 

@@ -27,7 +27,9 @@ pub mod spec;
 pub mod worker;
 
 pub use binargs::BinArgs;
-pub use coordinator::{run_coordinator, CoordinatorOpts, CoordinatorReport};
+pub use coordinator::{
+    run_coordinated_query, run_coordinator, CoordinatorOpts, CoordinatorReport, CoordinatorState,
+};
 pub use proto::JobMsg;
 pub use spec::ClusterSpec;
 pub use worker::{run_worker, WorkerOpts, WorkerReport};

@@ -8,12 +8,44 @@ use crate::{ClusterError, Progress};
 use adaptagg_algos::common::{local_partial_aggregation, ship_partials_to};
 use adaptagg_exec::{ExecError, NodeCtx};
 use adaptagg_model::CostParams;
-use adaptagg_net::{Control, Endpoint, NetError, Payload};
+use adaptagg_net::{Control, Endpoint, Message, NetError, Payload};
 use adaptagg_storage::SimDisk;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The coordinator's node id.
 pub const COORDINATOR: usize = 0;
+
+/// Chunk size for the serving-mode idle wait: how often a parked
+/// worker re-checks whether the coordinator left gracefully.
+const SERVE_POLL: Duration = Duration::from_millis(50);
+
+/// One idle wait for the next dispatch. In serving mode the wait is
+/// chunked so the worker notices a *graceful* coordinator departure —
+/// a transport-level goodbye surfaces no receive error, by design —
+/// within [`SERVE_POLL`] instead of sitting out the whole idle
+/// timeout. The departure is normalized to `PeerDown { COORDINATOR }`
+/// so the caller has one exit path for graceful and abrupt teardown.
+fn recv_dispatch(endpoint: &mut Endpoint, opts: &WorkerOpts) -> Result<Message, NetError> {
+    if !opts.serve {
+        return endpoint.recv_timeout(opts.idle_timeout);
+    }
+    let start = Instant::now();
+    loop {
+        if endpoint.peer_gone(COORDINATOR) {
+            return Err(NetError::PeerDown { peer: COORDINATOR });
+        }
+        let remaining = opts.idle_timeout.saturating_sub(start.elapsed());
+        if remaining.is_zero() {
+            return Err(NetError::Deadline {
+                waited_ms: opts.idle_timeout.as_millis() as u64,
+            });
+        }
+        match endpoint.recv_timeout(remaining.min(SERVE_POLL)) {
+            Err(NetError::Deadline { .. }) => continue,
+            other => return other,
+        }
+    }
+}
 
 /// Worker knobs.
 #[derive(Debug, Clone)]
@@ -28,6 +60,11 @@ pub struct WorkerOpts {
     pub max_entries: usize,
     /// Overflow-bucket fanout.
     pub fanout: usize,
+    /// Serving mode: stay on the mesh after `Finish` and keep taking
+    /// dispatches for further queries. The worker then exits cleanly
+    /// when the coordinator goes away (its teardown is the shutdown
+    /// signal), instead of treating that as a failure.
+    pub serve: bool,
 }
 
 impl Default for WorkerOpts {
@@ -37,6 +74,7 @@ impl Default for WorkerOpts {
             slow_scan: Duration::ZERO,
             max_entries: CostParams::paper_default().max_hash_entries,
             fanout: 4,
+            serve: false,
         }
     }
 }
@@ -46,8 +84,10 @@ impl Default for WorkerOpts {
 pub struct WorkerReport {
     /// Attempts this worker ran to completion (acked and shipped).
     pub attempts_run: usize,
-    /// Result-row count the coordinator announced in `Finish`.
+    /// Result-row count the coordinator announced in the last `Finish`.
     pub rows_reported: u64,
+    /// Queries this worker saw through to `Finish`.
+    pub queries_finished: usize,
 }
 
 /// Run a worker node over an established endpoint until the
@@ -67,13 +107,30 @@ pub fn run_worker(
     let plan = spec.plan();
     let params = CostParams::paper_default();
     let mut attempts_run = 0usize;
+    let mut queries_finished = 0usize;
+    let mut rows_reported = 0u64;
 
     loop {
-        let msg = match endpoint.recv_timeout(opts.idle_timeout) {
+        let msg = match recv_dispatch(&mut endpoint, opts) {
             Ok(msg) => msg,
             // A fellow worker died; the coordinator owns recovery — a
             // worker just keeps serving dispatches.
             Err(NetError::PeerDown { peer }) if peer != COORDINATOR => continue,
+            // In serving mode the coordinator's teardown IS the
+            // shutdown signal: exit cleanly with what we served. The
+            // mesh draining completely (`Disconnected`) implies the
+            // coordinator is among the departed, so it exits the same
+            // way.
+            Err(NetError::PeerDown { peer: COORDINATOR }) | Err(NetError::Disconnected)
+                if opts.serve =>
+            {
+                progress("coordinator left; shutting down");
+                return Ok(WorkerReport {
+                    attempts_run,
+                    rows_reported,
+                    queries_finished,
+                });
+            }
             Err(e) => return Err(e.into()),
         };
         match msg.payload {
@@ -130,10 +187,20 @@ pub fn run_worker(
                     }
                 }
                 Ok(JobMsg::Finish { rows }) => {
-                    progress(&format!("finish: {rows} row(s) cluster-wide"));
+                    queries_finished += 1;
+                    rows_reported = rows;
+                    progress(&format!(
+                        "finish: {rows} row(s) cluster-wide (query #{queries_finished})"
+                    ));
+                    if opts.serve {
+                        // Serving mode: stay on the mesh for the next
+                        // query's dispatch.
+                        continue;
+                    }
                     return Ok(WorkerReport {
                         attempts_run,
-                        rows_reported: rows,
+                        rows_reported,
+                        queries_finished,
                     });
                 }
                 Ok(JobMsg::Ack { .. }) => {

@@ -5,7 +5,8 @@
 //! `Endpoint` reliability layer.
 
 use adaptagg_cluster::{
-    run_coordinator, run_worker, ClusterError, ClusterSpec, CoordinatorOpts, WorkerOpts,
+    run_coordinated_query, run_coordinator, run_worker, ClusterError, ClusterSpec,
+    CoordinatorOpts, CoordinatorState, WorkerOpts,
 };
 use adaptagg_net::{
     loopback_endpoints, Control, Endpoint, Fabric, FaultPlan, NetworkKind, Payload, TcpConfig,
@@ -206,4 +207,134 @@ fn tcp_cluster_recovers_when_a_worker_disappears() {
     assert_eq!(report.rows, reference(&s));
     assert_eq!(report.attempts, 2);
     assert_eq!(report.dead_workers, vec![3]);
+}
+
+/// The serving mesh: workers started with `serve: true` stay on the
+/// mesh past `Finish` and answer repeated queries from one persistent
+/// [`CoordinatorState`]. Dropping the coordinator endpoint is the
+/// clean shutdown signal — that requires a transport whose teardown
+/// notifies peers (TCP's Bye); the channel fabric only surfaces a
+/// dropped peer on *send*, so these tests run over loopback TCP, the
+/// same backend the real serving deployment uses.
+#[test]
+fn serving_mesh_answers_repeated_queries() {
+    let s = spec(4);
+    let mut endpoints = loopback_endpoints(
+        4,
+        NetworkKind::high_speed_default(),
+        &FaultPlan::none(),
+        TcpConfig::snappy(),
+    )
+    .unwrap()
+    .into_iter();
+    let mut coord_ep = endpoints.next().unwrap();
+    let handles: Vec<_> = endpoints
+        .map(|ep| {
+            let s = s.clone();
+            let wopts = WorkerOpts {
+                idle_timeout: Duration::from_secs(20),
+                serve: true,
+                ..WorkerOpts::default()
+            };
+            thread::spawn(move || run_worker(ep, &s, &wopts, &mut quiet()))
+        })
+        .collect();
+
+    let copts = CoordinatorOpts::default();
+    let mut state = CoordinatorState::new(&s);
+    let expected = reference(&s);
+    for round in 1..=3 {
+        let report =
+            run_coordinated_query(&mut coord_ep, &s, &copts, &mut state, &mut quiet()).unwrap();
+        assert_eq!(report.rows, expected, "query #{round} must stay exact");
+        assert_eq!(report.attempts, 1);
+        assert_eq!(state.queries_done(), round);
+    }
+    assert!(state.dead_workers().is_empty());
+
+    // Coordinator teardown = serving shutdown: every worker exits Ok
+    // having finished all three queries.
+    drop(coord_ep);
+    for h in handles {
+        let w = h.join().unwrap().unwrap();
+        assert_eq!(w.queries_finished, 3);
+        assert_eq!(w.attempts_run, 3);
+        assert_eq!(w.rows_reported, expected.len() as u64);
+    }
+}
+
+/// A worker death mid-burst: the next query recovers (reassigning the
+/// victim's partitions), the death persists into later queries (no
+/// re-dispatch to a ghost), attempt numbers keep rising globally, and
+/// every answer stays exact.
+#[test]
+fn serving_mesh_survives_a_mid_burst_death() {
+    let s = spec(4);
+    let mut endpoints = loopback_endpoints(
+        4,
+        NetworkKind::high_speed_default(),
+        &FaultPlan::none(),
+        TcpConfig::snappy(),
+    )
+    .unwrap()
+    .into_iter();
+    let mut coord_ep = endpoints.next().unwrap();
+    let mut handles = Vec::new();
+    for (i, ep) in endpoints.enumerate() {
+        let node = i + 1;
+        let s = s.clone();
+        if node == 2 {
+            // Serves query 1 honestly, then walks away: takes query 2's
+            // dispatch and exits without acking or shipping.
+            handles.push(thread::spawn(move || {
+                let wopts = WorkerOpts {
+                    idle_timeout: Duration::from_secs(20),
+                    ..WorkerOpts::default() // serve: false → returns after Finish
+                };
+                run_worker(ep, &s, &wopts, &mut quiet())
+            }));
+            continue;
+        }
+        let wopts = WorkerOpts {
+            idle_timeout: Duration::from_secs(20),
+            serve: true,
+            ..WorkerOpts::default()
+        };
+        handles.push(thread::spawn(move || run_worker(ep, &s, &wopts, &mut quiet())));
+    }
+
+    let copts = CoordinatorOpts {
+        attempt_timeout: Duration::from_secs(2),
+        ..CoordinatorOpts::default()
+    };
+    let mut state = CoordinatorState::new(&s);
+    let expected = reference(&s);
+
+    let q1 = run_coordinated_query(&mut coord_ep, &s, &copts, &mut state, &mut quiet()).unwrap();
+    assert_eq!(q1.rows, expected);
+    assert_eq!(q1.attempts, 1);
+
+    // Worker 2 has left the mesh; query 2 must recover around it.
+    let q2 = run_coordinated_query(&mut coord_ep, &s, &copts, &mut state, &mut quiet()).unwrap();
+    assert_eq!(q2.rows, expected, "post-death answer must stay exact");
+    assert_eq!(q2.attempts, 2, "one failed attempt, one recovered");
+    assert_eq!(q2.dead_workers, vec![2]);
+    assert!(q2.reassigned_partitions > 0);
+
+    // Query 3 starts from the persisted liveness map: no ghost
+    // dispatch, so one attempt suffices and the death is still on
+    // record.
+    let q3 = run_coordinated_query(&mut coord_ep, &s, &copts, &mut state, &mut quiet()).unwrap();
+    assert_eq!(q3.rows, expected);
+    assert_eq!(q3.attempts, 1, "the dead worker must not cost query 3 anything");
+    assert_eq!(state.dead_workers(), &[2]);
+    assert_eq!(state.queries_done(), 3);
+
+    drop(coord_ep);
+    for h in handles {
+        // Survivors exit Ok on coordinator teardown; the deserter's
+        // own exit (Ok after query 1 — serve off) is also fine.
+        let w = h.join().unwrap().unwrap();
+        assert!(w.queries_finished >= 1);
+    }
 }

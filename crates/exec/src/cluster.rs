@@ -5,21 +5,36 @@ use crate::error::ExecError;
 use crate::node::{NodeCtx, DEFAULT_WATCHDOG};
 use crate::recovery::{self, RecoveryPolicy, RecoverySession, Segment};
 use crate::runstats::{NodeReport, RecoveryStats, RunResult};
-use adaptagg_model::CostParams;
+use adaptagg_model::{CostParams, MemoryGrant};
 use adaptagg_net::{
     loopback_endpoints, Control, Fabric, FaultPlan, LinkRetryPolicy, NodeFaults, TcpConfig,
     TransportKind,
 };
-use adaptagg_obs::{NodeTraceReport, RecoveryAttemptTrace, RunTrace};
+use adaptagg_obs::{NodeTraceReport, RecoveryAttemptTrace, RecoverySummaryTrace, RunTrace};
 use adaptagg_storage::{HeapFile, SimDisk};
 use std::time::Duration;
 
-/// Per-node real-time watchdog headroom when deriving the deadline from
-/// cluster size (thread startup, scheduling).
-const WATCHDOG_MS_PER_NODE: u64 = 250;
-/// Per-input-page watchdog headroom when deriving the deadline (real
-/// compute time scales with input volume even though time is virtual).
-const WATCHDOG_US_PER_PAGE: u64 = 200;
+/// Default per-node real-time watchdog headroom when deriving the
+/// deadline from cluster size (thread startup, scheduling). Overridable
+/// per run via [`ClusterConfig::with_watchdog_headroom`] or globally via
+/// `ADAPTAGG_WATCHDOG_MS_PER_NODE` (DESIGN.md §9).
+pub const WATCHDOG_MS_PER_NODE: u64 = 250;
+/// Default per-input-page watchdog headroom when deriving the deadline
+/// (real compute time scales with input volume even though time is
+/// virtual). Overridable per run via
+/// [`ClusterConfig::with_watchdog_headroom`] or globally via
+/// `ADAPTAGG_WATCHDOG_US_PER_PAGE` (DESIGN.md §9).
+pub const WATCHDOG_US_PER_PAGE: u64 = 200;
+
+/// Read a `u64` watchdog knob from the environment, falling back to its
+/// compiled default on absence or garbage (a misspelt value must not
+/// silently disable the hang backstop).
+fn env_u64(var: &str, default: u64) -> u64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
 
 /// Cluster shape and cost parameters for a run.
 #[derive(Debug, Clone)]
@@ -38,6 +53,18 @@ pub struct ClusterConfig {
     pub watchdog: Option<Duration>,
     /// Floor for the derived watchdog deadline.
     pub watchdog_floor: Duration,
+    /// Per-node headroom (ms) of the derived watchdog. Defaults from
+    /// `ADAPTAGG_WATCHDOG_MS_PER_NODE`, then [`WATCHDOG_MS_PER_NODE`].
+    pub watchdog_ms_per_node: u64,
+    /// Per-input-page headroom (µs) of the derived watchdog. Defaults
+    /// from `ADAPTAGG_WATCHDOG_US_PER_PAGE`, then
+    /// [`WATCHDOG_US_PER_PAGE`].
+    pub watchdog_us_per_page: u64,
+    /// Per-node live memory grants (original node ids), installed on each
+    /// node's [`NodeCtx`]. Empty (the default) leaves every node on the
+    /// unlimited grant — the pre-serving, bit-identical path. The serving
+    /// layer's broker passes one revocable handle per node here.
+    pub grants: Vec<MemoryGrant>,
     /// Query-level fault recovery. `None` (the default) keeps fail-stop
     /// semantics: the first node failure aborts the run, bit-identically
     /// to the pre-recovery runtime.
@@ -67,6 +94,9 @@ impl ClusterConfig {
             fault_plan: FaultPlan::none(),
             watchdog: None,
             watchdog_floor: DEFAULT_WATCHDOG,
+            watchdog_ms_per_node: env_u64("ADAPTAGG_WATCHDOG_MS_PER_NODE", WATCHDOG_MS_PER_NODE),
+            watchdog_us_per_page: env_u64("ADAPTAGG_WATCHDOG_US_PER_PAGE", WATCHDOG_US_PER_PAGE),
+            grants: Vec::new(),
             recovery: None,
             trace: std::env::var("ADAPTAGG_TRACE")
                 .map(|v| !v.is_empty() && v != "0")
@@ -106,6 +136,23 @@ impl ClusterConfig {
         self
     }
 
+    /// Override the derived watchdog's headroom slopes: `ms_per_node` of
+    /// real time per cluster node plus `us_per_page` per input page.
+    /// Loaded CI machines and the concurrent serving path raise these so
+    /// contended-but-healthy runs aren't declared stalled.
+    pub fn with_watchdog_headroom(mut self, ms_per_node: u64, us_per_page: u64) -> Self {
+        self.watchdog_ms_per_node = ms_per_node;
+        self.watchdog_us_per_page = us_per_page;
+        self
+    }
+
+    /// Install per-node live memory grants (one per node, original ids).
+    pub fn with_grants(mut self, grants: Vec<MemoryGrant>) -> Self {
+        assert_eq!(grants.len(), self.nodes, "one grant per node required");
+        self.grants = grants;
+        self
+    }
+
     /// Enable query-level fault recovery under the given policy.
     pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
         self.recovery = Some(policy);
@@ -124,8 +171,8 @@ impl ClusterConfig {
             return explicit;
         }
         let mut ms = self.watchdog_floor.as_millis() as u64
-            + WATCHDOG_MS_PER_NODE * self.nodes as u64
-            + WATCHDOG_US_PER_PAGE * total_pages as u64 / 1000;
+            + self.watchdog_ms_per_node * self.nodes as u64
+            + self.watchdog_us_per_page * total_pages as u64 / 1000;
         if let Some(policy) = &self.recovery {
             ms = (ms as f64 * policy.straggler_factor.max(1.0)).round() as u64;
         }
@@ -203,6 +250,7 @@ where
                     base,
                     faults: config.fault_plan.node(node),
                     recovery: None,
+                    grant: config.grants.get(node).cloned().unwrap_or_default(),
                 })
                 .collect();
             let attempt = run_seats(
@@ -227,6 +275,7 @@ where
                         nodes: traces,
                         recovery: Vec::new(),
                         transport: config.transport.to_string(),
+                        ..RunTrace::default()
                     }),
                 }),
                 Err((e, _at_ms)) => Err(e),
@@ -243,6 +292,7 @@ struct NodeSeat {
     base: HeapFile,
     faults: NodeFaults,
     recovery: Option<RecoverySession>,
+    grant: MemoryGrant,
 }
 
 /// One attempt's successful outcome: outputs, reports, bus-busy time,
@@ -297,6 +347,7 @@ where
                 ctx.apply_faults(seat.faults);
                 ctx.set_watchdog(watchdog);
                 ctx.set_link_retry(link_retry);
+                ctx.set_grant(seat.grant);
                 ctx.recovery = seat.recovery;
                 if trace {
                     ctx.enable_trace();
@@ -459,6 +510,9 @@ where
                         policy.checkpoint_interval_pages,
                         config.params.page_bytes,
                     )),
+                    // Grants are per original node id: a survivor keeps
+                    // its own grant across reassignment.
+                    grant: config.grants.get(orig).cloned().unwrap_or_default(),
                 }
             })
             .collect();
@@ -482,6 +536,13 @@ where
                 for trace in traces.iter_mut() {
                     trace.node = live[trace.node];
                 }
+                let summary = RecoverySummaryTrace {
+                    attempts: stats.attempts,
+                    dead_nodes: stats.dead_nodes.clone(),
+                    reassigned_partitions: stats.reassigned_partitions,
+                    lost_ms: stats.lost_ms,
+                    backoff_ms: stats.backoff_ms,
+                };
                 return Ok(ClusterRun {
                     outputs,
                     run: RunResult {
@@ -492,7 +553,9 @@ where
                     trace: config.trace.then(|| RunTrace {
                         nodes: traces,
                         recovery: std::mem::take(&mut recovery_trace),
+                        recovery_summary: Some(summary),
                         transport: config.transport.to_string(),
+                        annotations: Vec::new(),
                     }),
                 });
             }
@@ -793,6 +856,21 @@ mod tests {
         let floored = ClusterConfig::new(1, CostParams::paper_default())
             .with_watchdog_floor(Duration::from_secs(90));
         assert!(floored.effective_watchdog(0) >= Duration::from_secs(90));
+    }
+
+    #[test]
+    fn watchdog_headroom_override_changes_the_derived_deadline() {
+        let stock = ClusterConfig::new(8, CostParams::paper_default());
+        let padded = ClusterConfig::new(8, CostParams::paper_default())
+            .with_watchdog_headroom(WATCHDOG_MS_PER_NODE * 10, WATCHDOG_US_PER_PAGE * 10);
+        assert!(padded.effective_watchdog(1000) > stock.effective_watchdog(1000));
+        let expected = stock.watchdog_floor.as_millis() as u64
+            + WATCHDOG_MS_PER_NODE * 10 * 8
+            + WATCHDOG_US_PER_PAGE * 10 * 1000 / 1000;
+        assert_eq!(
+            padded.effective_watchdog(1000),
+            Duration::from_millis(expected)
+        );
     }
 
     #[test]

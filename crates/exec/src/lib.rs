@@ -34,7 +34,9 @@ pub mod recovery;
 pub mod runstats;
 
 pub use clock::{Clock, PhaseMark, TimeBreakdown};
-pub use cluster::{run_cluster, ClusterConfig, ClusterRun};
+pub use cluster::{
+    run_cluster, ClusterConfig, ClusterRun, WATCHDOG_MS_PER_NODE, WATCHDOG_US_PER_PAGE,
+};
 pub use error::ExecError;
 pub use exchange::Exchange;
 pub use node::{NodeCtx, DEFAULT_WATCHDOG};

@@ -3,7 +3,7 @@
 use crate::clock::Clock;
 use crate::error::ExecError;
 use crate::recovery::RecoverySession;
-use adaptagg_model::{CostEvent, CostParams, CostTracker};
+use adaptagg_model::{CostEvent, CostParams, CostTracker, MemoryGrant};
 use adaptagg_net::{
     Control, DataKind, Endpoint, LinkRetryPolicy, Message, NetError, NetStats, NodeFaults, Payload,
 };
@@ -51,6 +51,11 @@ pub struct NodeCtx {
     faults: NodeFaults,
     tuples_scanned: u64,
     watchdog: Duration,
+    /// This node's live memory grant for the running query (unlimited by
+    /// default). The serving layer's broker holds the other handle and
+    /// may shrink it mid-run; aggregation operators attach it to their
+    /// hash tables so the revocation degrades them gracefully.
+    grant: MemoryGrant,
 }
 
 impl NodeCtx {
@@ -68,7 +73,20 @@ impl NodeCtx {
             faults: NodeFaults::default(),
             tuples_scanned: 0,
             watchdog: DEFAULT_WATCHDOG,
+            grant: MemoryGrant::unlimited(),
         }
+    }
+
+    /// Install this node's live memory grant (the cluster runtime calls
+    /// this when the run carries per-node grants).
+    pub fn set_grant(&mut self, grant: MemoryGrant) {
+        self.grant = grant;
+    }
+
+    /// This node's live memory grant (unlimited unless a broker holds
+    /// the other handle). Operators clone it into their hash tables.
+    pub fn grant(&self) -> &MemoryGrant {
+        &self.grant
     }
 
     /// Enable bounded retry-with-backoff for failed sends (part of a

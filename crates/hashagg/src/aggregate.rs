@@ -10,7 +10,7 @@
 use crate::overflow::OverflowSet;
 use crate::stats::HashAggStats;
 use crate::table::{AggTable, Inserted};
-use adaptagg_model::{AggQuery, CostTracker, ResultRow, RowKind, Value};
+use adaptagg_model::{AggQuery, CostTracker, MemoryGrant, ResultRow, RowKind, Value};
 use adaptagg_storage::{Page, SpillFile, StorageError};
 
 /// What [`HashAggregator::finish`] emits.
@@ -45,6 +45,7 @@ pub struct HashAggregator {
     fanout: usize,
     page_bytes: usize,
     charge_hash: bool,
+    grant: MemoryGrant,
     stats: HashAggStats,
 }
 
@@ -61,6 +62,7 @@ impl HashAggregator {
             fanout: fanout.max(2),
             page_bytes,
             charge_hash: true,
+            grant: MemoryGrant::unlimited(),
             stats: HashAggStats::default(),
         }
     }
@@ -71,7 +73,19 @@ impl HashAggregator {
     pub fn with_charge_hash(mut self, charge_hash: bool) -> Self {
         self.charge_hash = charge_hash;
         self.table = AggTable::new(self.query.clone(), self.max_entries)
-            .with_charge_hash(charge_hash);
+            .with_charge_hash(charge_hash)
+            .with_grant(self.grant.clone());
+        self
+    }
+
+    /// Attach a live, broker-revocable [`MemoryGrant`] (see
+    /// [`AggTable::with_grant`]). Applies to the first-pass table and to
+    /// every overflow-bucket table below the deep-recursion safety valve.
+    pub fn with_grant(mut self, grant: MemoryGrant) -> Self {
+        self.table = AggTable::new(self.query.clone(), self.max_entries)
+            .with_charge_hash(self.charge_hash)
+            .with_grant(grant.clone());
+        self.grant = grant;
         self
     }
 
@@ -242,6 +256,11 @@ impl HashAggregator {
             };
             let mut table =
                 AggTable::new(self.query.clone(), budget).with_charge_hash(self.charge_hash);
+            if budget != usize::MAX {
+                // Past the safety valve the table must be truly uncapped;
+                // a live grant would defeat it.
+                table = table.with_grant(self.grant.clone());
+            }
             let mut deeper: Option<OverflowSet> = None;
             let fanout = self.fanout;
             let page_bytes = self.page_bytes;
@@ -485,6 +504,37 @@ mod tests {
         let (rows, stats) = agg.finish_rows(&mut tr).unwrap();
         assert_eq!(rows.len(), 30);
         assert!(stats.spilled());
+    }
+
+    #[test]
+    fn shrinking_grant_mid_stream_spills_but_stays_exact() {
+        use adaptagg_model::MemoryGrant;
+        let rows: Vec<(i64, i64)> = (0..600).map(|i| (i % 40, i)).collect();
+        let grant = MemoryGrant::bounded(1000);
+        let mut agg = HashAggregator::new(query(), 64, 256, 4).with_grant(grant.clone());
+        let mut tr = NullTracker;
+        for (i, &(g, v)) in rows.iter().enumerate() {
+            if i == 20 {
+                // Revoke mid-scan, while half the groups are still unseen:
+                // the rest must spill rather than grow the table.
+                grant.set(6);
+            }
+            agg.push_raw(&raw(g, v), &mut tr).unwrap();
+        }
+        assert!(agg.is_full(), "shrunk grant must read as full");
+        let (got, stats) = agg.finish_rows(&mut tr).unwrap();
+        assert!(stats.spilled(), "post-revocation tuples must spill");
+        let mut got: Vec<(i64, i64)> = got
+            .into_iter()
+            .map(|r| {
+                (
+                    r.key.values()[0].as_i64().unwrap(),
+                    r.aggs[0].as_i64().unwrap(),
+                )
+            })
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, reference(&rows), "revocation must never change the answer");
     }
 
     #[test]

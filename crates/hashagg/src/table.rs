@@ -28,8 +28,8 @@
 
 use adaptagg_model::hash::hash_values;
 use adaptagg_model::{
-    AggQuery, AggStates, CostEvent, CostTracker, GroupKey, ModelError, ResultRow, RowKind, Seed,
-    Value,
+    AggQuery, AggStates, CostEvent, CostTracker, GroupKey, MemoryGrant, ModelError, ResultRow,
+    RowKind, Seed, Value,
 };
 use adaptagg_storage::{Page, StorageError};
 
@@ -76,6 +76,9 @@ pub struct AggTable {
     keys: Vec<GroupKey>,
     states: Vec<AggStates>,
     max_entries: usize,
+    /// Live, broker-revocable cap on top of `max_entries` (unlimited by
+    /// default — single-query runs never consult it).
+    grant: MemoryGrant,
     charge_hash: bool,
     /// Lifetime distinct-group high-water mark (excludes rejected keys).
     inserts: u64,
@@ -109,6 +112,7 @@ impl AggTable {
             keys: Vec::with_capacity(hint),
             states: Vec::with_capacity(hint),
             max_entries,
+            grant: MemoryGrant::unlimited(),
             charge_hash: true,
             inserts: 0,
             updates: 0,
@@ -127,6 +131,22 @@ impl AggTable {
         self
     }
 
+    /// Attach a live [`MemoryGrant`]: the effective entry budget becomes
+    /// `min(max_entries, grant)` re-read at every new-group admission, so
+    /// a broker shrinking the grant mid-scan makes the table report full
+    /// (and the operator spill or switch) without evicting anything
+    /// already resident.
+    pub fn with_grant(mut self, grant: MemoryGrant) -> Self {
+        self.grant = grant;
+        self
+    }
+
+    /// In-place form of [`AggTable::with_grant`] for tables embedded in
+    /// larger state machines.
+    pub fn set_grant(&mut self, grant: MemoryGrant) {
+        self.grant = grant;
+    }
+
     /// The query this table aggregates for.
     pub fn query(&self) -> &AggQuery {
         &self.query
@@ -142,14 +162,20 @@ impl AggTable {
         self.keys.is_empty()
     }
 
-    /// Whether the table is at its entry budget.
+    /// Whether the table is at its effective entry budget.
     pub fn is_full(&self) -> bool {
-        self.keys.len() >= self.max_entries
+        self.keys.len() >= self.effective_max()
     }
 
     /// The entry budget.
     pub fn max_entries(&self) -> usize {
         self.max_entries
+    }
+
+    /// The budget after clamping by the live grant.
+    #[inline]
+    fn effective_max(&self) -> usize {
+        self.grant.cap(self.max_entries)
     }
 
     /// Raw-tuple updates + new entries accepted so far.
@@ -362,7 +388,7 @@ impl AggTable {
             self.updates += 1;
             return Ok(Inserted::Updated);
         }
-        if self.keys.len() >= self.max_entries {
+        if self.keys.len() >= self.effective_max() {
             return Ok(Inserted::Full);
         }
         let mut states = AggStates::new(&self.query.aggs);
@@ -718,6 +744,27 @@ mod tests {
             })
             .collect();
         assert_eq!(keys, vec![5, 3, 9, 1]);
+    }
+
+    #[test]
+    fn live_grant_shrink_rejects_new_groups_mid_stream() {
+        let grant = MemoryGrant::bounded(100);
+        let mut t = AggTable::new(query(), 10).with_grant(grant.clone());
+        let mut tr = NullTracker;
+        for g in 0..4i64 {
+            assert_eq!(t.insert_raw(&raw(g, 1), &mut tr).unwrap(), Inserted::New);
+        }
+        assert!(!t.is_full());
+        grant.set(2); // broker revokes below the resident count
+        assert!(t.is_full());
+        // New groups bounce; resident groups still update (no eviction,
+        // no wrong answer).
+        assert_eq!(t.insert_raw(&raw(9, 1), &mut tr).unwrap(), Inserted::Full);
+        assert_eq!(t.insert_raw(&raw(0, 5), &mut tr).unwrap(), Inserted::Updated);
+        assert_eq!(t.len(), 4);
+        grant.set(100); // regrant reopens admission
+        assert!(!t.is_full());
+        assert_eq!(t.insert_raw(&raw(9, 1), &mut tr).unwrap(), Inserted::New);
     }
 
     #[test]

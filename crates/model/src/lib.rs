@@ -27,6 +27,7 @@ pub mod agg;
 pub mod encode;
 pub mod error;
 pub mod event;
+pub mod grant;
 pub mod hash;
 pub mod key;
 pub mod params;
@@ -42,6 +43,7 @@ pub use encode::{
 };
 pub use error::ModelError;
 pub use event::{CostEvent, CostTracker, CountingTracker, NullTracker};
+pub use grant::MemoryGrant;
 pub use hash::{FxBuildHasher, FxHasher, Seed, ValueHasher};
 pub use key::GroupKey;
 pub use params::{CostParams, NetworkKind};

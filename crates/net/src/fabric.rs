@@ -469,6 +469,13 @@ impl Endpoint {
         self.try_recv_arrived(f64::INFINITY)
     }
 
+    /// Whether the transport knows `peer` has left the mesh for good
+    /// (graceful goodbye or declared dead). See
+    /// [`Transport::peer_gone`] — `false` means "unknown", not alive.
+    pub fn peer_gone(&self, peer: usize) -> bool {
+        self.wire.peer_gone(peer)
+    }
+
     /// Receive with a real-time deadline — the watchdog against protocol
     /// hangs: even if every peer died without a trace, the receiver
     /// surfaces [`NetError::Deadline`] instead of blocking forever.

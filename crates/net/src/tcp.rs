@@ -454,6 +454,12 @@ impl Transport for TcpTransport {
             }
         }
     }
+
+    fn peer_gone(&self, peer: usize) -> bool {
+        peer != self.shared.node
+            && peer < self.shared.nodes
+            && (self.dead[peer] || self.bye_or_timed_out_quietly(peer))
+    }
 }
 
 impl Drop for TcpTransport {

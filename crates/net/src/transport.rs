@@ -81,6 +81,18 @@ pub trait Transport: Send + std::fmt::Debug {
     fn recv(&mut self) -> Result<Message, NetError>;
     /// Blocking receive bounded by a real-time deadline.
     fn recv_deadline(&mut self, timeout: Duration) -> Result<Message, NetError>;
+    /// Whether `peer` has left the mesh for good — said a graceful
+    /// goodbye or been declared dead — so nothing from it can ever
+    /// arrive again. A graceful goodbye deliberately surfaces **no**
+    /// receive error (silence from a departed peer is not failure), so
+    /// long-lived receivers that care about a specific peer poll this
+    /// instead. Backends without a positive departure signal may
+    /// under-report ([`ChannelTransport`] always answers `false`):
+    /// callers treat `true` as a definite departure and `false` as
+    /// "unknown", never as proof of liveness.
+    fn peer_gone(&self, _peer: usize) -> bool {
+        false
+    }
 }
 
 /// The in-process wire: unbounded channels, loss-free, always ordered.

@@ -31,5 +31,5 @@ pub mod trace;
 pub use metrics::{Histogram, MetricSet};
 pub use trace::{
     LinkTrace, NodeTrace, NodeTraceReport, PhaseKind, PhaseTotal, RecoveryAttemptTrace,
-    RunTrace, SpanRecord, SwitchCause, TraceEvent,
+    RecoverySummaryTrace, RunTrace, SpanRecord, SwitchCause, TraceEvent,
 };

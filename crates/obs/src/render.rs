@@ -30,7 +30,37 @@ impl RunTrace {
                 r.backoff_ms
             ));
         }
-        s.push_str("]\n}\n");
+        s.push_str("],\n  \"recovery\": ");
+        match &self.recovery_summary {
+            Some(r) => {
+                s.push_str(&format!(
+                    "{{\"attempts\": {}, \"dead_nodes\": [{}], \
+                     \"reassigned_partitions\": {}, \"lost_ms\": {:.6}, \"backoff_ms\": {:.6}}}",
+                    r.attempts,
+                    r.dead_nodes
+                        .iter()
+                        .map(|n| n.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    r.reassigned_partitions,
+                    r.lost_ms,
+                    r.backoff_ms
+                ));
+            }
+            None => s.push_str("null"),
+        }
+        s.push_str(&format!(
+            ",\n  \"transport\": \"{}\"",
+            self.transport.replace('"', "'")
+        ));
+        s.push_str(",\n  \"annotations\": {");
+        for (i, (name, value)) in self.annotations.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{}\": {value}", name.replace('"', "'")));
+        }
+        s.push_str("}\n}\n");
         s
     }
 
@@ -85,6 +115,16 @@ impl RunTrace {
                     r.backoff_ms
                 ));
             }
+        }
+        if let Some(r) = &self.recovery_summary {
+            s.push_str(&format!(
+                "recovery summary: {} attempt(s), dead {:?}, {} partition(s) reassigned, \
+                 lost {:.3} ms + backoff {:.3} ms\n",
+                r.attempts, r.dead_nodes, r.reassigned_partitions, r.lost_ms, r.backoff_ms
+            ));
+        }
+        for (name, value) in &self.annotations {
+            s.push_str(&format!("annotation: {name} = {value}\n"));
         }
         s
     }
@@ -217,7 +257,15 @@ mod tests {
                 lost_ms: 12.5,
                 backoff_ms: 5.0,
             }],
+            recovery_summary: Some(crate::trace::RecoverySummaryTrace {
+                attempts: 2,
+                dead_nodes: vec![2],
+                reassigned_partitions: 3,
+                lost_ms: 12.5,
+                backoff_ms: 5.0,
+            }),
             transport: "in-process".into(),
+            annotations: vec![("serve.grant_entries".into(), 400.0)],
         }
     }
 
@@ -232,6 +280,10 @@ mod tests {
         assert!(json.contains("\"hashagg.raw_in\": 100"));
         assert!(json.contains("\"to\": 1"));
         assert!(json.contains("\"attempt\": 1"));
+        assert!(json.contains("\"recovery\": {\"attempts\": 2, \"dead_nodes\": [2]"));
+        assert!(json.contains("\"reassigned_partitions\": 3"));
+        assert!(json.contains("\"transport\": \"in-process\""));
+        assert!(json.contains("\"annotations\": {\"serve.grant_entries\": 400}"));
         // Balanced braces (cheap well-formedness check, same spirit as
         // the bench harness's extract_object).
         let open = json.matches('{').count();

@@ -412,6 +412,23 @@ pub struct PhaseTotal {
     pub wall_us: u64,
 }
 
+/// Whole-run recovery totals, mirrored from the engine's
+/// `RecoveryStats` (this crate stays independent of the exec layer, so
+/// the engine copies its numbers in rather than being depended on).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RecoverySummaryTrace {
+    /// Attempts the query took, counting the successful one.
+    pub attempts: u32,
+    /// Nodes declared dead, in failure order (original ids).
+    pub dead_nodes: Vec<usize>,
+    /// Partitions that changed owner across all recoveries.
+    pub reassigned_partitions: u64,
+    /// Virtual time wasted in failed attempts.
+    pub lost_ms: f64,
+    /// Virtual backoff charged between attempts.
+    pub backoff_ms: f64,
+}
+
 /// The run-level trace artifact attached to a cluster outcome.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RunTrace {
@@ -420,11 +437,19 @@ pub struct RunTrace {
     /// Failed recovery attempts, in order (empty for fail-stop runs and
     /// runs that needed no recovery).
     pub recovery: Vec<RecoveryAttemptTrace>,
+    /// Whole-run recovery totals (`None` when the producer ran
+    /// fail-stop or predates recovery accounting).
+    pub recovery_summary: Option<RecoverySummaryTrace>,
     /// The transport backend the run executed over (`"in-process"`,
     /// `"tcp-loopback"`, …) — a label, not a type, so this crate stays
     /// independent of the net layer. Empty when the producer predates
     /// transport selection.
     pub transport: String,
+    /// Run-level annotations from layers above the engine (the serving
+    /// scheduler records its queue/broker numbers here: admitted grant,
+    /// queue wait, co-resident queries). Names are dotted lowercase
+    /// (`serve.grant_entries`); values render as JSON numbers.
+    pub annotations: Vec<(String, f64)>,
 }
 
 impl RunTrace {
@@ -555,6 +580,7 @@ mod tests {
             ],
             recovery: Vec::new(),
             transport: String::new(),
+            ..RunTrace::default()
         };
         let totals = run.phase_totals();
         assert_eq!(totals.len(), 1);

@@ -1,0 +1,307 @@
+//! The per-node memory broker: divides one node's hash-table budget
+//! `M` across the queries currently running on it.
+//!
+//! Admission is fair-share with a floor: `k` active queries each hold
+//! `⌊M/k⌋` entries, and a query is only admitted when the post-admit
+//! share stays at or above `min_grant`. Grants are *revocable*
+//! ([`MemoryGrant`] is a live handle shared with the executing query):
+//! admitting a query shrinks every resident grant **before** the new
+//! one is handed out, so the sum of outstanding grants never exceeds
+//! the budget, not even transiently. A shrunk query keeps its resident
+//! groups (no eviction, no wrong answers) but stops admitting new ones
+//! — exactly the condition that triggers an A2P strategy switch or a
+//! hash-aggregation spill, i.e. graceful degradation instead of OOM.
+//!
+//! Finishing a query releases its share and regrows the survivors, so
+//! every admitted query eventually holds `⌊M/k⌋ ≥ min_grant` again (no
+//! starvation: shares only shrink when admissions succeed, and the
+//! admission gate bounds how far).
+
+use adaptagg_model::MemoryGrant;
+use std::collections::BTreeMap;
+
+/// Broker knobs for one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BrokerConfig {
+    /// The node's hash-table budget `M` in entries.
+    pub budget: usize,
+    /// Smallest share worth admitting at. A query granted fewer entries
+    /// than this would thrash (switch/spill almost immediately), so the
+    /// broker sheds load instead — the `memory_exhausted` rejection.
+    pub min_grant: usize,
+}
+
+impl BrokerConfig {
+    /// Validate and build. `min_grant` is clamped to `1..=budget`.
+    pub fn new(budget: usize, min_grant: usize) -> Self {
+        let budget = budget.max(1);
+        BrokerConfig {
+            budget,
+            min_grant: min_grant.clamp(1, budget),
+        }
+    }
+}
+
+/// Why the broker refused to admit a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrantDenied {
+    /// Queries already holding grants.
+    pub active: usize,
+    /// The node budget being divided.
+    pub budget: usize,
+    /// The configured floor the post-admit share would undercut.
+    pub min_grant: usize,
+}
+
+impl std::fmt::Display for GrantDenied {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "budget {} / {} active queries leaves less than the {}-entry floor",
+            self.budget,
+            self.active + 1,
+            self.min_grant
+        )
+    }
+}
+
+/// One node's ledger of outstanding grants.
+#[derive(Debug)]
+pub struct NodeBroker {
+    cfg: BrokerConfig,
+    /// Query id → its live grant handle. BTreeMap for deterministic
+    /// iteration (tests and the no-starvation argument like it).
+    grants: BTreeMap<u64, MemoryGrant>,
+}
+
+impl NodeBroker {
+    /// A broker over one node's budget.
+    pub fn new(cfg: BrokerConfig) -> Self {
+        NodeBroker {
+            cfg,
+            grants: BTreeMap::new(),
+        }
+    }
+
+    /// Queries currently holding a grant.
+    pub fn active(&self) -> usize {
+        self.grants.len()
+    }
+
+    /// The budget currently being divided.
+    pub fn budget(&self) -> usize {
+        self.cfg.budget
+    }
+
+    /// Sum of the grants as the queries currently see them.
+    pub fn outstanding(&self) -> usize {
+        self.grants.values().map(|g| g.current()).sum()
+    }
+
+    /// The fair share with `k` active queries.
+    fn share(&self, k: usize) -> usize {
+        self.cfg.budget / k.max(1)
+    }
+
+    /// Would an admission succeed right now?
+    pub fn can_admit(&self) -> bool {
+        self.share(self.active() + 1) >= self.cfg.min_grant
+    }
+
+    /// Admit `query`: shrink every resident grant to the new fair
+    /// share, then hand out the newcomer's. Refuses (leaving every
+    /// grant untouched) when the post-admit share would undercut the
+    /// floor, or when `query` already holds a grant.
+    pub fn try_admit(&mut self, query: u64) -> Result<MemoryGrant, GrantDenied> {
+        if self.grants.contains_key(&query) || !self.can_admit() {
+            return Err(GrantDenied {
+                active: self.active(),
+                budget: self.cfg.budget,
+                min_grant: self.cfg.min_grant,
+            });
+        }
+        let share = self.share(self.active() + 1);
+        // Shrink-before-grow: revoke headroom from the residents first
+        // so the sum never exceeds the budget, not even between the two
+        // statements.
+        for g in self.grants.values() {
+            g.set(share);
+        }
+        let grant = MemoryGrant::bounded(share);
+        self.grants.insert(query, grant.clone());
+        Ok(grant)
+    }
+
+    /// Release `query`'s grant and regrow the survivors to their new
+    /// fair share. Unknown ids are ignored (finish is idempotent).
+    pub fn finish(&mut self, query: u64) {
+        if self.grants.remove(&query).is_none() {
+            return;
+        }
+        let share = self.share(self.active());
+        for g in self.grants.values() {
+            g.set(share);
+        }
+    }
+
+    /// Resize the budget (e.g. an operator reclaiming memory for other
+    /// work) and re-share among the active queries. The budget is
+    /// clamped so every resident query keeps at least one entry — a
+    /// grant of zero could strand a query that has not yet admitted its
+    /// first group.
+    pub fn set_budget(&mut self, budget: usize) {
+        self.cfg.budget = budget.max(self.active()).max(1);
+        self.cfg.min_grant = self.cfg.min_grant.min(self.cfg.budget);
+        let share = self.share(self.active());
+        for g in self.grants.values() {
+            g.set(share);
+        }
+    }
+}
+
+/// The cluster-wide broker: one [`NodeBroker`] per node, admitted
+/// all-or-nothing so a query holds a grant on every node or none.
+#[derive(Debug)]
+pub struct MemoryBroker {
+    nodes: Vec<NodeBroker>,
+}
+
+impl MemoryBroker {
+    /// One broker per node, all with the same budget (the simulated
+    /// cluster is symmetric).
+    pub fn new(nodes: usize, cfg: BrokerConfig) -> Self {
+        assert!(nodes > 0, "a cluster has at least one node");
+        MemoryBroker {
+            nodes: (0..nodes).map(|_| NodeBroker::new(cfg)).collect(),
+        }
+    }
+
+    /// Queries currently admitted (identical on every node).
+    pub fn active(&self) -> usize {
+        self.nodes[0].active()
+    }
+
+    /// Per-node outstanding totals (for metrics).
+    pub fn outstanding(&self) -> Vec<usize> {
+        self.nodes.iter().map(|n| n.outstanding()).collect()
+    }
+
+    /// Admit on every node, or nowhere. Returns one grant per node, in
+    /// node order — ready for `ClusterConfig::with_grants`.
+    pub fn try_admit(&mut self, query: u64) -> Result<Vec<MemoryGrant>, GrantDenied> {
+        // Symmetric budgets mean node 0's verdict is everyone's, but
+        // probe all anyway so an asymmetric future cannot half-admit.
+        if let Some(n) = self.nodes.iter().find(|n| !n.can_admit()) {
+            return Err(GrantDenied {
+                active: n.active(),
+                budget: n.budget(),
+                min_grant: n.cfg.min_grant,
+            });
+        }
+        self.nodes
+            .iter_mut()
+            .map(|n| n.try_admit(query))
+            .collect()
+    }
+
+    /// Release the query's grants on every node.
+    pub fn finish(&mut self, query: u64) {
+        for n in &mut self.nodes {
+            n.finish(query);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn broker(budget: usize, min: usize) -> NodeBroker {
+        NodeBroker::new(BrokerConfig::new(budget, min))
+    }
+
+    #[test]
+    fn fair_share_shrinks_and_regrows_across_admissions() {
+        let mut b = broker(1200, 100);
+        let g1 = b.try_admit(1).unwrap();
+        assert_eq!(g1.current(), 1200);
+        let g2 = b.try_admit(2).unwrap();
+        assert_eq!(g1.current(), 600);
+        assert_eq!(g2.current(), 600);
+        let g3 = b.try_admit(3).unwrap();
+        assert_eq!(g1.current(), 400);
+        assert_eq!(g3.current(), 400);
+        b.finish(2);
+        assert_eq!(g1.current(), 600);
+        assert_eq!(g3.current(), 600);
+        b.finish(1);
+        assert_eq!(g3.current(), 1200);
+    }
+
+    #[test]
+    fn admission_floor_sheds_load_honestly() {
+        let mut b = broker(1000, 400);
+        b.try_admit(1).unwrap();
+        let g2 = b.try_admit(2).unwrap();
+        assert_eq!(g2.current(), 500);
+        // A third share would be 333 < 400: refused, residents intact.
+        let denied = b.try_admit(3).unwrap_err();
+        assert_eq!(denied.active, 2);
+        assert_eq!(g2.current(), 500);
+        assert_eq!(b.active(), 2);
+        // Space frees up: the next admission succeeds again.
+        b.finish(1);
+        assert!(b.can_admit());
+        b.try_admit(3).unwrap();
+    }
+
+    #[test]
+    fn sum_of_grants_never_exceeds_budget() {
+        let mut b = broker(997, 1); // prime: floor rounding bites
+        for q in 0..9 {
+            b.try_admit(q).unwrap();
+            assert!(b.outstanding() <= 997, "after admit {q}: {}", b.outstanding());
+        }
+        for q in [3u64, 7, 0] {
+            b.finish(q);
+            assert!(b.outstanding() <= 997, "after finish {q}: {}", b.outstanding());
+        }
+    }
+
+    #[test]
+    fn double_admit_and_unknown_finish_are_refused_or_ignored() {
+        let mut b = broker(100, 1);
+        b.try_admit(7).unwrap();
+        assert!(b.try_admit(7).is_err());
+        b.finish(99); // never admitted: no-op
+        assert_eq!(b.active(), 1);
+    }
+
+    #[test]
+    fn budget_resize_reshapes_live_grants() {
+        let mut b = broker(800, 10);
+        let g1 = b.try_admit(1).unwrap();
+        let g2 = b.try_admit(2).unwrap();
+        b.set_budget(200);
+        assert_eq!(g1.current(), 100);
+        assert_eq!(g2.current(), 100);
+        // Clamped: shrinking below one entry per query is refused.
+        b.set_budget(0);
+        assert!(g1.current() >= 1 && g2.current() >= 1);
+        assert!(b.outstanding() <= b.budget());
+    }
+
+    #[test]
+    fn cluster_broker_is_all_or_nothing_in_node_order() {
+        let mut mb = MemoryBroker::new(4, BrokerConfig::new(600, 300));
+        let grants = mb.try_admit(1).unwrap();
+        assert_eq!(grants.len(), 4);
+        let g2 = mb.try_admit(2).unwrap();
+        assert!(grants.iter().all(|g| g.current() == 300));
+        assert!(g2.iter().all(|g| g.current() == 300));
+        assert!(mb.try_admit(3).is_err());
+        assert_eq!(mb.active(), 2);
+        mb.finish(1);
+        assert_eq!(mb.outstanding(), vec![600; 4]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Multi-query serving for the adaptive-aggregation engine: admission
+//! control, a per-node memory broker, and graceful degradation under
+//! overload.
+//!
+//! The paper's algorithms assume a query has the node's whole hash
+//! budget `M` to itself. A serving system cannot: queries arrive
+//! concurrently, and the interesting question is what happens when
+//! their combined appetite exceeds `M`. This crate's answer reuses the
+//! adaptivity the paper already built — a query whose grant shrinks
+//! mid-run stops admitting new groups, which is precisely A2P's
+//! table-full trigger, so overload degrades into strategy switches and
+//! spills (traced, exact) instead of OOM or wrong answers. What cannot
+//! be absorbed is shed honestly, with a typed reason.
+//!
+//! Layers, bottom up:
+//!
+//! - [`broker`] — per-node fair-share division of `M` into revocable
+//!   [`adaptagg_model::MemoryGrant`]s, with an admission floor;
+//! - [`scheduler`] — bounded admission queue, executor pool, typed
+//!   rejections (`queue_full` / `deadline_unmeetable` /
+//!   `memory_exhausted`), per-query deadlines that count queue wait,
+//!   and per-query fault isolation;
+//! - [`server`] — the long-running TCP line protocol
+//!   (`adaptagg serve`), one JSON response line per query;
+//! - [`procmesh`] — the optional real-process backend: a persistent
+//!   coordinator seat over PR 6's TCP worker mesh, surviving worker
+//!   SIGKILLs across queries.
+
+pub mod broker;
+pub mod procmesh;
+pub mod scheduler;
+pub mod server;
+
+pub use broker::{BrokerConfig, GrantDenied, MemoryBroker, NodeBroker};
+pub use procmesh::ProcBackend;
+pub use scheduler::{
+    Dataset, QueryOutcome, QueryRejected, QueryReport, QueryRequest, QuerySuccess, RejectReason,
+    Scheduler, ServeConfig, ServeMetrics, Ticket,
+};
+pub use server::{serve, ServeSummary, PROTO};

@@ -1,0 +1,488 @@
+//! The serving front door: a long-running TCP line protocol over the
+//! scheduler.
+//!
+//! One request per line, one JSON response line per request. A request
+//! is either a bare command (`ping`, `metrics`, `shutdown`, `proc`) or
+//! a SQL query with an optional `key=value;` option prefix:
+//!
+//! ```text
+//! deadline_ms=500;algo=a2p; SELECT g, SUM(v) FROM r GROUP BY g
+//! ```
+//!
+//! Options: `deadline_ms`, `algo` (CLI spellings: `a2p`, `rep`, …),
+//! `fault_seed`, `crash_node`, `recovery` (0/1), `stall_ms`,
+//! `trace` (0/1 — embed the `adaptagg-trace/v1` document, compacted to
+//! one line). Responses carry `"proto": "adaptagg-serve/v1"` and a
+//! `status` of `ok`, `rejected` (with the typed reason), `failed`,
+//! `pong`, or `error` (malformed request). The server itself never
+//! dies on a bad line — robustness stops at the protocol edge.
+
+use crate::procmesh::ProcBackend;
+use crate::scheduler::{
+    QueryOutcome, QueryReport, QueryRequest, Scheduler, ServeMetrics,
+};
+use adaptagg_algos::AlgorithmKind;
+use adaptagg_model::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Stable protocol identifier carried by every response line.
+pub const PROTO: &str = "adaptagg-serve/v1";
+
+/// Everything a connection handler needs.
+struct Shared {
+    sched: Arc<Scheduler>,
+    proc: Option<Arc<ProcBackend>>,
+    stop: AtomicBool,
+}
+
+/// What a finished serving session reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Connections accepted over the session.
+    pub connections: u64,
+    /// Final scheduler counters.
+    pub metrics: ServeMetrics,
+}
+
+/// Run the accept loop until a client sends `shutdown`. Each
+/// connection gets its own thread; queries block their connection (a
+/// load generator opens one connection per in-flight query) while the
+/// scheduler bounds actual concurrency. Returns after the scheduler
+/// has drained.
+pub fn serve(
+    listener: TcpListener,
+    sched: Arc<Scheduler>,
+    proc: Option<Arc<ProcBackend>>,
+    mut log: impl FnMut(&str),
+) -> std::io::Result<ServeSummary> {
+    listener.set_nonblocking(true)?;
+    let shared = Arc::new(Shared {
+        sched,
+        proc,
+        stop: AtomicBool::new(false),
+    });
+    let mut handlers = Vec::new();
+    let mut connections = 0u64;
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                connections += 1;
+                log(&format!("connection from {peer}"));
+                let shared = Arc::clone(&shared);
+                handlers.push(
+                    std::thread::Builder::new()
+                        .name(format!("serve-conn-{connections}"))
+                        .spawn(move || handle_connection(stream, &shared))
+                        .expect("spawn connection handler"),
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    log("shutdown requested; draining");
+    for h in handlers {
+        let _ = h.join();
+    }
+    shared.sched.shutdown();
+    let metrics = shared.sched.metrics();
+    log(&format!(
+        "served {} quer{} ({} rejected)",
+        metrics.submitted,
+        if metrics.submitted == 1 { "y" } else { "ies" },
+        metrics.rejected_queue_full + metrics.rejected_deadline + metrics.rejected_memory
+    ));
+    Ok(ServeSummary {
+        connections,
+        metrics,
+    })
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let Ok(read) = stream.try_clone() else { return };
+    let mut writer = stream;
+    let reader = BufReader::new(read);
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (response, stop_after) = handle_line(line, shared);
+        if writeln!(writer, "{response}").is_err() {
+            return;
+        }
+        let _ = writer.flush();
+        if stop_after {
+            shared.stop.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
+}
+
+/// Dispatch one request line; returns the response and whether the
+/// server should stop afterwards.
+fn handle_line(line: &str, shared: &Shared) -> (String, bool) {
+    match line {
+        "ping" => (format!("{{\"proto\": \"{PROTO}\", \"status\": \"pong\"}}"), false),
+        "shutdown" => (
+            format!("{{\"proto\": \"{PROTO}\", \"status\": \"ok\", \"shutdown\": true}}"),
+            true,
+        ),
+        "metrics" => (metrics_json(&shared.sched.metrics(), shared.sched.active_queries()), false),
+        "proc" => (proc_response(shared), false),
+        _ => match parse_request(line) {
+            Ok((req, want_trace)) => {
+                let report = shared.sched.run(req);
+                (report_json(&report, want_trace), false)
+            }
+            Err(e) => (
+                format!(
+                    "{{\"proto\": \"{PROTO}\", \"status\": \"error\", \"error\": {}}}",
+                    json_str(&e)
+                ),
+                false,
+            ),
+        },
+    }
+}
+
+/// Run one query on the attached process mesh (the real-TCP cluster).
+fn proc_response(shared: &Shared) -> String {
+    let Some(proc) = &shared.proc else {
+        return format!(
+            "{{\"proto\": \"{PROTO}\", \"status\": \"failed\", \"backend\": \"proc\", \
+             \"error\": \"no process mesh attached (start with --proc-cluster)\", \"exit_code\": 1}}"
+        );
+    };
+    let t0 = std::time::Instant::now();
+    match proc.run_query() {
+        Ok(report) => format!(
+            "{{\"proto\": \"{PROTO}\", \"status\": \"ok\", \"backend\": \"proc\", \
+             \"row_count\": {}, \"rows\": {}, \"attempts\": {}, \"dead_workers\": {}, \
+             \"reassigned_partitions\": {}, \"total_ms\": {:.3}}}",
+            report.rows.len(),
+            rows_json(&report.rows),
+            report.attempts,
+            json_usize_array(&report.dead_workers),
+            report.reassigned_partitions,
+            t0.elapsed().as_secs_f64() * 1e3,
+        ),
+        Err(e) => format!(
+            "{{\"proto\": \"{PROTO}\", \"status\": \"failed\", \"backend\": \"proc\", \
+             \"error\": {}, \"exit_code\": {}, \"total_ms\": {:.3}}}",
+            json_str(&e.to_string()),
+            e.exit_code(),
+            t0.elapsed().as_secs_f64() * 1e3,
+        ),
+    }
+}
+
+/// Parse a `key=value;`-prefixed SQL request line.
+pub fn parse_request(line: &str) -> Result<(QueryRequest, bool), String> {
+    let mut rest = line.trim_start();
+    let mut req = QueryRequest::new("");
+    let mut want_trace = false;
+    // An option token runs `ident=value;` with no spaces — anything
+    // else (including SQL that happens to contain `;`) ends the
+    // prefix.
+    while let Some(semi) = rest.find(';') {
+        let head = &rest[..semi];
+        let Some(eq) = head.find('=') else { break };
+        let key = &head[..eq];
+        let val = &head[eq + 1..];
+        if key.is_empty()
+            || head.contains(' ')
+            || !key.chars().all(|c| c.is_ascii_lowercase() || c == '_')
+        {
+            break;
+        }
+        match key {
+            "deadline_ms" => {
+                req.deadline = Some(Duration::from_millis(parse_num(key, val)?));
+            }
+            "stall_ms" => {
+                req.stall = Some(Duration::from_millis(parse_num(key, val)?));
+            }
+            "fault_seed" => req.fault_seed = Some(parse_num(key, val)?),
+            "crash_node" => req.crash_node = Some(parse_num(key, val)? as usize),
+            "recovery" => req.recovery = parse_bool(key, val)?,
+            "trace" => want_trace = parse_bool(key, val)?,
+            "algo" => req.algo = Some(parse_algo(val)?),
+            other => return Err(format!("unknown option '{other}'")),
+        }
+        rest = rest[semi + 1..].trim_start();
+    }
+    if rest.is_empty() {
+        return Err("empty query".into());
+    }
+    req.sql = rest.to_string();
+    Ok((req, want_trace))
+}
+
+fn parse_num(key: &str, s: &str) -> Result<u64, String> {
+    s.parse::<u64>()
+        .map_err(|_| format!("{key}: '{s}' is not a number"))
+}
+
+fn parse_bool(key: &str, s: &str) -> Result<bool, String> {
+    match s {
+        "1" | "true" => Ok(true),
+        "0" | "false" => Ok(false),
+        other => Err(format!("{key}: '{other}' is not a boolean (0/1)")),
+    }
+}
+
+fn parse_algo(s: &str) -> Result<AlgorithmKind, String> {
+    Ok(match s {
+        "c2p" => AlgorithmKind::CentralizedTwoPhase,
+        "2p" => AlgorithmKind::TwoPhase,
+        "rep" => AlgorithmKind::Repartitioning,
+        "samp" => AlgorithmKind::Sampling,
+        "a2p" => AlgorithmKind::AdaptiveTwoPhase,
+        "arep" => AlgorithmKind::AdaptiveRepartitioning,
+        "opt2p" => AlgorithmKind::OptimizedTwoPhase,
+        "sort2p" => AlgorithmKind::SortTwoPhase,
+        "bcast" => AlgorithmKind::Broadcast,
+        other => return Err(format!("unknown algorithm '{other}'")),
+    })
+}
+
+/// Render a scheduler report as one `adaptagg-serve/v1` response line.
+pub fn report_json(report: &QueryReport, want_trace: bool) -> String {
+    let mut s = format!(
+        "{{\"proto\": \"{PROTO}\", \"id\": {}, \"queue_wait_ms\": {:.3}, \"total_ms\": {:.3}",
+        report.id, report.queue_wait_ms, report.total_ms
+    );
+    match &report.outcome {
+        QueryOutcome::Complete(q) => {
+            s.push_str(&format!(
+                ", \"status\": \"ok\", \"columns\": {}, \"row_count\": {}, \"rows\": {}, \
+                 \"virtual_ms\": {:.6}, \"grant_entries\": {}, \"active_at_admit\": {}, \
+                 \"degraded\": {}, \"adapted_nodes\": {}, \"switch_events\": {}, \
+                 \"recovery_attempts\": {}, \"dead_nodes\": {}, \"deadline_missed\": {}",
+                json_str_array(&q.output_names),
+                q.rows.len(),
+                rows_json(&q.rows),
+                q.virtual_ms,
+                report.grant_entries.unwrap_or(0),
+                report.active_at_admit,
+                q.degraded,
+                json_usize_array(&q.adapted_nodes),
+                q.switch_events,
+                q.recovery_attempts,
+                json_usize_array(&q.dead_nodes),
+                q.deadline_missed,
+            ));
+            if want_trace {
+                if let Some(trace) = &q.trace_json {
+                    // The trace document is pretty-printed; fold it onto
+                    // the single response line (whitespace is free in
+                    // JSON).
+                    s.push_str(", \"trace\": ");
+                    s.push_str(&trace.replace('\n', " "));
+                }
+            }
+        }
+        QueryOutcome::Rejected(r) => {
+            s.push_str(&format!(
+                ", \"status\": \"rejected\", \"reason\": \"{}\", \"detail\": {}",
+                r.reason.label(),
+                json_str(&r.detail)
+            ));
+        }
+        QueryOutcome::Failed { error, exit_code } => {
+            s.push_str(&format!(
+                ", \"status\": \"failed\", \"error\": {}, \"exit_code\": {exit_code}",
+                json_str(error)
+            ));
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Render the session counters (plus the live concurrency gauge).
+pub fn metrics_json(m: &ServeMetrics, active: usize) -> String {
+    format!(
+        "{{\"proto\": \"{PROTO}\", \"status\": \"ok\", \"metrics\": {{\
+         \"submitted\": {}, \"completed\": {}, \"failed\": {}, \
+         \"rejected_queue_full\": {}, \"rejected_deadline\": {}, \"rejected_memory\": {}, \
+         \"degraded_admissions\": {}, \"recovered_queries\": {}, \"deadlines_missed\": {}, \
+         \"active_queries\": {active}}}}}",
+        m.submitted,
+        m.completed,
+        m.failed,
+        m.rejected_queue_full,
+        m.rejected_deadline,
+        m.rejected_memory,
+        m.degraded_admissions,
+        m.recovered_queries,
+        m.deadlines_missed,
+    )
+}
+
+/// Result rows as a JSON array of arrays: key values then aggregates,
+/// in output-column order.
+fn rows_json(rows: &[adaptagg_model::ResultRow]) -> String {
+    let mut s = String::from("[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push('[');
+        for (j, v) in row.key.values().iter().chain(row.aggs.iter()).enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&value_json(v));
+        }
+        s.push(']');
+    }
+    s.push(']');
+    s
+}
+
+fn value_json(v: &Value) -> String {
+    match v {
+        Value::Null => "null".into(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) if f.is_finite() => format!("{f}"),
+        Value::Float(_) => "null".into(), // NaN/inf have no JSON form
+        Value::Str(s) => json_str(s),
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_str_array(items: &[String]) -> String {
+    let mut s = String::from("[");
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&json_str(item));
+    }
+    s.push(']');
+    s
+}
+
+fn json_usize_array(items: &[usize]) -> String {
+    let mut s = String::from("[");
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&item.to_string());
+    }
+    s.push(']');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{Dataset, ServeConfig};
+
+    #[test]
+    fn request_lines_parse_options_then_sql() {
+        let (req, trace) = parse_request(
+            "deadline_ms=250;algo=rep;recovery=1;crash_node=2;trace=1; SELECT g FROM r GROUP BY g",
+        )
+        .unwrap();
+        assert_eq!(req.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(req.algo, Some(AlgorithmKind::Repartitioning));
+        assert!(req.recovery);
+        assert_eq!(req.crash_node, Some(2));
+        assert!(trace);
+        assert_eq!(req.sql, "SELECT g FROM r GROUP BY g");
+
+        // No options: the whole line is SQL.
+        let (req, trace) = parse_request("SELECT g, SUM(v) FROM r GROUP BY g").unwrap();
+        assert_eq!(req.sql, "SELECT g, SUM(v) FROM r GROUP BY g");
+        assert!(!trace && req.deadline.is_none());
+
+        // Bad option values are typed errors, not panics.
+        assert!(parse_request("deadline_ms=soon; SELECT g FROM r GROUP BY g").is_err());
+        assert!(parse_request("algo=quantum; SELECT g FROM r GROUP BY g").is_err());
+        assert!(parse_request("bogus_knob=1; SELECT g FROM r GROUP BY g").is_err());
+        assert!(parse_request("   ").is_err());
+    }
+
+    #[test]
+    fn json_strings_escape_cleanly() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(value_json(&Value::Float(f64::NAN)), "null");
+        assert_eq!(value_json(&Value::Int(-3)), "-3");
+    }
+
+    #[test]
+    fn end_to_end_over_a_real_socket() {
+        let data = Arc::new(Dataset::uniform(2, 2_000, 40, 5));
+        let mut cfg = ServeConfig::new(10_000);
+        cfg.concurrency = 2;
+        let sched = Arc::new(Scheduler::new(cfg, data));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = {
+            let sched = Arc::clone(&sched);
+            std::thread::spawn(move || serve(listener, sched, None, |_| {}).unwrap())
+        };
+
+        let mut conn = TcpStream::connect(addr).unwrap();
+        let mut reply = BufReader::new(conn.try_clone().unwrap());
+        let mut line = String::new();
+        let mut ask = |conn: &mut TcpStream, reply: &mut BufReader<TcpStream>, q: &str| {
+            writeln!(conn, "{q}").unwrap();
+            line.clear();
+            reply.read_line(&mut line).unwrap();
+            line.trim().to_string()
+        };
+
+        assert!(ask(&mut conn, &mut reply, "ping").contains("\"pong\""));
+        let ok = ask(
+            &mut conn,
+            &mut reply,
+            "SELECT g, SUM(v), COUNT(*) FROM r GROUP BY g",
+        );
+        assert!(ok.contains("\"status\": \"ok\""), "{ok}");
+        assert!(ok.contains("\"row_count\": 40"), "{ok}");
+        let bad = ask(&mut conn, &mut reply, "SELECT zap FROM r GROUP BY zap");
+        assert!(bad.contains("\"status\": \"failed\""), "{bad}");
+        let garbage = ask(&mut conn, &mut reply, "deadline_ms=nope; SELECT g FROM r GROUP BY g");
+        assert!(garbage.contains("\"status\": \"error\""), "{garbage}");
+        let proc = ask(&mut conn, &mut reply, "proc");
+        assert!(proc.contains("no process mesh attached"), "{proc}");
+        let metrics = ask(&mut conn, &mut reply, "metrics");
+        assert!(metrics.contains("\"submitted\": 2"), "{metrics}");
+        let bye = ask(&mut conn, &mut reply, "shutdown");
+        assert!(bye.contains("\"shutdown\": true"), "{bye}");
+
+        let summary = server.join().unwrap();
+        assert_eq!(summary.connections, 1);
+        assert_eq!(summary.metrics.completed, 1);
+        assert_eq!(summary.metrics.failed, 1);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the per-node memory broker: under any random
+//! interleaving of admits, budget resizes, and finishes, the sum of
+//! outstanding grants never exceeds the budget, every admitted query
+//! always holds a nonzero grant (no starvation), and finishing anyone
+//! regrows the survivors.
+
+use adaptagg_serve::broker::{BrokerConfig, NodeBroker};
+use proptest::prelude::*;
+
+/// One scripted step against the broker.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Try to admit query `id` (may be honestly denied).
+    Admit(u64),
+    /// Finish query `id` (idempotent; unknown ids are no-ops).
+    Finish(u64),
+    /// Resize the node budget.
+    SetBudget(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..12).prop_map(Op::Admit),
+        (0u64..12).prop_map(Op::Finish),
+        (1usize..3_000).prop_map(Op::SetBudget),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The broker's safety and liveness invariants hold after every
+    /// step of any random schedule.
+    #[test]
+    fn prop_grant_sum_bounded_and_no_starvation(
+        budget in 8usize..2_000,
+        min_grant in 1usize..400,
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+    ) {
+        let mut broker = NodeBroker::new(BrokerConfig::new(budget, min_grant));
+        let mut admitted: Vec<u64> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Admit(id) => {
+                    if admitted.contains(&id) {
+                        prop_assert!(broker.try_admit(id).is_err(),
+                            "double admit of {id} must be refused");
+                    } else if let Ok(grant) = broker.try_admit(id) {
+                        prop_assert!(grant.current() > 0,
+                            "an admission must carry a usable grant");
+                        admitted.push(id);
+                    }
+                }
+                Op::Finish(id) => {
+                    broker.finish(id);
+                    admitted.retain(|&q| q != id);
+                }
+                Op::SetBudget(b) => broker.set_budget(b),
+            }
+
+            // Safety: grants never oversubscribe the budget.
+            prop_assert!(broker.outstanding() <= broker.budget(),
+                "outstanding {} > budget {}", broker.outstanding(), broker.budget());
+            // Bookkeeping agrees with the model.
+            prop_assert_eq!(broker.active(), admitted.len());
+            // Liveness: every admitted query holds a nonzero grant right
+            // now — not eventually, *always* (a zero grant would wedge a
+            // running query's table admissions forever).
+            if !admitted.is_empty() {
+                let share = broker.budget() / admitted.len();
+                prop_assert!(share > 0, "resize must never starve residents");
+            }
+        }
+    }
+
+    /// Fair-share arithmetic: k admitted queries each hold ⌊budget/k⌋,
+    /// so a finish visibly regrows everyone left.
+    #[test]
+    fn prop_finish_regrows_survivors(
+        budget in 64usize..4_000,
+        k in 2usize..8,
+    ) {
+        let mut broker = NodeBroker::new(BrokerConfig::new(budget, 1));
+        let grants: Vec<_> = (0..k as u64)
+            .map(|id| broker.try_admit(id).expect("min_grant 1 always fits"))
+            .collect();
+        for g in &grants {
+            prop_assert_eq!(g.current(), budget / k);
+        }
+        broker.finish(0);
+        for g in grants.iter().skip(1) {
+            prop_assert_eq!(g.current(), budget / (k - 1),
+                "survivors regrow after a finish");
+        }
+        prop_assert!(broker.outstanding() <= budget);
+    }
+}

@@ -34,6 +34,7 @@ pub use adaptagg_model as model;
 pub use adaptagg_net as net;
 pub use adaptagg_obs as obs;
 pub use adaptagg_sample as sample;
+pub use adaptagg_serve as serve;
 pub use adaptagg_sortagg as sortagg;
 pub use adaptagg_sql as sql;
 pub use adaptagg_storage as storage;

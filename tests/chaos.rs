@@ -418,10 +418,25 @@ fn chaos_outcomes_match_across_transports() {
                     );
                 }
                 (Err(a), Err(b)) => {
-                    assert_eq!(
-                        a, b,
-                        "{kind} seed {seed}: errors differ across transports"
-                    );
+                    // When the schedule injects several crashes, which
+                    // one the driver observes *first* depends on real-
+                    // time arrival order, which kernel socket scheduling
+                    // perturbs under load (DESIGN.md §12.5: TCP pins
+                    // outcomes, not interleavings). Two errors therefore
+                    // match if each names a crash the plan actually
+                    // scheduled; any other mismatch is a parity break.
+                    let scheduled = |e: &ExecError| match e {
+                        ExecError::InjectedCrash { node, at_tuple } => {
+                            plan.node(*node).crash_at_tuple == Some(*at_tuple)
+                        }
+                        _ => false,
+                    };
+                    if !(scheduled(&a) && scheduled(&b)) {
+                        assert_eq!(
+                            a, b,
+                            "{kind} seed {seed}: errors differ across transports"
+                        );
+                    }
                 }
                 (a, b) => panic!(
                     "{kind} seed {seed}: outcome flipped across transports: \

@@ -319,6 +319,84 @@ fn recovery_attempts_appear_in_the_trace() {
         assert!(node.node < NODES);
     }
     assert_eq!(trace.nodes.len(), NODES - 1);
+
+    // The whole-run recovery totals ride the trace document too, so
+    // `--trace json` is self-contained: no cross-referencing the run
+    // report to learn what recovery cost.
+    let summary = trace
+        .recovery_summary
+        .as_ref()
+        .expect("recovered runs carry a recovery summary");
+    assert_eq!(summary.attempts, 2, "one failed + one successful attempt");
+    assert_eq!(summary.dead_nodes, vec![victim]);
+    assert!(summary.reassigned_partitions > 0, "the victim's data moved");
+    assert!(summary.lost_ms >= 0.0 && summary.backoff_ms >= 0.0);
+    let json = trace.to_json();
+    assert!(json.contains("\"recovery\": {\"attempts\": 2"));
+    assert!(json.contains(&format!("\"dead_nodes\": [{victim}]")));
+    assert!(json.contains("\"transport\": \"in-process\""));
+}
+
+/// A query served under broker pressure carries its queue/broker
+/// numbers as trace annotations: grant, budget, queue wait, and
+/// co-residency — enough to attribute a degraded run from the trace
+/// JSON alone.
+#[test]
+fn serving_annotations_ride_the_trace() {
+    use adaptagg::serve::scheduler::{Dataset, QueryRequest, Scheduler, ServeConfig};
+    use std::sync::Arc;
+
+    let budget = 800;
+    let data = Arc::new(Dataset::uniform(4, 12_000, 600, 7));
+    let mut cfg = ServeConfig::new(budget);
+    cfg.concurrency = 2;
+    cfg.min_grant = 100;
+    let sched = Scheduler::new(cfg, data);
+
+    // Two co-resident queries: each gets budget/2 = 400 entries, below
+    // the ~600 per-node groups, so both degrade and switch.
+    let slow = QueryRequest {
+        stall: Some(Duration::from_millis(120)),
+        ..QueryRequest::new("SELECT g, SUM(v) FROM r GROUP BY g")
+    };
+    let t1 = sched.submit(slow).expect("first query admitted");
+    std::thread::sleep(Duration::from_millis(40));
+    let t2 = sched
+        .submit(QueryRequest::new("SELECT g, COUNT(*) FROM r GROUP BY g"))
+        .expect("second query admitted");
+    let r2 = t2.wait();
+    let r1 = t1.wait();
+
+    let s2 = r2.success().expect("concurrent query completes");
+    assert!(s2.degraded, "half the budget is a degraded admission");
+    let trace = s2.trace_json.as_ref().expect("tracing on by default");
+    assert!(
+        trace.contains(&format!("\"serve.grant_entries\": {}", budget / 2)),
+        "the shrunken grant must be in the trace"
+    );
+    assert!(trace.contains(&format!("\"serve.memory_budget\": {budget}")));
+    assert!(trace.contains("\"serve.queue_wait_ms\":"));
+    assert!(trace.contains("\"serve.active_at_admit\": 1"));
+
+    // The degradation ladder end to end: the 400-entry grant cannot
+    // hold ~600 groups, so the adaptive runtime visibly switches
+    // strategy — with its cause on record — rather than failing…
+    assert!(
+        trace.contains("\"kind\": \"strategy-switch\""),
+        "a reduced grant must surface as a traced strategy switch"
+    );
+    assert!(trace.contains("\"cause\": \"table-full\""));
+
+    // …and the squeezed answer stays bit-identical to the serial
+    // reference oracle.
+    let data = sched.dataset();
+    let bound = adaptagg::sql::compile("SELECT g, COUNT(*) FROM r GROUP BY g", &data.schema)
+        .expect("test query compiles");
+    let oracle = adaptagg::algos::reference_aggregate(&data.partitions, &bound.query)
+        .expect("reference oracle");
+    assert_eq!(s2.rows, oracle, "degraded must never mean wrong");
+
+    assert!(r1.success().is_some(), "the stalled query also completes");
 }
 
 /// The completeness contract holds unchanged over the TCP loopback
