@@ -2,7 +2,7 @@
 
 use adaptagg_exec::{operators, Exchange, ExecError, NodeCtx, PhaseKind};
 use adaptagg_hashagg::{EmitMode, HashAggStats, HashAggregator};
-use adaptagg_model::{AggQuery, ResultRow, RowKind, Value};
+use adaptagg_model::{AggQuery, CostTracker, ResultRow, RowKind, Value};
 use adaptagg_net::{Control, Page};
 
 /// A query compiled for execution: the base-schema form, the projection
@@ -53,6 +53,13 @@ pub fn local_partial_aggregation(
 ) -> Result<(Vec<Vec<Value>>, HashAggStats), ExecError> {
     if ctx.recovery.is_some() {
         return checkpointed_local_aggregation(ctx, plan, max_entries, fanout);
+    }
+    // Intra-node morsel parallelism: an optimistic fast path that
+    // commits only when its rows and charges are bit-identical to the
+    // serial scan below; `None` means fall through (nothing consumed,
+    // nothing charged).
+    if let Some(done) = crate::parallel::par_local_aggregation(ctx, plan, max_entries) {
+        return Ok(done);
     }
     let page_bytes = ctx.params().page_bytes;
     let mut agg = HashAggregator::new(plan.projected.clone(), max_entries, page_bytes, fanout)
@@ -177,6 +184,20 @@ pub fn merge_phase_store(
     pre_received: Vec<(RowKind, Page)>,
     pre_eos: usize,
 ) -> Result<(Vec<ResultRow>, HashAggStats), ExecError> {
+    // Intra-node parallel merge: once eligible, the parallel driver owns
+    // the phase end to end (it consumes the wire), committing in
+    // parallel or replaying serially — either way bit-identical to the
+    // loop below.
+    if ctx.par_scan_eligible() && ctx.threads() > 1 {
+        return crate::parallel::par_merge_phase_store(
+            ctx,
+            plan,
+            max_entries,
+            fanout,
+            pre_received,
+            pre_eos,
+        );
+    }
     let page_bytes = ctx.params().page_bytes;
     let mut agg = HashAggregator::new(plan.projected.clone(), max_entries, page_bytes, fanout)
         .with_charge_hash(false)
@@ -206,6 +227,15 @@ pub fn merge_phase_store(
 
 /// The receive loop of [`merge_phase_store`], factored out so its span
 /// closes on every exit path.
+///
+/// Arrivals are buffered **cost-free** and the clock accounting (Lamport
+/// observation + receiver protocol charge + aggregation) replays in
+/// canonical order: sender id ascending, per-sender FIFO. Physical
+/// arrival order depends on thread scheduling — two senders' streams
+/// interleave however the OS ran them — and `f64` accumulation is
+/// order-sensitive at the ULP level, so charging in arrival order would
+/// imprint the schedule on the virtual clock. Canonical replay makes the
+/// merge phase's virtual time a pure function of what was sent.
 fn merge_phase_inner(
     ctx: &mut NodeCtx,
     agg: &mut HashAggregator,
@@ -219,22 +249,46 @@ fn merge_phase_inner(
 
     let mut eos = pre_eos;
     let nodes = ctx.nodes();
+    let mut streams: Vec<Vec<adaptagg_net::Message>> = (0..nodes).map(|_| Vec::new()).collect();
+    let mut pending_err: Option<ExecError> = None;
     while eos < nodes {
-        let msg = ctx.recv()?;
-        match msg.payload {
-            adaptagg_net::Payload::Data { kind, page } => {
-                agg.push_page(kind, &page, &mut ctx.clock)?;
-                ctx.page_pool.put(page);
+        match ctx.recv_deferred() {
+            Ok(msg) => {
+                match &msg.payload {
+                    adaptagg_net::Payload::Data { .. } => {}
+                    adaptagg_net::Payload::Control(Control::EndOfStream) => eos += 1,
+                    adaptagg_net::Payload::Control(Control::EndOfPhase { .. }) => {}
+                    adaptagg_net::Payload::Control(_) => {
+                        pending_err =
+                            Some(ExecError::Protocol("unexpected control in merge phase"));
+                    }
+                }
+                let from = msg.from;
+                streams[from].push(msg);
+                if pending_err.is_some() {
+                    break;
+                }
             }
-            adaptagg_net::Payload::Control(Control::EndOfStream) => eos += 1,
-            adaptagg_net::Payload::Control(Control::EndOfPhase { .. }) => {}
-            adaptagg_net::Payload::Control(c) => {
-                let _ = c;
-                return Err(ExecError::Protocol("unexpected control in merge phase"));
+            Err(e) => {
+                pending_err = Some(e);
+                break;
             }
         }
     }
-    Ok(())
+    for msgs in streams {
+        for msg in msgs {
+            ctx.clock.observe(msg.sent_at_ms);
+            if let adaptagg_net::Payload::Data { kind, page } = msg.payload {
+                ctx.clock.record(adaptagg_model::CostEvent::MsgProtocol, 1);
+                agg.push_page(kind, &page, &mut ctx.clock)?;
+                ctx.page_pool.put(page);
+            }
+        }
+    }
+    match pending_err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 /// Feed one received page into an aggregator (page-batched; cost events

@@ -151,6 +151,154 @@ pub fn measure(cfg: ThroughputCfg, verbose: bool) -> Vec<WorkloadMeasure> {
     out
 }
 
+/// One (thread count × physical table strategy) cell of the intra-node
+/// sweep.
+#[derive(Debug, Clone)]
+pub struct ThreadMeasure {
+    /// Morsel worker threads (`--threads`).
+    pub threads: usize,
+    /// Intra-node strategy the run was pinned to (`adaptive` lets the
+    /// picker decide; `serial` is the threads=1 reference).
+    pub strategy: &'static str,
+    /// Best-of-`repeats` wall-clock time for the end-to-end run.
+    pub wall_ms: f64,
+    /// `tuples / wall_seconds` for the best run.
+    pub tuples_per_sec: f64,
+    /// Virtual elapsed ms — identical across every cell of a workload
+    /// (the engine's bit-identity contract; asserted by the harness).
+    pub virtual_ms: f64,
+}
+
+/// The intra-node thread sweep on one workload.
+#[derive(Debug, Clone)]
+pub struct ThreadSweep {
+    /// Stable workload name (`low_card_intra`, `high_card_intra`).
+    pub name: &'static str,
+    /// Cluster size (1: the sweep isolates intra-node parallelism).
+    pub nodes: usize,
+    /// Relation size `|R|`.
+    pub tuples: usize,
+    /// Distinct groups `|G|`.
+    pub groups: usize,
+    /// `(threads × strategy)` cells, threads ascending.
+    pub cells: Vec<ThreadMeasure>,
+}
+
+/// Thread counts the sweep measures.
+pub const SWEEP_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Strategy columns measured at each multi-threaded point. `adaptive`
+/// is the default picker; the fixed pins show the shared-vs-partitioned
+/// crossover by cardinality.
+pub const SWEEP_STRATEGIES: [&str; 4] = ["adaptive", "thread-local", "shared", "partitioned"];
+
+/// Single-node workloads for the intra-node sweep. High cardinality is
+/// capped below the 10 K-entry table budget: the morsel engine refuses
+/// regimes it cannot charge bit-identically (spill), so past the budget
+/// every thread count would silently measure the serial path.
+pub fn thread_sweep_grid(tuples: usize) -> Vec<(&'static str, usize)> {
+    vec![
+        ("low_card_intra", 64),
+        ("high_card_intra", (tuples / 4).min(8_000)),
+    ]
+}
+
+/// Run the intra-node sweep: thread counts × strategies per workload,
+/// asserting along the way that no cell moves the virtual clock.
+pub fn measure_thread_sweep(cfg: ThroughputCfg, verbose: bool) -> Vec<ThreadSweep> {
+    let query = default_query();
+    let mut out = Vec::new();
+    for (name, groups) in thread_sweep_grid(cfg.tuples) {
+        let spec = RelationSpec::uniform(cfg.tuples, groups);
+        let parts = generate_partitions(&spec, 1);
+        let algo_cfg = AlgoConfig::default_for(1);
+        let mut cells: Vec<ThreadMeasure> = Vec::new();
+        for threads in SWEEP_THREADS {
+            let strategies: &[&'static str] =
+                if threads == 1 { &["serial"] } else { &SWEEP_STRATEGIES };
+            for &strategy in strategies {
+                if matches!(strategy, "thread-local" | "shared" | "partitioned") {
+                    std::env::set_var("ADAPTAGG_INTRA", strategy);
+                }
+                let cluster = ClusterConfig::new(1, CostParams::paper_default())
+                    .with_threads(threads);
+                let mut best_ms = f64::INFINITY;
+                let mut virtual_ms = 0.0;
+                for _ in 0..cfg.repeats {
+                    let t0 = Instant::now();
+                    let run = run_algorithm_with(
+                        AlgorithmKind::TwoPhase,
+                        &cluster,
+                        &parts,
+                        &query,
+                        &algo_cfg,
+                    )
+                    .expect("sweep run succeeds");
+                    let wall = t0.elapsed().as_secs_f64() * 1e3;
+                    best_ms = best_ms.min(wall);
+                    virtual_ms = run.elapsed_ms();
+                    assert_eq!(run.rows.len(), groups, "{name}: wrong result cardinality");
+                }
+                std::env::remove_var("ADAPTAGG_INTRA");
+                if let Some(reference) = cells.first() {
+                    assert_eq!(
+                        reference.virtual_ms.to_bits(),
+                        virtual_ms.to_bits(),
+                        "{name}: {strategy} × {threads} threads moved the virtual clock"
+                    );
+                }
+                let tuples_per_sec = cfg.tuples as f64 / (best_ms / 1e3);
+                if verbose {
+                    eprintln!(
+                        "{name:16} t={threads} {strategy:12} {best_ms:9.1} ms wall  {tuples_per_sec:12.0} tuples/s"
+                    );
+                }
+                cells.push(ThreadMeasure {
+                    threads,
+                    strategy,
+                    wall_ms: best_ms,
+                    tuples_per_sec,
+                    virtual_ms,
+                });
+            }
+        }
+        out.push(ThreadSweep { name, nodes: 1, tuples: cfg.tuples, groups, cells });
+    }
+    out
+}
+
+/// Render the intra-node sweep (the value of the `intra` key) as JSON,
+/// stamped with the measuring host's core count: on a 1-core runner the
+/// wall columns cannot show real scaling, and a reader must be able to
+/// tell that from the artifact alone.
+pub fn sweep_to_json(host_cores: usize, sweeps: &[ThreadSweep]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("{{\n    \"host_cores\": {host_cores},\n    \"workloads\": [\n"));
+    for (wi, w) in sweeps.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{\"name\": \"{}\", \"nodes\": {}, \"tuples\": {}, \"groups\": {}, \"cells\": [\n",
+            w.name, w.nodes, w.tuples, w.groups
+        ));
+        for (ci, c) in w.cells.iter().enumerate() {
+            s.push_str(&format!(
+                "        {{\"threads\": {}, \"strategy\": \"{}\", \"wall_ms\": {:.3}, \"tuples_per_sec\": {:.1}, \"virtual_ms\": {:.6}}}{}\n",
+                c.threads,
+                c.strategy,
+                c.wall_ms,
+                c.tuples_per_sec,
+                c.virtual_ms,
+                if ci + 1 < w.cells.len() { "," } else { "" }
+            ));
+        }
+        s.push_str(&format!(
+            "      ]}}{}\n",
+            if wi + 1 < sweeps.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("    ]\n  }");
+    s
+}
+
 /// Render one measurement set (the value of the `before`/`after` keys)
 /// as a JSON object. Hand-written: the workspace carries no JSON
 /// dependency, and every value here is a number or a known-safe label.
@@ -201,13 +349,15 @@ pub fn report_json(
     before: Option<&str>,
     after_label: &str,
     after: &[WorkloadMeasure],
+    intra: Option<&str>,
 ) -> String {
     format!(
-        "{{\n  \"schema\": \"adaptagg-throughput/v1\",\n  \"mode\": \"{mode}\",\n  \"tuples\": {tuples},\n  \"repeats\": {repeats},\n  \"before\": {before},\n  \"after\": {after}\n}}\n",
+        "{{\n  \"schema\": \"adaptagg-throughput/v1\",\n  \"mode\": \"{mode}\",\n  \"tuples\": {tuples},\n  \"repeats\": {repeats},\n  \"before\": {before},\n  \"after\": {after},\n  \"intra\": {intra}\n}}\n",
         tuples = cfg.tuples,
         repeats = cfg.repeats,
         before = before.unwrap_or("null"),
         after = measures_to_json(after_label, after),
+        intra = intra.unwrap_or("null"),
     )
 }
 
@@ -258,7 +408,7 @@ mod tests {
                 phases: vec![("scan", 1, 10.5, 420)],
             }],
         }];
-        let doc = report_json("quick", ThroughputCfg::quick(), None, "baseline", &measures);
+        let doc = report_json("quick", ThroughputCfg::quick(), None, "baseline", &measures, None);
         let after = extract_object(&doc, "after").expect("after object present");
         assert!(after.starts_with('{') && after.ends_with('}'));
         assert!(after.contains("\"label\": \"baseline\""));
@@ -267,9 +417,56 @@ mod tests {
         assert!(extract_object(&doc, "before").is_none(), "null before yields None");
 
         // Embedding the extracted object as `before` round-trips.
-        let doc2 = report_json("quick", ThroughputCfg::quick(), Some(&after), "current", &measures);
+        let doc2 =
+            report_json("quick", ThroughputCfg::quick(), Some(&after), "current", &measures, None);
         let before2 = extract_object(&doc2, "before").expect("embedded before");
         assert_eq!(before2, after);
+    }
+
+    #[test]
+    fn intra_sweep_json_embeds_and_extracts() {
+        let sweeps = vec![ThreadSweep {
+            name: "low_card_intra",
+            nodes: 1,
+            tuples: 100,
+            groups: 4,
+            cells: vec![
+                ThreadMeasure {
+                    threads: 1,
+                    strategy: "serial",
+                    wall_ms: 2.0,
+                    tuples_per_sec: 50_000.0,
+                    virtual_ms: 12.25,
+                },
+                ThreadMeasure {
+                    threads: 4,
+                    strategy: "partitioned",
+                    wall_ms: 1.0,
+                    tuples_per_sec: 100_000.0,
+                    virtual_ms: 12.25,
+                },
+            ],
+        }];
+        let intra = sweep_to_json(8, &sweeps);
+        assert!(intra.contains("\"host_cores\": 8"));
+        assert!(intra.contains("\"strategy\": \"partitioned\""));
+        let doc = report_json("quick", ThroughputCfg::quick(), None, "x", &[], Some(&intra));
+        let embedded = extract_object(&doc, "intra").expect("intra object present");
+        assert_eq!(embedded, intra);
+        let bare = report_json("quick", ThroughputCfg::quick(), None, "x", &[], None);
+        assert!(extract_object(&bare, "intra").is_none(), "null intra yields None");
+    }
+
+    #[test]
+    fn thread_sweep_grid_stays_under_the_table_budget() {
+        for tuples in [12_000usize, 120_000] {
+            for (_, groups) in thread_sweep_grid(tuples) {
+                assert!(
+                    groups < CostParams::paper_default().max_hash_entries,
+                    "{groups} groups would spill and silently serialize the sweep"
+                );
+            }
+        }
     }
 
     #[test]

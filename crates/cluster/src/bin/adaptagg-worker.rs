@@ -30,6 +30,7 @@ fn run(argv: &[String]) -> Result<(), ClusterError> {
         idle_timeout: args.idle_timeout,
         slow_scan: args.slow_scan,
         serve: args.serve,
+        threads: args.threads,
         ..WorkerOpts::default()
     };
     let report = run_worker(endpoint, &spec, &opts, &mut |line| {

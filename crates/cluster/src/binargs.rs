@@ -48,6 +48,8 @@ OPTIONS:
   --seed N                  workload seed               [default: 1]
   --idle-timeout-ms N       exit if coordinator silent  [default: 120000]
   --slow-scan-ms N          test hook: delay each scan  [default: 0]
+  --threads N               morsel worker threads for the local scan
+                            [default: ADAPTAGG_THREADS or 1]
   --heartbeat-ms N          heartbeat interval          [default: 50]
   --heartbeat-timeout-ms N  silence = death threshold   [default: 2000]
   --serve                   serving mode: keep taking queries after
@@ -77,6 +79,9 @@ pub struct BinArgs {
     pub heartbeat_timeout: Duration,
     /// Worker serving mode (`--serve`).
     pub serve: bool,
+    /// Intra-node morsel worker threads for the local scan
+    /// (`--threads`, workers only; defaults from `ADAPTAGG_THREADS`).
+    pub threads: usize,
     /// `--help` was requested.
     pub help: bool,
 }
@@ -119,6 +124,11 @@ pub fn parse(argv: &[String], coordinator: bool) -> Result<BinArgs, String> {
         heartbeat_interval: Duration::from_millis(50),
         heartbeat_timeout: Duration::from_millis(2_000),
         serve: false,
+        threads: std::env::var("ADAPTAGG_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1usize)
+            .max(1),
         help: false,
     };
     let mut it = argv.iter();
@@ -162,6 +172,9 @@ pub fn parse(argv: &[String], coordinator: bool) -> Result<BinArgs, String> {
                     Duration::from_millis(parse_num(value("--slow-scan-ms")?, "--slow-scan-ms")?);
             }
             "--serve" if !coordinator => args.serve = true,
+            "--threads" if !coordinator => {
+                args.threads = parse_num::<usize>(value("--threads")?, "--threads")?.max(1);
+            }
             "--heartbeat-ms" => {
                 args.heartbeat_interval =
                     Duration::from_millis(parse_num(value("--heartbeat-ms")?, "--heartbeat-ms")?);

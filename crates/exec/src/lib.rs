@@ -28,6 +28,7 @@ pub mod clock;
 pub mod cluster;
 pub mod error;
 pub mod exchange;
+pub mod morsel;
 pub mod node;
 pub mod operators;
 pub mod recovery;
@@ -39,6 +40,9 @@ pub use cluster::{
 };
 pub use error::ExecError;
 pub use exchange::Exchange;
+pub use morsel::{
+    build_select_mask, replay_scan_journal, scan_morsel, ScanJournal, MORSEL_FAIL, MORSEL_PASS,
+};
 pub use node::{NodeCtx, DEFAULT_WATCHDOG};
 pub use recovery::{new_store, CheckpointStore, RecoveryPolicy, RecoverySession, Segment};
 pub use runstats::{NodeRecoveryStats, NodeReport, RecoveryStats, RunResult};

@@ -1,0 +1,766 @@
+//! Intra-node parallel aggregation: the shared table-strategy engine.
+//!
+//! A node's scan is split into fixed-size **morsels** consumed by a
+//! worker pool (the driver lives in `adaptagg-algos`); every worker
+//! feeds rows into one [`ParTables`], which routes them into one of
+//! three physical table modes:
+//!
+//! * **Shared** — one logical global table striped into
+//!   [`STRIPES`] lock-guarded sub-tables keyed by the high bits of the
+//!   group hash (fine-grained locking on a contended shared table);
+//! * **ThreadLocal** — one private table per worker, merged at drain
+//!   (zero synchronization, duplicated groups across workers);
+//! * **Partitioned** — workers scatter rows into per-(worker,
+//!   partition) byte buffers by group hash; after the scan a second
+//!   phase aggregates each partition into its own exclusively-owned
+//!   table (no locks on the hot path, no duplication).
+//!
+//! An adaptive **picker** observes the distinct-rate (new groups per
+//! row) over the first morsels and picks the mode the way A-2P picks
+//! its inter-node strategy; it can switch again mid-scan on rising
+//! cardinality or memory pressure. Switching never migrates data: rows
+//! before the switch stay where they landed, and the drain unifies all
+//! structures.
+//!
+//! # The logical-order contract
+//!
+//! The virtual cost model must stay **bit-identical** to the
+//! single-threaded execution no matter how threads interleave. Two
+//! mechanisms deliver that:
+//!
+//! 1. Every row carries a **stamp** — its position in the logical
+//!    (serial) scan order. Inserts are cost-free
+//!    ([`AggTable::insert_stamped`]); each entry remembers the minimum
+//!    stamp that touched it, i.e. the stamp of the group's logically
+//!    first row. [`ParTables::finish`] drains every structure, sorts by
+//!    stamp, and re-merges into one table — reproducing the exact
+//!    serial insertion order (and therefore the serial drain order)
+//!    regardless of physical interleaving. Integer aggregate states
+//!    merge associatively, so the values are exact; rows containing
+//!    floats abort to the serial path instead (float addition is
+//!    order-sensitive).
+//! 2. Cost charging is deferred: the driver journals each morsel's
+//!    pass/fail pattern and, on commit, replays the charges in morsel
+//!    order on the node's clock — the same event sequence the serial
+//!    scan would have recorded.
+//!
+//! # Budget and abort
+//!
+//! The memory broker's grant caps the **sum** of all structures'
+//! resident entries (`admitted`), re-read from the live grant at every
+//! admission, so serving degradation semantics are unchanged. Whenever
+//! that budget would be exceeded — or a float value or any error shows
+//! up — the engine aborts: nothing was charged, so the driver simply
+//! runs the unchanged serial path (which spills, errors, or switches
+//! exactly as it always did). Parallelism is an optimistic fast path;
+//! the serial path remains the single source of truth.
+
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+
+use adaptagg_model::encode::{decode_tuple_into, encode_tuple};
+use adaptagg_model::hash::hash_values;
+use adaptagg_model::{AggQuery, MemoryGrant, NullTracker, RowKind, Seed, Value};
+use parking_lot::Mutex;
+
+use crate::table::{AggTable, Inserted};
+
+/// Stripe count of the shared global table (power of two).
+pub const STRIPES: usize = 64;
+/// Partition count of the partitioned mode (power of two).
+pub const PARTITIONS: usize = 32;
+/// Rows the picker observes before deciding.
+pub const OBSERVE_ROWS: u64 = 2048;
+/// Distinct-rate at or below which thread-local tables win (duplication
+/// is bounded by `threads × groups`, both small).
+pub const LOW_RATE: f64 = 0.05;
+/// Distinct-rate at or above which partitioning wins (most rows create
+/// groups; locks and duplication both hurt).
+pub const HIGH_RATE: f64 = 0.25;
+
+/// One of the three physical table modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntraStrategy {
+    /// Per-worker private tables merged at drain.
+    ThreadLocal,
+    /// One striped, lock-guarded global table.
+    Shared,
+    /// Hash-partitioned scatter + per-partition exclusive aggregation.
+    Partitioned,
+}
+
+impl IntraStrategy {
+    /// Stable lowercase name (trace events, bench columns, env knob).
+    pub fn name(&self) -> &'static str {
+        match self {
+            IntraStrategy::ThreadLocal => "thread-local",
+            IntraStrategy::Shared => "shared",
+            IntraStrategy::Partitioned => "partitioned",
+        }
+    }
+
+    /// Parse the `ADAPTAGG_INTRA` / bench column spelling.
+    pub fn parse(s: &str) -> Option<IntraStrategy> {
+        match s {
+            "thread-local" | "local" => Some(IntraStrategy::ThreadLocal),
+            "shared" => Some(IntraStrategy::Shared),
+            "partitioned" | "partition" => Some(IntraStrategy::Partitioned),
+            _ => None,
+        }
+    }
+}
+
+/// How the strategy is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntraMode {
+    /// Observe the distinct-rate, then pick (and keep watching).
+    Adaptive,
+    /// Pin one strategy for the whole scan (bench columns, tests).
+    Fixed(IntraStrategy),
+}
+
+impl IntraMode {
+    /// Resolve the `ADAPTAGG_INTRA` environment knob (`adaptive`,
+    /// `shared`, `local`, `partitioned`); unset or unknown = adaptive.
+    pub fn from_env() -> IntraMode {
+        match std::env::var("ADAPTAGG_INTRA") {
+            Ok(v) => match IntraStrategy::parse(&v) {
+                Some(s) => IntraMode::Fixed(s),
+                None => IntraMode::Adaptive,
+            },
+            Err(_) => IntraMode::Adaptive,
+        }
+    }
+}
+
+/// Why the picker switched strategies mid-scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntraCause {
+    /// The observed distinct-rate rose past [`HIGH_RATE`] after the pick.
+    HighDistinctRate,
+    /// Summed table entries approached the budget (thread-local
+    /// duplication); the shared table deduplicates globally.
+    MemoryPressure,
+}
+
+impl IntraCause {
+    /// Stable kebab-case name for trace events.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IntraCause::HighDistinctRate => "high-distinct-rate",
+            IntraCause::MemoryPressure => "memory-pressure",
+        }
+    }
+}
+
+/// A picker decision, reported to the driver for tracing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntraEvent {
+    /// The initial pick after the observation window.
+    Pick {
+        /// The chosen mode.
+        strategy: IntraStrategy,
+        /// Morsel offset at which the decision landed.
+        at_morsel: u64,
+    },
+    /// A mid-scan strategy change.
+    Switch {
+        /// Mode rows were routed to before.
+        from: IntraStrategy,
+        /// Mode rows route to now.
+        to: IntraStrategy,
+        /// What forced the change.
+        cause: IntraCause,
+        /// Morsel offset at which the change landed.
+        at_morsel: u64,
+    },
+}
+
+/// Routing states packed into an `AtomicU8`. `OBSERVE` routes like
+/// thread-local while the picker is still measuring.
+const ROUTE_OBSERVE: u8 = 0;
+const ROUTE_LOCAL: u8 = 1;
+const ROUTE_SHARED: u8 = 2;
+const ROUTE_PARTITIONED: u8 = 3;
+
+fn route_strategy(route: u8) -> IntraStrategy {
+    match route {
+        ROUTE_SHARED => IntraStrategy::Shared,
+        ROUTE_PARTITIONED => IntraStrategy::Partitioned,
+        _ => IntraStrategy::ThreadLocal,
+    }
+}
+
+/// Per-(worker, partition) scatter buffer: `[stamp u64][kind u8][tuple]`
+/// records, appended lock-free from the owning worker's perspective (its
+/// mutex is uncontended during the scan) and drained by the partition's
+/// exclusive owner after the scan barrier.
+#[derive(Default)]
+struct ScatterBuf {
+    bytes: Vec<u8>,
+    rows: usize,
+}
+
+impl ScatterBuf {
+    fn push(&mut self, stamp: u64, kind: RowKind, values: &[Value]) {
+        self.bytes.extend_from_slice(&stamp.to_le_bytes());
+        self.bytes.push(match kind {
+            RowKind::Raw => 0,
+            RowKind::Partial => 1,
+        });
+        encode_tuple(values, &mut self.bytes);
+        self.rows += 1;
+    }
+}
+
+/// The picker's bookkeeping, guarded by one mutex (touched once per
+/// morsel, not per row).
+struct Picker {
+    decided: bool,
+    /// Rows/new-groups in the current observation window.
+    window_rows: u64,
+    window_news: u64,
+    events: Vec<IntraEvent>,
+}
+
+/// The shared strategy layer all workers of one node feed.
+pub struct ParTables {
+    query: AggQuery,
+    key_len: usize,
+    budget: usize,
+    grant: MemoryGrant,
+    /// Current routing mode (one relaxed load per row).
+    route: AtomicU8,
+    aborted: AtomicBool,
+    /// Entries resident across **all** structures — the quantity the
+    /// memory grant caps.
+    admitted: AtomicUsize,
+    /// Partition-phase work queue.
+    part_cursor: AtomicUsize,
+    raw_rows: AtomicUsize,
+    partial_rows: AtomicUsize,
+    locals: Vec<Mutex<AggTable>>,
+    stripes: Vec<Mutex<AggTable>>,
+    scatter: Vec<Vec<Mutex<ScatterBuf>>>,
+    partitions: Vec<Mutex<AggTable>>,
+    picker: Mutex<Picker>,
+}
+
+/// What a committed parallel aggregation hands back to the driver.
+pub struct ParOutcome {
+    /// All groups, merged in exact logical (serial) insertion order;
+    /// drain it with the real cost tracker to charge the serial `t_w`s.
+    pub table: AggTable,
+    /// Raw rows inserted.
+    pub raw_in: u64,
+    /// Partial rows inserted.
+    pub partial_in: u64,
+    /// Picker decisions, in order.
+    pub events: Vec<IntraEvent>,
+    /// The mode rows were routed to when the scan ended.
+    pub strategy: IntraStrategy,
+}
+
+impl ParTables {
+    /// A strategy layer for `threads` workers over `query` (projected
+    /// form). Returns `None` when the query's key is not a column
+    /// prefix — the engine's in-place hashing requires projected form,
+    /// and every planner-produced query has it.
+    pub fn new(
+        query: AggQuery,
+        max_entries: usize,
+        grant: MemoryGrant,
+        threads: usize,
+        mode: IntraMode,
+    ) -> Option<ParTables> {
+        if threads < 2 {
+            return None;
+        }
+        let key_is_prefix = query.group_by.iter().enumerate().all(|(i, &c)| c == i);
+        if !key_is_prefix {
+            return None;
+        }
+        let key_len = query.group_by.len();
+        let small = |q: &AggQuery| AggTable::new_with_hint(q.clone(), usize::MAX, 64);
+        let locals = (0..threads).map(|_| Mutex::new(small(&query))).collect();
+        let stripes = (0..STRIPES).map(|_| Mutex::new(small(&query))).collect();
+        let partitions = (0..PARTITIONS).map(|_| Mutex::new(small(&query))).collect();
+        let scatter = (0..threads)
+            .map(|_| (0..PARTITIONS).map(|_| Mutex::new(ScatterBuf::default())).collect())
+            .collect();
+        let (route, picker) = match mode {
+            IntraMode::Adaptive => (
+                ROUTE_OBSERVE,
+                Picker {
+                    decided: false,
+                    window_rows: 0,
+                    window_news: 0,
+                    events: Vec::new(),
+                },
+            ),
+            IntraMode::Fixed(s) => (
+                match s {
+                    IntraStrategy::ThreadLocal => ROUTE_LOCAL,
+                    IntraStrategy::Shared => ROUTE_SHARED,
+                    IntraStrategy::Partitioned => ROUTE_PARTITIONED,
+                },
+                Picker {
+                    decided: true,
+                    window_rows: 0,
+                    window_news: 0,
+                    events: vec![IntraEvent::Pick {
+                        strategy: s,
+                        at_morsel: 0,
+                    }],
+                },
+            ),
+        };
+        Some(ParTables {
+            query,
+            key_len,
+            budget: max_entries,
+            grant,
+            route: AtomicU8::new(route),
+            aborted: AtomicBool::new(false),
+            admitted: AtomicUsize::new(0),
+            part_cursor: AtomicUsize::new(0),
+            raw_rows: AtomicUsize::new(0),
+            partial_rows: AtomicUsize::new(0),
+            locals,
+            stripes,
+            scatter,
+            partitions,
+            picker: Mutex::new(picker),
+        })
+    }
+
+    /// Whether the engine gave up (budget, float, or error). Workers
+    /// poll this between rows and bail out early.
+    pub fn aborted(&self) -> bool {
+        self.aborted.load(Ordering::Relaxed)
+    }
+
+    /// Give up on the parallel attempt (drivers call this on any scan
+    /// error so sibling workers stop promptly; nothing was charged, the
+    /// serial rerun surfaces the error bit-identically).
+    pub fn abort(&self) {
+        self.aborted.store(true, Ordering::Relaxed);
+    }
+
+    /// Account one freshly created entry against the live grant; aborts
+    /// (and reports failure) when the summed resident entries would
+    /// exceed it.
+    fn admit_new(&self) -> bool {
+        let n = self.admitted.fetch_add(1, Ordering::Relaxed) + 1;
+        if n > self.grant.cap(self.budget) {
+            self.abort();
+            return false;
+        }
+        true
+    }
+
+    /// Insert one row from `worker` with its logical `stamp`. Returns
+    /// `Some(is_new_group)` on success, `None` when the engine aborted —
+    /// the worker must stop and the driver falls back to the serial
+    /// path (nothing has been charged).
+    pub fn insert(
+        &self,
+        worker: usize,
+        kind: RowKind,
+        values: &[Value],
+        stamp: u64,
+    ) -> Option<bool> {
+        if self.aborted() {
+            return None;
+        }
+        // Float accumulation is order-sensitive; the serial path is the
+        // only bit-exact order.
+        if values.iter().any(|v| matches!(v, Value::Float(_))) {
+            self.abort();
+            return None;
+        }
+        match kind {
+            RowKind::Raw => self.raw_rows.fetch_add(1, Ordering::Relaxed),
+            RowKind::Partial => self.partial_rows.fetch_add(1, Ordering::Relaxed),
+        };
+        let route = self.route.load(Ordering::Relaxed);
+        let outcome = match route {
+            ROUTE_SHARED => {
+                let hash = hash_values(Seed::Table, &values[..self.key_len.min(values.len())]);
+                let stripe = (hash >> 58) as usize & (STRIPES - 1);
+                self.stripes[stripe]
+                    .lock()
+                    .insert_stamped(kind, values, Some(hash), stamp)
+            }
+            ROUTE_PARTITIONED => {
+                let hash = hash_values(Seed::Table, &values[..self.key_len.min(values.len())]);
+                let p = (hash >> 59) as usize & (PARTITIONS - 1);
+                self.scatter[worker][p].lock().push(stamp, kind, values);
+                // Group creation is discovered in the partition phase.
+                return Some(false);
+            }
+            _ => self.locals[worker].lock().insert_stamped(kind, values, None, stamp),
+        };
+        match outcome {
+            Ok(Inserted::New) => {
+                if !self.admit_new() {
+                    return None;
+                }
+                Some(true)
+            }
+            Ok(Inserted::Updated) => Some(false),
+            // Structure tables are uncapped; Full cannot happen.
+            Ok(Inserted::Full) | Err(_) => {
+                self.abort();
+                None
+            }
+        }
+    }
+
+    /// Report a finished morsel's row/new-group counts to the picker.
+    pub fn report_morsel(&self, morsel: u64, rows: u64, news: u64) {
+        if rows == 0 {
+            return;
+        }
+        let mut p = self.picker.lock();
+        p.window_rows += rows;
+        p.window_news += news;
+        if p.window_rows < OBSERVE_ROWS {
+            // Below the window even the memory-pressure rule waits: too
+            // little signal.
+            return;
+        }
+        let rate = p.window_news as f64 / p.window_rows as f64;
+        let current = self.route.load(Ordering::Relaxed);
+        if !p.decided {
+            let pick = if rate <= LOW_RATE {
+                IntraStrategy::ThreadLocal
+            } else if rate >= HIGH_RATE {
+                IntraStrategy::Partitioned
+            } else {
+                IntraStrategy::Shared
+            };
+            p.decided = true;
+            p.events.push(IntraEvent::Pick {
+                strategy: pick,
+                at_morsel: morsel,
+            });
+            self.route.store(
+                match pick {
+                    IntraStrategy::ThreadLocal => ROUTE_LOCAL,
+                    IntraStrategy::Shared => ROUTE_SHARED,
+                    IntraStrategy::Partitioned => ROUTE_PARTITIONED,
+                },
+                Ordering::Relaxed,
+            );
+            p.window_rows = 0;
+            p.window_news = 0;
+            return;
+        }
+        // Post-pick monitoring: only forward switches, so the scan can't
+        // flap. Thread-local duplication nearing the budget flips to the
+        // globally-deduplicating shared table; a rising distinct-rate
+        // flips to partitioned.
+        if current == ROUTE_LOCAL
+            && self.admitted.load(Ordering::Relaxed) * 2 > self.grant.cap(self.budget)
+        {
+            p.events.push(IntraEvent::Switch {
+                from: IntraStrategy::ThreadLocal,
+                to: IntraStrategy::Shared,
+                cause: IntraCause::MemoryPressure,
+                at_morsel: morsel,
+            });
+            self.route.store(ROUTE_SHARED, Ordering::Relaxed);
+        } else if (current == ROUTE_LOCAL || current == ROUTE_SHARED) && rate >= HIGH_RATE {
+            p.events.push(IntraEvent::Switch {
+                from: route_strategy(current),
+                to: IntraStrategy::Partitioned,
+                cause: IntraCause::HighDistinctRate,
+                at_morsel: morsel,
+            });
+            self.route.store(ROUTE_PARTITIONED, Ordering::Relaxed);
+        }
+        p.window_rows = 0;
+        p.window_news = 0;
+    }
+
+    /// Aggregate scattered partitions, each claimed exclusively by one
+    /// worker. Every worker calls this once **after** the scan barrier
+    /// (all scatter buffers quiescent); it is a no-op when nothing was
+    /// scattered or the engine aborted. `scratch` is the worker's reused
+    /// decode buffer.
+    pub fn run_partition_phase(&self, scratch: &mut Vec<Value>) {
+        loop {
+            let p = self.part_cursor.fetch_add(1, Ordering::Relaxed);
+            if p >= PARTITIONS || self.aborted() {
+                return;
+            }
+            let mut table = self.partitions[p].lock();
+            for bufs in &self.scatter {
+                let mut buf = bufs[p].lock();
+                if buf.rows == 0 {
+                    continue;
+                }
+                let bytes = std::mem::take(&mut buf.bytes);
+                buf.rows = 0;
+                drop(buf);
+                let mut off = 0usize;
+                while off < bytes.len() {
+                    let stamp = u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+                    let kind = if bytes[off + 8] == 0 {
+                        RowKind::Raw
+                    } else {
+                        RowKind::Partial
+                    };
+                    off += 9;
+                    let consumed = match decode_tuple_into(&bytes[off..], scratch) {
+                        Ok(n) => n,
+                        Err(_) => {
+                            self.abort();
+                            return;
+                        }
+                    };
+                    off += consumed;
+                    match table.insert_stamped(kind, scratch, None, stamp) {
+                        Ok(Inserted::New) => {
+                            if !self.admit_new() {
+                                return;
+                            }
+                        }
+                        Ok(Inserted::Updated) => {}
+                        Ok(Inserted::Full) | Err(_) => {
+                            self.abort();
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Unify every structure into one table in exact logical order.
+    /// `None` when the engine aborted — the driver runs the serial path.
+    pub fn finish(self) -> Option<ParOutcome> {
+        if self.aborted() {
+            return None;
+        }
+        let strategy = route_strategy(self.route.load(Ordering::Relaxed));
+        let mut picker = self.picker.into_inner();
+        if !picker.decided {
+            // The scan ended inside the observation window; rows sit in
+            // the thread-local tables. Record the de-facto pick so every
+            // parallel run traces one.
+            picker.events.push(IntraEvent::Pick {
+                strategy: IntraStrategy::ThreadLocal,
+                at_morsel: 0,
+            });
+        }
+        let mut pairs: Vec<(u64, Vec<Value>)> = Vec::new();
+        for table in self
+            .locals
+            .into_iter()
+            .chain(self.stripes)
+            .chain(self.partitions)
+        {
+            pairs.extend(table.into_inner().drain_stamped());
+        }
+        // Stamps are per-row unique, so the sort is total and the merge
+        // order is exactly the serial first-touch order.
+        pairs.sort_unstable_by_key(|(stamp, _)| *stamp);
+        let mut table =
+            AggTable::new_with_hint(self.query, usize::MAX, pairs.len()).with_grant(self.grant);
+        for (_, row) in &pairs {
+            match table.insert_partial(row, &mut NullTracker) {
+                Ok(Inserted::New) | Ok(Inserted::Updated) => {}
+                // A grant shrink between scan and drain can make the merge
+                // table report full; dropping the row would corrupt the
+                // result, so abort to the serial path instead.
+                Ok(Inserted::Full) | Err(_) => return None,
+            }
+        }
+        Some(ParOutcome {
+            table,
+            raw_in: self.raw_rows.into_inner() as u64,
+            partial_in: self.partial_rows.into_inner() as u64,
+            events: picker.events,
+            strategy,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptagg_model::{AggFunc, AggSpec};
+
+    fn query() -> AggQuery {
+        AggQuery::new(vec![0], vec![AggSpec::over(AggFunc::Sum, 1)])
+    }
+
+    fn row(g: i64, v: i64) -> Vec<Value> {
+        vec![Value::Int(g), Value::Int(v)]
+    }
+
+    /// Serial reference: same rows in stamp order through one table.
+    fn serial_partials(rows: &[(u64, Vec<Value>)]) -> Vec<Vec<Value>> {
+        let mut ordered: Vec<_> = rows.to_vec();
+        ordered.sort_unstable_by_key(|(s, _)| *s);
+        let mut t = AggTable::new(query(), usize::MAX);
+        for (_, r) in &ordered {
+            t.insert_raw(r, &mut NullTracker).unwrap();
+        }
+        t.drain_partial_rows(&mut NullTracker)
+    }
+
+    fn drive(mode: IntraMode, rows: &[(u64, Vec<Value>)]) -> ParOutcome {
+        let pt = ParTables::new(query(), 10_000, MemoryGrant::unlimited(), 2, mode).unwrap();
+        // Interleave rows across the two "workers" in scrambled order.
+        for (i, (stamp, r)) in rows.iter().enumerate().rev() {
+            assert!(pt.insert(i % 2, RowKind::Raw, r, *stamp).is_some());
+        }
+        pt.report_morsel(0, rows.len() as u64, 0);
+        let mut scratch = Vec::new();
+        pt.run_partition_phase(&mut scratch);
+        pt.run_partition_phase(&mut scratch); // second worker's call: drained queue
+        pt.finish().expect("no abort")
+    }
+
+    fn dataset() -> Vec<(u64, Vec<Value>)> {
+        (0..500u64).map(|i| (i, row((i % 37) as i64, i as i64))).collect()
+    }
+
+    #[test]
+    fn every_fixed_strategy_reproduces_serial_order_and_values() {
+        let rows = dataset();
+        let expect = serial_partials(&rows);
+        for s in [
+            IntraStrategy::ThreadLocal,
+            IntraStrategy::Shared,
+            IntraStrategy::Partitioned,
+        ] {
+            let mut out = drive(IntraMode::Fixed(s), &rows);
+            let got = out.table.drain_partial_rows(&mut NullTracker);
+            assert_eq!(got, expect, "strategy {:?}", s);
+            assert_eq!(out.raw_in, 500);
+        }
+    }
+
+    #[test]
+    fn budget_overflow_aborts_instead_of_exceeding_the_grant() {
+        let pt = ParTables::new(query(), 8, MemoryGrant::unlimited(), 2, IntraMode::Adaptive)
+            .unwrap();
+        let mut aborted = false;
+        for g in 0..50i64 {
+            if pt.insert(0, RowKind::Raw, &row(g, 1), g as u64).is_none() {
+                aborted = true;
+                break;
+            }
+        }
+        assert!(aborted, "51 groups into an 8-entry budget must abort");
+        assert!(pt.aborted());
+        assert!(pt.finish().is_none());
+    }
+
+    #[test]
+    fn live_grant_shrink_aborts_mid_scan() {
+        let grant = MemoryGrant::bounded(1000);
+        let pt = ParTables::new(query(), 10_000, grant.clone(), 2, IntraMode::Adaptive).unwrap();
+        assert!(pt.insert(0, RowKind::Raw, &row(1, 1), 0).is_some());
+        grant.set(1); // broker revokes below resident+1
+        assert!(pt.insert(0, RowKind::Raw, &row(2, 1), 1).is_none());
+        assert!(pt.aborted());
+    }
+
+    #[test]
+    fn float_values_abort_to_serial() {
+        let pt = ParTables::new(query(), 100, MemoryGrant::unlimited(), 2, IntraMode::Adaptive)
+            .unwrap();
+        assert!(pt
+            .insert(0, RowKind::Raw, &[Value::Int(1), Value::Float(1.5)], 0)
+            .is_none());
+        assert!(pt.aborted());
+    }
+
+    #[test]
+    fn adaptive_picker_goes_thread_local_on_low_cardinality() {
+        let pt = ParTables::new(query(), 10_000, MemoryGrant::unlimited(), 2, IntraMode::Adaptive)
+            .unwrap();
+        for i in 0..OBSERVE_ROWS {
+            pt.insert(0, RowKind::Raw, &row((i % 4) as i64, 1), i).unwrap();
+        }
+        pt.report_morsel(3, OBSERVE_ROWS, 4);
+        let out = pt.finish().unwrap();
+        assert_eq!(
+            out.events,
+            vec![IntraEvent::Pick {
+                strategy: IntraStrategy::ThreadLocal,
+                at_morsel: 3
+            }]
+        );
+    }
+
+    #[test]
+    fn adaptive_picker_partitions_on_high_cardinality() {
+        let pt = ParTables::new(query(), 100_000, MemoryGrant::unlimited(), 2, IntraMode::Adaptive)
+            .unwrap();
+        for i in 0..OBSERVE_ROWS {
+            pt.insert(0, RowKind::Raw, &row(i as i64, 1), i).unwrap();
+        }
+        pt.report_morsel(5, OBSERVE_ROWS, OBSERVE_ROWS);
+        assert_eq!(pt.route.load(Ordering::Relaxed), ROUTE_PARTITIONED);
+        let out = pt.finish().unwrap();
+        assert_eq!(out.strategy, IntraStrategy::Partitioned);
+        assert!(matches!(
+            out.events[0],
+            IntraEvent::Pick {
+                strategy: IntraStrategy::Partitioned,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn memory_pressure_switches_thread_local_to_shared() {
+        let pt = ParTables::new(query(), 100, MemoryGrant::unlimited(), 2, IntraMode::Adaptive)
+            .unwrap();
+        // Low-rate window first → picks ThreadLocal.
+        for i in 0..OBSERVE_ROWS {
+            pt.insert(0, RowKind::Raw, &row((i % 30) as i64, 1), i).unwrap();
+        }
+        pt.report_morsel(0, OBSERVE_ROWS, 30);
+        // Duplicate those 30 groups into the second worker's local table:
+        // admitted doubles past budget/2 without any new global group.
+        for i in 0..OBSERVE_ROWS {
+            pt.insert(1, RowKind::Raw, &row((i % 30) as i64, 1), OBSERVE_ROWS + i).unwrap();
+        }
+        pt.report_morsel(1, OBSERVE_ROWS, 30);
+        let out = pt.finish().unwrap();
+        assert!(
+            out.events.contains(&IntraEvent::Switch {
+                from: IntraStrategy::ThreadLocal,
+                to: IntraStrategy::Shared,
+                cause: IntraCause::MemoryPressure,
+                at_morsel: 1,
+            }),
+            "events: {:?}",
+            out.events
+        );
+        // Rows are still exact despite the mid-scan switch.
+        let mut t = out.table;
+        assert_eq!(t.len(), 30);
+        let rows = t.drain_partial_rows(&mut NullTracker);
+        // Group 0 appears at i = 0, 30, …, 2040 → 69 rows per worker.
+        assert_eq!(rows[0], vec![Value::Int(0), Value::Int(138)]);
+    }
+
+    #[test]
+    fn partial_rows_merge_across_strategies() {
+        let pt = ParTables::new(query(), 1000, MemoryGrant::unlimited(), 2, IntraMode::Adaptive)
+            .unwrap();
+        pt.insert(0, RowKind::Partial, &[Value::Int(7), Value::Int(10)], 1).unwrap();
+        pt.insert(1, RowKind::Partial, &[Value::Int(7), Value::Int(32)], 0).unwrap();
+        let mut out = pt.finish().unwrap();
+        let rows = out.table.drain_partial_rows(&mut NullTracker);
+        assert_eq!(rows, vec![vec![Value::Int(7), Value::Int(42)]]);
+        assert_eq!(out.partial_in, 2);
+    }
+}

@@ -75,6 +75,10 @@ pub struct AggTable {
     hashes: Vec<u64>,
     keys: Vec<GroupKey>,
     states: Vec<AggStates>,
+    /// Per-entry logical stamps, parallel to `keys` — populated only by
+    /// [`AggTable::insert_stamped`] (the intra-node parallel engine);
+    /// empty and untouched on every serial path.
+    stamps: Vec<u64>,
     max_entries: usize,
     /// Live, broker-revocable cap on top of `max_entries` (unlimited by
     /// default — single-query runs never consult it).
@@ -98,6 +102,15 @@ impl AggTable {
     /// most `max_entries` groups.
     pub fn new(query: AggQuery, max_entries: usize) -> Self {
         let hint = max_entries.min(PRESIZE_CAP);
+        Self::new_with_hint(query, max_entries, hint)
+    }
+
+    /// [`AggTable::new`] with an explicit pre-size hint, for callers that
+    /// build many tables over the same budget (the intra-node parallel
+    /// engine's stripes and partitions): a small hint keeps each table's
+    /// slot array tiny and lets it grow on demand.
+    pub fn new_with_hint(query: AggQuery, max_entries: usize, hint: usize) -> Self {
+        let hint = hint.min(max_entries).min(PRESIZE_CAP);
         // 7/8 max load factor, never fewer than 16 slots.
         let slots = (hint * 8 / 7 + 1).next_power_of_two().max(16);
         let key_len = query.group_by.len();
@@ -111,6 +124,7 @@ impl AggTable {
             hashes: Vec::with_capacity(hint),
             keys: Vec::with_capacity(hint),
             states: Vec::with_capacity(hint),
+            stamps: Vec::new(),
             max_entries,
             grant: MemoryGrant::unlimited(),
             charge_hash: true,
@@ -233,7 +247,7 @@ impl AggTable {
         tracker: &mut T,
     ) -> Result<Inserted, ModelError> {
         self.charge_attempt(tracker);
-        let outcome = self.insert_quiet(RowKind::Raw, values, None)?;
+        let (outcome, _) = self.insert_quiet(RowKind::Raw, values, None)?;
         if outcome != Inserted::Full {
             tracker.record(CostEvent::TupleAgg, 1);
         }
@@ -252,7 +266,7 @@ impl AggTable {
         tracker: &mut T,
     ) -> Result<Inserted, ModelError> {
         self.charge_attempt(tracker);
-        let outcome = self.insert_quiet(RowKind::Raw, values, Some(hash))?;
+        let (outcome, _) = self.insert_quiet(RowKind::Raw, values, Some(hash))?;
         if outcome != Inserted::Full {
             tracker.record(CostEvent::TupleAgg, 1);
         }
@@ -267,7 +281,7 @@ impl AggTable {
         tracker: &mut T,
     ) -> Result<Inserted, ModelError> {
         self.charge_attempt(tracker);
-        let outcome = self.insert_quiet(RowKind::Partial, values, None)?;
+        let (outcome, _) = self.insert_quiet(RowKind::Partial, values, None)?;
         if outcome != Inserted::Full {
             tracker.record(CostEvent::TupleAgg, 1);
         }
@@ -304,8 +318,8 @@ impl AggTable {
                 Ok(true) => {}
             }
             match self.insert_quiet(kind, &scratch, None) {
-                Ok(Inserted::Updated) | Ok(Inserted::New) => pending += 1,
-                Ok(Inserted::Full) => {
+                Ok((Inserted::Updated, _)) | Ok((Inserted::New, _)) => pending += 1,
+                Ok((Inserted::Full, _)) => {
                     tracker.record_tuples(template, pending);
                     pending = 0;
                     self.charge_attempt(tracker);
@@ -327,15 +341,66 @@ impl AggTable {
         result.map(|()| rejected)
     }
 
+    /// Insert with a logical **stamp** and no cost recording: the
+    /// intra-node parallel engine's entry point. The stamp identifies the
+    /// row's position in the logical (single-threaded) scan order; each
+    /// entry remembers the *minimum* stamp over all rows that touched it,
+    /// which is exactly the stamp of the group's logically-first row —
+    /// [`AggTable::drain_stamped`] then lets the engine reconstruct the
+    /// serial insertion order no matter how the physical threads
+    /// interleaved. Costs are charged separately by replaying the scan
+    /// journal in logical order (see `adaptagg-hashagg::parallel`).
+    ///
+    /// Must not be mixed with unstamped inserts on the same table.
+    pub fn insert_stamped(
+        &mut self,
+        kind: RowKind,
+        values: &[Value],
+        prehashed: Option<u64>,
+        stamp: u64,
+    ) -> Result<Inserted, ModelError> {
+        let (outcome, entry) = self.insert_quiet(kind, values, prehashed)?;
+        match outcome {
+            Inserted::New => {
+                debug_assert_eq!(entry, self.stamps.len());
+                self.stamps.push(stamp);
+            }
+            Inserted::Updated => {
+                let s = &mut self.stamps[entry];
+                if stamp < *s {
+                    *s = stamp;
+                }
+            }
+            Inserted::Full => {}
+        }
+        Ok(outcome)
+    }
+
+    /// Drain a stamped table as `(stamp, partial row)` pairs, cost-free.
+    /// The stamp of each entry is the logical position of the group's
+    /// first row (see [`AggTable::insert_stamped`]).
+    pub fn drain_stamped(&mut self) -> Vec<(u64, Vec<Value>)> {
+        let stamps = std::mem::take(&mut self.stamps);
+        let mut out = Vec::with_capacity(self.keys.len());
+        for ((key, states), stamp) in self.keys.drain(..).zip(self.states.drain(..)).zip(stamps) {
+            let mut row = key.into_values();
+            row.extend(states.to_partial_values());
+            out.push((stamp, row));
+        }
+        self.reset();
+        out
+    }
+
     /// The probe-and-mutate core, with no cost recording: callers charge
     /// per the charging contract (see module docs). `prehashed` must be
-    /// `hash_values(Seed::Table, key_columns)` when provided.
+    /// `hash_values(Seed::Table, key_columns)` when provided. Returns the
+    /// outcome plus the touched entry index (meaningless on `Full`).
     fn insert_quiet(
         &mut self,
         kind: RowKind,
         values: &[Value],
         prehashed: Option<u64>,
-    ) -> Result<Inserted, ModelError> {
+    ) -> Result<(Inserted, usize), ModelError> {
         let k = self.key_len;
         if kind == RowKind::Partial && values.len() != self.query.partial_row_arity() {
             return Err(ModelError::PartialArityMismatch {
@@ -386,10 +451,10 @@ impl AggTable {
                 RowKind::Partial => self.states[entry].merge_partial_values(&values[k..])?,
             }
             self.updates += 1;
-            return Ok(Inserted::Updated);
+            return Ok((Inserted::Updated, entry));
         }
         if self.keys.len() >= self.effective_max() {
-            return Ok(Inserted::Full);
+            return Ok((Inserted::Full, usize::MAX));
         }
         let mut states = AggStates::new(&self.query.aggs);
         match kind {
@@ -410,7 +475,7 @@ impl AggTable {
         if (self.keys.len() + 1) * 8 > self.slots.len() * 7 {
             self.grow();
         }
-        Ok(Inserted::New)
+        Ok((Inserted::New, entry as usize))
     }
 
     /// Linear-probe for `key`: the matching entry index (or the vacant
@@ -478,6 +543,7 @@ impl AggTable {
         self.hashes.clear();
         self.keys.clear();
         self.states.clear();
+        self.stamps.clear();
     }
 
     /// Drain the table as **partial rows** (key columns ++ partial-state
@@ -765,6 +831,29 @@ mod tests {
         grant.set(100); // regrant reopens admission
         assert!(!t.is_full());
         assert_eq!(t.insert_raw(&raw(9, 1), &mut tr).unwrap(), Inserted::New);
+    }
+
+    #[test]
+    fn stamped_inserts_remember_first_logical_touch() {
+        let mut t = AggTable::new(query(), 10);
+        // Physical arrival order deliberately scrambled vs the stamps.
+        t.insert_stamped(RowKind::Raw, &raw(5, 1), None, 30).unwrap();
+        t.insert_stamped(RowKind::Raw, &raw(1, 1), None, 10).unwrap();
+        t.insert_stamped(RowKind::Raw, &raw(5, 2), None, 0).unwrap(); // earlier touch of 5
+        t.insert_stamped(RowKind::Raw, &raw(9, 1), None, 20).unwrap();
+        let mut drained = t.drain_stamped();
+        drained.sort_unstable_by_key(|(s, _)| *s);
+        let keys: Vec<i64> = drained
+            .iter()
+            .map(|(_, r)| match r[0] {
+                Value::Int(g) => g,
+                _ => panic!("int key"),
+            })
+            .collect();
+        // Stamp order = logical order: 5 (min stamp 0), 1, 9.
+        assert_eq!(keys, vec![5, 1, 9]);
+        assert_eq!(drained[0].1, vec![Value::Int(5), Value::Int(3)]);
+        assert!(t.is_empty());
     }
 
     #[test]

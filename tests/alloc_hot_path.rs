@@ -57,23 +57,38 @@ fn resident_group_updates_do_not_allocate() {
     }
     assert_eq!(table.len(), GROUPS as usize);
 
+    // The libtest harness thread parks lazily after spawning this test:
+    // its first park performs one-time channel/parker allocations at an
+    // arbitrary moment, which the process-global counter would blame on
+    // the measured window. Let it reach its steady park first, and retry
+    // the window a few times — one-time lazy init drains after a single
+    // attempt, whereas a genuinely allocating hot path allocates every
+    // attempt and still fails.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+
     // Hot path: 1000 update rounds over the resident groups. The row
     // buffer lives on the stack; the probe hashes the key columns in
     // place and combines into the existing state — zero allocations.
-    let before = ALLOCS.load(Ordering::Relaxed);
-    for round in 0..1000i64 {
-        for g in 0..GROUPS {
-            let row = [Value::Int(g), Value::Int(round)];
-            table.insert_raw(&row, &mut tracker).unwrap();
+    let mut counted = u64::MAX;
+    for _attempt in 0..5 {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for round in 0..1000i64 {
+            for g in 0..GROUPS {
+                let row = [Value::Int(g), Value::Int(round)];
+                table.insert_raw(&row, &mut tracker).unwrap();
+            }
+        }
+        counted = ALLOCS.load(Ordering::Relaxed) - before;
+        if counted == 0 {
+            break;
         }
     }
-    let after = ALLOCS.load(Ordering::Relaxed);
 
     assert_eq!(
-        after - before,
+        counted,
         0,
         "resident-group insert_raw allocated {} times over {} updates",
-        after - before,
+        counted,
         1000 * GROUPS
     );
     assert_eq!(table.len(), GROUPS as usize, "no groups were added");

@@ -121,6 +121,7 @@ fn pinned_run_elapsed(
     tuples: usize,
     groups: usize,
     max_hash_entries: usize,
+    threads: usize,
 ) -> f64 {
     let spec = RelationSpec::uniform(tuples, groups);
     let parts = generate_partitions(&spec, nodes);
@@ -128,7 +129,7 @@ fn pinned_run_elapsed(
         max_hash_entries,
         ..CostParams::paper_default()
     };
-    let config = ClusterConfig::new(nodes, params);
+    let config = ClusterConfig::new(nodes, params).with_threads(threads);
     let out = run_algorithm(kind, &config, &parts, &default_query()).unwrap();
     assert_eq!(out.rows.len(), groups);
     out.elapsed_ms()
@@ -137,7 +138,7 @@ fn pinned_run_elapsed(
 #[test]
 fn cluster_virtual_times_are_pinned() {
     for &(kind, nodes, tuples, groups, m, bits) in PIN_RUNS {
-        let elapsed = pinned_run_elapsed(kind, nodes, tuples, groups, m);
+        let elapsed = pinned_run_elapsed(kind, nodes, tuples, groups, m, 1);
         assert_eq!(
             elapsed.to_bits(),
             bits,
@@ -145,6 +146,27 @@ fn cluster_virtual_times_are_pinned() {
              virtual time drifted to {elapsed} ms ({:#018x})",
             elapsed.to_bits()
         );
+    }
+}
+
+/// The intra-node morsel engine's contract: the *same* pinned virtual
+/// times at every thread count. Parallelism may only move wall-clock;
+/// cost charges replay in logical order, and regimes the engine cannot
+/// reproduce exactly (spill, floats) abort to the serial path. The
+/// spill-regime rows in `PIN_RUNS` exercise precisely that fallback.
+#[test]
+fn cluster_virtual_times_are_pinned_at_every_thread_count() {
+    for threads in [2usize, 4, 8] {
+        for &(kind, nodes, tuples, groups, m, bits) in PIN_RUNS {
+            let elapsed = pinned_run_elapsed(kind, nodes, tuples, groups, m, threads);
+            assert_eq!(
+                elapsed.to_bits(),
+                bits,
+                "{kind} n={nodes} |R|={tuples} |G|={groups} M={m} threads={threads}: \
+                 parallel virtual time diverged to {elapsed} ms ({:#018x})",
+                elapsed.to_bits()
+            );
+        }
     }
 }
 
@@ -171,7 +193,7 @@ fn print_pins() {
 
     println!("const PIN_RUNS: ... = &[");
     for &(kind, nodes, tuples, groups, m, _) in PIN_RUNS {
-        let elapsed = pinned_run_elapsed(kind, nodes, tuples, groups, m);
+        let elapsed = pinned_run_elapsed(kind, nodes, tuples, groups, m, 1);
         println!(
             "    (AlgorithmKind::{kind:?}, {nodes}, {tuples}, {groups}, {m}, {:#018x}), // {} ms",
             elapsed.to_bits(),

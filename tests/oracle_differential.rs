@@ -112,6 +112,49 @@ proptest! {
         }
     }
 
+    /// The morsel engine under the same differential microscope: with
+    /// worker threads the result rows must still equal the serial
+    /// reference at every cluster size, and on the single node (where
+    /// message arrival is deterministic) the virtual clock must
+    /// reproduce the serial figure bit-for-bit.
+    #[test]
+    fn prop_oracle_parallel_threads_match_serial(
+        raws in proptest::collection::vec((0u32..u32::MAX, -1000i64..1000), 50..400),
+        card in 1usize..150,
+        key_bit in 0u8..2,
+        threads_ix in 0usize..3,
+    ) {
+        let threads = [2usize, 4, 8][threads_ix];
+        let two_col_key = key_bit == 1;
+        let rows = build_rows(&raws, card, false, two_col_key);
+        let q = agg_query(two_col_key);
+        let single = build_partitions(&rows, 1);
+        let reference = reference_aggregate(&single, &q).unwrap();
+        for nodes in NODE_COUNTS {
+            let parts = build_partitions(&rows, nodes);
+            let base = ClusterConfig::new(nodes, CostParams::paper_default());
+            for kind in AlgorithmKind::ALL {
+                let par = run_algorithm(kind, &base.clone().with_threads(threads), &parts, &q)
+                    .expect("parallel run succeeds");
+                prop_assert_eq!(
+                    &par.rows, &reference,
+                    "{} diverged from the oracle at {} nodes, {} threads",
+                    kind, nodes, threads
+                );
+                if nodes == 1 {
+                    let serial = run_algorithm(kind, &base.clone().with_threads(1), &parts, &q)
+                        .expect("serial run succeeds");
+                    prop_assert_eq!(
+                        serial.elapsed_ms().to_bits(),
+                        par.elapsed_ms().to_bits(),
+                        "{}: virtual time diverged at {} threads ({} vs {})",
+                        kind, threads, serial.elapsed_ms(), par.elapsed_ms()
+                    );
+                }
+            }
+        }
+    }
+
     /// DISTINCT (empty aggregate list) is exact under every strategy and
     /// cluster size: the result is precisely the distinct key set.
     #[test]

@@ -1,0 +1,138 @@
+//! Intra-node parallelism determinism acceptance.
+//!
+//! The morsel engine's contract (PR: morsel-driven intra-node
+//! parallelism): worker threads may only move wall-clock time. For every
+//! thread count and every physical table strategy,
+//!
+//! * result rows are identical, and
+//! * on clusters whose message-arrival order is deterministic (0 or 1
+//!   peers per receiver), the virtual clock is **bit-identical** —
+//!   charges replay in the logical serial order, so `--threads 8` lands
+//!   on the same f64 as `--threads 1`.
+//!
+//! Multi-peer clusters already jitter between any two identical serial
+//! runs (float summation in arrival order), so there the suite asserts
+//! row equality, which is exact everywhere.
+
+use adaptagg::hashagg::IntraStrategy;
+use adaptagg::prelude::*;
+
+/// Deterministic-arrival configs: 1 node (no peers) and 2 nodes (one
+/// peer per receiver), as pinned by `cost_invariance.rs`.
+const SHAPES: &[(usize, usize, usize)] = &[
+    // (nodes, tuples, groups)
+    (1, 3_000, 24),     // low cardinality: picker goes thread-local
+    (1, 3_000, 1_200),  // high cardinality: picker partitions
+    (2, 4_000, 300),    // two nodes, mid cardinality: shared table
+];
+
+const KINDS: [AlgorithmKind; 4] = [
+    AlgorithmKind::CentralizedTwoPhase,
+    AlgorithmKind::TwoPhase,
+    AlgorithmKind::Repartitioning,
+    AlgorithmKind::AdaptiveTwoPhase,
+];
+
+fn run(kind: AlgorithmKind, nodes: usize, tuples: usize, groups: usize, threads: usize) -> RunOutcome {
+    let spec = RelationSpec::uniform(tuples, groups);
+    let parts = generate_partitions(&spec, nodes);
+    let config = ClusterConfig::new(nodes, CostParams::paper_default()).with_threads(threads);
+    run_algorithm(kind, &config, &parts, &default_query()).unwrap()
+}
+
+#[test]
+fn rows_and_virtual_time_are_identical_across_thread_counts() {
+    for &(nodes, tuples, groups) in SHAPES {
+        for kind in KINDS {
+            let serial = run(kind, nodes, tuples, groups, 1);
+            assert_eq!(serial.rows.len(), groups);
+            for threads in [2usize, 4, 8] {
+                let parallel = run(kind, nodes, tuples, groups, threads);
+                assert_eq!(
+                    serial.rows, parallel.rows,
+                    "{kind} n={nodes} |G|={groups}: rows diverged at {threads} threads"
+                );
+                assert_eq!(
+                    serial.elapsed_ms().to_bits(),
+                    parallel.elapsed_ms().to_bits(),
+                    "{kind} n={nodes} |G|={groups}: virtual time diverged at {threads} \
+                     threads ({} vs {})",
+                    serial.elapsed_ms(),
+                    parallel.elapsed_ms()
+                );
+            }
+        }
+    }
+}
+
+/// Every *fixed* physical strategy reproduces the adaptive (and serial)
+/// result exactly — rows and clock. The strategy only chooses where rows
+/// physically land; the stamped drain unifies them in logical order.
+///
+/// `ADAPTAGG_INTRA` is process-global, but by the engine's contract the
+/// strategy can never change results or virtual time, so flipping it
+/// while sibling tests run is harmless by construction (that is what
+/// this test proves).
+#[test]
+fn every_fixed_strategy_is_bit_identical_to_serial() {
+    let serial = run(AlgorithmKind::TwoPhase, 1, 4_000, 300, 1);
+    for strategy in [
+        IntraStrategy::ThreadLocal,
+        IntraStrategy::Shared,
+        IntraStrategy::Partitioned,
+    ] {
+        std::env::set_var("ADAPTAGG_INTRA", strategy.name());
+        let parallel = run(AlgorithmKind::TwoPhase, 1, 4_000, 300, 4);
+        std::env::remove_var("ADAPTAGG_INTRA");
+        assert_eq!(
+            serial.rows,
+            parallel.rows,
+            "strategy {} diverged from serial rows",
+            strategy.name()
+        );
+        assert_eq!(
+            serial.elapsed_ms().to_bits(),
+            parallel.elapsed_ms().to_bits(),
+            "strategy {}: virtual time diverged ({} vs {})",
+            strategy.name(),
+            serial.elapsed_ms(),
+            parallel.elapsed_ms()
+        );
+    }
+}
+
+/// The parallel fast path genuinely engages (it is not aborting to the
+/// serial path everywhere): a traced multi-threaded run must carry
+/// `intra.pick` events, and a spill-regime run must not (the engine
+/// aborts rather than reproduce overflow I/O charges).
+#[test]
+fn parallel_runs_trace_their_strategy_pick() {
+    let spec = RelationSpec::uniform(4_000, 120);
+    let parts = generate_partitions(&spec, 2);
+    let config = ClusterConfig::new(2, CostParams::paper_default())
+        .with_threads(4)
+        .with_tracing();
+    let out = run_algorithm(AlgorithmKind::TwoPhase, &config, &parts, &default_query()).unwrap();
+    let json = out.trace.as_ref().unwrap().to_json();
+    assert!(
+        json.contains("\"kind\": \"intra.pick\""),
+        "no intra.pick event — the parallel path never committed"
+    );
+
+    // Spill regime: 1 500 groups against a 300-entry budget. The engine
+    // must abort (serial fallback), so no pick is ever traced.
+    let spec = RelationSpec::uniform(3_000, 1_500);
+    let parts = generate_partitions(&spec, 1);
+    let params = CostParams {
+        max_hash_entries: 300,
+        ..CostParams::paper_default()
+    };
+    let config = ClusterConfig::new(1, params).with_threads(4).with_tracing();
+    let out = run_algorithm(AlgorithmKind::TwoPhase, &config, &parts, &default_query()).unwrap();
+    let json = out.trace.as_ref().unwrap().to_json();
+    assert!(
+        !json.contains("\"kind\": \"intra.pick\""),
+        "spill regime must fall back to the serial path"
+    );
+    assert_eq!(out.rows.len(), 1_500);
+}
