@@ -34,8 +34,10 @@ use adaptagg_exec::{
     ScanJournal,
 };
 use adaptagg_hashagg::{HashAggStats, HashAggregator, IntraEvent, IntraMode, ParOutcome, ParTables};
-use adaptagg_model::{CostEvent, CostTracker, ResultRow, RowKind, Value};
+use adaptagg_model::hash::{hash_batch_finish, hash_batch_init, hash_batch_ints, hash_batch_values};
+use adaptagg_model::{CostEvent, CostTracker, ResultRow, RowKind, Seed, Value};
 use adaptagg_net::{Control, Message, Page, Payload};
+use adaptagg_storage::StripView;
 
 use crate::common::{trace_hashagg, QueryPlan};
 
@@ -397,6 +399,11 @@ fn par_aggregate_stash(
         threads,
         IntraMode::from_env(),
     )?;
+    // Batch-hash whole key strips per page (ADAPTAGG_COLUMNAR ≠ "row"),
+    // feeding the engine prehashed rows; the engine requires a prefix
+    // key, so the key columns are always the leading strips.
+    let columnar = std::env::var("ADAPTAGG_COLUMNAR").map(|v| v != "row").unwrap_or(true);
+    let key_len = plan.projected.group_by.len();
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|s| {
         for w in 0..threads {
@@ -404,6 +411,7 @@ fn par_aggregate_stash(
             let tables = &tables;
             s.spawn(move || {
                 let mut scratch: Vec<Value> = Vec::new();
+                let mut hashes: Vec<u64> = Vec::new();
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= stash.len() || tables.aborted() {
@@ -414,6 +422,18 @@ fn par_aggregate_stash(
                         StashEntry::Data { kind, page, .. } => (*kind, page),
                         StashEntry::Control { .. } => continue,
                     };
+                    let batched = if columnar { page.uniform_arity() } else { None };
+                    if let Some(arity) = batched {
+                        let k = key_len.min(arity);
+                        hash_batch_init(Seed::Table, page.tuple_count(), &mut hashes);
+                        for j in 0..k {
+                            match page.column(j).expect("uniform-arity page has dense strips") {
+                                StripView::Ints(xs) => hash_batch_ints(&mut hashes, xs),
+                                StripView::Values(vs) => hash_batch_values(&mut hashes, vs),
+                            }
+                        }
+                        hash_batch_finish(&mut hashes);
+                    }
                     let mut ordinal = 0u64;
                     let mut rows = 0u64;
                     let mut news = 0u64;
@@ -428,8 +448,14 @@ fn par_aggregate_stash(
                             }
                         }
                         let stamp = ((i as u64) << 24) | ordinal;
+                        let inserted = if batched.is_some() {
+                            let hash = hashes[ordinal as usize];
+                            tables.insert_prehashed(w, kind, &scratch, stamp, hash)
+                        } else {
+                            tables.insert(w, kind, &scratch, stamp)
+                        };
                         ordinal += 1;
-                        match tables.insert(w, kind, &scratch, stamp) {
+                        match inserted {
                             None => return,
                             Some(is_new) => {
                                 rows += 1;

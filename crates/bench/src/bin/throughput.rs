@@ -10,7 +10,8 @@
 //!   throughput --quick --out smoke.json                  # CI smoke
 
 use adaptagg_bench::throughput::{
-    extract_object, measure, measure_thread_sweep, report_json, sweep_to_json, ThroughputCfg,
+    columnar_to_json, extract_object, measure, measure_columnar_sweep, measure_thread_sweep,
+    report_json, sweep_to_json, ThroughputCfg,
 };
 
 const USAGE: &str = "usage: throughput [--quick] [--label NAME] [--before PATH] [--out PATH]
@@ -53,9 +54,19 @@ fn main() {
     let mode = if quick { "quick" } else { "full" };
     let measures = measure(cfg, true);
     let sweeps = measure_thread_sweep(cfg, true);
+    let columnar_sweeps = measure_columnar_sweep(cfg, true);
     let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let intra = sweep_to_json(host_cores, &sweeps);
-    let doc = report_json(mode, cfg, before.as_deref(), &label, &measures, Some(&intra));
+    let columnar = columnar_to_json(host_cores, &columnar_sweeps);
+    let doc = report_json(
+        mode,
+        cfg,
+        before.as_deref(),
+        &label,
+        &measures,
+        Some(&intra),
+        Some(&columnar),
+    );
     std::fs::write(&out_path, &doc)
         .unwrap_or_else(|e| die(&format!("cannot write {out_path}: {e}")));
     eprintln!("wrote {out_path}");

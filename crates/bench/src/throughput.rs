@@ -267,6 +267,142 @@ pub fn measure_thread_sweep(cfg: ThroughputCfg, verbose: bool) -> Vec<ThreadSwee
     out
 }
 
+/// One (workload × algorithm) cell of the columnar sweep: the same run
+/// measured with the row-at-a-time path forced (`ADAPTAGG_COLUMNAR=row`)
+/// and with the batched columnar path (the default).
+#[derive(Debug, Clone)]
+pub struct ColumnarMeasure {
+    /// Paper label (`2P`, `Rep`, …).
+    pub algo: &'static str,
+    /// Best-of-`repeats` wall-clock, row-at-a-time path.
+    pub row_wall_ms: f64,
+    /// Best-of-`repeats` wall-clock, batched columnar path.
+    pub batch_wall_ms: f64,
+    /// `row_wall_ms / batch_wall_ms` (>1: the batch path is faster).
+    pub speedup: f64,
+    /// Virtual elapsed ms — bit-identical across both paths (asserted).
+    pub virtual_ms: f64,
+}
+
+/// The row-vs-batch sweep on one workload.
+#[derive(Debug, Clone)]
+pub struct ColumnarSweep {
+    /// Stable workload name (`low_card_columnar`, `high_card_columnar`).
+    pub name: &'static str,
+    /// Cluster size (1: single-node clocks are deterministic, so the
+    /// bit-identity assert holds for every algorithm including the
+    /// decision-racing ones).
+    pub nodes: usize,
+    /// Relation size `|R|`.
+    pub tuples: usize,
+    /// Distinct groups `|G|`.
+    pub groups: usize,
+    /// One cell per algorithm, in [`AlgorithmKind::ALL`] order.
+    pub cells: Vec<ColumnarMeasure>,
+}
+
+/// Single-node workloads for the columnar sweep: the same low/high
+/// cardinality split as the main grid, high cardinality past the table
+/// budget so the batched spool interleaving is on the measured path.
+pub fn columnar_sweep_grid(tuples: usize) -> Vec<(&'static str, usize)> {
+    vec![
+        ("low_card_columnar", 64),
+        ("high_card_columnar", tuples / 4),
+    ]
+}
+
+/// Run the columnar sweep: every algorithm, row path vs batch path,
+/// asserting per cell that the virtual clock does not move a bit.
+pub fn measure_columnar_sweep(cfg: ThroughputCfg, verbose: bool) -> Vec<ColumnarSweep> {
+    let query = default_query();
+    let mut out = Vec::new();
+    for (name, groups) in columnar_sweep_grid(cfg.tuples) {
+        let spec = RelationSpec::uniform(cfg.tuples, groups);
+        let parts = generate_partitions(&spec, 1);
+        let cluster = ClusterConfig::new(1, CostParams::paper_default());
+        let algo_cfg = AlgoConfig::default_for(1);
+        let mut cells = Vec::new();
+        for kind in AlgorithmKind::ALL {
+            let mut walls = [f64::INFINITY; 2];
+            let mut virtuals = [0.0f64; 2];
+            // path 0: row-at-a-time; path 1: batched columnar.
+            for (path, wall) in walls.iter_mut().enumerate() {
+                if path == 0 {
+                    std::env::set_var("ADAPTAGG_COLUMNAR", "row");
+                } else {
+                    std::env::remove_var("ADAPTAGG_COLUMNAR");
+                }
+                for _ in 0..cfg.repeats {
+                    let t0 = Instant::now();
+                    let run = run_algorithm_with(kind, &cluster, &parts, &query, &algo_cfg)
+                        .expect("columnar sweep run succeeds");
+                    *wall = wall.min(t0.elapsed().as_secs_f64() * 1e3);
+                    virtuals[path] = run.elapsed_ms();
+                    assert_eq!(run.rows.len(), groups, "{name}: wrong result cardinality");
+                }
+            }
+            assert_eq!(
+                virtuals[0].to_bits(),
+                virtuals[1].to_bits(),
+                "{name}: {} batch path moved the virtual clock ({} vs {})",
+                kind.label(),
+                virtuals[0],
+                virtuals[1]
+            );
+            let speedup = walls[0] / walls[1];
+            if verbose {
+                eprintln!(
+                    "{name:20} {label:8} row {row:9.1} ms  batch {batch:9.1} ms  {speedup:5.2}x",
+                    label = kind.label(),
+                    row = walls[0],
+                    batch = walls[1],
+                );
+            }
+            cells.push(ColumnarMeasure {
+                algo: kind.label(),
+                row_wall_ms: walls[0],
+                batch_wall_ms: walls[1],
+                speedup,
+                virtual_ms: virtuals[1],
+            });
+        }
+        out.push(ColumnarSweep { name, nodes: 1, tuples: cfg.tuples, groups, cells });
+    }
+    out
+}
+
+/// Render the columnar sweep (the value of the `columnar` key) as JSON,
+/// stamped with the measuring host's core count — on a 1-core container
+/// the two paths often measure near parity, and a reader must be able to
+/// tell that from the artifact alone.
+pub fn columnar_to_json(host_cores: usize, sweeps: &[ColumnarSweep]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("{{\n    \"host_cores\": {host_cores},\n    \"workloads\": [\n"));
+    for (wi, w) in sweeps.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{\"name\": \"{}\", \"nodes\": {}, \"tuples\": {}, \"groups\": {}, \"cells\": [\n",
+            w.name, w.nodes, w.tuples, w.groups
+        ));
+        for (ci, c) in w.cells.iter().enumerate() {
+            s.push_str(&format!(
+                "        {{\"algo\": \"{}\", \"row_wall_ms\": {:.3}, \"batch_wall_ms\": {:.3}, \"speedup\": {:.3}, \"virtual_ms\": {:.6}}}{}\n",
+                c.algo,
+                c.row_wall_ms,
+                c.batch_wall_ms,
+                c.speedup,
+                c.virtual_ms,
+                if ci + 1 < w.cells.len() { "," } else { "" }
+            ));
+        }
+        s.push_str(&format!(
+            "      ]}}{}\n",
+            if wi + 1 < sweeps.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("    ]\n  }");
+    s
+}
+
 /// Render the intra-node sweep (the value of the `intra` key) as JSON,
 /// stamped with the measuring host's core count: on a 1-core runner the
 /// wall columns cannot show real scaling, and a reader must be able to
@@ -350,14 +486,16 @@ pub fn report_json(
     after_label: &str,
     after: &[WorkloadMeasure],
     intra: Option<&str>,
+    columnar: Option<&str>,
 ) -> String {
     format!(
-        "{{\n  \"schema\": \"adaptagg-throughput/v1\",\n  \"mode\": \"{mode}\",\n  \"tuples\": {tuples},\n  \"repeats\": {repeats},\n  \"before\": {before},\n  \"after\": {after},\n  \"intra\": {intra}\n}}\n",
+        "{{\n  \"schema\": \"adaptagg-throughput/v1\",\n  \"mode\": \"{mode}\",\n  \"tuples\": {tuples},\n  \"repeats\": {repeats},\n  \"before\": {before},\n  \"after\": {after},\n  \"intra\": {intra},\n  \"columnar\": {columnar}\n}}\n",
         tuples = cfg.tuples,
         repeats = cfg.repeats,
         before = before.unwrap_or("null"),
         after = measures_to_json(after_label, after),
         intra = intra.unwrap_or("null"),
+        columnar = columnar.unwrap_or("null"),
     )
 }
 
@@ -408,7 +546,7 @@ mod tests {
                 phases: vec![("scan", 1, 10.5, 420)],
             }],
         }];
-        let doc = report_json("quick", ThroughputCfg::quick(), None, "baseline", &measures, None);
+        let doc = report_json("quick", ThroughputCfg::quick(), None, "baseline", &measures, None, None);
         let after = extract_object(&doc, "after").expect("after object present");
         assert!(after.starts_with('{') && after.ends_with('}'));
         assert!(after.contains("\"label\": \"baseline\""));
@@ -418,7 +556,7 @@ mod tests {
 
         // Embedding the extracted object as `before` round-trips.
         let doc2 =
-            report_json("quick", ThroughputCfg::quick(), Some(&after), "current", &measures, None);
+            report_json("quick", ThroughputCfg::quick(), Some(&after), "current", &measures, None, None);
         let before2 = extract_object(&doc2, "before").expect("embedded before");
         assert_eq!(before2, after);
     }
@@ -450,11 +588,44 @@ mod tests {
         let intra = sweep_to_json(8, &sweeps);
         assert!(intra.contains("\"host_cores\": 8"));
         assert!(intra.contains("\"strategy\": \"partitioned\""));
-        let doc = report_json("quick", ThroughputCfg::quick(), None, "x", &[], Some(&intra));
+        let doc = report_json("quick", ThroughputCfg::quick(), None, "x", &[], Some(&intra), None);
         let embedded = extract_object(&doc, "intra").expect("intra object present");
         assert_eq!(embedded, intra);
-        let bare = report_json("quick", ThroughputCfg::quick(), None, "x", &[], None);
+        let bare = report_json("quick", ThroughputCfg::quick(), None, "x", &[], None, None);
         assert!(extract_object(&bare, "intra").is_none(), "null intra yields None");
+    }
+
+    #[test]
+    fn columnar_sweep_json_embeds_and_extracts() {
+        let sweeps = vec![ColumnarSweep {
+            name: "low_card_columnar",
+            nodes: 1,
+            tuples: 100,
+            groups: 4,
+            cells: vec![ColumnarMeasure {
+                algo: "2P",
+                row_wall_ms: 2.0,
+                batch_wall_ms: 1.6,
+                speedup: 1.25,
+                virtual_ms: 12.25,
+            }],
+        }];
+        let columnar = columnar_to_json(1, &sweeps);
+        assert!(columnar.contains("\"host_cores\": 1"));
+        assert!(columnar.contains("\"speedup\": 1.250"));
+        let doc = report_json(
+            "quick",
+            ThroughputCfg::quick(),
+            None,
+            "x",
+            &[],
+            None,
+            Some(&columnar),
+        );
+        let embedded = extract_object(&doc, "columnar").expect("columnar object present");
+        assert_eq!(embedded, columnar);
+        let bare = report_json("quick", ThroughputCfg::quick(), None, "x", &[], None, None);
+        assert!(extract_object(&bare, "columnar").is_none(), "null columnar yields None");
     }
 
     #[test]

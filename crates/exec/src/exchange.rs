@@ -17,10 +17,12 @@
 
 use crate::error::ExecError;
 use crate::node::NodeCtx;
-use adaptagg_model::hash::{hash_values, Seed};
+use adaptagg_model::hash::{
+    hash_batch_finish, hash_batch_init, hash_batch_ints, hash_batch_values, hash_values, Seed,
+};
 use adaptagg_model::{CostEvent, CostTracker, Value};
 use adaptagg_net::{Blocker, Control, DataKind};
-use adaptagg_storage::Page;
+use adaptagg_storage::{Page, StripView};
 
 /// Per-row cost template for a hash route (`t_h + t_d`).
 const ROUTE_WITH_HASH: [CostEvent; 2] = [CostEvent::TupleHash, CostEvent::TupleDest];
@@ -43,6 +45,18 @@ pub struct Exchange {
     kind: DataKind,
     routed: u64,
     row_scratch: Vec<Value>,
+    /// Pooled per-page hash vector for the batched route.
+    hash_scratch: Vec<u64>,
+    /// Whether [`Exchange::route_page`] hashes whole key columns through
+    /// the batch kernels (`ADAPTAGG_COLUMNAR` ≠ `"row"`) or per row.
+    /// Either way the destinations, charges and timestamps are identical.
+    columnar: bool,
+}
+
+/// Read the `ADAPTAGG_COLUMNAR` knob (per construction, not cached):
+/// `"row"` forces the row-at-a-time path.
+fn columnar_default() -> bool {
+    std::env::var("ADAPTAGG_COLUMNAR").map(|v| v != "row").unwrap_or(true)
 }
 
 impl Exchange {
@@ -57,6 +71,8 @@ impl Exchange {
             kind,
             routed: 0,
             row_scratch: Vec::new(),
+            hash_scratch: Vec::new(),
+            columnar: columnar_default(),
         }
     }
 
@@ -139,6 +155,11 @@ impl Exchange {
         page: &Page,
         charge_hash: bool,
     ) -> Result<(), ExecError> {
+        if self.columnar {
+            if let Some(arity) = page.uniform_arity() {
+                return self.route_page_batched(ctx, page, charge_hash, arity);
+            }
+        }
         let template = route_template(charge_hash);
         let mut pending = 0u64;
         let mut scratch = std::mem::take(&mut self.row_scratch);
@@ -159,6 +180,59 @@ impl Exchange {
         result
     }
 
+    /// The vectorized [`Exchange::route_page`]: one [`Seed::Partition`]
+    /// hash kernel pass over the page's key strips computes every row's
+    /// destination, then rows are blocked in order with their
+    /// precomputed destination. Identical charges, destinations and send
+    /// timestamps as the row loop.
+    fn route_page_batched(
+        &mut self,
+        ctx: &mut NodeCtx,
+        page: &Page,
+        charge_hash: bool,
+        arity: usize,
+    ) -> Result<(), ExecError> {
+        let template = route_template(charge_hash);
+        // Rows shorter than key_len hash their whole prefix — uniform
+        // arity makes that the same truncation for every row.
+        let k = self.key_len.min(arity);
+        let mut hashes = std::mem::take(&mut self.hash_scratch);
+        hash_batch_init(Seed::Partition, page.tuple_count(), &mut hashes);
+        for j in 0..k {
+            match page.column(j).expect("uniform-arity page has dense strips") {
+                StripView::Ints(xs) => hash_batch_ints(&mut hashes, xs),
+                StripView::Values(vs) => hash_batch_values(&mut hashes, vs),
+            }
+        }
+        hash_batch_finish(&mut hashes);
+
+        let dests = self.blocker.destinations() as u64;
+        let mut pending = 0u64;
+        let mut scratch = std::mem::take(&mut self.row_scratch);
+        let mut cursor = page.cursor();
+        let mut result = Ok(());
+        for &hash in &hashes {
+            match cursor.next_into(&mut scratch) {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(e) => {
+                    result = Err(e.into());
+                    break;
+                }
+            }
+            let dest = (hash % dests) as usize;
+            debug_assert_eq!(dest, self.destination_of(&scratch), "batched dest drifted");
+            if let Err(e) = self.route_to_batched(ctx, dest, &scratch, template, &mut pending) {
+                result = Err(e);
+                break;
+            }
+        }
+        self.row_scratch = scratch;
+        self.hash_scratch = hashes;
+        ctx.clock.record_tuples(template, pending);
+        result
+    }
+
     /// One row of a batched route: defer the per-row charge, but flush
     /// all deferred charges before any send so timestamps match the
     /// per-row path exactly.
@@ -169,8 +243,21 @@ impl Exchange {
         template: &[CostEvent],
         pending: &mut u64,
     ) -> Result<(), ExecError> {
-        *pending += 1;
         let dest = self.destination_of(values);
+        self.route_to_batched(ctx, dest, values, template, pending)
+    }
+
+    /// [`Exchange::route_batched`] with the destination already computed
+    /// (the batched page route hashes whole columns up front).
+    fn route_to_batched(
+        &mut self,
+        ctx: &mut NodeCtx,
+        dest: usize,
+        values: &[Value],
+        template: &[CostEvent],
+        pending: &mut u64,
+    ) -> Result<(), ExecError> {
+        *pending += 1;
         let sealed = match self.blocker.add_pooled(dest, values, &mut ctx.page_pool) {
             Ok(sealed) => sealed,
             Err(e) => {

@@ -46,7 +46,20 @@ pub struct HashAggregator {
     page_bytes: usize,
     charge_hash: bool,
     grant: MemoryGrant,
+    /// Whether [`HashAggregator::push_page`] takes the vectorized probe
+    /// ([`AggTable::insert_page_batched`]) or the row loop. Both are
+    /// bit-identical in results and cost events; the knob exists so the
+    /// oracle tests and the bench harness can pin either path.
+    columnar: bool,
     stats: HashAggStats,
+}
+
+/// Read the `ADAPTAGG_COLUMNAR` knob: `"row"` forces the row-at-a-time
+/// page path, anything else (or unset) selects the batched columnar path.
+/// Read per aggregator construction (not cached) so benches can flip it
+/// in-process.
+fn columnar_default() -> bool {
+    std::env::var("ADAPTAGG_COLUMNAR").map(|v| v != "row").unwrap_or(true)
 }
 
 impl HashAggregator {
@@ -63,8 +76,17 @@ impl HashAggregator {
             page_bytes,
             charge_hash: true,
             grant: MemoryGrant::unlimited(),
+            columnar: columnar_default(),
             stats: HashAggStats::default(),
         }
+    }
+
+    /// Pin the page-path choice programmatically (overriding the
+    /// `ADAPTAGG_COLUMNAR` environment default): `true` = batched
+    /// columnar probe, `false` = row-at-a-time loop.
+    pub fn with_columnar(mut self, columnar: bool) -> Self {
+        self.columnar = columnar;
+        self
     }
 
     /// Control whether inserts charge `t_h` (see
@@ -159,12 +181,17 @@ impl HashAggregator {
         let fanout = self.fanout;
         let page_bytes = self.page_bytes;
         let group_by_len = self.query.group_by.len();
-        let spilled = self.table.insert_page(kind, page, tracker, |tracker, kind, values| {
+        let on_full = |tracker: &mut T, kind: RowKind, values: &[Value]| {
             let set = overflow.get_or_insert_with(|| {
                 OverflowSet::new(fanout, page_bytes, 0, group_by_len)
             });
             set.spool(kind, values, tracker)
-        })?;
+        };
+        let spilled = if self.columnar {
+            self.table.insert_page_batched(kind, page, tracker, on_full)?
+        } else {
+            self.table.insert_page(kind, page, tracker, on_full)?
+        };
         self.stats.spilled_tuples += spilled;
         Ok(())
     }
@@ -385,6 +412,29 @@ mod tests {
         adaptagg_model::query::sort_rows(&mut rb);
         assert_eq!(ra, rb);
         assert_eq!(ta, tb, "finish cost events diverge between paths");
+    }
+
+    #[test]
+    fn columnar_page_path_matches_row_page_path() {
+        // Same page, forced columnar vs forced row: identical results,
+        // stats and cost events, across a spilling budget.
+        let rows: Vec<Vec<Value>> = (0..200).map(|i| raw(i % 12, i)).collect();
+        let mut page = Page::new(1 << 16);
+        for r in &rows {
+            assert!(page.try_push(r).unwrap());
+        }
+        let mut a = HashAggregator::new(query(), 6, 256, 4).with_columnar(true);
+        let mut b = HashAggregator::new(query(), 6, 256, 4).with_columnar(false);
+        let mut ta = CountingTracker::new();
+        let mut tb = CountingTracker::new();
+        a.push_page(RowKind::Raw, &page, &mut ta).unwrap();
+        b.push_page(RowKind::Raw, &page, &mut tb).unwrap();
+        assert_eq!(a.stats().spilled_tuples, b.stats().spilled_tuples);
+        assert_eq!(ta, tb, "cost events diverge between page paths");
+        let (ra, _) = a.finish_rows(&mut ta).unwrap();
+        let (rb, _) = b.finish_rows(&mut tb).unwrap();
+        assert_eq!(ra, rb, "results diverge (order included)");
+        assert_eq!(ta, tb, "finish cost events diverge between page paths");
     }
 
     #[test]

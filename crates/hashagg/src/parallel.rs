@@ -369,6 +369,32 @@ impl ParTables {
         values: &[Value],
         stamp: u64,
     ) -> Option<bool> {
+        self.insert_inner(worker, kind, values, stamp, None)
+    }
+
+    /// [`ParTables::insert`] with the key's [`Seed::Table`] hash already
+    /// computed (the driver batch-hashes whole key strips per page).
+    /// Routing and results are identical — the hash feeds the same
+    /// stripe/partition selection and table probe.
+    pub fn insert_prehashed(
+        &self,
+        worker: usize,
+        kind: RowKind,
+        values: &[Value],
+        stamp: u64,
+        hash: u64,
+    ) -> Option<bool> {
+        self.insert_inner(worker, kind, values, stamp, Some(hash))
+    }
+
+    fn insert_inner(
+        &self,
+        worker: usize,
+        kind: RowKind,
+        values: &[Value],
+        stamp: u64,
+        prehashed: Option<u64>,
+    ) -> Option<bool> {
         if self.aborted() {
             return None;
         }
@@ -382,23 +408,27 @@ impl ParTables {
             RowKind::Raw => self.raw_rows.fetch_add(1, Ordering::Relaxed),
             RowKind::Partial => self.partial_rows.fetch_add(1, Ordering::Relaxed),
         };
+        let key_hash = |values: &[Value]| {
+            prehashed
+                .unwrap_or_else(|| hash_values(Seed::Table, &values[..self.key_len.min(values.len())]))
+        };
         let route = self.route.load(Ordering::Relaxed);
         let outcome = match route {
             ROUTE_SHARED => {
-                let hash = hash_values(Seed::Table, &values[..self.key_len.min(values.len())]);
+                let hash = key_hash(values);
                 let stripe = (hash >> 58) as usize & (STRIPES - 1);
                 self.stripes[stripe]
                     .lock()
                     .insert_stamped(kind, values, Some(hash), stamp)
             }
             ROUTE_PARTITIONED => {
-                let hash = hash_values(Seed::Table, &values[..self.key_len.min(values.len())]);
+                let hash = key_hash(values);
                 let p = (hash >> 59) as usize & (PARTITIONS - 1);
                 self.scatter[worker][p].lock().push(stamp, kind, values);
                 // Group creation is discovered in the partition phase.
                 return Some(false);
             }
-            _ => self.locals[worker].lock().insert_stamped(kind, values, None, stamp),
+            _ => self.locals[worker].lock().insert_stamped(kind, values, prehashed, stamp),
         };
         match outcome {
             Ok(Inserted::New) => {
@@ -641,6 +671,36 @@ mod tests {
             let got = out.table.drain_partial_rows(&mut NullTracker);
             assert_eq!(got, expect, "strategy {:?}", s);
             assert_eq!(out.raw_in, 500);
+        }
+    }
+
+    #[test]
+    fn prehashed_inserts_match_plain_inserts_on_every_strategy() {
+        let rows = dataset();
+        for s in [
+            IntraStrategy::ThreadLocal,
+            IntraStrategy::Shared,
+            IntraStrategy::Partitioned,
+        ] {
+            let plain = drive(IntraMode::Fixed(s), &rows);
+            let pt = ParTables::new(query(), 10_000, MemoryGrant::unlimited(), 2, IntraMode::Fixed(s))
+                .unwrap();
+            for (i, (stamp, r)) in rows.iter().enumerate().rev() {
+                let hash = hash_values(Seed::Table, &r[..1]);
+                assert!(pt.insert_prehashed(i % 2, RowKind::Raw, r, *stamp, hash).is_some());
+            }
+            pt.report_morsel(0, rows.len() as u64, 0);
+            let mut scratch = Vec::new();
+            pt.run_partition_phase(&mut scratch);
+            pt.run_partition_phase(&mut scratch);
+            let prehashed = pt.finish().expect("no abort");
+            let mut a = plain.table;
+            let mut b = prehashed.table;
+            assert_eq!(
+                a.drain_partial_rows(&mut NullTracker),
+                b.drain_partial_rows(&mut NullTracker),
+                "strategy {s:?}"
+            );
         }
     }
 

@@ -26,12 +26,14 @@
 //! Entries drain in insertion order — deterministic and independent of
 //! any hash-map iteration order.
 
-use adaptagg_model::hash::hash_values;
-use adaptagg_model::{
-    AggQuery, AggStates, CostEvent, CostTracker, GroupKey, MemoryGrant, ModelError, ResultRow,
-    RowKind, Seed, Value,
+use adaptagg_model::hash::{
+    hash_batch_finish, hash_batch_init, hash_batch_ints, hash_batch_values, hash_values,
 };
-use adaptagg_storage::{Page, StorageError};
+use adaptagg_model::{
+    AggFunc, AggQuery, AggStates, CostEvent, CostTracker, GroupKey, MemoryGrant, ModelError,
+    ResultRow, RowKind, Seed, Value,
+};
+use adaptagg_storage::{Page, StorageError, StripView};
 
 /// Outcome of an insert attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +96,11 @@ pub struct AggTable {
     key_scratch: Vec<Value>,
     /// Tuple decode scratch for [`AggTable::insert_page`].
     row_scratch: Vec<Value>,
+    /// Pooled per-page key-hash vector for the batched probe.
+    batch_hashes: Vec<u64>,
+    /// Pooled per-page group-index vector (`EMPTY` = row rejected) the
+    /// batched probe hands to the deferred column-at-a-time update pass.
+    batch_gix: Vec<u32>,
 }
 
 impl AggTable {
@@ -133,6 +140,8 @@ impl AggTable {
             probe_slots: 0,
             key_scratch: Vec::new(),
             row_scratch: Vec::new(),
+            batch_hashes: Vec::new(),
+            batch_gix: Vec::new(),
         }
     }
 
@@ -339,6 +348,277 @@ impl AggTable {
         tracker.record_tuples(template, pending);
         self.row_scratch = scratch;
         result.map(|()| rejected)
+    }
+
+    /// The vectorized form of [`AggTable::insert_page`]: hashes whole key
+    /// columns through the batch kernels, probes row-ordered with the
+    /// precomputed hashes, and — when every aggregate input is an `Int`
+    /// strip — defers state updates behind a group-index vector replayed
+    /// column-at-a-time. Charges, counters, outcomes, errors and final
+    /// states are bit-identical to `insert_page`; pages the strips cannot
+    /// serve (ragged arity, non-prefix keys, wrong partial arity) fall
+    /// back to it wholesale so error semantics never fork.
+    pub fn insert_page_batched<T, F>(
+        &mut self,
+        kind: RowKind,
+        page: &Page,
+        tracker: &mut T,
+        on_full: F,
+    ) -> Result<u64, StorageError>
+    where
+        T: CostTracker,
+        F: FnMut(&mut T, RowKind, &[Value]) -> Result<(), StorageError>,
+    {
+        let k = self.key_len;
+        let eligible = match page.uniform_arity() {
+            None => false, // ragged or empty: the row loop handles it
+            Some(arity) => {
+                arity >= k
+                    && match kind {
+                        // Non-prefix keys need the gather path; wrong
+                        // partial arity must surface insert_quiet's error.
+                        RowKind::Raw => self.key_is_prefix,
+                        RowKind::Partial => arity == self.query.partial_row_arity(),
+                    }
+            }
+        };
+        if !eligible {
+            return self.insert_page(kind, page, tracker, on_full);
+        }
+        let n = page.tuple_count();
+
+        // Phase 1: one vectorized Seed::Table hash per row, folding the
+        // key columns in order (bit-identical to hash_values on the row's
+        // key prefix by the batch kernels' contract).
+        let mut hashes = std::mem::take(&mut self.batch_hashes);
+        hash_batch_init(Seed::Table, n, &mut hashes);
+        for j in 0..k {
+            match page.column(j).expect("uniform-arity page has dense strips") {
+                StripView::Ints(xs) => hash_batch_ints(&mut hashes, xs),
+                StripView::Values(vs) => hash_batch_values(&mut hashes, vs),
+            }
+        }
+        hash_batch_finish(&mut hashes);
+
+        // Raw pages whose every aggregate input is an Int strip take the
+        // deferred-update fast path; everything else probes row-by-row
+        // with the batch hashes (still skipping the per-row hash).
+        let fast = kind == RowKind::Raw
+            && self.query.aggs.iter().all(|spec| match spec.input {
+                None => spec.func == AggFunc::Count,
+                Some(c) => matches!(page.column(c), Some(StripView::Ints(_))),
+            });
+        let result = if fast {
+            self.insert_batched_fast(page, &hashes, tracker, on_full)
+        } else {
+            self.insert_batched_rows(kind, page, &hashes, tracker, on_full)
+        };
+        self.batch_hashes = hashes;
+        result
+    }
+
+    /// Fast arm of [`AggTable::insert_page_batched`]: probe every row
+    /// against the strips (no tuple materialization), collect accepted
+    /// rows' entry indices, then replay the aggregate updates
+    /// column-at-a-time. Update order per (spec, entry) is row order —
+    /// exactly the row loop's — so order-sensitive accumulator promotion
+    /// is preserved.
+    fn insert_batched_fast<T, F>(
+        &mut self,
+        page: &Page,
+        hashes: &[u64],
+        tracker: &mut T,
+        mut on_full: F,
+    ) -> Result<u64, StorageError>
+    where
+        T: CostTracker,
+        F: FnMut(&mut T, RowKind, &[Value]) -> Result<(), StorageError>,
+    {
+        let k = self.key_len;
+        let template = self.accept_template();
+        let mut gix = std::mem::take(&mut self.batch_gix);
+        gix.clear();
+        let mut pending = 0u64;
+        let mut rejected = 0u64;
+        let mut result = Ok(());
+        for (r, &hash) in hashes.iter().enumerate() {
+            let (slot, found, examined) = self.find_row(hash, page, r);
+            self.probe_slots += examined;
+            if let Some(entry) = found {
+                self.updates += 1;
+                gix.push(entry as u32);
+                pending += 1;
+                continue;
+            }
+            if self.keys.len() >= self.effective_max() {
+                gix.push(EMPTY);
+                tracker.record_tuples(template, pending);
+                pending = 0;
+                self.charge_attempt(tracker);
+                rejected += 1;
+                // Materialize the overflow row only now, on the cold path.
+                let mut scratch = std::mem::take(&mut self.row_scratch);
+                scratch.clear();
+                let arity = page.uniform_arity().expect("eligibility checked");
+                for j in 0..arity {
+                    scratch.push(match page.column(j).expect("dense strips") {
+                        StripView::Ints(xs) => Value::Int(xs[r]),
+                        StripView::Values(vs) => vs[r].clone(),
+                    });
+                }
+                let spooled = on_full(tracker, RowKind::Raw, &scratch);
+                self.row_scratch = scratch;
+                if let Err(e) = spooled {
+                    result = Err(e);
+                    break;
+                }
+                continue;
+            }
+            // New group: admit with empty states — this row's update is
+            // applied by the deferred pass like any other accepted row.
+            let mut key_vec = Vec::with_capacity(k);
+            for j in 0..k {
+                key_vec.push(match page.column(j).expect("dense strips") {
+                    StripView::Ints(xs) => Value::Int(xs[r]),
+                    StripView::Values(vs) => vs[r].clone(),
+                });
+            }
+            let entry = u32::try_from(self.keys.len()).expect("table exceeds u32 entries");
+            self.keys.push(GroupKey::new(key_vec));
+            self.hashes.push(hash);
+            self.states.push(AggStates::new(&self.query.aggs));
+            self.slots[slot] = entry;
+            self.inserts += 1;
+            if (self.keys.len() + 1) * 8 > self.slots.len() * 7 {
+                self.grow();
+            }
+            gix.push(entry);
+            pending += 1;
+        }
+        tracker.record_tuples(template, pending);
+
+        // Deferred updates, column-at-a-time over the group-index vector
+        // (covers exactly the rows probed above, including the partial
+        // prefix before an on_full error).
+        let Self {
+            ref mut states,
+            ref query,
+            ..
+        } = *self;
+        for (j, spec) in query.aggs.iter().enumerate() {
+            match spec.input {
+                None => {
+                    for &e in gix.iter() {
+                        if e != EMPTY {
+                            states[e as usize].update_star_at(j);
+                        }
+                    }
+                }
+                Some(c) => {
+                    let Some(StripView::Ints(xs)) = page.column(c) else {
+                        unreachable!("fast arm requires Int input strips")
+                    };
+                    for (r, &e) in gix.iter().enumerate() {
+                        if e != EMPTY {
+                            states[e as usize].update_int_at(j, xs[r]);
+                        }
+                    }
+                }
+            }
+        }
+        self.batch_gix = gix;
+        result.map(|()| rejected)
+    }
+
+    /// Slow arm of [`AggTable::insert_page_batched`]: rows are
+    /// materialized and inserted one at a time (partial rows, or raw
+    /// pages with non-`Int` aggregate inputs), reusing the vectorized key
+    /// hashes. Identical to [`AggTable::insert_page`] except for where
+    /// the hash comes from.
+    fn insert_batched_rows<T, F>(
+        &mut self,
+        kind: RowKind,
+        page: &Page,
+        hashes: &[u64],
+        tracker: &mut T,
+        mut on_full: F,
+    ) -> Result<u64, StorageError>
+    where
+        T: CostTracker,
+        F: FnMut(&mut T, RowKind, &[Value]) -> Result<(), StorageError>,
+    {
+        let template = self.accept_template();
+        let mut scratch = std::mem::take(&mut self.row_scratch);
+        let mut pending = 0u64;
+        let mut rejected = 0u64;
+        let mut cursor = page.cursor();
+        let mut result = Ok(());
+        for &hash in hashes {
+            match cursor.next_into(&mut scratch) {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+            match self.insert_quiet(kind, &scratch, Some(hash)) {
+                Ok((Inserted::Updated, _)) | Ok((Inserted::New, _)) => pending += 1,
+                Ok((Inserted::Full, _)) => {
+                    tracker.record_tuples(template, pending);
+                    pending = 0;
+                    self.charge_attempt(tracker);
+                    rejected += 1;
+                    if let Err(e) = on_full(tracker, kind, &scratch) {
+                        result = Err(e);
+                        break;
+                    }
+                }
+                Err(e) => {
+                    tracker.record_tuples(template, pending);
+                    pending = 0;
+                    self.charge_attempt(tracker);
+                    result = Err(StorageError::from(e));
+                    break;
+                }
+            }
+        }
+        tracker.record_tuples(template, pending);
+        self.row_scratch = scratch;
+        result.map(|()| rejected)
+    }
+
+    /// [`AggTable::find`] against a page row's key prefix read straight
+    /// from the column strips — no row materialization, no allocation.
+    #[inline]
+    fn find_row(&self, hash: u64, page: &Page, r: usize) -> (usize, Option<usize>, u64) {
+        let mut i = (hash as usize) & self.mask;
+        let mut examined = 1u64;
+        loop {
+            let s = self.slots[i];
+            if s == EMPTY {
+                return (i, None, examined);
+            }
+            let e = s as usize;
+            if self.hashes[e] == hash && self.key_matches_row(e, page, r) {
+                return (i, Some(e), examined);
+            }
+            i = (i + 1) & self.mask;
+            examined += 1;
+        }
+    }
+
+    /// Whether entry's stored key equals row `r`'s key prefix, comparing
+    /// cell-by-cell against the strips.
+    #[inline]
+    fn key_matches_row(&self, entry: usize, page: &Page, r: usize) -> bool {
+        let stored = self.keys[entry].values();
+        debug_assert_eq!(stored.len(), self.key_len);
+        stored.iter().enumerate().all(|(j, kv)| match page.column(j) {
+            Some(StripView::Ints(xs)) => matches!(kv, Value::Int(x) if *x == xs[r]),
+            Some(StripView::Values(vs)) => kv == &vs[r],
+            None => false,
+        })
     }
 
     /// Insert with a logical **stamp** and no cost recording: the
@@ -759,6 +1039,163 @@ mod tests {
         adaptagg_model::query::sort_rows(&mut ra);
         adaptagg_model::query::sort_rows(&mut rb);
         assert_eq!(ra, rb);
+    }
+
+    /// Run the same pages through `insert_page` and `insert_page_batched`
+    /// on twin tables and assert identical costs, counters, spooled rows
+    /// and drained results.
+    fn assert_batched_matches_row(
+        query: AggQuery,
+        max_entries: usize,
+        kind: RowKind,
+        pages: &[Page],
+    ) {
+        let mut a = AggTable::new(query.clone(), max_entries);
+        let mut b = AggTable::new(query, max_entries);
+        let mut ta = CountingTracker::new();
+        let mut tb = CountingTracker::new();
+        let mut spill_a: Vec<Vec<Value>> = Vec::new();
+        let mut spill_b: Vec<Vec<Value>> = Vec::new();
+        for page in pages {
+            let ra = a
+                .insert_page(kind, page, &mut ta, |tr, _, row| {
+                    tr.record(CostEvent::TupleWrite, 1);
+                    spill_a.push(row.to_vec());
+                    Ok(())
+                })
+                .unwrap();
+            let rb = b
+                .insert_page_batched(kind, page, &mut tb, |tr, _, row| {
+                    tr.record(CostEvent::TupleWrite, 1);
+                    spill_b.push(row.to_vec());
+                    Ok(())
+                })
+                .unwrap();
+            assert_eq!(ra, rb, "rejected counts diverge");
+        }
+        assert_eq!(ta, tb, "cost charges diverge");
+        assert_eq!(spill_a, spill_b, "spooled rows diverge");
+        assert_eq!(a.probe_slots(), b.probe_slots(), "probe counters diverge");
+        assert_eq!(a.accepted(), b.accepted());
+        let ra = a.drain_result_rows(&mut ta);
+        let rb = b.drain_result_rows(&mut tb);
+        assert_eq!(ra, rb, "drained rows diverge (order included)");
+    }
+
+    fn page_of(rows: &[Vec<Value>]) -> Page {
+        let mut p = Page::new(1 << 16);
+        for row in rows {
+            assert!(p.try_push(row).unwrap());
+        }
+        p
+    }
+
+    #[test]
+    fn batched_fast_path_matches_row_path() {
+        // All-Int page: key strip and input strip both fixed-width.
+        let rows: Vec<Vec<Value>> = (0..200).map(|i| raw(i % 23, i)).collect();
+        assert_batched_matches_row(query(), 100, RowKind::Raw, &[page_of(&rows)]);
+    }
+
+    #[test]
+    fn batched_overflow_matches_row_path() {
+        // Budget of 8 groups over 23 distinct keys: rejects interleave
+        // with accepts, exercising the pending-run flush and the spool.
+        let rows: Vec<Vec<Value>> = (0..300).map(|i| raw((i * 7) % 23, i)).collect();
+        assert_batched_matches_row(query(), 8, RowKind::Raw, &[page_of(&rows)]);
+    }
+
+    #[test]
+    fn batched_value_keys_match_row_path() {
+        // Str keys promote the key strip to general values: the probe
+        // compares against a Values strip, the input stays Int.
+        let rows: Vec<Vec<Value>> = (0..120)
+            .map(|i| vec![Value::Str(format!("g{}", i % 11).into()), Value::Int(i)])
+            .collect();
+        assert_batched_matches_row(query(), 100, RowKind::Raw, &[page_of(&rows)]);
+    }
+
+    #[test]
+    fn batched_non_int_inputs_take_row_arm() {
+        // Float inputs: vectorized hash + per-row updates (slow arm).
+        let rows: Vec<Vec<Value>> = (0..120)
+            .map(|i| vec![Value::Int(i % 7), Value::Float(i as f64 / 2.0)])
+            .collect();
+        assert_batched_matches_row(query(), 100, RowKind::Raw, &[page_of(&rows)]);
+        // Nulls sprinkled in promote the input strip too (NULL-skipping
+        // SUM semantics must survive batching).
+        let rows: Vec<Vec<Value>> = (0..120)
+            .map(|i| {
+                let v = if i % 5 == 0 { Value::Null } else { Value::Int(i) };
+                vec![Value::Int(i % 7), v]
+            })
+            .collect();
+        assert_batched_matches_row(query(), 100, RowKind::Raw, &[page_of(&rows)]);
+    }
+
+    #[test]
+    fn batched_partial_pages_match_row_path() {
+        let rows: Vec<Vec<Value>> = (0..90)
+            .map(|i| vec![Value::Int(i % 13), Value::Int(i * 10)])
+            .collect();
+        assert_batched_matches_row(query(), 100, RowKind::Partial, &[page_of(&rows)]);
+    }
+
+    #[test]
+    fn batched_multi_function_page_matches_row_path() {
+        let q = AggQuery::new(
+            vec![0],
+            vec![
+                AggSpec::count_star(),
+                AggSpec::over(AggFunc::Sum, 1),
+                AggSpec::over(AggFunc::Avg, 2),
+                AggSpec::over(AggFunc::Min, 1),
+                AggSpec::over(AggFunc::Max, 2),
+                AggSpec::over(AggFunc::VarPop, 1),
+            ],
+        );
+        let rows: Vec<Vec<Value>> = (0..150)
+            .map(|i| vec![Value::Int(i % 17), Value::Int(i * 3 - 40), Value::Int(-i)])
+            .collect();
+        assert_batched_matches_row(q, 100, RowKind::Raw, &[page_of(&rows)]);
+    }
+
+    #[test]
+    fn batched_ragged_page_falls_back_to_row_path() {
+        // Mixed arities defeat the strip layout; the batched entry point
+        // must route to insert_page and match it exactly (here: the
+        // 1-column rows hit COUNT(*) + SUM over a missing column → the
+        // same ColumnOutOfRange error as the row path).
+        let mut p = Page::new(1 << 16);
+        assert!(p.try_push(&raw(1, 10)).unwrap());
+        assert!(p.try_push(&[Value::Int(2)]).unwrap());
+        let mut a = AggTable::new(query(), 10);
+        let mut b = AggTable::new(query(), 10);
+        let mut ta = CountingTracker::new();
+        let mut tb = CountingTracker::new();
+        let ra = a.insert_page(RowKind::Raw, &p, &mut ta, |_, _, _| Ok(()));
+        let rb = b.insert_page_batched(RowKind::Raw, &p, &mut tb, |_, _, _| Ok(()));
+        assert!(ra.is_err() && rb.is_err(), "both paths surface the error");
+        assert_eq!(ta, tb, "error-path charges match");
+    }
+
+    #[test]
+    fn batched_steady_state_reuses_scratch_across_pages() {
+        // Same page twice: the second pass is all resident-group updates
+        // and must not regrow the pooled hash/group-index vectors.
+        let rows: Vec<Vec<Value>> = (0..100).map(|i| raw(i % 11, i)).collect();
+        let p = page_of(&rows);
+        let mut t = AggTable::new(query(), 100);
+        let mut tr = NullTracker;
+        t.insert_page_batched(RowKind::Raw, &p, &mut tr, |_, _, _| Ok(()))
+            .unwrap();
+        let cap_h = t.batch_hashes.capacity();
+        let cap_g = t.batch_gix.capacity();
+        t.insert_page_batched(RowKind::Raw, &p, &mut tr, |_, _, _| Ok(()))
+            .unwrap();
+        assert_eq!(t.batch_hashes.capacity(), cap_h);
+        assert_eq!(t.batch_gix.capacity(), cap_g);
+        assert_eq!(t.len(), 11);
     }
 
     #[test]

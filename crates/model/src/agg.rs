@@ -183,6 +183,13 @@ impl NumAcc {
         Ok(())
     }
 
+    fn add_int(&mut self, x: i64) {
+        match self {
+            NumAcc::Int(acc) => *acc += x as i128,
+            NumAcc::Float(acc) => *acc += x as f64,
+        }
+    }
+
     fn add_acc(&mut self, other: NumAcc) {
         match (&mut *self, other) {
             (NumAcc::Int(a), NumAcc::Int(b)) => *a += b,
@@ -371,6 +378,50 @@ impl AggState {
             }
         }
         Ok(())
+    }
+
+    /// Fold in a raw `Int` input — the validity-free fixed-width arm of
+    /// the batched columnar update. Bit-identical to
+    /// `update(Some(&Value::Int(x)))`, which is infallible for every
+    /// function, so no error channel is needed.
+    #[inline]
+    pub fn update_int(&mut self, x: i64) {
+        match self {
+            AggState::Count(n) => *n += 1,
+            AggState::Sum(acc) => match acc {
+                Some(a) => a.0.add_int(x),
+                None => *acc = Some(NumAccState(NumAcc::Int(x as i128))),
+            },
+            AggState::Avg { sum, count } => {
+                sum.0.add_int(x);
+                *count += 1;
+            }
+            AggState::Min(cur) => {
+                let v = Value::Int(x);
+                match cur {
+                    Some(m) if *m <= v => {}
+                    _ => *cur = Some(v),
+                }
+            }
+            AggState::Max(cur) => {
+                let v = Value::Int(x);
+                match cur {
+                    Some(m) if *m >= v => {}
+                    _ => *cur = Some(v),
+                }
+            }
+            AggState::Var {
+                sum,
+                sum_sq,
+                count,
+                ..
+            } => {
+                let f = x as f64;
+                *sum += f;
+                *sum_sq += f * f;
+                *count += 1;
+            }
+        }
     }
 
     /// Merge another state of the same function into this one.
@@ -650,6 +701,28 @@ impl AggStates {
             state.update(input)?;
         }
         Ok(())
+    }
+
+    /// Columnar fast-path update for spec `idx` with an `Int` input cell
+    /// (see [`AggState::update_int`]). The batched probe defers updates
+    /// behind a group-index vector and replays them column-at-a-time
+    /// through here, in row order per state — bit-identical to the
+    /// row-at-a-time [`AggStates::update_from_tuple`] because states of
+    /// different specs never interact.
+    #[inline]
+    pub fn update_int_at(&mut self, idx: usize, x: i64) {
+        self.states[idx].update_int(x);
+    }
+
+    /// Columnar `COUNT(*)` update for spec `idx` (no input column). Only
+    /// valid for a `COUNT` state — the batched path's eligibility check
+    /// guarantees that.
+    #[inline]
+    pub fn update_star_at(&mut self, idx: usize) {
+        match &mut self.states[idx] {
+            AggState::Count(n) => *n += 1,
+            other => unreachable!("COUNT(*)-style update on {} state", other.func()),
+        }
     }
 
     /// Fold in an encoded partial row (the non-key columns of a partial
@@ -946,6 +1019,59 @@ mod tests {
         assert!(states.is_empty());
         assert_eq!(states.partial_arity(), 0);
         assert_eq!(states.finalize(), Vec::<Value>::new());
+    }
+
+    #[test]
+    fn update_int_matches_update_for_every_function() {
+        // The columnar fast path must leave *states* (not just results)
+        // bit-identical, including NumAcc Int/Float promotion order.
+        let inputs: Vec<i64> = vec![5, -2, 0, i64::MAX / 2, 7, -2];
+        for func in AggFunc::ALL {
+            let mut via_value = AggState::new(func);
+            let mut via_int = AggState::new(func);
+            for &x in &inputs {
+                via_value.update(Some(&Value::Int(x))).unwrap();
+                via_int.update_int(x);
+            }
+            assert_eq!(via_value, via_int, "{func} state diverged");
+            assert_eq!(via_value.finalize(), via_int.finalize());
+        }
+        // After a float promotes the accumulator, ints keep folding in
+        // identically.
+        let mut a = AggState::new(AggFunc::Sum);
+        let mut b = AggState::new(AggFunc::Sum);
+        a.update(Some(&Value::Float(0.5))).unwrap();
+        b.update(Some(&Value::Float(0.5))).unwrap();
+        a.update(Some(&Value::Int(3))).unwrap();
+        b.update_int(3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn states_columnar_updates_match_row_updates() {
+        let specs = [
+            AggSpec::count_star(),
+            AggSpec::over(AggFunc::Sum, 1),
+            AggSpec::over(AggFunc::Min, 0),
+        ];
+        let rows: Vec<[i64; 2]> = (0..20).map(|i| [i % 4, i * 3]).collect();
+        let mut row_wise = AggStates::new(&specs);
+        for r in &rows {
+            row_wise
+                .update_from_tuple(&specs, &[Value::Int(r[0]), Value::Int(r[1])])
+                .unwrap();
+        }
+        // Column-at-a-time, one spec over the whole batch at a time.
+        let mut col_wise = AggStates::new(&specs);
+        for (j, spec) in specs.iter().enumerate() {
+            for r in &rows {
+                match spec.input {
+                    None => col_wise.update_star_at(j),
+                    Some(c) => col_wise.update_int_at(j, r[c]),
+                }
+            }
+        }
+        assert_eq!(row_wise, col_wise);
     }
 
     #[test]

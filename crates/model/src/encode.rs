@@ -37,25 +37,32 @@ pub fn encode_tuple(values: &[Value], out: &mut Vec<u8>) -> usize {
     let arity = u16::try_from(values.len()).expect("tuple arity exceeds u16");
     out.extend_from_slice(&arity.to_le_bytes());
     for v in values {
-        match v {
-            Value::Null => out.push(TAG_NULL),
-            Value::Int(i) => {
-                out.push(TAG_INT);
-                out.extend_from_slice(&i.to_le_bytes());
-            }
-            Value::Float(f) => {
-                out.push(TAG_FLOAT);
-                out.extend_from_slice(&f.to_bits().to_le_bytes());
-            }
-            Value::Str(s) => {
-                out.push(TAG_STR);
-                let len = u32::try_from(s.len()).expect("string exceeds u32 length");
-                out.extend_from_slice(&len.to_le_bytes());
-                out.extend_from_slice(s.as_bytes());
-            }
-        }
+        encode_value(v, out);
     }
     out.len() - start
+}
+
+/// Append one value's `tag payload` encoding to `out` (the per-cell body
+/// of [`encode_tuple`]; column-strip pages re-encode row-major through
+/// this when they hit the wire or disk).
+pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(TAG_NULL),
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            out.push(TAG_FLOAT);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            let len = u32::try_from(s.len()).expect("string exceeds u32 length");
+            out.extend_from_slice(&len.to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+    }
 }
 
 /// Decode one tuple from the front of `buf`. Returns the values and the

@@ -58,6 +58,19 @@ pub struct FxHasher {
     state: u64,
 }
 
+/// One mixing step of the Fx hash: rotate, xor the word in, multiply.
+#[inline]
+fn mix_word(state: u64, word: u64) -> u64 {
+    (state.rotate_left(5) ^ word).wrapping_mul(K)
+}
+
+/// The finishing avalanche applied by [`FxHasher::finish`].
+#[inline]
+fn finish_state(state: u64) -> u64 {
+    let z = (state ^ (state >> 32)).wrapping_mul(0xd6e8_feb8_6659_fd93);
+    z ^ (z >> 32)
+}
+
 impl FxHasher {
     /// A hasher starting from the given seed's mixed state.
     pub fn with_seed(seed: Seed) -> Self {
@@ -68,7 +81,7 @@ impl FxHasher {
 
     #[inline]
     fn add_word(&mut self, word: u64) {
-        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(K);
+        self.state = mix_word(self.state, word);
     }
 }
 
@@ -83,9 +96,7 @@ impl Hasher for FxHasher {
     fn finish(&self) -> u64 {
         // Final avalanche: Fx's raw state has weak low bits; since we use
         // `finish() % N` for partitioning, mix before exposing.
-        let mut z = self.state;
-        z = (z ^ (z >> 32)).wrapping_mul(0xd6e8_feb8_6659_fd93);
-        z ^ (z >> 32)
+        finish_state(self.state)
     }
 
     #[inline]
@@ -145,6 +156,48 @@ pub fn hash_values(seed: Seed, values: &[Value]) -> u64 {
         v.hash(&mut h);
     }
     h.finish()
+}
+
+/// Vectorized batch counterpart of [`hash_values`]: initialize one hash
+/// state per row. The caller then folds each key column in with
+/// [`hash_batch_ints`] / [`hash_batch_values`] (column-at-a-time over the
+/// whole batch) and seals with [`hash_batch_finish`]; row `r`'s result is
+/// then bit-identical to `hash_values(seed, &key_columns_of_row_r)`.
+///
+/// `states` is cleared and resized — callers pool it across batches.
+pub fn hash_batch_init(seed: Seed, rows: usize, states: &mut Vec<u64>) {
+    states.clear();
+    states.resize(rows, seed.initial_state());
+}
+
+/// Fold a fixed-width `Int` column into every row's hash state: exactly
+/// the words `Value::Int(x).hash()` feeds (type tag, then payload), with
+/// no per-value dispatch — the kernel the validity-free columnar fast
+/// path rides.
+pub fn hash_batch_ints(states: &mut [u64], column: &[i64]) {
+    debug_assert_eq!(states.len(), column.len());
+    for (s, &x) in states.iter_mut().zip(column) {
+        *s = mix_word(mix_word(*s, 1), x as u64);
+    }
+}
+
+/// Fold a general [`Value`] column into every row's hash state (mixed
+/// types, strings, nulls — the non-fast columnar path).
+pub fn hash_batch_values(states: &mut [u64], column: &[Value]) {
+    debug_assert_eq!(states.len(), column.len());
+    for (s, v) in states.iter_mut().zip(column) {
+        let mut h = FxHasher { state: *s };
+        v.hash(&mut h);
+        *s = h.state;
+    }
+}
+
+/// Apply the finishing avalanche to every row's state, producing the
+/// final hashes ([`FxHasher::finish`] semantics).
+pub fn hash_batch_finish(states: &mut [u64]) {
+    for s in states.iter_mut() {
+        *s = finish_state(*s);
+    }
 }
 
 /// Convenience wrapper pairing a seed with the hash function.
@@ -273,5 +326,81 @@ mod tests {
         for i in 0..100 {
             assert!(h.bucket(&v(i), 7) < 7);
         }
+    }
+
+    #[test]
+    fn batch_int_kernel_matches_row_hash() {
+        for seed in [Seed::Table, Seed::Partition, Seed::OverflowBucket(3)] {
+            let col: Vec<i64> = (-5..40).map(|i| i * 31 - 7).collect();
+            let mut states = Vec::new();
+            hash_batch_init(seed, col.len(), &mut states);
+            hash_batch_ints(&mut states, &col);
+            hash_batch_finish(&mut states);
+            for (r, &x) in col.iter().enumerate() {
+                assert_eq!(
+                    states[r],
+                    hash_values(seed, &[Value::Int(x)]),
+                    "row {r} diverged under {seed:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_value_kernel_matches_row_hash_for_every_type() {
+        let col = vec![
+            Value::Null,
+            Value::Int(42),
+            Value::Float(2.5),
+            Value::Float(-0.0),
+            Value::Float(f64::NAN),
+            Value::Str("".into()),
+            Value::Str("ab".into()),
+            Value::Str("a longer string crossing word chunks".into()),
+        ];
+        let mut states = Vec::new();
+        hash_batch_init(Seed::Table, col.len(), &mut states);
+        hash_batch_values(&mut states, &col);
+        hash_batch_finish(&mut states);
+        for (r, v) in col.iter().enumerate() {
+            assert_eq!(
+                states[r],
+                hash_values(Seed::Table, std::slice::from_ref(v)),
+                "row {r} ({v:?}) diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_multi_column_matches_row_hash() {
+        // Mixed strip kinds: an Int column then a Value column, folded
+        // column-at-a-time, must equal hashing each row's key slice.
+        let ints: Vec<i64> = (0..32).collect();
+        let vals: Vec<Value> = (0..32)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Value::Str(format!("s{i}").into())
+                } else {
+                    Value::Int(i)
+                }
+            })
+            .collect();
+        let mut states = Vec::new();
+        hash_batch_init(Seed::Table, 32, &mut states);
+        hash_batch_ints(&mut states, &ints);
+        hash_batch_values(&mut states, &vals);
+        hash_batch_finish(&mut states);
+        for r in 0..32usize {
+            let key = [Value::Int(ints[r]), vals[r].clone()];
+            assert_eq!(states[r], hash_values(Seed::Table, &key), "row {r}");
+        }
+    }
+
+    #[test]
+    fn batch_init_reuses_and_clears_scratch() {
+        let mut states = vec![0xdead; 64];
+        hash_batch_init(Seed::Table, 2, &mut states);
+        assert_eq!(states.len(), 2);
+        assert!(states.iter().all(|&s| s != 0xdead));
     }
 }

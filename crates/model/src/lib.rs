@@ -39,7 +39,8 @@ pub mod value;
 
 pub use agg::{AggFunc, AggSpec, AggState, AggStates, RowKind};
 pub use encode::{
-    decode_tuple, decode_tuple_into, decode_tuple_select_into, encode_tuple, encoded_len,
+    decode_tuple, decode_tuple_into, decode_tuple_select_into, encode_tuple, encode_value,
+    encoded_len,
 };
 pub use error::ModelError;
 pub use event::{CostEvent, CostTracker, CountingTracker, NullTracker};

@@ -418,7 +418,7 @@ impl Endpoint {
             self.retry_backoff_ms += wait;
             // The retransmit would arrive after the backoff.
             msg.sent_at_ms += wait;
-            match self.wire.send(to, msg) {
+            match self.wire.send(to, *msg) {
                 Ok(()) => return Ok(()),
                 Err(f) => {
                     msg = f.msg;

@@ -171,7 +171,8 @@ fn encode_message(msg: &Message, out: &mut Vec<u8>) {
             });
             out.extend_from_slice(&(page.capacity() as u32).to_le_bytes());
             out.extend_from_slice(&(page.tuple_count() as u32).to_le_bytes());
-            put_bytes(out, page.raw_data());
+            out.extend_from_slice(&(page.bytes_used() as u32).to_le_bytes());
+            page.encode_into(out);
         }
         Payload::Control(c) => {
             out.push(1);

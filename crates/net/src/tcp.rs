@@ -353,7 +353,7 @@ impl Transport for TcpTransport {
             return match self.events_tx.send(Event::Msg(msg)) {
                 Ok(()) => Ok(()),
                 Err(crossbeam::channel::SendError(Event::Msg(msg))) => Err(SendFailure {
-                    msg,
+                    msg: Box::new(msg),
                     err: NetError::Disconnected,
                 }),
                 Err(_) => unreachable!("self-send returns the message we put in"),
@@ -362,7 +362,7 @@ impl Transport for TcpTransport {
         if to >= self.shared.nodes || self.dead[to] || self.shared.bye[to].load(Ordering::SeqCst)
         {
             return Err(SendFailure {
-                msg,
+                msg: Box::new(msg),
                 err: NetError::PeerDown { peer: to },
             });
         }
@@ -393,7 +393,7 @@ impl Transport for TcpTransport {
             unreachable!("frame was built from msg above")
         };
         Err(SendFailure {
-            msg,
+            msg: Box::new(msg),
             err: NetError::PeerDown { peer: to },
         })
     }

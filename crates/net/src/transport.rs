@@ -46,8 +46,10 @@ impl std::fmt::Display for TransportKind {
 /// retry policy can re-attempt it without cloning on the success path.
 #[derive(Debug)]
 pub struct SendFailure {
-    /// The message that was not delivered.
-    pub msg: Message,
+    /// The message that was not delivered (boxed: the columnar page
+    /// payload makes `Message` wide, and `Result` pays for the `Err`
+    /// variant on every send).
+    pub msg: Box<Message>,
     /// Why the send failed.
     pub err: NetError,
 }
@@ -136,7 +138,7 @@ impl Transport for ChannelTransport {
 
     fn send(&mut self, to: usize, msg: Message) -> Result<(), SendFailure> {
         self.senders[to].send(msg).map_err(|failed| SendFailure {
-            msg: failed.0,
+            msg: Box::new(failed.0),
             err: NetError::PeerDown { peer: to },
         })
     }

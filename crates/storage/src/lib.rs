@@ -30,6 +30,6 @@ pub mod spill;
 pub use disk::{IoCounters, SimDisk};
 pub use error::StorageError;
 pub use heapfile::HeapFile;
-pub use page::{Page, PageCursor, PageIter};
+pub use page::{Page, PageCursor, PageIter, StripView};
 pub use pool::PagePool;
 pub use spill::SpillFile;

@@ -1,19 +1,147 @@
-//! Fixed-capacity pages of encoded tuples.
+//! Fixed-capacity pages of tuples, laid out as **column strips**.
 //!
-//! A page is a byte buffer plus a tuple count. Tuples are stored in the
-//! [`adaptagg_model::encode`] wire format, back to back. The same type
-//! serves 4 KB disk pages and 2 KB network message blocks — only the
-//! capacity differs.
+//! A page holds one contiguous strip per column: an `Int`-only strip is a
+//! plain `Vec<i64>` (the validity-free fixed-width fast path batch
+//! operators ride), and a strip that has seen any other type holds
+//! general [`Value`] cells. The byte budget is still accounted in the
+//! [`adaptagg_model::encode`] wire format — `try_push` admits exactly the
+//! rows the old row-major byte page admitted, so page-boundary and cost
+//! decisions are unchanged — and [`Page::encode_into`] /
+//! [`Page::from_raw`] convert to/from that format at the disk and network
+//! edges. The same type serves 4 KB disk pages and 2 KB network message
+//! blocks — only the capacity differs.
+//!
+//! Batch consumers read whole columns through [`Page::column`]
+//! ([`StripView`]); row-at-a-time consumers (sort, sample, spill replay)
+//! keep the [`Page::iter`] / [`Page::cursor`] compatibility path, which
+//! reconstructs rows from the strips.
 
 use crate::error::StorageError;
-use adaptagg_model::{decode_tuple, decode_tuple_select_into, encode_tuple, Value};
+use adaptagg_model::{decode_tuple_into, encode_value, encoded_len, Value};
 
-/// A page of encoded tuples with a byte-capacity bound.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// A page of tuples with a byte-capacity bound, stored column-wise.
+#[derive(Debug, Clone)]
 pub struct Page {
     capacity: usize,
-    data: Vec<u8>,
+    /// Wire-format bytes the rows occupy (what `capacity` bounds).
+    bytes_used: usize,
     tuples: u32,
+    /// Smallest row arity on the page (0 when empty): columns `< min`
+    /// are dense strips with no pad cells, so `column` is O(1).
+    min_arity: u16,
+    /// Largest row arity on the page (0 when empty); `min == max` ⇔
+    /// arity-uniform.
+    max_arity: u16,
+    /// Per-row arity (the wire `arity:u16` header), in row order.
+    arities: Vec<u16>,
+    /// Column strips. Strip `j` is padded lazily: it holds one cell per
+    /// row only up to the last row whose arity exceeds `j`; pad cells for
+    /// shorter rows are never read (row reconstruction stops at the
+    /// row's arity).
+    cols: Vec<ColumnStrip>,
+}
+
+/// One column's cells. `is_int` selects the fixed-width fast path; the
+/// first non-`Int` cell promotes the strip to general values. Both
+/// buffers are kept so a pooled page retains its capacity across
+/// `clear`/refill cycles.
+#[derive(Debug, Clone)]
+struct ColumnStrip {
+    ints: Vec<i64>,
+    values: Vec<Value>,
+    is_int: bool,
+}
+
+impl ColumnStrip {
+    fn new() -> Self {
+        ColumnStrip {
+            ints: Vec::new(),
+            values: Vec::new(),
+            is_int: true,
+        }
+    }
+
+    fn len(&self) -> usize {
+        if self.is_int {
+            self.ints.len()
+        } else {
+            self.values.len()
+        }
+    }
+
+    /// Extend the strip with pad cells up to `rows` entries (rows whose
+    /// arity does not reach this column).
+    fn pad_to(&mut self, rows: usize) {
+        if self.is_int {
+            if self.ints.len() < rows {
+                self.ints.resize(rows, 0);
+            }
+        } else if self.values.len() < rows {
+            self.values.resize(rows, Value::Null);
+        }
+    }
+
+    fn push(&mut self, v: &Value) {
+        if self.is_int {
+            if let Value::Int(x) = v {
+                self.ints.push(*x);
+                return;
+            }
+            self.promote();
+        }
+        self.values.push(v.clone());
+    }
+
+    /// Rewiden the `Int` fast path into general cells (first non-`Int`
+    /// value, including pads-turned-`Null` never happens: pads stay 0).
+    fn promote(&mut self) {
+        debug_assert!(self.values.is_empty());
+        self.values.extend(self.ints.iter().map(|&x| Value::Int(x)));
+        self.ints.clear();
+        self.is_int = false;
+    }
+
+    fn clear(&mut self) {
+        self.ints.clear();
+        self.values.clear();
+        self.is_int = true;
+    }
+
+    fn get(&self, r: usize) -> Value {
+        if self.is_int {
+            Value::Int(self.ints[r])
+        } else {
+            self.values[r].clone()
+        }
+    }
+
+    fn encode_cell(&self, r: usize, out: &mut Vec<u8>) {
+        if self.is_int {
+            encode_value(&Value::Int(self.ints[r]), out);
+        } else {
+            encode_value(&self.values[r], out);
+        }
+    }
+
+    /// Logical equality of cell `r` across strips, regardless of which
+    /// representation (fast-path ints vs general values) each strip uses.
+    fn cell_eq(&self, other: &ColumnStrip, r: usize) -> bool {
+        match (self.is_int, other.is_int) {
+            (true, true) => self.ints[r] == other.ints[r],
+            (true, false) => matches!(other.values[r], Value::Int(x) if x == self.ints[r]),
+            (false, true) => matches!(self.values[r], Value::Int(x) if x == other.ints[r]),
+            (false, false) => self.values[r] == other.values[r],
+        }
+    }
+}
+
+/// A borrowed whole-column view for batch operators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StripView<'a> {
+    /// Validity-free fixed-width fast path: every cell is an `Int`.
+    Ints(&'a [i64]),
+    /// General cells (mixed types, strings, nulls).
+    Values(&'a [Value]),
 }
 
 impl Page {
@@ -21,8 +149,12 @@ impl Page {
     pub fn new(capacity: usize) -> Self {
         Page {
             capacity,
-            data: Vec::new(),
+            bytes_used: 0,
             tuples: 0,
+            min_arity: 0,
+            max_arity: 0,
+            arities: Vec::new(),
+            cols: Vec::new(),
         }
     }
 
@@ -31,9 +163,9 @@ impl Page {
         self.capacity
     }
 
-    /// Bytes currently used.
+    /// Wire-format bytes currently used.
     pub fn bytes_used(&self) -> usize {
-        self.data.len()
+        self.bytes_used
     }
 
     /// Number of tuples on the page.
@@ -48,20 +180,17 @@ impl Page {
 
     /// Whether a tuple of `n` encoded bytes would fit.
     pub fn fits(&self, n: usize) -> bool {
-        self.data.len() + n <= self.capacity
+        self.bytes_used + n <= self.capacity
     }
 
     /// Try to append a tuple. Returns `Ok(true)` if stored, `Ok(false)` if
     /// the page is full (caller seals it and starts a new one), or an error
     /// if the tuple can never fit *any* page of this capacity.
     pub fn try_push(&mut self, values: &[Value]) -> Result<bool, StorageError> {
-        // Encode optimistically (one pass over the values) and roll back if
-        // the tuple overflows the capacity — sealing is the rare case, so
-        // the common path never walks the values twice.
-        let start = self.data.len();
-        let n = encode_tuple(values, &mut self.data);
-        if start + n > self.capacity {
-            self.data.truncate(start);
+        // Size in the wire format first: admission decisions must stay
+        // byte-identical to the row-major layout this replaced.
+        let n = encoded_len(values);
+        if self.bytes_used + n > self.capacity {
             if n > self.capacity {
                 return Err(StorageError::TupleTooLarge {
                     tuple_bytes: n,
@@ -70,27 +199,58 @@ impl Page {
             }
             return Ok(false);
         }
+        let arity = u16::try_from(values.len()).expect("tuple arity exceeds u16");
+        let row = self.tuples as usize;
+        while self.cols.len() < values.len() {
+            self.cols.push(ColumnStrip::new());
+        }
+        for (j, v) in values.iter().enumerate() {
+            let strip = &mut self.cols[j];
+            strip.pad_to(row);
+            strip.push(v);
+        }
+        self.min_arity = if self.tuples == 0 { arity } else { self.min_arity.min(arity) };
+        self.max_arity = self.max_arity.max(arity);
+        self.arities.push(arity);
+        self.bytes_used += n;
         self.tuples += 1;
         Ok(true)
     }
 
-    /// Iterate over the page's tuples, decoding lazily.
-    pub fn iter(&self) -> PageIter<'_> {
-        PageIter {
-            data: &self.data,
-            pos: 0,
-            remaining: self.tuples,
-        }
+    /// The arity shared by every row, when the page is non-empty and
+    /// arity-uniform — the precondition for whole-page batch operators.
+    /// O(1): the min/max arity are maintained on push.
+    pub fn uniform_arity(&self) -> Option<usize> {
+        (self.tuples > 0 && self.min_arity == self.max_arity).then_some(self.min_arity as usize)
     }
 
-    /// A cursor decoding tuples into a caller-owned scratch vector — the
-    /// allocation-free counterpart of [`Page::iter`] for hot paths.
-    pub fn cursor(&self) -> PageCursor<'_> {
-        PageCursor {
-            data: &self.data,
-            pos: 0,
-            remaining: self.tuples,
+    /// Column `j` as a contiguous strip covering every row. `None` when
+    /// any row lacks the column (a padded strip would leak pad cells as
+    /// data) — callers fall back to the row-at-a-time cursor. O(1): hash
+    /// probes compare keys against strips through this on every row.
+    pub fn column(&self, j: usize) -> Option<StripView<'_>> {
+        if self.tuples == 0 || j >= usize::from(self.min_arity) {
+            return None;
         }
+        let c = self.cols.get(j)?;
+        debug_assert_eq!(c.len(), self.tuples as usize);
+        Some(if c.is_int {
+            StripView::Ints(&c.ints)
+        } else {
+            StripView::Values(&c.values)
+        })
+    }
+
+    /// Iterate over the page's tuples, materializing each row from the
+    /// strips.
+    pub fn iter(&self) -> PageIter<'_> {
+        PageIter { page: self, row: 0 }
+    }
+
+    /// A cursor materializing tuples into a caller-owned scratch vector —
+    /// the allocation-reusing counterpart of [`Page::iter`] for hot paths.
+    pub fn cursor(&self) -> PageCursor<'_> {
+        PageCursor { page: self, row: 0 }
     }
 
     /// Decode all tuples into vectors (convenience for tests and stores).
@@ -98,21 +258,35 @@ impl Page {
         self.iter().collect()
     }
 
-    /// Clear the page for reuse (capacity retained — the "workhorse
-    /// collection" pattern: exchange operators reuse one page per
-    /// destination).
+    /// Clear the page for reuse (strip capacities retained — the
+    /// "workhorse collection" pattern: exchange operators and the page
+    /// pool reuse pages without reallocating).
     pub fn clear(&mut self) {
-        self.data.clear();
+        for c in &mut self.cols {
+            c.clear();
+        }
+        self.arities.clear();
+        self.bytes_used = 0;
         self.tuples = 0;
+        self.min_arity = 0;
+        self.max_arity = 0;
     }
 
-    /// The raw encoded bytes (persistence).
-    pub fn raw_data(&self) -> &[u8] {
-        &self.data
+    /// Append the page's rows in the row-major wire encoding (persistence
+    /// and network frames). Writes exactly [`Page::bytes_used`] bytes.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.bytes_used);
+        for r in 0..self.tuples as usize {
+            let arity = self.arities[r];
+            out.extend_from_slice(&arity.to_le_bytes());
+            for j in 0..arity as usize {
+                self.cols[j].encode_cell(r, out);
+            }
+        }
     }
 
-    /// Rebuild a page from its raw parts, verifying that the bytes decode
-    /// to exactly `tuples` tuples of `data.len()` bytes (persistence).
+    /// Rebuild a page from wire-format bytes, verifying that they decode
+    /// to exactly `tuples` tuples spanning the whole buffer (persistence).
     pub fn from_raw(capacity: usize, data: Vec<u8>, tuples: u32) -> Result<Self, StorageError> {
         if data.len() > capacity {
             return Err(StorageError::TupleTooLarge {
@@ -120,18 +294,17 @@ impl Page {
                 page_bytes: capacity,
             });
         }
-        let page = Page {
-            capacity,
-            data,
-            tuples,
-        };
-        // `iter` stops after `tuples` decoded rows; require that they
-        // decode cleanly and span the whole buffer (no trailing garbage).
+        let mut page = Page::new(capacity);
+        let mut scratch = Vec::new();
         let mut pos = 0usize;
-        for t in page.iter() {
-            pos += adaptagg_model::encoded_len(&t?);
+        for _ in 0..tuples {
+            let used = decode_tuple_into(&data[pos..], &mut scratch)
+                .map_err(StorageError::Model)?;
+            pos += used;
+            // Cannot refuse: the whole buffer already fits the capacity.
+            page.try_push(&scratch)?;
         }
-        if pos != page.data.len() {
+        if pos != data.len() {
             return Err(StorageError::Model(adaptagg_model::ModelError::Corrupt(
                 "page bytes longer than its tuples",
             )));
@@ -140,80 +313,107 @@ impl Page {
     }
 }
 
+impl PartialEq for Page {
+    /// Logical equality: same capacity, same rows. Strip representation
+    /// (fast-path ints vs promoted values) and retained-but-cleared strip
+    /// buffers do not participate, so a pooled page refilled with the
+    /// same rows equals a fresh one.
+    fn eq(&self, other: &Self) -> bool {
+        if self.capacity != other.capacity
+            || self.tuples != other.tuples
+            || self.bytes_used != other.bytes_used
+            || self.arities != other.arities
+        {
+            return false;
+        }
+        for r in 0..self.tuples as usize {
+            for j in 0..self.arities[r] as usize {
+                if !self.cols[j].cell_eq(&other.cols[j], r) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl Eq for Page {}
+
 /// Iterator over a page's tuples.
 #[derive(Debug)]
 pub struct PageIter<'a> {
-    data: &'a [u8],
-    pos: usize,
-    remaining: u32,
+    page: &'a Page,
+    row: usize,
 }
 
 impl Iterator for PageIter<'_> {
     type Item = Result<Vec<Value>, StorageError>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        if self.remaining == 0 {
+        if self.row >= self.page.tuples as usize {
             return None;
         }
-        self.remaining -= 1;
-        match decode_tuple(&self.data[self.pos..]) {
-            Ok((values, used)) => {
-                self.pos += used;
-                Some(Ok(values))
-            }
-            Err(e) => {
-                self.remaining = 0;
-                Some(Err(e.into()))
-            }
+        let r = self.row;
+        self.row += 1;
+        let arity = self.page.arities[r] as usize;
+        let mut out = Vec::with_capacity(arity);
+        for j in 0..arity {
+            out.push(self.page.cols[j].get(r));
         }
+        Some(Ok(out))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        (self.remaining as usize, Some(self.remaining as usize))
+        let left = self.page.tuples as usize - self.row;
+        (left, Some(left))
     }
 }
 
 /// Scratch-reuse cursor over a page's tuples (see [`Page::cursor`]).
 #[derive(Debug)]
 pub struct PageCursor<'a> {
-    data: &'a [u8],
-    pos: usize,
-    remaining: u32,
+    page: &'a Page,
+    row: usize,
 }
 
 impl PageCursor<'_> {
-    /// Decode the next tuple into `out` (cleared first, allocation
+    /// Materialize the next tuple into `out` (cleared first, allocation
     /// reused). Returns `Ok(false)` when the page is exhausted.
     pub fn next_into(&mut self, out: &mut Vec<Value>) -> Result<bool, StorageError> {
         self.next_select_into(None, out)
     }
 
     /// [`PageCursor::next_into`], materializing only the columns flagged
-    /// in `select` (see [`adaptagg_model::decode_tuple_select_into`]).
+    /// in `select`; unselected columns become [`Value::Null`]
+    /// placeholders so column indices and the arity stay stable (the
+    /// semantics of [`adaptagg_model::decode_tuple_select_into`]).
     pub fn next_select_into(
         &mut self,
         select: Option<&[bool]>,
         out: &mut Vec<Value>,
     ) -> Result<bool, StorageError> {
-        if self.remaining == 0 {
+        if self.row >= self.page.tuples as usize {
             return Ok(false);
         }
-        self.remaining -= 1;
-        match decode_tuple_select_into(&self.data[self.pos..], select, out) {
-            Ok(used) => {
-                self.pos += used;
-                Ok(true)
-            }
-            Err(e) => {
-                self.remaining = 0;
-                Err(e.into())
-            }
+        let r = self.row;
+        self.row += 1;
+        out.clear();
+        let arity = self.page.arities[r] as usize;
+        out.reserve(arity);
+        for j in 0..arity {
+            let wanted = select.is_none_or(|s| s.get(j).copied().unwrap_or(false));
+            out.push(if wanted {
+                self.page.cols[j].get(r)
+            } else {
+                Value::Null
+            });
         }
+        Ok(true)
     }
 
-    /// Tuples not yet decoded.
+    /// Tuples not yet materialized.
     pub fn remaining(&self) -> usize {
-        self.remaining as usize
+        self.page.tuples as usize - self.row
     }
 }
 
@@ -243,8 +443,8 @@ mod tests {
     #[test]
     fn failed_push_rolls_back_without_a_torn_row() {
         // Capacity leaves exactly 19 free bytes after three 20-byte
-        // tuples: the next push misses by one byte. The optimistic encode
-        // must truncate completely — no partial bytes, no count bump.
+        // tuples: the next push misses by one byte and must refuse with
+        // no partial state — no strip cells, no count bump, no bytes.
         let mut p = Page::new(79);
         for i in 0..3 {
             assert!(p.try_push(&ints(i)).unwrap());
@@ -327,6 +527,18 @@ mod tests {
     }
 
     #[test]
+    fn cleared_page_equals_fresh_page() {
+        let mut p = Page::new(128);
+        p.try_push(&[Value::Str("s".into()), Value::Int(1)]).unwrap();
+        p.clear();
+        assert_eq!(p, Page::new(128), "retained strip buffers stay invisible");
+        p.try_push(&ints(2)).unwrap();
+        let mut q = Page::new(128);
+        q.try_push(&ints(2)).unwrap();
+        assert_eq!(p, q, "refilled pooled page equals fresh page");
+    }
+
+    #[test]
     fn empty_page_iterates_nothing() {
         let p = Page::new(4096);
         assert_eq!(p.iter().count(), 0);
@@ -340,5 +552,97 @@ mod tests {
         let all = p.decode_all().unwrap();
         assert_eq!(all[0], vec![Value::Null]);
         assert_eq!(all[1], vec![Value::Str("abc".into()), Value::Float(1.5)]);
+    }
+
+    #[test]
+    fn uniform_arity_detects_ragged_pages() {
+        let mut p = Page::new(4096);
+        assert_eq!(p.uniform_arity(), None, "empty page has no arity");
+        p.try_push(&ints(1)).unwrap();
+        p.try_push(&ints(2)).unwrap();
+        assert_eq!(p.uniform_arity(), Some(2));
+        p.try_push(&[Value::Int(3)]).unwrap();
+        assert_eq!(p.uniform_arity(), None);
+    }
+
+    #[test]
+    fn column_strips_expose_int_fast_path() {
+        let mut p = Page::new(4096);
+        for i in 0..10 {
+            p.try_push(&[Value::Int(i), Value::Str(format!("s{i}").into())])
+                .unwrap();
+        }
+        match p.column(0) {
+            Some(StripView::Ints(xs)) => {
+                assert_eq!(xs, (0..10).collect::<Vec<i64>>().as_slice())
+            }
+            other => panic!("expected Int strip, got {other:?}"),
+        }
+        match p.column(1) {
+            Some(StripView::Values(vs)) => {
+                assert_eq!(vs[3], Value::Str("s3".into()));
+                assert_eq!(vs.len(), 10);
+            }
+            other => panic!("expected Value strip, got {other:?}"),
+        }
+        assert!(p.column(2).is_none(), "no such column");
+    }
+
+    #[test]
+    fn int_strip_promotes_on_first_non_int_cell() {
+        let mut p = Page::new(4096);
+        p.try_push(&[Value::Int(1)]).unwrap();
+        p.try_push(&[Value::Float(2.5)]).unwrap();
+        match p.column(0) {
+            Some(StripView::Values(vs)) => {
+                assert_eq!(vs, &[Value::Int(1), Value::Float(2.5)]);
+            }
+            other => panic!("expected promoted strip, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ragged_columns_are_not_dense_strips() {
+        let mut p = Page::new(4096);
+        p.try_push(&[Value::Int(1)]).unwrap();
+        p.try_push(&[Value::Int(2), Value::Int(3)]).unwrap();
+        // Column 1 only covers row 1: not a dense strip.
+        assert!(p.column(1).is_none());
+        // Column 0 covers both rows.
+        assert!(matches!(p.column(0), Some(StripView::Ints(_))));
+        // Row reconstruction still yields the original ragged rows.
+        let all = p.decode_all().unwrap();
+        assert_eq!(all[0], vec![Value::Int(1)]);
+        assert_eq!(all[1], vec![Value::Int(2), Value::Int(3)]);
+    }
+
+    #[test]
+    fn encode_into_round_trips_through_from_raw() {
+        let mut p = Page::new(4096);
+        p.try_push(&[Value::Int(1), Value::Str("a".into())]).unwrap();
+        p.try_push(&[Value::Null, Value::Float(-0.5)]).unwrap();
+        let mut bytes = Vec::new();
+        p.encode_into(&mut bytes);
+        assert_eq!(bytes.len(), p.bytes_used());
+        let q = Page::from_raw(4096, bytes, p.tuple_count() as u32).unwrap();
+        assert_eq!(p, q);
+        assert_eq!(q.decode_all().unwrap(), p.decode_all().unwrap());
+    }
+
+    #[test]
+    fn from_raw_rejects_trailing_and_truncated_bytes() {
+        let mut p = Page::new(4096);
+        p.try_push(&ints(1)).unwrap();
+        let mut bytes = Vec::new();
+        p.encode_into(&mut bytes);
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(Page::from_raw(4096, long, 1).is_err(), "trailing bytes");
+        let short = bytes[..bytes.len() - 1].to_vec();
+        assert!(Page::from_raw(4096, short, 1).is_err(), "truncated");
+        assert!(
+            Page::from_raw(4, bytes, 1).is_err(),
+            "bytes exceeding capacity"
+        );
     }
 }

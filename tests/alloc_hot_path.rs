@@ -12,7 +12,8 @@
 //! up allocations from unrelated tests.
 
 use adaptagg_hashagg::AggTable;
-use adaptagg_model::{AggFunc, AggQuery, AggSpec, CountingTracker, Value};
+use adaptagg_model::{AggFunc, AggQuery, AggSpec, CountingTracker, RowKind, Value};
+use adaptagg_storage::Page;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -90,6 +91,46 @@ fn resident_group_updates_do_not_allocate() {
         "resident-group insert_raw allocated {} times over {} updates",
         counted,
         1000 * GROUPS
+    );
+    assert_eq!(table.len(), GROUPS as usize, "no groups were added");
+
+    // Batched hot path: the columnar fast lane (whole-page probe with the
+    // vectorized hash kernel + deferred column-at-a-time updates) must be
+    // allocation-free too once its pooled scratch vectors — the hash
+    // column and the group-index column — are sized. The page is built
+    // (and allocates) outside the window; one warm-up call sizes the
+    // scratch pools.
+    let mut page = Page::new(4096);
+    for g in 0..GROUPS {
+        assert!(page.try_push(&[Value::Int(g), Value::Int(2)]).unwrap());
+    }
+    let no_spill = |_: &mut CountingTracker, _: RowKind, _: &[Value]| -> Result<(), _> {
+        panic!("resident groups never spill")
+    };
+    table
+        .insert_page_batched(RowKind::Raw, &page, &mut tracker, no_spill)
+        .unwrap();
+
+    let mut counted = u64::MAX;
+    for _attempt in 0..5 {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for _round in 0..1000 {
+            table
+                .insert_page_batched(RowKind::Raw, &page, &mut tracker, no_spill)
+                .unwrap();
+        }
+        counted = ALLOCS.load(Ordering::Relaxed) - before;
+        if counted == 0 {
+            break;
+        }
+    }
+
+    assert_eq!(
+        counted,
+        0,
+        "batched resident-group updates allocated {} times over {} pages",
+        counted,
+        1000
     );
     assert_eq!(table.len(), GROUPS as usize, "no groups were added");
 }

@@ -12,8 +12,9 @@
 //! `alloc_hot_path.rs`, its own binary, for the same reason.)
 
 use adaptagg::hashagg::{IntraMode, IntraStrategy, ParTables};
-use adaptagg::model::{AggFunc, AggQuery, AggSpec, MemoryGrant, RowKind, Value};
-use adaptagg::storage::PagePool;
+use adaptagg::model::hash::{hash_batch_finish, hash_batch_init, hash_batch_ints, hash_batch_values};
+use adaptagg::model::{AggFunc, AggQuery, AggSpec, MemoryGrant, RowKind, Seed, Value};
+use adaptagg::storage::{Page, PagePool, StripView};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Barrier;
@@ -82,12 +83,20 @@ fn parallel_steady_state_does_not_allocate() {
             let stop = &stop;
             s.spawn(move || {
                 // Warm-up: every group resident in this worker's local
-                // table, and one pooled page per worker in flight.
+                // table, one pooled page per worker in flight, a stash
+                // page of the resident keys for the batched lane, and a
+                // hash-scratch column sized by one batch-kernel round.
                 for g in 0..GROUPS {
                     let row = [Value::Int(g), Value::Int(1)];
                     tables.insert(w, RowKind::Raw, &row, g as u64).expect("no abort");
                 }
                 pool.put(pool.get(PAGE_BYTES));
+                let mut stash = Page::new(PAGE_BYTES);
+                for g in 0..GROUPS {
+                    assert!(stash.try_push(&[Value::Int(g), Value::Int(1)]).unwrap());
+                }
+                let mut hashes: Vec<u64> = Vec::new();
+                hash_batch_init(Seed::Table, stash.tuple_count(), &mut hashes);
                 warm.wait();
                 for _attempt in 0..ATTEMPTS {
                     go.wait();
@@ -95,14 +104,38 @@ fn parallel_steady_state_does_not_allocate() {
                     // of the shared pool, fold a batch of rows into
                     // resident groups, recycle the page. Stack row
                     // buffers, in-place probes, lock-and-pop recycling:
-                    // zero allocations.
+                    // zero allocations. Half the rounds take the row
+                    // lane, half the batched lane (vectorized key hash
+                    // over the stash page's strips, prehashed inserts):
+                    // both must be allocation-free.
                     for round in 0..1_000i64 {
                         let page = pool.get(PAGE_BYTES);
-                        for g in 0..GROUPS {
-                            let row = [Value::Int(g), Value::Int(round)];
-                            tables
-                                .insert(w, RowKind::Raw, &row, (round * GROUPS + g) as u64)
-                                .expect("no abort");
+                        if round % 2 == 0 {
+                            for g in 0..GROUPS {
+                                let row = [Value::Int(g), Value::Int(round)];
+                                tables
+                                    .insert(w, RowKind::Raw, &row, (round * GROUPS + g) as u64)
+                                    .expect("no abort");
+                            }
+                        } else {
+                            hash_batch_init(Seed::Table, stash.tuple_count(), &mut hashes);
+                            match stash.column(0).expect("dense key strip") {
+                                StripView::Ints(xs) => hash_batch_ints(&mut hashes, xs),
+                                StripView::Values(vs) => hash_batch_values(&mut hashes, vs),
+                            }
+                            hash_batch_finish(&mut hashes);
+                            for g in 0..GROUPS {
+                                let row = [Value::Int(g), Value::Int(round)];
+                                tables
+                                    .insert_prehashed(
+                                        w,
+                                        RowKind::Raw,
+                                        &row,
+                                        (round * GROUPS + g) as u64,
+                                        hashes[g as usize],
+                                    )
+                                    .expect("no abort");
+                            }
                         }
                         pool.put(page);
                     }

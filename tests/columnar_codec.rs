@@ -1,0 +1,250 @@
+//! Property-based codec suite for the columnar page layout.
+//!
+//! The `Page` re-layout (one contiguous strip per column) must be invisible
+//! at every boundary: the row-major wire/file encoding (`encode_into` /
+//! `from_raw`) is byte-for-byte the original format, the row cursor yields
+//! exactly the pushed tuples, and the strip views expose the same cells the
+//! cursor does. These tests drive all of that with random schemas, random
+//! row counts, and the degenerate shapes (empty, single-row, page-full).
+
+use adaptagg::model::{encoded_len, Value};
+use adaptagg::storage::{Page, StripView};
+use proptest::prelude::*;
+
+/// A compact generator for one cell. Tag space deliberately covers the
+/// Int fast path (dense), plus Null / Float / Str so strips promote.
+fn cell_from(tag: u8, x: i64) -> Value {
+    match tag % 4 {
+        0 | 1 => Value::Int(x),
+        2 => Value::Float(x as f64 / 3.0),
+        3 => {
+            if x % 5 == 0 {
+                Value::Null
+            } else {
+                Value::Str(format!("s{x}").into())
+            }
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Build rows from a row-major list of (tag, payload) cells with the given
+/// arity pattern; `ragged` widens every third row by one column.
+fn rows_from(cells: &[(u8, i64)], arity: usize, ragged: bool) -> Vec<Vec<Value>> {
+    let arity = arity.max(1);
+    let mut rows = Vec::new();
+    let mut it = cells.iter();
+    'outer: loop {
+        let a = if ragged && rows.len() % 3 == 2 {
+            arity + 1
+        } else {
+            arity
+        };
+        let mut row = Vec::with_capacity(a);
+        for _ in 0..a {
+            match it.next() {
+                Some(&(tag, x)) => row.push(cell_from(tag, x)),
+                None => break 'outer,
+            }
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+/// Push rows until the page refuses; return the accepted prefix.
+fn fill(page: &mut Page, rows: &[Vec<Value>]) -> Vec<Vec<Value>> {
+    let mut accepted = Vec::new();
+    for row in rows {
+        match page.try_push(row) {
+            Ok(true) => accepted.push(row.clone()),
+            Ok(false) => break,
+            Err(e) => panic!("tuple should fit a fresh page: {e}"),
+        }
+    }
+    accepted
+}
+
+/// Cursor must replay exactly the accepted rows, in order.
+fn assert_cursor_matches(page: &Page, expect: &[Vec<Value>]) {
+    let mut cur = page.cursor();
+    let mut scratch = Vec::new();
+    for (i, row) in expect.iter().enumerate() {
+        assert_eq!(cur.remaining(), expect.len() - i);
+        assert!(cur.next_into(&mut scratch).unwrap());
+        assert_eq!(&scratch, row, "row {i} diverged");
+    }
+    assert!(!cur.next_into(&mut scratch).unwrap());
+    assert_eq!(cur.remaining(), 0);
+}
+
+/// Strip views must expose the same cells the cursor yields, and the Int
+/// fast-path view may only appear for all-Int columns.
+fn assert_strips_match(page: &Page, expect: &[Vec<Value>]) {
+    let Some(arity) = page.uniform_arity() else {
+        // Ragged page: every column either reports None or is unused here.
+        return;
+    };
+    for j in 0..arity {
+        let view = page
+            .column(j)
+            .unwrap_or_else(|| panic!("uniform-arity page must expose column {j}"));
+        match view {
+            StripView::Ints(xs) => {
+                assert_eq!(xs.len(), expect.len());
+                for (r, row) in expect.iter().enumerate() {
+                    assert_eq!(row[j], Value::Int(xs[r]), "int strip col {j} row {r}");
+                }
+            }
+            StripView::Values(vs) => {
+                assert_eq!(vs.len(), expect.len());
+                let mut all_int = true;
+                for (r, row) in expect.iter().enumerate() {
+                    assert_eq!(row[j], vs[r], "value strip col {j} row {r}");
+                    all_int &= matches!(row[j], Value::Int(_));
+                }
+                assert!(
+                    expect.is_empty() || !all_int,
+                    "all-Int column {j} should use the Ints fast path"
+                );
+            }
+        }
+    }
+}
+
+/// Encode → from_raw must be a lossless roundtrip, and the byte budget
+/// accounting (`bytes_used`) must equal the real encoded size.
+fn assert_roundtrip(page: &Page, expect: &[Vec<Value>]) {
+    let mut bytes = Vec::new();
+    page.encode_into(&mut bytes);
+    assert_eq!(bytes.len(), page.bytes_used(), "bytes_used must be exact");
+    let want: usize = expect.iter().map(|r| encoded_len(r)).sum();
+    assert_eq!(bytes.len(), want, "encoding must match the row-major format");
+    let back = Page::from_raw(page.capacity(), bytes, page.tuple_count() as u32).unwrap();
+    assert_eq!(&back, page, "decode(encode(page)) != page");
+    assert_cursor_matches(&back, expect);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random schema, random rows, random page capacity: push, then check
+    /// cursor replay, strip views, and the encode/decode roundtrip.
+    #[test]
+    fn prop_columnar_roundtrip(
+        cells in proptest::collection::vec((0u8..8, -500i64..500), 0..160),
+        arity in 1usize..5,
+        capacity in 64usize..1024,
+        ragged in 0u8..2,
+    ) {
+        let rows = rows_from(&cells, arity, ragged == 1);
+        let mut page = Page::new(capacity);
+        let accepted = fill(&mut page, &rows);
+        prop_assert_eq!(page.tuple_count(), accepted.len());
+        assert_cursor_matches(&page, &accepted);
+        assert_strips_match(&page, &accepted);
+        assert_roundtrip(&page, &accepted);
+    }
+
+    /// A cleared page behaves exactly like a fresh one (the pool reuses
+    /// pages, so stale strip state must never leak into the next fill).
+    #[test]
+    fn prop_cleared_page_equals_fresh(
+        cells in proptest::collection::vec((0u8..8, -500i64..500), 0..120),
+        arity in 1usize..4,
+    ) {
+        let rows = rows_from(&cells, arity, false);
+        let mut reused = Page::new(512);
+        // Dirty the page with promoted strips, then clear.
+        reused.try_push(&[Value::Str("warm".into()), Value::Null]).unwrap();
+        reused.try_push(&[Value::Int(7), Value::Float(1.5)]).unwrap();
+        reused.clear();
+        let mut fresh = Page::new(512);
+        let a = fill(&mut reused, &rows);
+        let b = fill(&mut fresh, &rows);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&reused, &fresh);
+        let mut ra = Vec::new();
+        let mut rb = Vec::new();
+        reused.encode_into(&mut ra);
+        fresh.encode_into(&mut rb);
+        prop_assert_eq!(ra, rb, "reused page must encode identically");
+    }
+}
+
+/// The empty page: zero tuples, zero bytes, a clean roundtrip, and no
+/// column views (there is no schema yet).
+#[test]
+fn empty_page_roundtrips() {
+    let page = Page::new(256);
+    assert_eq!(page.tuple_count(), 0);
+    assert_eq!(page.bytes_used(), 0);
+    assert!(page.is_empty());
+    assert_eq!(page.uniform_arity(), None);
+    assert_eq!(page.column(0), None);
+    assert_cursor_matches(&page, &[]);
+    assert_roundtrip(&page, &[]);
+}
+
+/// Single-row pages across every tag shape.
+#[test]
+fn single_row_pages_roundtrip() {
+    let rows: Vec<Vec<Value>> = vec![
+        vec![Value::Int(-9)],
+        vec![Value::Int(1), Value::Int(2), Value::Int(3)],
+        vec![Value::Null],
+        vec![Value::Float(0.25), Value::Str("".into())],
+        vec![Value::Str("solo".into()), Value::Null, Value::Int(0)],
+    ];
+    for row in rows {
+        let mut page = Page::new(256);
+        assert!(page.try_push(&row).unwrap());
+        let expect = vec![row];
+        assert_eq!(page.uniform_arity(), Some(expect[0].len()));
+        assert_cursor_matches(&page, &expect);
+        assert_strips_match(&page, &expect);
+        assert_roundtrip(&page, &expect);
+    }
+}
+
+/// Fill a small page to the brim: admission must stop exactly at the byte
+/// budget, and the full page must still roundtrip.
+#[test]
+fn max_capacity_page_roundtrips() {
+    let row = vec![Value::Int(42), Value::Int(-42)];
+    let per = encoded_len(&row);
+    let capacity = per * 7 + per / 2; // room for exactly 7 rows
+    let mut page = Page::new(capacity);
+    let mut expect = Vec::new();
+    loop {
+        match page.try_push(&row).unwrap() {
+            true => expect.push(row.clone()),
+            false => break,
+        }
+    }
+    assert_eq!(expect.len(), 7);
+    assert!(!page.fits(per));
+    assert!(page.bytes_used() + per > capacity);
+    assert_cursor_matches(&page, &expect);
+    assert_strips_match(&page, &expect);
+    assert_roundtrip(&page, &expect);
+}
+
+/// Mixed-arity (ragged) pages keep full row fidelity through the cursor
+/// and the codec even though no column views are available.
+#[test]
+fn ragged_pages_roundtrip_without_views() {
+    let rows = vec![
+        vec![Value::Int(1)],
+        vec![Value::Int(2), Value::Str("b".into())],
+        vec![Value::Int(3), Value::Null, Value::Float(9.0)],
+    ];
+    let mut page = Page::new(512);
+    for r in &rows {
+        assert!(page.try_push(r).unwrap());
+    }
+    assert_eq!(page.uniform_arity(), None);
+    assert_eq!(page.column(1), None, "ragged column must not expose a view");
+    assert_cursor_matches(&page, &rows);
+    assert_roundtrip(&page, &rows);
+}

@@ -113,6 +113,9 @@ const PIN_RUNS: &[(AlgorithmKind, usize, usize, usize, usize, u64)] = &[
     // Two nodes: arrival order is still deterministic (single peer).
     (AlgorithmKind::TwoPhase, 2, 2000, 50, 10_000, 0x40508dc28f5c288f), // 66.215 ms
     (AlgorithmKind::Repartitioning, 2, 2000, 50, 10_000, 0x405105eb851eb7d2), // 68.0925 ms
+    // Two nodes *and* overflow engaged: the spill spool/drain and the
+    // cross-node merge both run, covering the columnar spill path.
+    (AlgorithmKind::TwoPhase, 2, 3000, 1500, 300, 0x406b3bac08311e03), // 217.86475 ms
 ];
 
 fn pinned_run_elapsed(

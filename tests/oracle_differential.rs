@@ -155,6 +155,70 @@ proptest! {
         }
     }
 
+    /// Batch-vs-row differential: the columnar fast path (the default)
+    /// must be bit-identical to the row-at-a-time compatibility path —
+    /// result rows at every cluster size, and the virtual clock on the
+    /// single node (multi-node clocks are compared by the
+    /// `cost_invariance` pins instead: algorithms that race phase-1
+    /// traffic against the decision broadcast, e.g. Sampling, have
+    /// run-to-run clock jitter at >1 node even on a fixed path, same as
+    /// `prop_oracle_parallel_threads_match_serial` above). `m` ranges
+    /// down to budgets far below the group cardinality, so overflow
+    /// spooling and its replay run under both paths.
+    #[test]
+    fn prop_oracle_batch_matches_row(
+        raws in proptest::collection::vec((0u32..u32::MAX, -1000i64..1000), 50..400),
+        card in 1usize..150,
+        skew_bit in 0u8..2,
+        key_bit in 0u8..2,
+        threads_ix in 0usize..3,
+        m in 4usize..96,
+    ) {
+        let threads = [1usize, 2, 4][threads_ix];
+        let two_col_key = key_bit == 1;
+        let rows = build_rows(&raws, card, skew_bit == 1, two_col_key);
+        let q = agg_query(two_col_key);
+        // Pass 1: force the row-at-a-time path everywhere.
+        std::env::set_var("ADAPTAGG_COLUMNAR", "row");
+        let mut row_runs = Vec::new();
+        for nodes in NODE_COUNTS {
+            let parts = build_partitions(&rows, nodes);
+            let config = ClusterConfig::new(nodes, CostParams {
+                max_hash_entries: m,
+                ..CostParams::paper_default()
+            })
+            .with_threads(threads);
+            for kind in AlgorithmKind::ALL {
+                let out = run_algorithm(kind, &config, &parts, &q).expect("row run succeeds");
+                row_runs.push((nodes, kind, out));
+            }
+        }
+        // Pass 2: the columnar batch path (the default).
+        std::env::remove_var("ADAPTAGG_COLUMNAR");
+        for (nodes, kind, row_out) in row_runs {
+            let parts = build_partitions(&rows, nodes);
+            let config = ClusterConfig::new(nodes, CostParams {
+                max_hash_entries: m,
+                ..CostParams::paper_default()
+            })
+            .with_threads(threads);
+            let batch = run_algorithm(kind, &config, &parts, &q).expect("batch run succeeds");
+            prop_assert_eq!(
+                &batch.rows, &row_out.rows,
+                "{}: batch rows diverged from row path at {} nodes, {} threads (card {}, m {})",
+                kind, nodes, threads, card, m
+            );
+            if nodes == 1 {
+                prop_assert_eq!(
+                    batch.elapsed_ms().to_bits(),
+                    row_out.elapsed_ms().to_bits(),
+                    "{}: batch clock diverged from row path at {} threads ({} vs {})",
+                    kind, threads, batch.elapsed_ms(), row_out.elapsed_ms()
+                );
+            }
+        }
+    }
+
     /// DISTINCT (empty aggregate list) is exact under every strategy and
     /// cluster size: the result is precisely the distinct key set.
     #[test]
